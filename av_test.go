@@ -1,0 +1,69 @@
+package llamcat
+
+import "testing"
+
+// The AV extension workload must run end-to-end under every policy
+// family and show the same GQA-sharing structure the Logit operator
+// has (V rows shared across the group's query heads).
+func TestAVEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes = 1 << 20
+	op := AV(Llama3_70B, 256)
+
+	tr, err := TraceAV(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks) == 0 {
+		t.Fatal("empty AV trace")
+	}
+
+	base, err := RunAV(cfg, op, PolicyUnopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Raw.TBCompleted != int64(base.TraceBlocks) {
+		t.Fatalf("completed %d of %d AV blocks", base.Raw.TBCompleted, base.TraceBlocks)
+	}
+	opt, err := RunAV(cfg, op, PolicyDynMGBMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	// The accumulator RMW pattern must produce store traffic.
+	if base.Raw.VectorStores == 0 {
+		t.Fatal("AV trace produced no stores (accumulator writeback missing)")
+	}
+	// V streaming dominates: most L2 traffic is reads.
+	if base.Raw.VectorLoads <= base.Raw.VectorStores {
+		t.Fatal("AV load/store balance wrong")
+	}
+}
+
+// The req-resp arbitration flavours of Section 3.3 must both complete
+// and land within a similar performance band (the paper reports
+// "similar performance gains under both").
+func TestReqRespFlavoursSimilar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flavour comparison is slow")
+	}
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes = 1 << 20
+	op := Logit(Llama3_70B, 512)
+	cfg.ReqRespArb = "resp-first"
+	a, err := Run(cfg, op, PolicyDynMGBMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReqRespArb = "req-first"
+	b, err := Run(cfg, op, PolicyDynMGBMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(a.Cycles) / float64(b.Cycles)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("flavours diverge: resp-first %d vs req-first %d cycles", a.Cycles, b.Cycles)
+	}
+}

@@ -1,0 +1,302 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6). Each benchmark runs the corresponding
+// experiment harness and reports the headline numbers of the figure
+// as custom metrics (geomean speedups, utilisations, areas), so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. By default the workload matrix is
+// scaled down 32x (sequence lengths and cache sizes divided together,
+// preserving every working-set-to-cache ratio). Set LLAMCAT_SCALE to
+// choose another factor, or LLAMCAT_FULL=1 for paper scale (hours).
+package llamcat
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func benchScale() int {
+	if os.Getenv("LLAMCAT_FULL") == "1" {
+		return 1
+	}
+	if s := os.Getenv("LLAMCAT_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 32
+}
+
+// Figure results are cached so the three panels of Fig. 7 (which
+// share the same simulation matrix) pay for it once.
+var (
+	benchMu   sync.Mutex
+	fig7Cache = map[string]*experiments.Fig7Result{}
+	fig9Cache = map[string]*experiments.Fig9Result{}
+	fig8Cache []experiments.Fig8Row
+)
+
+func fig7For(b *testing.B, model workload.ModelConfig) *experiments.Fig7Result {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if r, ok := fig7Cache[model.Name]; ok {
+		return r
+	}
+	r, err := experiments.RunFig7(model, experiments.Options{Scale: benchScale()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fig7Cache[model.Name] = r
+	return r
+}
+
+func fig9For(b *testing.B, model workload.ModelConfig) *experiments.Fig9Result {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if r, ok := fig9Cache[model.Name]; ok {
+		return r
+	}
+	// Fig 9's smallest cache approaches the minimum live working set
+	// under aggressive scaling; cap the scale at 16.
+	s := benchScale()
+	if s > 16 {
+		s = 16
+	}
+	r, err := experiments.RunFig9(model, experiments.Options{Scale: s})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fig9Cache[model.Name] = r
+	return r
+}
+
+func fig8Rows(b *testing.B) []experiments.Fig8Row {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if fig8Cache == nil {
+		rows, err := experiments.RunFig8(experiments.Options{Scale: benchScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig8Cache = rows
+	}
+	return fig8Cache
+}
+
+func geomeanOf(series []stats.Series, label string) float64 {
+	for _, s := range series {
+		if s.Label != label {
+			continue
+		}
+		vals := make([]float64, len(s.Points))
+		for i, p := range s.Points {
+			vals[i] = p.Y
+		}
+		return stats.Geomean(vals)
+	}
+	return 0
+}
+
+// BenchmarkFig7a_Throttling70B regenerates Fig. 7(a): throttling
+// policy speedups (dyncta, lcs, dynmg) on Llama3-70B vs unoptimized.
+func BenchmarkFig7a_Throttling70B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := fig7For(b, workload.Llama3_70B)
+		b.ReportMetric(geomeanOf(r.Throttling, "dynmg"), "dynmg-geomean-x")
+		b.ReportMetric(geomeanOf(r.Throttling, "dyncta"), "dyncta-geomean-x")
+		b.ReportMetric(geomeanOf(r.Throttling, "lcs"), "lcs-geomean-x")
+	}
+}
+
+// BenchmarkFig7b_Arbitration70B regenerates Fig. 7(b): arbitration
+// speedups over dynmg.
+func BenchmarkFig7b_Arbitration70B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := fig7For(b, workload.Llama3_70B)
+		b.ReportMetric(geomeanOf(r.Arbitration, "dynmg+BMA"), "BMA-geomean-x")
+		b.ReportMetric(geomeanOf(r.Arbitration, "dynmg+cobrra"), "cobrra-geomean-x")
+	}
+}
+
+// BenchmarkFig7c_Cumulative70B regenerates Fig. 7(c): cumulative
+// speedups vs unoptimized.
+func BenchmarkFig7c_Cumulative70B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := fig7For(b, workload.Llama3_70B)
+		b.ReportMetric(geomeanOf(r.Cumulative, "dynmg+BMA"), "dynmg+BMA-geomean-x")
+	}
+}
+
+// BenchmarkFig7d_Throttling405B regenerates Fig. 7(d) for Llama3-405B.
+func BenchmarkFig7d_Throttling405B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := fig7For(b, workload.Llama3_405B)
+		b.ReportMetric(geomeanOf(r.Throttling, "dynmg"), "dynmg-geomean-x")
+	}
+}
+
+// BenchmarkFig7e_Arbitration405B regenerates Fig. 7(e).
+func BenchmarkFig7e_Arbitration405B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := fig7For(b, workload.Llama3_405B)
+		b.ReportMetric(geomeanOf(r.Arbitration, "dynmg+BMA"), "BMA-geomean-x")
+	}
+}
+
+// BenchmarkFig7f_Cumulative405B regenerates Fig. 7(f).
+func BenchmarkFig7f_Cumulative405B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := fig7For(b, workload.Llama3_405B)
+		b.ReportMetric(geomeanOf(r.Cumulative, "dynmg+BMA"), "dynmg+BMA-geomean-x")
+	}
+}
+
+// BenchmarkFig8_Mechanism regenerates Fig. 8: the policy-by-policy
+// breakdown of MSHR entry utilisation, hit rates and DRAM bandwidth
+// for Llama3-70B @8K-equivalent.
+func BenchmarkFig8_Mechanism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig8Rows(b)
+		for _, r := range rows {
+			if r.Policy == "unopt" {
+				b.ReportMetric(r.MSHRHitRate, "unopt-mshr-hit")
+				b.ReportMetric(r.DRAMBwGBs, "unopt-GB/s")
+			}
+			if r.Policy == "dynmg+BMA" {
+				b.ReportMetric(r.MSHRHitRate, "BMA-mshr-hit")
+				b.ReportMetric(r.DRAMBwGBs, "BMA-GB/s")
+				b.ReportMetric(r.RelPerf, "BMA-perf-x")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9a_CacheSweep70B regenerates Fig. 9(a): cache-size
+// sensitivity at a 32K-equivalent sequence, Llama3-70B.
+func BenchmarkFig9a_CacheSweep70B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := fig9For(b, workload.Llama3_70B)
+		b.ReportMetric(geomeanOf(r.Series, "dynmg+BMA"), "dynmg+BMA-geomean-x")
+		b.ReportMetric(geomeanOf(r.Series, "dyncta"), "dyncta-geomean-x")
+		b.ReportMetric(geomeanOf(r.Series, "unopt"), "unopt-geomean-x")
+	}
+}
+
+// BenchmarkFig9b_CacheSweep405B regenerates Fig. 9(b) for Llama3-405B.
+func BenchmarkFig9b_CacheSweep405B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := fig9For(b, workload.Llama3_405B)
+		b.ReportMetric(geomeanOf(r.Series, "dynmg+BMA"), "dynmg+BMA-geomean-x")
+	}
+}
+
+// BenchmarkTableParams_GearSweep is the ablation behind Tables 1–3:
+// dynmg restricted to successively higher maximum gears on a
+// cache-constrained workload.
+func BenchmarkTableParams_GearSweep(b *testing.B) {
+	scale := benchScale()
+	if scale > 16 {
+		scale = 16
+	}
+	op := Logit(Llama3_70B, 16384/scale)
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		base, err := Run(cfg, op, PolicyUnopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Run(cfg, op, PolicyDynMG)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(Speedup(base, res), "dynmg-x")
+	}
+}
+
+// BenchmarkHWCost_Area regenerates the Section 6.1 synthesis table via
+// the calibrated area model.
+func BenchmarkHWCost_Area(b *testing.B) {
+	var rows []experiments.HWCostRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunHWCost()
+	}
+	for _, r := range rows {
+		switch r.Block {
+		case "arbiter (incl. request queue)":
+			b.ReportMetric(r.AreaUm2, "arbiter-um2")
+		case "hit buffer":
+			b.ReportMetric(r.AreaUm2, "hitbuf-um2")
+		}
+	}
+}
+
+// BenchmarkAblation_ReqRespArb compares the two Section 3.3
+// request-response arbitration flavours (the paper reports similar
+// gains under both).
+func BenchmarkAblation_ReqRespArb(b *testing.B) {
+	scale := benchScale()
+	op := Logit(Llama3_70B, 16384/scale)
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []string{"resp-first", "req-first"} {
+			cfg := DefaultConfig()
+			cfg.L2SizeBytes /= scale
+			cfg.ReqRespArb = mode
+			res, err := Run(cfg, op, PolicyDynMGBMA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Cycles), mode+"-cycles")
+		}
+	}
+}
+
+// BenchmarkAV_Extension runs the attention-value extension workload
+// under the final policy (not a paper figure; the decode stage's
+// other KV-bound kernel).
+func BenchmarkAV_Extension(b *testing.B) {
+	scale := benchScale()
+	op := AV(Llama3_70B, 16384/scale)
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		base, err := RunAV(cfg, op, PolicyUnopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunAV(cfg, op, PolicyDynMGBMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(Speedup(base, res), "dynmg+BMA-x")
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed (simulated
+// cycles per second) — a property of the framework itself rather than
+// a paper figure, useful for regression tracking.
+func BenchmarkEngineThroughput(b *testing.B) {
+	op := Logit(Llama3_70B, 512)
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes = 1 << 20
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, op, PolicyUnopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}

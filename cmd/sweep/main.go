@@ -1,0 +1,104 @@
+// Command sweep performs the parameter sweeps the paper relies on:
+// the throttling-configuration sweep behind Tables 2–4 (sampling
+// period, gear limit, static thread-block levels) and the baseline
+// sweeps of Section 6.2.3 ("For those requiring parameter sweeping,
+// we have also swept under our experiment settings for a fair
+// comparison").
+//
+//	sweep -kind static -model 70b -seq 2048 -scale 8
+//	sweep -kind gear   -model 70b -seq 2048 -scale 8
+//	sweep -kind period -model 70b -seq 2048 -scale 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/sim"
+	"repro/internal/throttle"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "static", "sweep kind: static, gear, period")
+		model = flag.String("model", "70b", "model: 70b or 405b")
+		seq   = flag.Int("seq", 2048, "sequence length (already scaled)")
+		scale = flag.Int("scale", 8, "cache scale divisor (Table 5 16MB / scale)")
+	)
+	flag.Parse()
+	if err := run(*kind, *model, *seq, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, model string, seq, scale int) error {
+	var m workload.ModelConfig
+	switch model {
+	case "70b":
+		m = workload.Llama3_70B
+	case "405b":
+		m = workload.Llama3_405B
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	op := llamcat.Logit(m, seq)
+	base := llamcat.DefaultConfig()
+	base.L2SizeBytes /= scale
+
+	cell := func(cfg sim.Config, pol llamcat.Policy) (llamcat.Result, error) {
+		return llamcat.Run(cfg, op, pol)
+	}
+
+	unopt, err := cell(base, llamcat.PolicyUnopt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s, L2 %d KiB, unopt %d cycles\n\n", op.Name(), base.L2SizeBytes>>10, unopt.Cycles)
+
+	switch kind {
+	case "static":
+		fmt.Printf("%-10s %12s %10s %10s %10s\n", "max_tb", "cycles", "speedup", "mshr-hit", "tcs")
+		for n := 1; n <= base.NumWindows; n++ {
+			res, err := cell(base, llamcat.Policy{Throttle: fmt.Sprintf("static:%d", n), Arbiter: llamcat.PolicyUnopt.Arbiter})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("static:%-3d %12d %10.3f %10.3f %10.3f\n", n, res.Cycles,
+				llamcat.Speedup(unopt, res), res.Metrics.MSHRHitRate, res.Metrics.CacheStallFrac)
+		}
+	case "gear":
+		fmt.Printf("%-10s %12s %10s\n", "max gear", "cycles", "speedup")
+		for g := 0; g <= 4; g++ {
+			cfg := base
+			params := throttle.DefaultDynMGParams()
+			params.MaxGear = g
+			cfg.DynMG = &params
+			res, err := cell(cfg, llamcat.PolicyDynMG)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("gear %-5d %12d %10.3f\n", g, res.Cycles, llamcat.Speedup(unopt, res))
+		}
+	case "period":
+		fmt.Printf("%-10s %12s %10s\n", "period", "cycles", "speedup")
+		for _, p := range []int64{500, 1000, 2000, 4000, 8000} {
+			cfg := base
+			params := throttle.DefaultDynMGParams()
+			params.SamplingPeriod = p
+			params.SubPeriod = p / 5
+			cfg.DynMG = &params
+			res, err := cell(cfg, llamcat.PolicyDynMG)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10d %12d %10.3f\n", p, res.Cycles, llamcat.Speedup(unopt, res))
+		}
+	default:
+		return fmt.Errorf("unknown sweep kind %q", kind)
+	}
+	return nil
+}

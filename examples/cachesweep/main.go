@@ -1,0 +1,68 @@
+// Cachesweep reproduces a scaled Fig. 9 study: how each policy
+// responds to shrinking L2 capacity under a long-context workload.
+// The paper's observation: the unoptimized system degrades steeply as
+// the cache shrinks, while dynmg+BMA saturates early because
+// throttling bounds the live working set.
+//
+//	go run ./examples/cachesweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	model := flag.String("model", "70b", "model: 70b or 405b")
+	seq := flag.Int("seq", 4096, "sequence length (scaled; paper uses 32K)")
+	flag.Parse()
+
+	m := llamcat.Llama3_70B
+	if *model == "405b" {
+		m = llamcat.Llama3_405B
+	}
+	op := llamcat.Logit(m, *seq)
+
+	// Scaled versions of the paper's {16, 32, 64} MB sweep.
+	caches := []int{2 << 20, 4 << 20, 8 << 20}
+	policies := []struct {
+		name string
+		pol  llamcat.Policy
+	}{
+		{"unopt", llamcat.PolicyUnopt},
+		{"dyncta", llamcat.PolicyDyncta},
+		{"dynmg", llamcat.PolicyDynMG},
+		{"dynmg+BMA", llamcat.PolicyDynMGBMA},
+	}
+
+	// Normalise against unopt at the middle cache size, like Fig. 9.
+	cfg := llamcat.DefaultConfig()
+	cfg.L2SizeBytes = caches[1]
+	base, err := llamcat.Run(cfg, op, llamcat.PolicyUnopt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s; speedup vs unopt @%d MiB\n\n", op.Name(), caches[1]>>20)
+	fmt.Printf("%-12s", "policy")
+	for _, c := range caches {
+		fmt.Printf("%10dMiB", c>>20)
+	}
+	fmt.Println()
+	for _, p := range policies {
+		fmt.Printf("%-12s", p.name)
+		for _, c := range caches {
+			cfg := llamcat.DefaultConfig()
+			cfg.L2SizeBytes = c
+			res, err := llamcat.Run(cfg, op, p.pol)
+			if err != nil {
+				log.Fatalf("%s @%d: %v", p.name, c, err)
+			}
+			fmt.Printf("%13.3f", llamcat.Speedup(base, res))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,240 @@
+package arbiter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memreq"
+	"repro/internal/ring"
+)
+
+func queueOf(reqs ...*memreq.Request) *ring.Ring[*memreq.Request] {
+	q := ring.New[*memreq.Request](16)
+	for _, r := range reqs {
+		q.Push(r)
+	}
+	return q
+}
+
+func req(core int, line uint64) *memreq.Request {
+	return &memreq.Request{Core: core, Line: line}
+}
+
+func emptyCtx(numCores int) *Context {
+	return &Context{
+		Served: make([]int64, numCores),
+		InMSHR: func(uint64) bool { return false },
+		HitBuf: NewHitBuffer(8),
+		Sent:   NewSentReqs(8),
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"fcfs": FCFS, "default": FCFS, "unopt": FCFS,
+		"B": Balanced, "balanced": Balanced,
+		"MA": MA, "ma": MA, "BMA": BMA, "cobrra": COBRRA,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q)=%v,%v want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	for _, k := range []Kind{FCFS, Balanced, MA, BMA, COBRRA} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+func TestHitBufferFIFO(t *testing.T) {
+	h := NewHitBuffer(2)
+	h.Push(1)
+	h.Push(2)
+	if !h.Contains(1) || !h.Contains(2) {
+		t.Fatal("pushed lines missing")
+	}
+	h.Push(3) // evicts 1
+	if h.Contains(1) {
+		t.Fatal("oldest entry not evicted")
+	}
+	if !h.Contains(2) || !h.Contains(3) {
+		t.Fatal("recent entries lost")
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len=%d", h.Len())
+	}
+}
+
+func TestSentReqsExpiry(t *testing.T) {
+	s := NewSentReqs(4)
+	s.Push(10, false, 5)
+	s.Push(20, true, 6)
+	s.Push(30, false, 7)
+	if !s.ContainsMiss(10) || !s.ContainsMiss(30) {
+		t.Fatal("tracked misses missing")
+	}
+	if s.ContainsMiss(20) {
+		t.Fatal("spec-hit entry must be masked out of MSHR estimation")
+	}
+	s.Expire(5)
+	if s.ContainsMiss(10) {
+		t.Fatal("expired entry still visible")
+	}
+	if !s.ContainsMiss(30) {
+		t.Fatal("unexpired entry dropped")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d after expiry", s.Len())
+	}
+}
+
+func TestSentReqsPendingMisses(t *testing.T) {
+	s := NewSentReqs(8)
+	s.Push(1, false, 100)
+	s.Push(1, false, 100) // same line: one pending entry
+	s.Push(2, true, 100)  // spec hit: masked
+	s.Push(3, false, 100)
+	inSnap := func(line uint64) bool { return line == 3 } // already in MSHR
+	if got := s.PendingMisses(inSnap); got != 1 {
+		t.Fatalf("PendingMisses=%d want 1 (line 1 only)", got)
+	}
+}
+
+func TestFCFSPicksOldest(t *testing.T) {
+	p := New(FCFS)
+	q := queueOf(req(0, 100), req(1, 200))
+	idx, _ := p.Select(q, emptyCtx(4))
+	if idx != 0 {
+		t.Fatalf("FCFS picked %d", idx)
+	}
+	if p.Kind() != FCFS || p.RespArb() != RespQueueFirst {
+		t.Fatal("FCFS identity wrong")
+	}
+}
+
+func TestBalancedPicksLeastServed(t *testing.T) {
+	p := New(Balanced)
+	ctx := emptyCtx(4)
+	ctx.Served[0] = 10
+	ctx.Served[1] = 3
+	ctx.Served[2] = 7
+	q := queueOf(req(0, 1), req(2, 2), req(1, 3))
+	idx, _ := p.Select(q, ctx)
+	if idx != 2 {
+		t.Fatalf("Balanced picked index %d (core %d), want the core with fewest served", idx, q.At(idx).Core)
+	}
+	// Tie: first in queue order wins.
+	ctx.Served[0] = 3
+	idx, _ = p.Select(q, ctx)
+	if idx != 0 {
+		t.Fatalf("Balanced tie-break picked %d, want oldest", idx)
+	}
+}
+
+func TestMAPriorities(t *testing.T) {
+	p := New(MA)
+	ctx := emptyCtx(4)
+	ctx.HitBuf.Push(300)                              // line 300: inferred cache hit
+	ctx.InMSHR = func(l uint64) bool { return l == 200 } // line 200: MSHR hit
+
+	// Queue: other, MSHR-hit, cache-hit (oldest first).
+	q := queueOf(req(0, 100), req(1, 200), req(2, 300))
+	idx, spec := p.Select(q, ctx)
+	if idx != 2 || !spec {
+		t.Fatalf("MA picked %d spec=%v, want inferred cache hit first", idx, spec)
+	}
+	// Without the cache hit, MSHR hit wins.
+	q = queueOf(req(0, 100), req(1, 200))
+	idx, spec = p.Select(q, ctx)
+	if idx != 1 || spec {
+		t.Fatalf("MA picked %d spec=%v, want MSHR hit", idx, spec)
+	}
+	// sent_reqs misses count as MSHR hits too.
+	ctx.Sent.Push(100, false, 50)
+	q = queueOf(req(3, 400), req(0, 100))
+	idx, _ = p.Select(q, ctx)
+	if idx != 1 {
+		t.Fatalf("MA ignored sent_reqs: picked %d", idx)
+	}
+	// But spec-hit entries in sent_reqs must not.
+	ctx2 := emptyCtx(4)
+	ctx2.Sent.Push(500, true, 50)
+	q = queueOf(req(0, 600), req(1, 500))
+	idx, _ = p.Select(q, ctx2)
+	if idx != 0 {
+		t.Fatalf("MA treated masked sent entry as MSHR hit: picked %d", idx)
+	}
+}
+
+func TestMAFCFSTieBreak(t *testing.T) {
+	p := New(MA)
+	ctx := emptyCtx(4)
+	ctx.Served[0] = 100 // would matter for BMA, not MA
+	q := queueOf(req(0, 1), req(1, 2))
+	idx, _ := p.Select(q, ctx)
+	if idx != 0 {
+		t.Fatalf("MA tie-break must be FCFS, picked %d", idx)
+	}
+}
+
+func TestBMABalancedTieBreak(t *testing.T) {
+	p := New(BMA)
+	ctx := emptyCtx(4)
+	ctx.Served[0] = 100
+	ctx.Served[1] = 1
+	q := queueOf(req(0, 1), req(1, 2))
+	idx, _ := p.Select(q, ctx)
+	if idx != 1 {
+		t.Fatalf("BMA tie-break must be balanced, picked %d", idx)
+	}
+	// Class still dominates the tie-break.
+	ctx.HitBuf.Push(1)
+	idx, spec := p.Select(q, ctx)
+	if idx != 0 || !spec {
+		t.Fatalf("BMA class ordering broken: %d %v", idx, spec)
+	}
+}
+
+func TestCOBRRAIdentity(t *testing.T) {
+	p := New(COBRRA)
+	if p.RespArb() != ReqFirstAlternate {
+		t.Fatal("COBRRA must use request-first alternation")
+	}
+	q := queueOf(req(1, 9), req(0, 8))
+	idx, _ := p.Select(q, emptyCtx(4))
+	if idx != 0 {
+		t.Fatalf("COBRRA request selection must be FCFS, picked %d", idx)
+	}
+}
+
+// Select must always return a valid index for any queue content.
+func TestSelectValidIndexProperty(t *testing.T) {
+	kinds := []Kind{FCFS, Balanced, MA, BMA, COBRRA}
+	check := func(kindRaw uint8, cores []uint8, lines []uint8, hitLines []uint8) bool {
+		if len(cores) == 0 {
+			return true
+		}
+		if len(lines) < len(cores) {
+			return true
+		}
+		p := New(kinds[int(kindRaw)%len(kinds)])
+		ctx := emptyCtx(8)
+		for _, h := range hitLines {
+			ctx.HitBuf.Push(uint64(h % 16))
+		}
+		q := ring.New[*memreq.Request](len(cores))
+		for i := range cores {
+			q.Push(req(int(cores[i]%8), uint64(lines[i]%16)))
+		}
+		idx, _ := p.Select(q, ctx)
+		return idx >= 0 && idx < q.Len()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

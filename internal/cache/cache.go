@@ -1,0 +1,256 @@
+// Package cache implements the set-associative cache storage model
+// used for both the private L1 caches and the L2/LLC slices. It
+// supports the policy knobs Section 5 of the paper adds to the
+// simulator frontend: allocate-on-miss vs allocate-on-fill,
+// write-allocate vs write-no-allocate, write-back vs write-through,
+// and a streaming insertion hint for L1 caches that see no temporal
+// reuse on the KV stream.
+//
+// The model tracks tags and replacement state only; no data payloads
+// are simulated (the simulator is trace-driven and timing-focused).
+package cache
+
+import "fmt"
+
+// AllocPolicy selects when a line is installed in storage.
+type AllocPolicy uint8
+
+// Allocation policies.
+const (
+	AllocOnMiss AllocPolicy = iota // reserve the way at miss time
+	AllocOnFill                    // install only when the fill returns
+)
+
+// WritePolicy combines write-hit and write-miss handling.
+type WritePolicy struct {
+	WriteAllocate bool // write misses fetch + install the line
+	WriteBack     bool // dirty lines written back on eviction; else write-through
+}
+
+// Config describes one cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	Alloc     AllocPolicy
+	Write     WritePolicy
+	// Streaming inserts clean load fills at LRU position instead of
+	// MRU, modelling the L1 "streaming" hint of Table 5: the KV
+	// stream has no L1 temporal reuse, so it should not displace Q.
+	Streaming bool
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: LineBytes must be a positive power of two, got %d", c.LineBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache: Assoc must be positive, got %d", c.Assoc)
+	case c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("cache: SizeBytes %d not divisible into %d-way sets of %d-byte lines",
+			c.SizeBytes, c.Assoc, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a tag/replacement model. Lookups and fills take line
+// addresses (byte address >> log2(LineBytes)). Not safe for concurrent
+// use; the engine is single-threaded.
+type Cache struct {
+	cfg      Config
+	sets     [][]way
+	setMask  uint64
+	lruClock uint64
+
+	// SetIndexFn overrides set selection; used by LLC slices where the
+	// slice-interleave bits must be excluded from the set index. When
+	// nil, the low line-address bits index the set.
+	SetIndexFn func(line uint64) uint64
+
+	// Counters.
+	Lookups   int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	DirtyEvictions int64
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg}
+	n := cfg.Sets()
+	c.setMask = uint64(n - 1)
+	c.sets = make([][]way, n)
+	backing := make([]way, n*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(line uint64) uint64 {
+	if c.SetIndexFn != nil {
+		return c.SetIndexFn(line) & c.setMask
+	}
+	return line & c.setMask
+}
+
+// Probe reports whether line is resident without touching replacement
+// state or counters — used by diagnostics and tests.
+func (c *Cache) Probe(line uint64) bool {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand lookup. On a hit the replacement state is
+// updated and, for writes under write-back, the line is marked dirty.
+// The caller decides what a miss means (MSHR, fill, bypass).
+func (c *Cache) Access(line uint64, write bool) (hit bool) {
+	c.Lookups++
+	si := c.setIndex(line)
+	set := c.sets[si]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			c.Hits++
+			c.lruClock++
+			w.lru = c.lruClock
+			if write && c.cfg.Write.WriteBack {
+				w.dirty = true
+			}
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Fill installs line into the cache, evicting the LRU way if the set
+// is full. It returns the evicted line and whether that line was
+// dirty (needs a writeback). dirty marks the incoming line dirty
+// (write-allocate fill under write-back).
+//
+// Under the Streaming hint, clean fills are inserted at LRU position
+// so that a once-read stream evicts itself rather than reused data.
+func (c *Cache) Fill(line uint64, dirty bool) (victim uint64, victimDirty bool, evicted bool) {
+	si := c.setIndex(line)
+	set := c.sets[si]
+	// Already present (e.g. a racing fill): refresh state only.
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			if dirty {
+				w.dirty = true
+			}
+			return 0, false, false
+		}
+	}
+	// Free way?
+	slot := -1
+	for i := range set {
+		if !set[i].valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		// Evict LRU.
+		slot = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[slot].lru {
+				slot = i
+			}
+		}
+		victim = set[slot].tag
+		victimDirty = set[slot].dirty
+		evicted = true
+		c.Evictions++
+		if victimDirty {
+			c.DirtyEvictions++
+		}
+	}
+	c.lruClock++
+	pos := c.lruClock
+	if c.cfg.Streaming && !dirty {
+		// Insert at LRU: use a position older than every resident way.
+		minLRU := ^uint64(0)
+		found := false
+		for i := range set {
+			if set[i].valid && i != slot && set[i].lru < minLRU {
+				minLRU = set[i].lru
+				found = true
+			}
+		}
+		if found {
+			if minLRU > 0 {
+				pos = minLRU - 1
+			} else {
+				pos = 0
+			}
+		}
+	}
+	set[slot] = way{tag: line, valid: true, dirty: dirty, lru: pos}
+	return victim, victimDirty, evicted
+}
+
+// Invalidate removes line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(line uint64) (wasDirty, wasPresent bool) {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			wasDirty = w.dirty
+			w.valid = false
+			w.dirty = false
+			return wasDirty, true
+		}
+	}
+	return false, false
+}
+
+// Occupancy returns the number of valid lines; a test/diagnostic hook.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HitRate returns Hits/Lookups, 0 when no lookups happened.
+func (c *Cache) HitRate() float64 {
+	if c.Lookups == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Lookups)
+}

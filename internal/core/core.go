@@ -1,0 +1,138 @@
+// Package core defines CAT — Cache Arbitration and Throttling — the
+// paper's primary contribution as a composable policy pair: an LLC
+// request-arbitration policy (Section 4.1/4.3) and a thread-throttling
+// controller (Section 4.2). The simulator consumes the two halves
+// through internal/arbiter and internal/throttle; this package is the
+// canonical registry tying the paper's policy names, composition rules
+// and descriptions together for the experiment harness, the CLI and
+// the public API.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arbiter"
+)
+
+// CAT is one evaluated policy point: a throttling controller name and
+// an arbitration kind.
+type CAT struct {
+	Throttle string
+	Arbiter  arbiter.Kind
+}
+
+// Label renders the figure label ("dynmg+BMA", "unopt", ...).
+func (c CAT) Label() string {
+	t := c.Throttle
+	if t == "" || t == "none" {
+		t = "unopt"
+	}
+	if c.Arbiter == arbiter.FCFS {
+		return t
+	}
+	if t == "unopt" {
+		return c.Arbiter.String()
+	}
+	return t + "+" + c.Arbiter.String()
+}
+
+// Parse reads a figure label back into a CAT ("dynmg+BMA",
+// "dyncta", "cobrra", "static:2+B").
+func Parse(label string) (CAT, error) {
+	throttle, arb := label, ""
+	if i := strings.IndexByte(label, '+'); i >= 0 {
+		throttle, arb = label[:i], label[i+1:]
+	}
+	c := CAT{Throttle: throttle, Arbiter: arbiter.FCFS}
+	// A bare arbiter name means "no throttling + that arbiter".
+	if k, err := arbiter.ParseKind(throttle); err == nil && throttle != "unopt" && throttle != "default" && throttle != "fcfs" {
+		if arb != "" {
+			return CAT{}, fmt.Errorf("core: %q is an arbiter, not a throttle policy", throttle)
+		}
+		return CAT{Throttle: "none", Arbiter: k}, nil
+	}
+	switch throttle {
+	case "unopt", "none", "fcfs":
+		c.Throttle = "none"
+	case "dyncta", "lcs", "dynmg":
+	default:
+		var n int
+		if _, err := fmt.Sscanf(throttle, "static:%d", &n); err != nil {
+			return CAT{}, fmt.Errorf("core: unknown throttle policy %q", throttle)
+		}
+	}
+	if arb != "" {
+		k, err := arbiter.ParseKind(arb)
+		if err != nil {
+			return CAT{}, err
+		}
+		c.Arbiter = k
+	}
+	return c, nil
+}
+
+// Proposed reports whether the policy point is one of the paper's own
+// mechanisms (as opposed to a baseline or the unoptimized system).
+func (c CAT) Proposed() bool {
+	if c.Throttle == "dynmg" {
+		return true
+	}
+	switch c.Arbiter {
+	case arbiter.Balanced, arbiter.MA, arbiter.BMA:
+		return true
+	}
+	return false
+}
+
+// Describe returns the one-line description used in help output.
+func (c CAT) Describe() string {
+	var parts []string
+	switch c.Throttle {
+	case "", "none":
+		parts = append(parts, "no throttling")
+	case "dynmg":
+		parts = append(parts, "two-level dynamic multi-gear throttling (proposed)")
+	case "dyncta":
+		parts = append(parts, "DYNCTA per-core throttling (baseline)")
+	case "lcs":
+		parts = append(parts, "LCS first-block static throttling (baseline)")
+	default:
+		parts = append(parts, c.Throttle+" throttling")
+	}
+	switch c.Arbiter {
+	case arbiter.FCFS:
+		parts = append(parts, "FCFS arbitration")
+	case arbiter.Balanced:
+		parts = append(parts, "balanced per-core arbitration (proposed)")
+	case arbiter.MA:
+		parts = append(parts, "MSHR-aware arbitration (proposed)")
+	case arbiter.BMA:
+		parts = append(parts, "balanced MSHR-aware arbitration (proposed)")
+	case arbiter.COBRRA:
+		parts = append(parts, "COBRRA request-response arbitration (baseline)")
+	}
+	return strings.Join(parts, " + ")
+}
+
+// PaperMatrix returns the policy points of the paper's evaluation in
+// figure order: the unoptimized reference, the baselines, and the
+// proposed combinations.
+func PaperMatrix() []CAT {
+	return []CAT{
+		{Throttle: "none", Arbiter: arbiter.FCFS},
+		{Throttle: "dyncta", Arbiter: arbiter.FCFS},
+		{Throttle: "lcs", Arbiter: arbiter.FCFS},
+		{Throttle: "none", Arbiter: arbiter.COBRRA},
+		{Throttle: "dynmg", Arbiter: arbiter.FCFS},
+		{Throttle: "dynmg", Arbiter: arbiter.COBRRA},
+		{Throttle: "dynmg", Arbiter: arbiter.Balanced},
+		{Throttle: "dynmg", Arbiter: arbiter.MA},
+		{Throttle: "dynmg", Arbiter: arbiter.BMA},
+	}
+}
+
+// Final is the paper's headline configuration: dynmg + BMA.
+func Final() CAT {
+	return CAT{Throttle: "dynmg", Arbiter: arbiter.BMA}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arbiter"
+)
+
+func TestLabelRoundTrip(t *testing.T) {
+	for _, c := range PaperMatrix() {
+		back, err := Parse(c.Label())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.Label(), err)
+		}
+		if back != c {
+			t.Fatalf("round trip: %+v -> %q -> %+v", c, c.Label(), back)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := []struct {
+		c    CAT
+		want string
+	}{
+		{CAT{Throttle: "none", Arbiter: arbiter.FCFS}, "unopt"},
+		{CAT{Throttle: "dynmg", Arbiter: arbiter.BMA}, "dynmg+BMA"},
+		{CAT{Throttle: "none", Arbiter: arbiter.COBRRA}, "cobrra"},
+		{CAT{Throttle: "dyncta", Arbiter: arbiter.FCFS}, "dyncta"},
+	}
+	for _, c := range cases {
+		if got := c.c.Label(); got != c.want {
+			t.Errorf("Label(%+v)=%q want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestParseBareArbiter(t *testing.T) {
+	c, err := Parse("cobrra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Throttle != "none" || c.Arbiter != arbiter.COBRRA {
+		t.Fatalf("Parse(cobrra)=%+v", c)
+	}
+	c, err = Parse("static:2+B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Throttle != "static:2" || c.Arbiter != arbiter.Balanced {
+		t.Fatalf("Parse(static:2+B)=%+v", c)
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("bogus label accepted")
+	}
+	if _, err := Parse("BMA+dynmg"); err == nil {
+		t.Fatal("swapped label accepted")
+	}
+}
+
+func TestProposedAndDescribe(t *testing.T) {
+	if Final().Proposed() != true {
+		t.Fatal("final policy must be proposed")
+	}
+	if (CAT{Throttle: "dyncta"}).Proposed() {
+		t.Fatal("dyncta is a baseline")
+	}
+	if (CAT{Throttle: "none", Arbiter: arbiter.COBRRA}).Proposed() {
+		t.Fatal("cobrra is a baseline")
+	}
+	for _, c := range PaperMatrix() {
+		if c.Describe() == "" {
+			t.Fatalf("no description for %q", c.Label())
+		}
+	}
+	if len(PaperMatrix()) != 9 {
+		t.Fatalf("paper matrix size %d", len(PaperMatrix()))
+	}
+}

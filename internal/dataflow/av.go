@@ -1,0 +1,141 @@
+// Trace generation for the AV operator (see internal/workload/av.go).
+// The loop structure mirrors the Logit operator — thread blocks tile
+// the (h, g, l) space, V rows stream like K rows — with one extra
+// pattern: the D-wide output accumulator is read-modify-written per
+// tile (cache-resident accumulation), so the AV trace additionally
+// exercises the write-allocate/write-back path of the LLC.
+
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/memtrace"
+	"repro/internal/workload"
+)
+
+// ValidateAV checks a mapping against the AV operator's constraints
+// (the same constraints as Logit; the accumulator RMW adds none).
+func (m Mapping) ValidateAV(op workload.AVOp, lineBytes int) error {
+	logitEquiv := workload.LogitOp{Model: op.Model, SeqLen: op.SeqLen}
+	return m.Validate(logitEquiv, lineBytes)
+}
+
+// GenerateAV unrolls a mapping into the AV operator's thread-block
+// trace. Each block (h, g, [l0,l1)) performs:
+//
+//	LD Out[h][g][:]              (accumulator read)
+//	LD AttProb[h][g][l0..l1)     (one line per 16 positions)
+//	for each l in [l0, l1):
+//	    LD V[h][l][:]            (VectorBytes-wide accesses)
+//	    CP ComputePerRow
+//	ST Out[h][g][:]              (accumulator writeback)
+func GenerateAV(op workload.AVOp, amap *workload.AVAddressMap, m Mapping, lineBytes int) (*memtrace.Trace, error) {
+	if err := m.ValidateAV(op, lineBytes); err != nil {
+		return nil, err
+	}
+	if amap.Op() != op {
+		return nil, fmt.Errorf("dataflow: address map built for %s, not %s", amap.Op().Name(), op.Name())
+	}
+	logitEquiv := workload.LogitOp{Model: op.Model, SeqLen: op.SeqLen}
+	tileL := m.TileL(logitEquiv, lineBytes)
+	numLTiles := (op.SeqLen + tileL - 1) / tileL
+	extent := func(a Axis) int {
+		switch a {
+		case AxisH:
+			return op.Model.H
+		case AxisG:
+			return op.Model.G
+		default:
+			return numLTiles
+		}
+	}
+	e0, e1, e2 := extent(m.TBOrder[0]), extent(m.TBOrder[1]), extent(m.TBOrder[2])
+	trace := &memtrace.Trace{Name: op.Name() + "/" + orderString(m.TBOrder)}
+	trace.Blocks = make([]*memtrace.ThreadBlock, 0, e0*e1*e2)
+
+	rowBytes := op.Model.D * op.Model.ElemBytes
+	vecPerRow := (rowBytes + m.VectorBytes - 1) / m.VectorBytes
+	accBytes := op.Model.D * op.Model.OutBytes
+	vecPerAcc := (accBytes + m.VectorBytes - 1) / m.VectorBytes
+
+	id := 0
+	for i0 := 0; i0 < e0; i0++ {
+		for i1 := 0; i1 < e1; i1++ {
+			for i2 := 0; i2 < e2; i2++ {
+				var h, g, lt int
+				assign := func(a Axis, v int) {
+					switch a {
+					case AxisH:
+						h = v
+					case AxisG:
+						g = v
+					default:
+						lt = v
+					}
+				}
+				assign(m.TBOrder[0], i0)
+				assign(m.TBOrder[1], i1)
+				assign(m.TBOrder[2], i2)
+
+				l0 := lt * tileL
+				l1 := l0 + tileL
+				if l1 > op.SeqLen {
+					l1 = op.SeqLen
+				}
+				tb := &memtrace.ThreadBlock{
+					ID:   id,
+					Meta: memtrace.Meta{Group: h, QHead: g, TileLo: l0, TileHi: l1},
+				}
+				id++
+
+				// Accumulator read.
+				for v := 0; v < vecPerAcc; v++ {
+					w := m.VectorBytes
+					if off := v * m.VectorBytes; off+w > accBytes {
+						w = accBytes - off
+					}
+					tb.Insts = append(tb.Insts, memtrace.Inst{
+						Kind:  memtrace.KindLoad,
+						Addr:  amap.OutAddr(h, g, 0) + uint64(v*m.VectorBytes),
+						Width: uint32(w),
+					})
+				}
+				// Probability tile: contiguous fp32 span.
+				tb.Insts = append(tb.Insts, memtrace.Inst{
+					Kind:  memtrace.KindLoad,
+					Addr:  amap.ProbAddr(h, g, l0),
+					Width: uint32((l1 - l0) * op.Model.OutBytes),
+				})
+				// Stream V rows.
+				for l := l0; l < l1; l++ {
+					for v := 0; v < vecPerRow; v++ {
+						w := m.VectorBytes
+						if off := v * m.VectorBytes; off+w > rowBytes {
+							w = rowBytes - off
+						}
+						tb.Insts = append(tb.Insts, memtrace.Inst{
+							Kind:  memtrace.KindLoad,
+							Addr:  amap.VAddr(h, l, 0) + uint64(v*m.VectorBytes),
+							Width: uint32(w),
+						})
+					}
+					if m.ComputePerRow > 0 {
+						tb.Insts = append(tb.Insts, memtrace.Inst{
+							Kind:   memtrace.KindCompute,
+							Cycles: uint32(m.ComputePerRow),
+						})
+					}
+				}
+				// Accumulator writeback.
+				tb.Insts = append(tb.Insts, memtrace.Inst{
+					Kind:  memtrace.KindStore,
+					Addr:  amap.OutAddr(h, g, 0),
+					Width: uint32(accBytes),
+				})
+				trace.Blocks = append(trace.Blocks, tb)
+			}
+		}
+	}
+	return trace, nil
+}

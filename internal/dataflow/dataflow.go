@@ -1,0 +1,453 @@
+// Package dataflow is the analytical half of the paper's hybrid
+// simulation framework (Fig. 6): it maps the Logit operator onto the
+// simulated architecture as a tiled loop nest (the "dataflow") and
+// unrolls the mapping into memory traces that drive the cycle-level
+// simulator.
+//
+// The paper uses Timeloop for this step, optionally accepting
+// handwritten mappings since a mapping is just a human-readable loop
+// nest. This package plays the same role: Mapping is the loop nest,
+// FindMapping is the constrained mapper, ParseMapping accepts
+// handwritten mappings, and Generate unrolls a mapping into a
+// memtrace.Trace.
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memtrace"
+	"repro/internal/workload"
+)
+
+// Axis names a loop dimension of the Logit operator.
+type Axis uint8
+
+// The Logit operator's loop axes.
+const (
+	AxisH Axis = iota // KV head group
+	AxisG             // query head within group
+	AxisL             // sequence position
+)
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	switch a {
+	case AxisH:
+		return "h"
+	case AxisG:
+		return "g"
+	case AxisL:
+		return "l"
+	}
+	return fmt.Sprintf("Axis(%d)", uint8(a))
+}
+
+func parseAxis(s string) (Axis, error) {
+	switch strings.ToLower(s) {
+	case "h":
+		return AxisH, nil
+	case "g":
+		return AxisG, nil
+	case "l":
+		return AxisL, nil
+	}
+	return 0, fmt.Errorf("dataflow: unknown axis %q", s)
+}
+
+// Mapping is a dataflow: how the (h, g, l) iteration space of the
+// Logit operator is tiled into thread blocks and how each block's
+// inner loops are ordered. It captures exactly the degrees of freedom
+// Section 6.2.2 of the paper exposes:
+//
+//   - TBOrder: outer→inner ordering of the thread-block-level loops.
+//     The position of AxisL/AxisG controls how close in dispatch order
+//     two blocks sharing the same K tile are — the GQA cross-core
+//     reuse the CAT policies exploit.
+//   - TBOutLines: output cache lines produced per thread block
+//     (constraint: ≥ 1 to avoid false sharing of AttScore; empirically
+//     1–2 is best, larger blocks reduce locality).
+//   - VectorBytes: bytes per vector memory access (the 128-element
+//     vector core ⇒ 128 B accesses, Table 5's vector-len).
+//   - L1LTileBytes: bytes of the L dimension mapped to the innermost
+//     L1 temporal level (constraint: ≥ 64 B so cache-line access is
+//     complete and AttScore is not falsely shared).
+//   - ComputePerRow: non-memory cycles charged per K row (the dot
+//     product work, negligible in the memory-bound decode stage).
+type Mapping struct {
+	TBOrder       [3]Axis
+	TBOutLines    int
+	VectorBytes   int
+	L1LTileBytes  int
+	ComputePerRow int
+}
+
+// DefaultMapping is the mapping the constrained mapper selects for the
+// paper's configuration: g innermost at the thread-block level (so
+// blocks sharing a K tile are adjacent in dispatch order), one output
+// line per block, 128-byte vector accesses.
+func DefaultMapping() Mapping {
+	return Mapping{
+		TBOrder:       [3]Axis{AxisH, AxisL, AxisG},
+		TBOutLines:    1,
+		VectorBytes:   128,
+		L1LTileBytes:  64,
+		ComputePerRow: 2,
+	}
+}
+
+// Validate checks the mapping against the paper's dataflow constraints.
+func (m Mapping) Validate(op workload.LogitOp, lineBytes int) error {
+	seen := [3]bool{}
+	for _, a := range m.TBOrder {
+		if int(a) > 2 {
+			return fmt.Errorf("dataflow: invalid axis in TBOrder")
+		}
+		if seen[a] {
+			return fmt.Errorf("dataflow: axis %v repeated in TBOrder", a)
+		}
+		seen[a] = true
+	}
+	if m.TBOutLines < 1 {
+		return fmt.Errorf("dataflow: TBOutLines must be >= 1 (false-sharing constraint), got %d", m.TBOutLines)
+	}
+	if m.VectorBytes <= 0 || m.VectorBytes%lineBytes != 0 {
+		return fmt.Errorf("dataflow: VectorBytes must be a positive multiple of the %d-byte line, got %d", lineBytes, m.VectorBytes)
+	}
+	if m.L1LTileBytes < lineBytes {
+		return fmt.Errorf("dataflow: L1LTileBytes must be >= %d (constraint 2 of Section 6.2.2), got %d", lineBytes, m.L1LTileBytes)
+	}
+	if m.ComputePerRow < 0 {
+		return fmt.Errorf("dataflow: ComputePerRow must be >= 0, got %d", m.ComputePerRow)
+	}
+	outElemsPerLine := lineBytes / op.Model.OutBytes
+	if m.TBOutLines*outElemsPerLine > op.SeqLen {
+		return fmt.Errorf("dataflow: thread block covers %d sequence positions but SeqLen is %d",
+			m.TBOutLines*outElemsPerLine, op.SeqLen)
+	}
+	return nil
+}
+
+// TileL returns the number of sequence positions one thread block
+// covers (TBOutLines output lines worth of fp32 scores).
+func (m Mapping) TileL(op workload.LogitOp, lineBytes int) int {
+	return m.TBOutLines * lineBytes / op.Model.OutBytes
+}
+
+// String renders the mapping in the handwritten-mapping format
+// accepted by ParseMapping.
+func (m Mapping) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mapping logit\n")
+	fmt.Fprintf(&b, "tb_order %v %v %v\n", m.TBOrder[0], m.TBOrder[1], m.TBOrder[2])
+	fmt.Fprintf(&b, "tb_out_lines %d\n", m.TBOutLines)
+	fmt.Fprintf(&b, "vector_bytes %d\n", m.VectorBytes)
+	fmt.Fprintf(&b, "l1_l_tile %d\n", m.L1LTileBytes)
+	fmt.Fprintf(&b, "compute_per_row %d\n", m.ComputePerRow)
+	return b.String()
+}
+
+// ParseMapping reads a handwritten mapping in the format produced by
+// Mapping.String — the analogue of feeding Timeloop a hand-authored
+// mapping file.
+func ParseMapping(text string) (Mapping, error) {
+	m := DefaultMapping()
+	sawHeader := false
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "mapping":
+			sawHeader = true
+		case "tb_order":
+			if len(fields) != 4 {
+				return m, fmt.Errorf("dataflow: line %d: tb_order needs 3 axes", lineNo+1)
+			}
+			for i := 0; i < 3; i++ {
+				a, err := parseAxis(fields[i+1])
+				if err != nil {
+					return m, fmt.Errorf("dataflow: line %d: %v", lineNo+1, err)
+				}
+				m.TBOrder[i] = a
+			}
+		case "tb_out_lines":
+			if _, err := fmt.Sscanf(fields[1], "%d", &m.TBOutLines); err != nil {
+				return m, fmt.Errorf("dataflow: line %d: %v", lineNo+1, err)
+			}
+		case "vector_bytes":
+			if _, err := fmt.Sscanf(fields[1], "%d", &m.VectorBytes); err != nil {
+				return m, fmt.Errorf("dataflow: line %d: %v", lineNo+1, err)
+			}
+		case "l1_l_tile":
+			if _, err := fmt.Sscanf(fields[1], "%d", &m.L1LTileBytes); err != nil {
+				return m, fmt.Errorf("dataflow: line %d: %v", lineNo+1, err)
+			}
+		case "compute_per_row":
+			if _, err := fmt.Sscanf(fields[1], "%d", &m.ComputePerRow); err != nil {
+				return m, fmt.Errorf("dataflow: line %d: %v", lineNo+1, err)
+			}
+		default:
+			return m, fmt.Errorf("dataflow: line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	if !sawHeader {
+		return m, fmt.Errorf("dataflow: missing 'mapping' header")
+	}
+	return m, nil
+}
+
+// Eval holds the analytical cost-model metrics of a mapping, used by
+// the mapper to rank candidates without simulation (the Timeloop-style
+// fast evaluation).
+type Eval struct {
+	NumTBs int
+	// KShareDistance is the mean dispatch-order distance between two
+	// thread blocks that read the same K tile. Small distances mean
+	// the GQA reuse arrives close together in time, which is what the
+	// LLC (cache hits, MSHR merges) can capture.
+	KShareDistance float64
+	// TBKLines is the number of distinct K lines one block streams; a
+	// proxy for per-block working set (larger blocks reduce locality).
+	TBKLines int
+}
+
+// Evaluate computes the analytical metrics of a mapping for op.
+func Evaluate(m Mapping, op workload.LogitOp, lineBytes int) (Eval, error) {
+	if err := m.Validate(op, lineBytes); err != nil {
+		return Eval{}, err
+	}
+	tileL := m.TileL(op, lineBytes)
+	numLTiles := (op.SeqLen + tileL - 1) / tileL
+	extent := func(a Axis) int {
+		switch a {
+		case AxisH:
+			return op.Model.H
+		case AxisG:
+			return op.Model.G
+		default:
+			return numLTiles
+		}
+	}
+	ev := Eval{NumTBs: op.Model.H * op.Model.G * numLTiles}
+	// Two blocks share a K tile iff they agree on (h, lTile) and
+	// differ in g. The dispatch distance between g and g+1 at the same
+	// (h, l) equals the product of extents of axes strictly inside g
+	// in the order.
+	stride := 1
+	for i := 2; i >= 0; i-- {
+		if m.TBOrder[i] == AxisG {
+			break
+		}
+		stride *= extent(m.TBOrder[i])
+	}
+	ev.KShareDistance = float64(stride)
+	rowBytes := op.Model.D * op.Model.ElemBytes
+	ev.TBKLines = tileL * rowBytes / lineBytes
+	return ev, nil
+}
+
+// FindMapping searches the mapping space under the paper's constraints
+// and returns the best mapping for op: the candidate minimising the
+// K-share dispatch distance and, among ties, the per-block working set
+// (favouring 1–2 output lines per block, matching the paper's
+// empirical finding).
+func FindMapping(op workload.LogitOp, lineBytes int) (Mapping, Eval, error) {
+	if err := op.Validate(); err != nil {
+		return Mapping{}, Eval{}, err
+	}
+	orders := [][3]Axis{
+		{AxisH, AxisL, AxisG},
+		{AxisH, AxisG, AxisL},
+		{AxisL, AxisH, AxisG},
+		{AxisG, AxisH, AxisL},
+		{AxisG, AxisL, AxisH},
+		{AxisL, AxisG, AxisH},
+	}
+	outLineChoices := []int{1, 2, 4, 8}
+	var (
+		best     Mapping
+		bestEval Eval
+		found    bool
+	)
+	for _, order := range orders {
+		for _, ol := range outLineChoices {
+			cand := DefaultMapping()
+			cand.TBOrder = order
+			cand.TBOutLines = ol
+			ev, err := Evaluate(cand, op, lineBytes)
+			if err != nil {
+				continue // violates a constraint for this op size
+			}
+			if !found || better(ev, bestEval) {
+				best, bestEval, found = cand, ev, true
+			}
+		}
+	}
+	if !found {
+		return Mapping{}, Eval{}, fmt.Errorf("dataflow: no legal mapping for %s", op.Name())
+	}
+	return best, bestEval, nil
+}
+
+// better ranks a before b: smaller K-share distance first, then
+// smaller per-block K footprint, then fewer blocks (less dispatch
+// overhead) as the final tie-break.
+func better(a, b Eval) bool {
+	if a.KShareDistance != b.KShareDistance {
+		return a.KShareDistance < b.KShareDistance
+	}
+	if a.TBKLines != b.TBKLines {
+		return a.TBKLines < b.TBKLines
+	}
+	return a.NumTBs < b.NumTBs
+}
+
+// Generate unrolls a mapping into the thread-block trace that drives
+// the cycle simulator. Each thread block (h, g, [l0,l1)) performs:
+//
+//	LD Q[h][g][:]                (reused from L1 within the block)
+//	for each l in [l0, l1):
+//	    LD K[h][l][:]            (VectorBytes-wide accesses)
+//	    CP ComputePerRow         (dot-product work)
+//	for each output line:
+//	    ST AttScore[h][g][line]  (write-through to L2)
+//
+// Blocks are emitted in TBOrder; the global scheduler dispatches them
+// in this order, so the order directly controls cross-core K reuse
+// proximity.
+func Generate(op workload.LogitOp, amap *workload.AddressMap, m Mapping, lineBytes int) (*memtrace.Trace, error) {
+	if err := m.Validate(op, lineBytes); err != nil {
+		return nil, err
+	}
+	if amap.Op() != op {
+		return nil, fmt.Errorf("dataflow: address map built for %s, not %s", amap.Op().Name(), op.Name())
+	}
+	tileL := m.TileL(op, lineBytes)
+	numLTiles := (op.SeqLen + tileL - 1) / tileL
+	extent := func(a Axis) int {
+		switch a {
+		case AxisH:
+			return op.Model.H
+		case AxisG:
+			return op.Model.G
+		default:
+			return numLTiles
+		}
+	}
+	e0, e1, e2 := extent(m.TBOrder[0]), extent(m.TBOrder[1]), extent(m.TBOrder[2])
+	trace := &memtrace.Trace{Name: op.Name() + "/" + orderString(m.TBOrder)}
+	trace.Blocks = make([]*memtrace.ThreadBlock, 0, e0*e1*e2)
+
+	rowBytes := op.Model.D * op.Model.ElemBytes
+	vecPerRow := (rowBytes + m.VectorBytes - 1) / m.VectorBytes
+	qBytes := op.Model.D * op.Model.ElemBytes
+	vecPerQ := (qBytes + m.VectorBytes - 1) / m.VectorBytes
+	outElemsPerLine := lineBytes / op.Model.OutBytes
+
+	id := 0
+	for i0 := 0; i0 < e0; i0++ {
+		for i1 := 0; i1 < e1; i1++ {
+			for i2 := 0; i2 < e2; i2++ {
+				var h, g, lt int
+				assign := func(a Axis, v int) {
+					switch a {
+					case AxisH:
+						h = v
+					case AxisG:
+						g = v
+					default:
+						lt = v
+					}
+				}
+				assign(m.TBOrder[0], i0)
+				assign(m.TBOrder[1], i1)
+				assign(m.TBOrder[2], i2)
+
+				l0 := lt * tileL
+				l1 := l0 + tileL
+				if l1 > op.SeqLen {
+					l1 = op.SeqLen
+				}
+				tb := &memtrace.ThreadBlock{
+					ID:   id,
+					Meta: memtrace.Meta{Group: h, QHead: g, TileLo: l0, TileHi: l1},
+				}
+				id++
+				nInsts := vecPerQ + (l1-l0)*vecPerRow + (l1-l0) + m.TBOutLines
+				tb.Insts = make([]memtrace.Inst, 0, nInsts)
+
+				// Load the query head once per block.
+				for v := 0; v < vecPerQ; v++ {
+					w := m.VectorBytes
+					if off := v * m.VectorBytes; off+w > qBytes {
+						w = qBytes - off
+					}
+					tb.Insts = append(tb.Insts, memtrace.Inst{
+						Kind:  memtrace.KindLoad,
+						Addr:  amap.QAddr(h, g, 0) + uint64(v*m.VectorBytes),
+						Width: uint32(w),
+					})
+				}
+				// Stream K rows for the tile.
+				for l := l0; l < l1; l++ {
+					for v := 0; v < vecPerRow; v++ {
+						w := m.VectorBytes
+						if off := v * m.VectorBytes; off+w > rowBytes {
+							w = rowBytes - off
+						}
+						tb.Insts = append(tb.Insts, memtrace.Inst{
+							Kind:  memtrace.KindLoad,
+							Addr:  amap.KAddr(h, l, 0) + uint64(v*m.VectorBytes),
+							Width: uint32(w),
+						})
+					}
+					if m.ComputePerRow > 0 {
+						tb.Insts = append(tb.Insts, memtrace.Inst{
+							Kind:   memtrace.KindCompute,
+							Cycles: uint32(m.ComputePerRow),
+						})
+					}
+				}
+				// Store the produced output lines.
+				for l := l0; l < l1; l += outElemsPerLine {
+					w := (l1 - l) * op.Model.OutBytes
+					if w > lineBytes {
+						w = lineBytes
+					}
+					tb.Insts = append(tb.Insts, memtrace.Inst{
+						Kind:  memtrace.KindStore,
+						Addr:  amap.OutAddr(h, g, l),
+						Width: uint32(w),
+					})
+				}
+				trace.Blocks = append(trace.Blocks, tb)
+			}
+		}
+	}
+	return trace, nil
+}
+
+func orderString(o [3]Axis) string {
+	return fmt.Sprintf("%v%v%v", o[0], o[1], o[2])
+}
+
+// PartitionRoundRobin splits a trace into n per-core traces by
+// assigning blocks round-robin, modelling the *original* Ramulator2
+// restriction that each core runs only its own trace file. The paper
+// adds global dispatch precisely because this static partition
+// under-estimates baselines; the function exists to reproduce that
+// ablation.
+func PartitionRoundRobin(t *memtrace.Trace, n int) []*memtrace.Trace {
+	parts := make([]*memtrace.Trace, n)
+	for i := range parts {
+		parts[i] = &memtrace.Trace{Name: fmt.Sprintf("%s/part%d", t.Name, i)}
+	}
+	for i, tb := range t.Blocks {
+		p := parts[i%n]
+		p.Blocks = append(p.Blocks, tb)
+	}
+	return parts
+}

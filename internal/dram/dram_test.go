@@ -1,0 +1,278 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func testConfig() Config {
+	cfg := NewDDR5_3200(1.96, 4)
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := good
+	bad.Channels = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-pow2 channels accepted")
+	}
+	bad = good
+	bad.RowBytes = 32
+	if err := bad.Validate(); err == nil {
+		t.Fatal("row smaller than line accepted")
+	}
+	bad = good
+	bad.QueueDepth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero queue depth accepted")
+	}
+}
+
+func TestTimingConversion(t *testing.T) {
+	cfg := NewDDR5_3200(1.96, 4)
+	// 13.75 ns at 1.96 GHz is 26.95 cycles, rounded up to 27.
+	if cfg.Timing.CL != 27 {
+		t.Fatalf("CL=%d want 27", cfg.Timing.CL)
+	}
+	if cfg.Timing.TBurst != 10 {
+		t.Fatalf("TBurst=%d want 10", cfg.Timing.TBurst)
+	}
+	// Timing must scale with frequency.
+	slow := NewDDR5_3200(1.0, 4)
+	if slow.Timing.CL >= cfg.Timing.CL {
+		t.Fatal("timing did not scale with frequency")
+	}
+}
+
+func TestChannelMapping(t *testing.T) {
+	d, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ChannelBitPos=3: lines 0-7 on channel 0, 8-15 on channel 1, ...
+	if d.Channel(0) != 0 || d.Channel(7) != 0 {
+		t.Fatal("lines 0-7 should be channel 0")
+	}
+	if d.Channel(8) != 1 || d.Channel(16) != 2 || d.Channel(24) != 3 {
+		t.Fatal("channel interleave wrong")
+	}
+	if d.Channel(32) != 0 {
+		t.Fatal("channel wrap wrong")
+	}
+}
+
+func TestLocalLineDense(t *testing.T) {
+	d, _ := New(testConfig(), nil)
+	// Lines of one channel must map to a dense local space.
+	seen := map[uint64]bool{}
+	for line := uint64(0); line < 1024; line++ {
+		if d.Channel(line) != 0 {
+			continue
+		}
+		local := d.localLine(line)
+		if seen[local] {
+			t.Fatalf("local line %d duplicated", local)
+		}
+		seen[local] = true
+	}
+	// 1024 lines / 4 channels = 256 local lines, and they should be
+	// the dense range [0,256).
+	for l := uint64(0); l < 256; l++ {
+		if !seen[l] {
+			t.Fatalf("local line %d missing (not dense)", l)
+		}
+	}
+}
+
+// drain runs the model until all n reads have returned, with a cycle
+// bound, returning the completion cycle.
+func drain(t *testing.T, d *DRAM, n int, bound int64) int64 {
+	t.Helper()
+	got := 0
+	for now := int64(0); now < bound; now++ {
+		d.Tick(now)
+		got += len(d.Responses(now))
+		if got == n && d.Pending() == 0 {
+			return now
+		}
+	}
+	t.Fatalf("drained %d of %d reads within %d cycles", got, n, bound)
+	return 0
+}
+
+func TestReadCompletes(t *testing.T) {
+	ctr := &stats.Counters{}
+	d, _ := New(testConfig(), ctr)
+	if !d.CanEnqueue(0) {
+		t.Fatal("fresh controller cannot enqueue")
+	}
+	if err := d.Enqueue(Access{Line: 0, Slice: 3, Tag: 77}); err != nil {
+		t.Fatal(err)
+	}
+	var resp []Response
+	for now := int64(0); now < 10_000; now++ {
+		d.Tick(now)
+		if r := d.Responses(now); len(r) > 0 {
+			resp = append(resp, r...)
+			break
+		}
+	}
+	if len(resp) != 1 {
+		t.Fatalf("no response within bound")
+	}
+	if resp[0].Slice != 3 || resp[0].Tag != 77 || resp[0].Line != 0 {
+		t.Fatalf("response routing lost: %+v", resp[0])
+	}
+	// Cold access: ACT + RCD + CL + burst.
+	cfg := testConfig()
+	minLat := int64(cfg.Timing.TRCD + cfg.Timing.CL + cfg.Timing.TBurst)
+	if resp[0].Done < minLat {
+		t.Fatalf("response at %d, faster than tRCD+CL+tBurst=%d", resp[0].Done, minLat)
+	}
+	if ctr.DRAMReads != 1 {
+		t.Fatalf("DRAMReads=%d", ctr.DRAMReads)
+	}
+}
+
+func TestSequentialRowHits(t *testing.T) {
+	ctr := &stats.Counters{}
+	d, _ := New(testConfig(), ctr)
+	// Stream 64 sequential lines on channel 0 (8-line channel blocks).
+	n := 0
+	for line := uint64(0); line < 256; line++ {
+		if d.Channel(line) != 0 {
+			continue
+		}
+		for !d.CanEnqueue(line) {
+			t.Fatal("queue full in sequential test")
+		}
+		d.Enqueue(Access{Line: line})
+		n++
+		if n >= 16 {
+			break
+		}
+	}
+	drain(t, d, n, 100_000)
+	total := ctr.RowHits + ctr.RowMisses + ctr.RowConflicts
+	if total != int64(n) {
+		t.Fatalf("row accounting %d != %d reads", total, n)
+	}
+	if float64(ctr.RowHits)/float64(total) < 0.5 {
+		t.Fatalf("sequential stream row-hit rate too low: %d/%d", ctr.RowHits, total)
+	}
+}
+
+func TestWriteCompletesSilently(t *testing.T) {
+	ctr := &stats.Counters{}
+	d, _ := New(testConfig(), ctr)
+	d.Enqueue(Access{Line: 0, Write: true})
+	for now := int64(0); now < 10_000; now++ {
+		d.Tick(now)
+		if len(d.Responses(now)) != 0 {
+			t.Fatal("write produced a response")
+		}
+		if d.Pending() == 0 {
+			break
+		}
+	}
+	if d.Pending() != 0 {
+		t.Fatal("write never drained")
+	}
+	if ctr.DRAMWrites != 1 {
+		t.Fatalf("DRAMWrites=%d", ctr.DRAMWrites)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	cfg := testConfig()
+	d, _ := New(cfg, nil)
+	line := uint64(0)
+	for i := 0; i < cfg.QueueDepth; i++ {
+		if !d.CanEnqueue(line) {
+			t.Fatalf("queue full after %d", i)
+		}
+		d.Enqueue(Access{Line: line})
+	}
+	if d.CanEnqueue(line) {
+		t.Fatal("queue should be full")
+	}
+	if err := d.Enqueue(Access{Line: line}); err == nil {
+		t.Fatal("enqueue into full queue succeeded")
+	}
+	// Other channels are unaffected.
+	if !d.CanEnqueue(8) {
+		t.Fatal("channel 1 should have space")
+	}
+}
+
+// Every enqueued read returns exactly once, regardless of the access
+// pattern.
+func TestAllReadsReturnProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d, _ := New(testConfig(), nil)
+		want := map[int64]int{}
+		enqueued := 0
+		next := int64(1)
+		returned := map[int64]int{}
+		for now := int64(0); now < 60_000; now++ {
+			if enqueued < 40 && r.Intn(4) == 0 {
+				line := uint64(r.Intn(512))
+				if d.CanEnqueue(line) {
+					d.Enqueue(Access{Line: line, Tag: next})
+					want[next] = 1
+					next++
+					enqueued++
+				}
+			}
+			d.Tick(now)
+			for _, resp := range d.Responses(now) {
+				returned[resp.Tag]++
+			}
+			if enqueued == 40 && d.Pending() == 0 {
+				break
+			}
+		}
+		if d.Pending() != 0 {
+			return false
+		}
+		if len(returned) != len(want) {
+			return false
+		}
+		for tag, n := range returned {
+			if n != 1 || want[tag] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Refresh must not lose requests enqueued around the refresh window.
+func TestRefreshProgress(t *testing.T) {
+	cfg := testConfig()
+	d, _ := New(cfg, nil)
+	// Run past several tREFI periods with steady traffic.
+	issued, returned := 0, 0
+	for now := int64(0); now < int64(cfg.Timing.TREFI*4); now++ {
+		if issued < 200 && now%50 == 0 && d.CanEnqueue(uint64(issued)) {
+			d.Enqueue(Access{Line: uint64(issued)})
+			issued++
+		}
+		d.Tick(now)
+		returned += len(d.Responses(now))
+	}
+	if returned < issued-int(cfg.QueueDepth) {
+		t.Fatalf("refresh starved traffic: %d issued, %d returned", issued, returned)
+	}
+}

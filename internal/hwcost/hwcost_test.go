@@ -1,0 +1,51 @@
+package hwcost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestArbiterAreaNearPaper(t *testing.T) {
+	r := ArbiterArea(DefaultArbiterParams(), FreePDK15())
+	rel := math.Abs(r.Total-PaperArbiterUm2) / PaperArbiterUm2
+	if rel > 0.10 {
+		t.Fatalf("arbiter area %.2f µm² deviates %.1f%% from paper %.2f",
+			r.Total, rel*100, PaperArbiterUm2)
+	}
+	if r.Total != r.Storage+r.Comparators+r.Muxes {
+		t.Fatal("total != sum of parts")
+	}
+}
+
+func TestHitBufferAreaNearPaper(t *testing.T) {
+	r := HitBufferArea(DefaultHitBufferParams(), FreePDK15())
+	rel := math.Abs(r.Total-PaperHitBufferUm2) / PaperHitBufferUm2
+	if rel > 0.10 {
+		t.Fatalf("hit buffer area %.2f µm² deviates %.1f%% from paper %.2f",
+			r.Total, rel*100, PaperHitBufferUm2)
+	}
+}
+
+func TestAreaScalesWithStructure(t *testing.T) {
+	tech := FreePDK15()
+	small := DefaultHitBufferParams()
+	big := small
+	big.Entries *= 2
+	if HitBufferArea(big, tech).Total <= HitBufferArea(small, tech).Total {
+		t.Fatal("doubling entries did not grow area")
+	}
+	a := DefaultArbiterParams()
+	b := a
+	b.ReqQEntries *= 2
+	if ArbiterArea(b, tech).Total <= ArbiterArea(a, tech).Total {
+		t.Fatal("doubling queue did not grow arbiter area")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := ArbiterArea(DefaultArbiterParams(), FreePDK15()).String()
+	if !strings.Contains(s, "µm²") || !strings.Contains(s, "storage") {
+		t.Fatalf("report string malformed: %s", s)
+	}
+}

@@ -1,0 +1,72 @@
+package llc
+
+import "testing"
+
+// TestReqRespOverride checks both Section 3.3 arbitration flavours
+// drain correctly and that the override validates.
+func TestReqRespOverride(t *testing.T) {
+	for _, mode := range []string{"", "resp-first", "req-first"} {
+		cfg := testConfig()
+		cfg.ReqRespOverride = mode
+		r := newRig(t, cfg)
+		r.send(t, 0, 0, false)
+		r.send(t, 16, 1, false)
+		ds := r.runUntilDrained(t, 5000)
+		if len(ds) != 2 {
+			t.Fatalf("mode %q: deliveries=%d want 2", mode, len(ds))
+		}
+	}
+	cfg := testConfig()
+	cfg.ReqRespOverride = "sideways"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bogus override accepted")
+	}
+}
+
+// TestBypassManager checks the Fig. 4 step-(5) ablation: unshared
+// clean fills stay out of storage, shared or dirty fills install.
+func TestBypassManager(t *testing.T) {
+	cfg := testConfig()
+	cfg.Bypass = true
+	r := newRig(t, cfg)
+
+	// Single-requester clean line: bypassed.
+	r.send(t, 16, 0, false)
+	r.runUntilDrained(t, 2000)
+	if r.slice.Store().Probe(16) {
+		t.Fatal("unshared clean fill was installed despite bypass")
+	}
+	if r.slice.Bypasses != 1 {
+		t.Fatalf("Bypasses=%d", r.slice.Bypasses)
+	}
+
+	// Shared line (two requesters merge): installed.
+	r.send(t, 32, 0, false)
+	r.step()
+	r.step()
+	r.send(t, 32, 1, false)
+	r.runUntilDrained(t, 2000)
+	if !r.slice.Store().Probe(32) {
+		t.Fatal("shared fill was bypassed")
+	}
+
+	// Dirty line (write miss): installed.
+	r.send(t, 48, 0, true)
+	r.runUntilDrained(t, 2000)
+	if !r.slice.Store().Probe(48) {
+		t.Fatal("dirty fill was bypassed")
+	}
+}
+
+// TestBypassDisabledByDefault pins the paper's fairness setting.
+func TestBypassDisabledByDefault(t *testing.T) {
+	r := newRig(t, testConfig())
+	r.send(t, 16, 0, false)
+	r.runUntilDrained(t, 2000)
+	if !r.slice.Store().Probe(16) {
+		t.Fatal("fill missing with bypass disabled")
+	}
+	if r.slice.Bypasses != 0 {
+		t.Fatal("bypass fired while disabled")
+	}
+}

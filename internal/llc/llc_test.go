@@ -1,0 +1,333 @@
+package llc
+
+import (
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/memreq"
+	"repro/internal/noc"
+	"repro/internal/stats"
+)
+
+// rig wires one slice to a real DRAM model and interconnect.
+type rig struct {
+	slice *Slice
+	mem   *dram.DRAM
+	net   *noc.NoC
+	pool  *memreq.Pool
+	ctr   *stats.Counters
+	now   int64
+}
+
+func testConfig() Config {
+	return Config{
+		Index:     0,
+		NumSlices: 1,
+		NumCores:  4,
+		Cache: cache.Config{
+			SizeBytes: 2 * 64 * 4, // 2 sets, 4 ways
+			LineBytes: 64,
+			Assoc:     4,
+			Alloc:     cache.AllocOnFill,
+			Write:     cache.WritePolicy{WriteAllocate: true, WriteBack: true},
+		},
+		HitLatency:  3,
+		DataLatency: 25,
+		MSHRLatency: 5,
+		MSHREntries: 2,
+		MSHRTargets: 2,
+		ReqQSize:    4,
+		RespQSize:   4,
+		HitBufSize:  8,
+		WBBufSize:   2,
+		Policy:      arbiter.FCFS,
+	}
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	ctr := &stats.Counters{}
+	net, err := noc.New(noc.Config{Latency: 1, SliceIngestPer: 4, SliceBufCap: 16}, cfg.NumCores, cfg.NumSlices, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := dram.NewDDR5_3200(1.96, 1)
+	dcfg.ChannelBitPos = 0
+	mem, err := dram.New(dcfg, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &memreq.Pool{}
+	s, err := New(cfg, net, mem, pool, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{slice: s, mem: mem, net: net, pool: pool, ctr: ctr}
+}
+
+// step advances the rig one cycle, routing DRAM responses back.
+func (r *rig) step() {
+	r.slice.Tick(r.now)
+	r.mem.Tick(r.now)
+	for _, resp := range r.mem.Responses(r.now) {
+		r.slice.OnDRAMResponse(resp, r.now)
+	}
+	r.now++
+}
+
+// send injects a request directly into the slice's request queue.
+func (r *rig) send(t *testing.T, line uint64, core int, write bool) *memreq.Request {
+	t.Helper()
+	req := r.pool.Get()
+	req.Line = line
+	req.Core = core
+	req.Write = write
+	req.Posted = write
+	req.IssueCycle = r.now
+	if !r.slice.Accept(req) {
+		t.Fatal("request queue full")
+	}
+	return req
+}
+
+// deliveries drains the response network toward all cores.
+func (r *rig) deliveries() []noc.Delivery {
+	var out []noc.Delivery
+	for core := 0; core < 4; core++ {
+		r.net.DeliverResps(core, r.now, func(d noc.Delivery) { out = append(out, d) })
+	}
+	return out
+}
+
+// runUntilDrained steps until the slice goes idle.
+func (r *rig) runUntilDrained(t *testing.T, bound int) []noc.Delivery {
+	t.Helper()
+	var ds []noc.Delivery
+	for i := 0; i < bound; i++ {
+		r.step()
+		ds = append(ds, r.deliveries()...)
+		if !r.slice.Busy() && r.mem.Pending() == 0 {
+			return ds
+		}
+	}
+	t.Fatalf("slice did not drain within %d cycles (busy=%v)", bound, r.slice.Busy())
+	return nil
+}
+
+func TestMissFetchForwardInstall(t *testing.T) {
+	r := newRig(t, testConfig())
+	r.send(t, 16, 2, false)
+	ds := r.runUntilDrained(t, 2000)
+	if len(ds) != 1 {
+		t.Fatalf("deliveries=%d want 1", len(ds))
+	}
+	if ds[0].Core != 2 || ds[0].Line != 16 {
+		t.Fatalf("delivery %+v", ds[0])
+	}
+	if r.ctr.L2Misses != 1 || r.ctr.L2Hits != 0 {
+		t.Fatalf("hits/misses %d/%d", r.ctr.L2Hits, r.ctr.L2Misses)
+	}
+	if !r.slice.Store().Probe(16) {
+		t.Fatal("line not installed after fill")
+	}
+	if r.ctr.DRAMReads != 1 {
+		t.Fatalf("DRAMReads=%d", r.ctr.DRAMReads)
+	}
+	if r.pool.Outstanding() != 0 {
+		t.Fatalf("request leak: %d outstanding", r.pool.Outstanding())
+	}
+}
+
+func TestHitPathLatency(t *testing.T) {
+	r := newRig(t, testConfig())
+	r.send(t, 16, 0, false)
+	r.runUntilDrained(t, 2000)
+
+	// Second access: a hit, returned after hit+data latency plus NoC.
+	start := r.now
+	r.send(t, 16, 1, false)
+	var got []noc.Delivery
+	for i := 0; i < 200 && len(got) == 0; i++ {
+		r.step()
+		got = append(got, r.deliveries()...)
+	}
+	if len(got) != 1 {
+		t.Fatal("hit not delivered")
+	}
+	lat := r.now - start
+	min := int64(3 + 25) // hit latency + data latency
+	if lat < min {
+		t.Fatalf("hit latency %d < %d", lat, min)
+	}
+	if r.ctr.L2Hits != 1 {
+		t.Fatalf("L2Hits=%d", r.ctr.L2Hits)
+	}
+}
+
+func TestMSHRMergeDeliversAll(t *testing.T) {
+	r := newRig(t, testConfig())
+	r.send(t, 16, 0, false)
+	// A couple of cycles later, two more cores want the same line.
+	r.step()
+	r.step()
+	r.send(t, 16, 1, false)
+	r.send(t, 16, 2, false)
+	ds := r.runUntilDrained(t, 2000)
+	if len(ds) != 3 {
+		t.Fatalf("deliveries=%d want 3 (one per requester)", len(ds))
+	}
+	if r.ctr.DRAMReads != 1 {
+		t.Fatalf("DRAMReads=%d want 1 (merged)", r.ctr.DRAMReads)
+	}
+	if r.ctr.MSHRMerges != 2 {
+		t.Fatalf("MSHRMerges=%d want 2", r.ctr.MSHRMerges)
+	}
+}
+
+func TestMSHREntryExhaustionStalls(t *testing.T) {
+	r := newRig(t, testConfig()) // 2 entries
+	r.send(t, 0, 0, false)
+	r.send(t, 16, 1, false)
+	r.send(t, 32, 2, false) // third distinct line: must stall
+	for i := 0; i < 30; i++ {
+		r.step()
+	}
+	if r.ctr.CacheStall == 0 {
+		t.Fatal("no stall cycles recorded with exhausted MSHR")
+	}
+	// Eventually everything completes.
+	ds := r.runUntilDrained(t, 5000)
+	if len(ds) != 3 {
+		t.Fatalf("deliveries=%d want 3", len(ds))
+	}
+	if r.ctr.DRAMReads != 3 {
+		t.Fatalf("DRAMReads=%d", r.ctr.DRAMReads)
+	}
+}
+
+func TestRespQPendingServedAsHit(t *testing.T) {
+	cfg := testConfig()
+	// Make fills pile up: requests-first arbitration would install
+	// lazily; easier: issue a request for a line right when its fill
+	// sits in the response queue by delaying install via a second
+	// request stream. Simpler deterministic approach: stop ticking the
+	// slice's install by keeping the response queue never chosen —
+	// not possible with resp-first. Instead verify via counters that
+	// no duplicate DRAM read happens for back-to-back requests.
+	r := newRig(t, cfg)
+	r.send(t, 16, 0, false)
+	// Wait until just after the DRAM response arrives but the same
+	// cycle group where install may still be pending, then request
+	// the line again from another core.
+	for i := 0; i < 2000; i++ {
+		r.step()
+		if r.ctr.DRAMReads == 1 && r.slice.MSHR().Used() == 0 {
+			break
+		}
+	}
+	r.send(t, 16, 1, false)
+	r.runUntilDrained(t, 2000)
+	if r.ctr.DRAMReads != 1 {
+		t.Fatalf("DRAMReads=%d want 1 (respQ/pending line must be served on-chip)", r.ctr.DRAMReads)
+	}
+}
+
+func TestWriteAllocateAndWriteback(t *testing.T) {
+	r := newRig(t, testConfig())
+	// Posted write miss: fetches the line, installs dirty.
+	r.send(t, 16, 0, true)
+	ds := r.runUntilDrained(t, 2000)
+	if len(ds) != 0 {
+		t.Fatalf("posted write produced %d deliveries", len(ds))
+	}
+	if r.ctr.DRAMReads != 1 {
+		t.Fatalf("write-allocate should fetch: reads=%d", r.ctr.DRAMReads)
+	}
+	// Fill the set (set 0 under 2-set cache: even lines land by set
+	// index line>>0 & 1... lines 16,18,... alternate sets; use lines
+	// in the same set as 16: stride 2 in line space).
+	for _, l := range []uint64{18, 20, 22, 24} {
+		r.send(t, l, 0, false)
+		r.runUntilDrained(t, 3000)
+	}
+	if r.ctr.Writebacks == 0 {
+		t.Fatal("dirty victim never written back")
+	}
+	if r.ctr.DRAMWrites == 0 {
+		t.Fatal("writeback never reached DRAM")
+	}
+}
+
+func TestCOBRRAAlternation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = arbiter.COBRRA
+	r := newRig(t, cfg)
+	// Functional check: the slice still drains correctly with the
+	// request-first arbitration.
+	r.send(t, 0, 0, false)
+	r.send(t, 16, 1, false)
+	ds := r.runUntilDrained(t, 5000)
+	if len(ds) != 2 {
+		t.Fatalf("deliveries=%d want 2", len(ds))
+	}
+	if !r.slice.Store().Probe(0) || !r.slice.Store().Probe(16) {
+		t.Fatal("fills not installed under COBRRA arbitration")
+	}
+}
+
+func TestBalancedProgressCounters(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = arbiter.Balanced
+	r := newRig(t, cfg)
+	prog := make([]int64, cfg.NumCores)
+	r.slice.SetGlobalProgress(prog)
+	r.send(t, 0, 3, false)
+	r.send(t, 16, 3, false)
+	r.send(t, 32, 1, false)
+	r.runUntilDrained(t, 5000)
+	served := r.slice.Served()
+	if served[3] != 2 || served[1] != 1 {
+		t.Fatalf("served=%v", served)
+	}
+	if prog[3] != 2 || prog[1] != 1 {
+		t.Fatalf("global progress=%v", prog)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NumSlices = 3 },
+		func(c *Config) { c.Index = 9 },
+		func(c *Config) { c.NumCores = 0 },
+		func(c *Config) { c.HitLatency = 0 },
+		func(c *Config) { c.MSHREntries = 0 },
+		func(c *Config) { c.ReqQSize = 0 },
+		func(c *Config) { c.Cache.Assoc = 0 },
+	}
+	for i, mutate := range cases {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAcceptBackpressure(t *testing.T) {
+	r := newRig(t, testConfig())
+	for i := 0; i < 4; i++ {
+		r.send(t, uint64(i*16), 0, false)
+	}
+	extra := r.pool.Get()
+	extra.Line = 999
+	if r.slice.Accept(extra) {
+		t.Fatal("full request queue accepted a request")
+	}
+	r.pool.Put(extra)
+}

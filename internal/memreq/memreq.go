@@ -1,0 +1,87 @@
+// Package memreq defines the memory request type that travels from the
+// vector cores through the interconnect into the LLC slices and, on a
+// miss, down to the DRAM model. A request always refers to a single
+// cache line; vector accesses are split into line requests at the L1
+// boundary.
+package memreq
+
+// LineShift is log2 of the cache line size in bytes. The whole system
+// uses 64-byte lines (Table 5 of the paper).
+const LineShift = 6
+
+// LineBytes is the cache line size in bytes.
+const LineBytes = 1 << LineShift
+
+// LineAddr converts a byte address into a line address.
+func LineAddr(byteAddr uint64) uint64 { return byteAddr >> LineShift }
+
+// ByteAddr converts a line address back into the byte address of the
+// line's first byte.
+func ByteAddr(lineAddr uint64) uint64 { return lineAddr << LineShift }
+
+// Request is one outstanding line-granularity memory transaction.
+// Requests are allocated from a free list owned by the engine; no
+// field may hold a pointer into another request.
+type Request struct {
+	ID     int64  // unique, monotonically increasing
+	Line   uint64 // line address (byte address >> LineShift)
+	Write  bool   // true for stores (write-through traffic from L1)
+	Core   int    // issuing core
+	Window int    // issuing instruction window within the core
+
+	// Timestamps, in core cycles, for latency accounting.
+	IssueCycle  int64 // cycle the core issued the access
+	ArriveCycle int64 // cycle the request entered the slice request queue
+
+	// SpecHit is the arbiter's speculative cache-hit bit, recorded in
+	// sent_reqs when the request is selected (Fig. 5 of the paper).
+	SpecHit bool
+
+	// Posted stores complete at the LLC without a response to the core.
+	Posted bool
+}
+
+// Reset clears a request for reuse by a free list.
+func (r *Request) Reset() {
+	*r = Request{}
+}
+
+// Pool is a trivial free list for Request objects. It is not safe for
+// concurrent use; the simulation engine is single-threaded by design
+// (cycle-accurate determinism), so no locking is needed.
+type Pool struct {
+	free   []*Request
+	nextID int64
+	puts   int64
+}
+
+// Get returns a zeroed request with a fresh ID.
+func (p *Pool) Get() *Request {
+	var r *Request
+	if n := len(p.free); n > 0 {
+		r = p.free[n-1]
+		p.free = p.free[:n-1]
+		r.Reset()
+	} else {
+		r = &Request{}
+	}
+	p.nextID++
+	r.ID = p.nextID
+	return r
+}
+
+// Put returns a request to the free list. The caller must not touch
+// the request afterwards.
+func (p *Pool) Put(r *Request) {
+	if r == nil {
+		return
+	}
+	p.puts++
+	p.free = append(p.free, r)
+}
+
+// Outstanding reports how many requests have been handed out and not
+// returned; useful for leak checks in tests.
+func (p *Pool) Outstanding() int64 {
+	return p.nextID - p.puts
+}

@@ -1,0 +1,172 @@
+// Package noc models the interconnect between the vector cores and
+// the LLC slices (the "Interconnect Network" of Fig. 3/4): a fixed
+// transit latency plus finite per-slice ingress bandwidth. Requests
+// that arrive at a slice whose request queue is full wait in the
+// network (head-of-line), exerting backpressure toward the cores.
+//
+// The response direction (slice → core) models latency only; the
+// direct-forward path of Fig. 4 step (4') uses it too.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/memreq"
+	"repro/internal/stats"
+)
+
+// Config describes the interconnect.
+type Config struct {
+	Latency        int // transit cycles in each direction
+	SliceIngestPer int // requests a slice may accept per cycle
+	// SliceBufCap bounds the requests in flight toward one slice
+	// (transit pipeline plus ingress buffer). When reached, cores see
+	// backpressure and their egress queues fill — the path by which
+	// LLC contention becomes core memory-stall (C_mem).
+	SliceBufCap int
+}
+
+// DefaultConfig matches a crossbar/mesh hop count appropriate for a
+// 16-core, 8-slice chip.
+func DefaultConfig() Config {
+	return Config{Latency: 8, SliceIngestPer: 1, SliceBufCap: 16}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Latency < 0 {
+		return fmt.Errorf("noc: Latency must be non-negative, got %d", c.Latency)
+	}
+	if c.SliceIngestPer <= 0 {
+		return fmt.Errorf("noc: SliceIngestPer must be positive, got %d", c.SliceIngestPer)
+	}
+	if c.SliceBufCap <= 0 {
+		return fmt.Errorf("noc: SliceBufCap must be positive, got %d", c.SliceBufCap)
+	}
+	return nil
+}
+
+type reqFlit struct {
+	req    *memreq.Request
+	arrive int64
+}
+
+// Delivery is a response delivered to a core: the line plus the
+// window that was waiting on it.
+type Delivery struct {
+	Line   uint64
+	Core   int
+	Window int
+	ReqID  int64
+	Issue  int64
+}
+
+type respFlit struct {
+	del    Delivery
+	arrive int64
+}
+
+// NoC is the interconnect. FIFOs stay ordered because latency is
+// uniform; delivery therefore pops from the front only.
+type NoC struct {
+	cfg     Config
+	toSlice [][]reqFlit  // per slice
+	toCore  [][]respFlit // per core
+	ctr     *stats.Counters
+}
+
+// New builds the interconnect for the given topology.
+func New(cfg Config, numCores, numSlices int, ctr *stats.Counters) (*NoC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctr == nil {
+		ctr = &stats.Counters{}
+	}
+	n := &NoC{cfg: cfg, ctr: ctr}
+	n.toSlice = make([][]reqFlit, numSlices)
+	n.toCore = make([][]respFlit, numCores)
+	return n, nil
+}
+
+// CanSendReq reports whether the path toward a slice has buffer space.
+func (n *NoC) CanSendReq(slice int) bool {
+	return len(n.toSlice[slice]) < n.cfg.SliceBufCap
+}
+
+// SendReq injects a request toward a slice at cycle now. The caller
+// must have checked CanSendReq.
+func (n *NoC) SendReq(req *memreq.Request, slice int, now int64) {
+	n.ctr.NoCReqSent++
+	n.toSlice[slice] = append(n.toSlice[slice], reqFlit{req: req, arrive: now + int64(n.cfg.Latency)})
+}
+
+// SliceQueueLen returns the number of requests in flight toward or
+// waiting at a slice's ingress (diagnostics and drain checks).
+func (n *NoC) SliceQueueLen(slice int) int { return len(n.toSlice[slice]) }
+
+// DeliverReqs hands arrived requests to a slice via accept, which
+// returns false when the slice's request queue is full; delivery then
+// stops (head-of-line blocking). At most SliceIngestPer requests are
+// delivered per call.
+func (n *NoC) DeliverReqs(slice int, now int64, accept func(*memreq.Request) bool) {
+	q := n.toSlice[slice]
+	delivered := 0
+	for len(q) > 0 && delivered < n.cfg.SliceIngestPer {
+		f := q[0]
+		if f.arrive > now {
+			break
+		}
+		f.req.ArriveCycle = now
+		if !accept(f.req) {
+			n.ctr.NetQueueDelay++
+			break
+		}
+		q = q[1:]
+		delivered++
+	}
+	// Compact to avoid unbounded backing-array growth.
+	if len(q) == 0 {
+		n.toSlice[slice] = n.toSlice[slice][:0]
+	} else {
+		n.toSlice[slice] = q
+	}
+}
+
+// SendResp injects a data delivery toward a core at cycle now.
+func (n *NoC) SendResp(d Delivery, now int64) {
+	n.ctr.NoCRespSent++
+	n.toCore[d.Core] = append(n.toCore[d.Core], respFlit{del: d, arrive: now + int64(n.cfg.Latency)})
+}
+
+// DeliverResps hands all arrived responses for a core to fn.
+func (n *NoC) DeliverResps(core int, now int64, fn func(Delivery)) {
+	q := n.toCore[core]
+	i := 0
+	for ; i < len(q); i++ {
+		if q[i].arrive > now {
+			break
+		}
+		fn(q[i].del)
+	}
+	if i > 0 {
+		q = q[i:]
+		if len(q) == 0 {
+			n.toCore[core] = n.toCore[core][:0]
+		} else {
+			n.toCore[core] = q
+		}
+	}
+}
+
+// Pending reports the total number of in-flight flits.
+func (n *NoC) Pending() int {
+	total := 0
+	for _, q := range n.toSlice {
+		total += len(q)
+	}
+	for _, q := range n.toCore {
+		total += len(q)
+	}
+	return total
+}

@@ -1,0 +1,124 @@
+// Package ring provides a fixed-capacity generic ring buffer used for
+// the hardware queues in the simulator (request queues, response
+// queues, egress buffers, FIFOs like hit_buffer and sent_reqs). A
+// bounded queue with O(1) push/pop keeps the cycle loop allocation-free
+// and models finite hardware capacity faithfully.
+package ring
+
+import "fmt"
+
+// Ring is a FIFO with fixed capacity. The zero value is unusable; call
+// New.
+type Ring[T any] struct {
+	buf  []T
+	head int
+	size int
+}
+
+// New returns a ring with the given capacity.
+func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ring: capacity must be positive, got %d", capacity))
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the current element count.
+func (r *Ring[T]) Len() int { return r.size }
+
+// Full reports whether the ring is at capacity.
+func (r *Ring[T]) Full() bool { return r.size == len(r.buf) }
+
+// Empty reports whether the ring has no elements.
+func (r *Ring[T]) Empty() bool { return r.size == 0 }
+
+// Push appends v; it reports false (and does nothing) when full.
+func (r *Ring[T]) Push(v T) bool {
+	if r.Full() {
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+	return true
+}
+
+// Pop removes and returns the oldest element.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (r *Ring[T]) Peek() (T, bool) {
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	return r.buf[r.head], true
+}
+
+// At returns the i-th oldest element (0 = front). It panics when i is
+// out of range, matching slice semantics.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("ring: index %d out of range [0,%d)", i, r.size))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// RemoveAt deletes and returns the i-th oldest element, preserving the
+// order of the others. Used by arbiters that pick requests out of the
+// middle of the request queue. O(n) in the distance to the back.
+func (r *Ring[T]) RemoveAt(i int) T {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("ring: index %d out of range [0,%d)", i, r.size))
+	}
+	v := r.At(i)
+	// Shift subsequent elements forward.
+	for j := i; j < r.size-1; j++ {
+		r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j+1)%len(r.buf)]
+	}
+	var zero T
+	r.buf[(r.head+r.size-1)%len(r.buf)] = zero
+	r.size--
+	return v
+}
+
+// Replace overwrites the i-th oldest element (0 = front) with v. It
+// panics when i is out of range.
+func (r *Ring[T]) Replace(i int, v T) {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("ring: index %d out of range [0,%d)", i, r.size))
+	}
+	r.buf[(r.head+i)%len(r.buf)] = v
+}
+
+// Scan calls fn for each element from oldest to newest until fn
+// returns false.
+func (r *Ring[T]) Scan(fn func(i int, v T) bool) {
+	for i := 0; i < r.size; i++ {
+		if !fn(i, r.buf[(r.head+i)%len(r.buf)]) {
+			return
+		}
+	}
+}
+
+// Clear empties the ring.
+func (r *Ring[T]) Clear() {
+	var zero T
+	for i := 0; i < r.size; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head = 0
+	r.size = 0
+}

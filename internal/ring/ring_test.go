@@ -1,0 +1,248 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	r := New[int](4)
+	if !r.Empty() || r.Full() || r.Len() != 0 || r.Cap() != 4 {
+		t.Fatalf("fresh ring state wrong: len=%d cap=%d", r.Len(), r.Cap())
+	}
+	for i := 1; i <= 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(5) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full")
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Push(round*10 + i) {
+				t.Fatalf("round %d push %d failed", round, i)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, _ := r.Pop()
+			if v != round*10+i {
+				t.Fatalf("round %d: pop=%d want %d", round, v, round*10+i)
+			}
+		}
+	}
+}
+
+func TestPeekAt(t *testing.T) {
+	r := New[string](4)
+	r.Push("a")
+	r.Push("b")
+	r.Push("c")
+	if v, ok := r.Peek(); !ok || v != "a" {
+		t.Fatalf("peek = %q,%v", v, ok)
+	}
+	if r.At(0) != "a" || r.At(1) != "b" || r.At(2) != "c" {
+		t.Fatal("At order wrong")
+	}
+	// Peek must not consume.
+	if r.Len() != 3 {
+		t.Fatalf("peek consumed: len=%d", r.Len())
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	r := New[int](5)
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	if v := r.RemoveAt(2); v != 2 {
+		t.Fatalf("RemoveAt(2)=%d", v)
+	}
+	want := []int{0, 1, 3, 4}
+	if r.Len() != len(want) {
+		t.Fatalf("len=%d want %d", r.Len(), len(want))
+	}
+	for i, w := range want {
+		if r.At(i) != w {
+			t.Fatalf("At(%d)=%d want %d", i, r.At(i), w)
+		}
+	}
+	// Remove head and tail.
+	if v := r.RemoveAt(0); v != 0 {
+		t.Fatalf("RemoveAt(0)=%d", v)
+	}
+	if v := r.RemoveAt(r.Len() - 1); v != 4 {
+		t.Fatalf("RemoveAt(last)=%d", v)
+	}
+	// Ring must remain usable after removals.
+	r.Push(9)
+	if v, _ := r.Pop(); v != 1 {
+		t.Fatalf("pop=%d want 1", v)
+	}
+}
+
+func TestRemoveAtAfterWrap(t *testing.T) {
+	r := New[int](4)
+	// Force the head away from index 0.
+	r.Push(0)
+	r.Push(1)
+	r.Pop()
+	r.Pop()
+	for i := 10; i < 14; i++ {
+		r.Push(i)
+	}
+	if v := r.RemoveAt(1); v != 11 {
+		t.Fatalf("RemoveAt(1)=%d want 11", v)
+	}
+	got := []int{}
+	for r.Len() > 0 {
+		v, _ := r.Pop()
+		got = append(got, v)
+	}
+	want := []int{10, 12, 13}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after removal got %v want %v", got, want)
+		}
+	}
+}
+
+func TestReplace(t *testing.T) {
+	r := New[int](3)
+	r.Push(1)
+	r.Push(2)
+	r.Replace(0, 10)
+	r.Replace(1, 20)
+	if r.At(0) != 10 || r.At(1) != 20 {
+		t.Fatalf("replace failed: %d %d", r.At(0), r.At(1))
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	r := New[int](8)
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	seen := 0
+	r.Scan(func(i, v int) bool {
+		if i != v {
+			t.Fatalf("scan index %d value %d mismatch", i, v)
+		}
+		seen++
+		return v < 2
+	})
+	if seen != 3 {
+		t.Fatalf("scan visited %d elements, want 3 (early stop)", seen)
+	}
+}
+
+func TestClear(t *testing.T) {
+	r := New[int](3)
+	r.Push(1)
+	r.Push(2)
+	r.Clear()
+	if !r.Empty() {
+		t.Fatal("clear left elements")
+	}
+	r.Push(7)
+	if v, _ := r.Pop(); v != 7 {
+		t.Fatal("ring unusable after clear")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := New[int](2)
+	r.Push(1)
+	expectPanic("At out of range", func() { r.At(1) })
+	expectPanic("RemoveAt out of range", func() { r.RemoveAt(-1) })
+	expectPanic("Replace out of range", func() { r.Replace(5, 0) })
+	expectPanic("zero capacity", func() { New[int](0) })
+}
+
+// TestQuickModel checks the ring against a reference slice model under
+// random operation sequences.
+func TestQuickModel(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0 push, 1 pop, 2 removeAt
+		Val  int
+	}
+	check := func(ops []op) bool {
+		r := New[int](8)
+		var model []int
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				okRing := r.Push(o.Val)
+				okModel := len(model) < 8
+				if okModel {
+					model = append(model, o.Val)
+				}
+				if okRing != okModel {
+					return false
+				}
+			case 1:
+				v, ok := r.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2:
+				if len(model) == 0 {
+					continue
+				}
+				idx := o.Val
+				if idx < 0 {
+					idx = -idx
+				}
+				idx %= len(model)
+				v := r.RemoveAt(idx)
+				if v != model[idx] {
+					return false
+				}
+				model = append(model[:idx], model[idx+1:]...)
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+			for i, w := range model {
+				if r.At(i) != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

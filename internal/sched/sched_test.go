@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memtrace"
+)
+
+// makeTrace builds a trace shaped like the Logit dataflow: H groups x
+// G query heads x tiles, emitted with g innermost.
+func makeTrace(h, g, tiles int) *memtrace.Trace {
+	tr := &memtrace.Trace{Name: "t"}
+	id := 0
+	for hi := 0; hi < h; hi++ {
+		for ti := 0; ti < tiles; ti++ {
+			for gi := 0; gi < g; gi++ {
+				tr.Blocks = append(tr.Blocks, &memtrace.ThreadBlock{
+					ID:   id,
+					Meta: memtrace.Meta{Group: hi, QHead: gi, TileLo: ti * 16, TileHi: (ti + 1) * 16},
+				})
+				id++
+			}
+		}
+	}
+	return tr
+}
+
+func TestGlobalPoolOrder(t *testing.T) {
+	tr := makeTrace(2, 2, 2)
+	p := NewGlobalPool(tr)
+	if p.Remaining() != 8 {
+		t.Fatalf("remaining=%d", p.Remaining())
+	}
+	for i := 0; i < 8; i++ {
+		tb, ok := p.Next(i % 3)
+		if !ok || tb.ID != i {
+			t.Fatalf("block %d: got %v %v", i, tb, ok)
+		}
+	}
+	if _, ok := p.Next(0); ok {
+		t.Fatal("exhausted pool returned work")
+	}
+	if p.Remaining() != 0 {
+		t.Fatal("remaining != 0 at end")
+	}
+}
+
+func TestAffinityHomes(t *testing.T) {
+	tr := makeTrace(8, 8, 4)
+	p, err := NewAffinityPool(tr, 16, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Home of (h, g) is (h*8+g) mod 16; every block a core draws from
+	// its own queue must match.
+	for core := 0; core < 16; core++ {
+		n := p.QueueLen(core)
+		for i := 0; i < n; i++ {
+			tb, ok := p.Next(core)
+			if !ok {
+				t.Fatalf("core %d starved at %d/%d", core, i, n)
+			}
+			home := (tb.Meta.Group*8 + tb.Meta.QHead) % 16
+			if home != core {
+				t.Fatalf("core %d drew block homed on %d", core, home)
+			}
+		}
+	}
+}
+
+func TestAffinityTileMajorOrder(t *testing.T) {
+	tr := makeTrace(8, 8, 4)
+	p, err := NewAffinityPool(tr, 16, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A core's own queue must advance tile-major: TileLo non-decreasing.
+	lastTile := -1
+	for i := 0; i < p.QueueLen(0); i++ {
+		tb, _ := p.Next(0)
+		if tb.Meta.TileLo < lastTile {
+			t.Fatalf("tile order regressed: %d after %d", tb.Meta.TileLo, lastTile)
+		}
+		lastTile = tb.Meta.TileLo
+	}
+}
+
+func TestAffinityStealing(t *testing.T) {
+	tr := makeTrace(4, 4, 2) // 16 (h,g) pairs over 4 cores
+	p, err := NewAffinityPool(tr, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 drains its own queue, then steals from the most loaded.
+	own := p.QueueLen(0)
+	for i := 0; i < own; i++ {
+		p.Next(0)
+	}
+	if p.Steals != 0 {
+		t.Fatalf("steals=%d before exhaustion", p.Steals)
+	}
+	tb, ok := p.Next(0)
+	if !ok || tb == nil {
+		t.Fatal("steal failed with work remaining")
+	}
+	if p.Steals != 1 {
+		t.Fatalf("steals=%d want 1", p.Steals)
+	}
+	// Stolen block belongs to another core.
+	if (tb.Meta.Group*4+tb.Meta.QHead)%4 == 0 {
+		t.Fatal("stole own block")
+	}
+}
+
+func TestAffinityDrainsEverything(t *testing.T) {
+	tr := makeTrace(8, 8, 2)
+	p, err := NewAffinityPool(tr, 16, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	core := 0
+	for {
+		tb, ok := p.Next(core % 16)
+		if !ok {
+			break
+		}
+		if seen[tb.ID] {
+			t.Fatalf("block %d dispatched twice", tb.ID)
+		}
+		seen[tb.ID] = true
+		core++
+	}
+	if len(seen) != len(tr.Blocks) {
+		t.Fatalf("dispatched %d of %d", len(seen), len(tr.Blocks))
+	}
+	if p.Remaining() != 0 {
+		t.Fatal("remaining != 0")
+	}
+}
+
+func TestAffinityValidation(t *testing.T) {
+	tr := makeTrace(1, 1, 1)
+	if _, err := NewAffinityPool(tr, 0, 1, 1); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewAffinityPool(tr, 4, 0, 4); err == nil {
+		t.Fatal("zero group size accepted")
+	}
+}
+
+func TestPartitionedNoStealing(t *testing.T) {
+	tr := makeTrace(2, 2, 2)
+	p, err := NewPartitionedPool(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain core 0's partition (blocks 0,2,4,6).
+	for i := 0; i < 4; i++ {
+		tb, ok := p.Next(0)
+		if !ok || tb.ID != i*2 {
+			t.Fatalf("core 0 block %d: %v %v", i, tb, ok)
+		}
+	}
+	// Core 0 is done even though core 1 has work: no migration.
+	if _, ok := p.Next(0); ok {
+		t.Fatal("partitioned pool migrated work")
+	}
+	if p.Remaining() != 4 {
+		t.Fatalf("remaining=%d", p.Remaining())
+	}
+}
+
+// Every pool dispatches each block exactly once, whatever the request
+// pattern.
+func TestDispatchOnceProperty(t *testing.T) {
+	tr := makeTrace(4, 4, 2)
+	check := func(kind uint8, pattern []uint8) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		var p Pool
+		switch kind % 3 {
+		case 0:
+			p = NewGlobalPool(makeTrace(4, 4, 2))
+		case 1:
+			p2, err := NewAffinityPool(makeTrace(4, 4, 2), 4, 4, 4)
+			if err != nil {
+				return false
+			}
+			p = p2
+		default:
+			p2, err := NewPartitionedPool(makeTrace(4, 4, 2), 4)
+			if err != nil {
+				return false
+			}
+			p = p2
+		}
+		seen := map[int]bool{}
+		i := 0
+		for p.Remaining() > 0 {
+			core := int(pattern[i%len(pattern)]) % 4
+			i++
+			tb, ok := p.Next(core)
+			if !ok {
+				// Partitioned pools can starve one core; rotate.
+				if _, isPart := p.(*PartitionedPool); isPart {
+					allDone := true
+					for c := 0; c < 4; c++ {
+						if tb2, ok2 := p.Next(c); ok2 {
+							if seen[tb2.ID] {
+								return false
+							}
+							seen[tb2.ID] = true
+							allDone = false
+							break
+						}
+					}
+					if allDone {
+						break
+					}
+					continue
+				}
+				return false
+			}
+			if seen[tb.ID] {
+				return false
+			}
+			seen[tb.ID] = true
+			if i > 1000 {
+				return false
+			}
+		}
+		return len(seen) == len(tr.Blocks)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/workload"
+)
+
+// TestCalibrationShapes runs a scaled version of the paper's Fig. 7
+// experiment and logs the speedup table. It asserts only the headline
+// directions; the full shape checks live in the experiments package.
+// Run with -v to inspect the numbers.
+func TestCalibrationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	// Scale: paper's 16K sequence with 16 MB L2 has working-set/cache
+	// ratio 2 — the regime where the CAT mechanisms bind; reproduce it
+	// at 1/8 scale (2K sequence, 2 MB L2).
+	tr, g := smallTrace(t, workload.Llama3_70B, 2048)
+	run := func(throttle string, arb arbiter.Kind) int64 {
+		cfg := DefaultConfig()
+		cfg.L2SizeBytes = 2 << 20
+		cfg.Throttle = throttle
+		cfg.Arbiter = arb
+		eng, err := New(cfg, tr, g)
+		if err != nil {
+			t.Fatalf("New(%s,%v): %v", throttle, arb, err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("Run(%s,%v): %v", throttle, arb, err)
+		}
+		t.Logf("%-8s %-7v cycles=%-9d L2hit=%.3f mshrHit=%.3f util=%.3f tcs=%.3f bw=%.1fGB/s reads=%d memfrac=%.3f idlefrac=%.3f",
+			throttle, arb, res.Cycles, res.Metrics.L2HitRate, res.Metrics.MSHRHitRate,
+			res.Metrics.MSHREntryUtil, res.Metrics.CacheStallFrac, res.Metrics.DRAMBandwidthGB,
+			res.Counters.DRAMReads, res.Metrics.CoreMemFrac, res.Metrics.CoreIdleFrac)
+		return res.Cycles
+	}
+
+	for _, st := range []string{"static:1", "static:2", "static:3"} {
+		run(st, arbiter.FCFS)
+		run(st, arbiter.BMA)
+	}
+	unopt := run("none", arbiter.FCFS)
+	dyncta := run("dyncta", arbiter.FCFS)
+	lcs := run("lcs", arbiter.FCFS)
+	dynmg := run("dynmg", arbiter.FCFS)
+	dynmgB := run("dynmg", arbiter.Balanced)
+	dynmgMA := run("dynmg", arbiter.MA)
+	dynmgBMA := run("dynmg", arbiter.BMA)
+	dynmgCob := run("dynmg", arbiter.COBRRA)
+
+	sp := func(base, opt int64) float64 { return float64(base) / float64(opt) }
+	t.Logf("speedups vs unopt: dyncta=%.3f lcs=%.3f dynmg=%.3f", sp(unopt, dyncta), sp(unopt, lcs), sp(unopt, dynmg))
+	t.Logf("vs dynmg: +B=%.3f +MA=%.3f +BMA=%.3f +cobrra=%.3f",
+		sp(dynmg, dynmgB), sp(dynmg, dynmgMA), sp(dynmg, dynmgBMA), sp(dynmg, dynmgCob))
+	t.Logf("cumulative dynmg+BMA=%.3f", sp(unopt, dynmgBMA))
+
+	if sp(unopt, dynmg) < 1.1 {
+		t.Errorf("dynmg should speed up the unoptimized system markedly at WS/cache=2, got %.3f", sp(unopt, dynmg))
+	}
+	if sp(dynmg, dynmgBMA) < 1.0 {
+		t.Errorf("BMA should improve on dynmg at WS/cache=2, got %.3f", sp(dynmg, dynmgBMA))
+	}
+	if sp(unopt, dyncta) > sp(unopt, dynmg) {
+		t.Errorf("dynmg (%.3f) should beat the dyncta baseline (%.3f)", sp(unopt, dynmg), sp(unopt, dyncta))
+	}
+	if s := sp(unopt, lcs); s < 0.97 || s > 1.1 {
+		t.Errorf("lcs should be near-neutral, got %.3f", s)
+	}
+}

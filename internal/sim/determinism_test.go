@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/workload"
+)
+
+// The engine must be bit-for-bit deterministic: two identical runs
+// yield identical cycle counts and counters.
+func TestDeterminism(t *testing.T) {
+	tr, g := smallTrace(t, workload.Llama3_70B, 256)
+	run := func() Result {
+		cfg := DefaultConfig()
+		cfg.L2SizeBytes = 1 << 20
+		cfg.Throttle = "dynmg"
+		cfg.Arbiter = arbiter.BMA
+		eng, err := New(cfg, tr, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic cycles: %d vs %d", a.Cycles, b.Cycles)
+	}
+	if a.Counters != b.Counters {
+		t.Fatalf("non-deterministic counters:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+}
+
+// Every memory request allocated during a run must be returned to the
+// pool (no leaks), and all L2 demand must be conserved:
+// accesses = hits + misses, misses = merges + allocs (+ stall retries
+// excluded by construction).
+func TestRequestConservation(t *testing.T) {
+	tr, g := smallTrace(t, workload.Llama3_70B, 256)
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes = 1 << 20
+	eng, err := New(cfg, tr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.reqPool.Outstanding(); got != 0 {
+		t.Fatalf("request leak: %d outstanding", got)
+	}
+	c := res.Counters
+	if c.L2Accesses != c.L2Hits+c.L2Misses {
+		t.Fatalf("L2 accounting: %d != %d + %d", c.L2Accesses, c.L2Hits, c.L2Misses)
+	}
+	if c.L2Misses != c.MSHRMerges+c.MSHRAllocs {
+		t.Fatalf("miss accounting: %d != %d + %d", c.L2Misses, c.MSHRMerges, c.MSHRAllocs)
+	}
+	if c.MSHRAllocs != c.DRAMReads {
+		t.Fatalf("every MSHR entry is one DRAM read: %d != %d", c.MSHRAllocs, c.DRAMReads)
+	}
+}
+
+// The paper's global-scheduling extension: without migration
+// (partitioned pools) the run must be no faster, because fast cores
+// idle while the slowest finishes.
+func TestSchedulerAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run is slow")
+	}
+	tr, g := smallTrace(t, workload.Llama3_70B, 512)
+	run := func(sched string) int64 {
+		cfg := DefaultConfig()
+		cfg.L2SizeBytes = 1 << 20
+		cfg.Scheduler = sched
+		eng, err := New(cfg, tr, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		return res.Cycles
+	}
+	affinity := run("affinity")
+	partitioned := run("partitioned")
+	global := run("global")
+	t.Logf("affinity=%d partitioned=%d global=%d", affinity, partitioned, global)
+	if float64(partitioned) < float64(affinity)*0.98 {
+		t.Errorf("partitioned (%d) should not beat affinity with migration (%d)", partitioned, affinity)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr, g := smallTrace(t, workload.Llama3_70B, 256)
+	bad := []func(*Config){
+		func(c *Config) { c.FreqGHz = 0 },
+		func(c *Config) { c.NumCores = 0 },
+		func(c *Config) { c.NumSlices = 3 },
+		func(c *Config) { c.L2SizeBytes = 100 },
+		func(c *Config) { c.Scheduler = "bogus" },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg, tr, g); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig(), nil, 8); err == nil {
+		t.Error("nil trace accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Throttle = "nonsense"
+	if _, err := New(cfg, tr, g); err == nil {
+		t.Error("unknown throttle accepted")
+	}
+}
+
+func TestTable5Defaults(t *testing.T) {
+	cfg := DefaultConfig()
+	// Table 5 of the paper.
+	checks := []struct {
+		name string
+		got  any
+		want any
+	}{
+		{"frequency", cfg.FreqGHz, 1.96},
+		{"cores", cfg.NumCores, 16},
+		{"L2 size", cfg.L2SizeBytes, 16 << 20},
+		{"slices", cfg.NumSlices, 8},
+		{"window depth", cfg.WindowDepth, 128},
+		{"windows", cfg.NumWindows, 4},
+		{"L1 size", cfg.L1SizeBytes, 64 << 10},
+		{"L1 assoc", cfg.L1Assoc, 8},
+		{"L2 assoc", cfg.L2Assoc, 8},
+		{"hit latency", cfg.HitLatency, 3},
+		{"data latency", cfg.DataLatency, 25},
+		{"mshr entries", cfg.MSHREntries, 6},
+		{"mshr targets", cfg.MSHRTargets, 8},
+		{"mshr latency", cfg.MSHRLatency, 5},
+		{"req queue", cfg.ReqQSize, 12},
+		{"resp queue", cfg.RespQSize, 64},
+		{"dram channels", cfg.DRAMChannels, 4},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v (Table 5)", c.name, c.got, c.want)
+		}
+	}
+}

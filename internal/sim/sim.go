@@ -1,0 +1,410 @@
+// Package sim is the cycle-level simulation engine: it wires the
+// vector cores, interconnect, LLC slices, MSHRs, DRAM, thread-block
+// dispatcher and throttling controller into one deterministic cycle
+// loop, and aggregates the statistics the paper's figures report.
+//
+// The engine realises the Ramulator2-derived frontend of Section 5
+// with every extension the paper lists: vector cores with multiple
+// instruction windows, global thread-block dispatch, sliced L2 with
+// explicit request/response arbitration, and the extra cache policies.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/llc"
+	"repro/internal/memreq"
+	"repro/internal/memtrace"
+	"repro/internal/noc"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/throttle"
+	"repro/internal/vcore"
+)
+
+// Config is the full system configuration. DefaultConfig reproduces
+// Table 5 of the paper.
+type Config struct {
+	FreqGHz float64
+
+	NumCores  int
+	NumSlices int
+	LineBytes int
+
+	// Core front-end.
+	NumWindows  int
+	WindowDepth int
+	VectorBytes int
+	EgressCap   int
+
+	// Private L1.
+	L1SizeBytes int
+	L1Assoc     int
+
+	// Shared L2 (whole cache; divided evenly across slices).
+	L2SizeBytes int
+	L2Assoc     int
+	HitLatency  int
+	DataLatency int
+	MSHRLatency int
+	MSHREntries int // per slice
+	MSHRTargets int
+	ReqQSize    int
+	RespQSize   int
+	HitBufSize  int
+	WBBufSize   int
+
+	NoC noc.Config
+
+	DRAMChannels int
+	// MemRespLatency is the on-chip transit time from the memory
+	// controller back to the LLC slice (Fig. 3: MCs sit across the
+	// interconnect from the L2 slices). It extends the lifetime of an
+	// MSHR entry and is what makes miss-handling throughput — not raw
+	// DRAM bandwidth — the binding constraint, the regime Section 6.3
+	// studies.
+	MemRespLatency int
+
+	// Policies.
+	Arbiter  arbiter.Kind
+	Throttle string // "none", "dyncta", "lcs", "dynmg", "static:N"
+	// DynMG / DYNCTA optionally override the controller parameters
+	// (nil = package defaults, i.e. the swept optima of Tables 2–4).
+	DynMG  *throttle.DynMGParams
+	DYNCTA *throttle.DYNCTAParams
+
+	// Scheduler selects thread-block dispatch: "affinity" (default),
+	// "global", or "partitioned" (the no-migration ablation).
+	Scheduler string
+
+	// ReqRespArb forces the request-response arbitration flavour on
+	// every slice: "" (policy default), "resp-first" or "req-first"
+	// (Section 3.3 evaluates both).
+	ReqRespArb string
+	// Bypass enables the fill bypass manager (disabled in the paper's
+	// evaluation for fairness; an ablation knob here).
+	Bypass bool
+
+	// MaxCycles aborts a run that fails to drain (deadlock guard).
+	// Zero means a generous automatic bound.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the simulated system of Table 5: 1.96 GHz, 16
+// cores (vector width 128 B, 4 instruction windows of depth 128,
+// 64 KB streaming write-through L1), 16 MB L2 in 8 slices (8-way,
+// hit latency 3, data latency 25, MSHR 6x8 per slice, mshr latency 5,
+// request queue 12, response queue 64, response-queue-first), and
+// 4-channel DDR5-3200.
+func DefaultConfig() Config {
+	return Config{
+		FreqGHz:      1.96,
+		NumCores:     16,
+		NumSlices:    8,
+		LineBytes:    64,
+		NumWindows:   4,
+		WindowDepth:  128,
+		VectorBytes:  128,
+		EgressCap:    16,
+		L1SizeBytes:  64 << 10,
+		L1Assoc:      8,
+		L2SizeBytes:  16 << 20,
+		L2Assoc:      8,
+		HitLatency:   3,
+		DataLatency:  25,
+		MSHRLatency:  5,
+		MSHREntries:  6,
+		MSHRTargets:  8,
+		ReqQSize:     12,
+		RespQSize:    64,
+		HitBufSize:   32,
+		WBBufSize:    8,
+		NoC:            noc.DefaultConfig(),
+		DRAMChannels:   4,
+		MemRespLatency: 30,
+		Arbiter:      arbiter.FCFS,
+		Throttle:     "none",
+		Scheduler:    "affinity",
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.FreqGHz <= 0:
+		return fmt.Errorf("sim: FreqGHz must be positive, got %g", c.FreqGHz)
+	case c.NumCores <= 0:
+		return fmt.Errorf("sim: NumCores must be positive, got %d", c.NumCores)
+	case c.NumSlices <= 0 || c.NumSlices&(c.NumSlices-1) != 0:
+		return fmt.Errorf("sim: NumSlices must be a positive power of two, got %d", c.NumSlices)
+	case c.L2SizeBytes%c.NumSlices != 0:
+		return fmt.Errorf("sim: L2SizeBytes %d not divisible by %d slices", c.L2SizeBytes, c.NumSlices)
+	}
+	switch c.Scheduler {
+	case "", "affinity", "global", "partitioned":
+	default:
+		return fmt.Errorf("sim: unknown scheduler %q", c.Scheduler)
+	}
+	return nil
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Cycles   int64
+	Counters stats.Counters
+	Metrics  stats.Metrics
+	// Steals counts thread-block migrations (affinity scheduler).
+	Steals int64
+}
+
+// Engine is one configured simulation instance. Engines are single
+// use: build, Run, read the Result.
+type Engine struct {
+	cfg      Config
+	cores    []*vcore.Core
+	slices   []*llc.Slice
+	net      *noc.NoC
+	mem      *dram.DRAM
+	pool     sched.Pool
+	reqPool  *memreq.Pool
+	ctrl     throttle.Controller
+	ctr      stats.Counters
+	progress []int64
+	signals  throttle.Signals
+	groupSz  int
+	autoMax  int64
+	// respInFlight models the MC→slice transit of fill data.
+	respInFlight []dram.Response
+}
+
+// New builds an engine for a trace. groupSize is the workload's G
+// (query heads per group), which the affinity dispatcher uses for the
+// spatial mapping.
+func New(cfg Config, trace *memtrace.Trace, groupSize int) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if trace == nil || len(trace.Blocks) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	e := &Engine{cfg: cfg, reqPool: &memreq.Pool{}, groupSz: groupSize}
+	e.progress = make([]int64, cfg.NumCores)
+	// Deadlock guard: even a fully serialised run (every line access
+	// taking a whole DRAM round trip, no overlap at all) finishes well
+	// within this bound.
+	linesPerVec := int64(cfg.VectorBytes/cfg.LineBytes + 1)
+	e.autoMax = 400*int64(trace.TotalMemInsts())*linesPerVec + 1_000_000
+
+	var err error
+	switch {
+	case cfg.Throttle == "dynmg" && cfg.DynMG != nil:
+		e.ctrl = throttle.NewDynMG(cfg.NumCores, cfg.NumWindows, *cfg.DynMG)
+	case cfg.Throttle == "dyncta" && cfg.DYNCTA != nil:
+		e.ctrl = throttle.NewDYNCTA(cfg.NumCores, cfg.NumWindows, *cfg.DYNCTA)
+	default:
+		e.ctrl, err = throttle.ParseName(cfg.Throttle, cfg.NumCores, cfg.NumWindows)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	e.net, err = noc.New(cfg.NoC, cfg.NumCores, cfg.NumSlices, &e.ctr)
+	if err != nil {
+		return nil, err
+	}
+
+	dcfg := dram.NewDDR5_3200(cfg.FreqGHz, cfg.DRAMChannels)
+	dcfg.LineBytes = cfg.LineBytes
+	// Channel bits sit just above the slice-interleave bits.
+	bits := 0
+	for s := cfg.NumSlices; s > 1; s >>= 1 {
+		bits++
+	}
+	dcfg.ChannelBitPos = bits
+	e.mem, err = dram.New(dcfg, &e.ctr)
+	if err != nil {
+		return nil, err
+	}
+
+	l1cfg := cache.Config{
+		SizeBytes: cfg.L1SizeBytes,
+		LineBytes: cfg.LineBytes,
+		Assoc:     cfg.L1Assoc,
+		Alloc:     cache.AllocOnFill,
+		Write:     cache.WritePolicy{WriteAllocate: false, WriteBack: false},
+		Streaming: true,
+	}
+	e.cores = make([]*vcore.Core, cfg.NumCores)
+	for i := range e.cores {
+		core, err := vcore.New(vcore.Config{
+			ID:          i,
+			NumWindows:  cfg.NumWindows,
+			WindowDepth: cfg.WindowDepth,
+			VectorBytes: cfg.VectorBytes,
+			LineBytes:   cfg.LineBytes,
+			EgressCap:   cfg.EgressCap,
+			NumSlices:   cfg.NumSlices,
+			L1:          l1cfg,
+		}, e.net, e.reqPool, &e.ctr)
+		if err != nil {
+			return nil, err
+		}
+		e.cores[i] = core
+	}
+
+	e.slices = make([]*llc.Slice, cfg.NumSlices)
+	for i := range e.slices {
+		scfg := llc.Config{
+			Index:     i,
+			NumSlices: cfg.NumSlices,
+			NumCores:  cfg.NumCores,
+			Cache: cache.Config{
+				SizeBytes: cfg.L2SizeBytes / cfg.NumSlices,
+				LineBytes: cfg.LineBytes,
+				Assoc:     cfg.L2Assoc,
+				Alloc:     cache.AllocOnFill,
+				Write:     cache.WritePolicy{WriteAllocate: true, WriteBack: true},
+			},
+			HitLatency:  cfg.HitLatency,
+			DataLatency: cfg.DataLatency,
+			MSHRLatency: cfg.MSHRLatency,
+			MSHREntries: cfg.MSHREntries,
+			MSHRTargets: cfg.MSHRTargets,
+			ReqQSize:    cfg.ReqQSize,
+			RespQSize:   cfg.RespQSize,
+			HitBufSize:      cfg.HitBufSize,
+			WBBufSize:       cfg.WBBufSize,
+			Policy:          cfg.Arbiter,
+			ReqRespOverride: cfg.ReqRespArb,
+			Bypass:          cfg.Bypass,
+		}
+		s, err := llc.New(scfg, e.net, e.mem, e.reqPool, &e.ctr)
+		if err != nil {
+			return nil, err
+		}
+		s.SetGlobalProgress(e.progress)
+		e.slices[i] = s
+	}
+
+	switch cfg.Scheduler {
+	case "", "affinity":
+		e.pool, err = sched.NewAffinityPool(trace, cfg.NumCores, groupSize, cfg.MSHRTargets+1)
+	case "global":
+		e.pool = sched.NewGlobalPool(trace)
+	case "partitioned":
+		e.pool, err = sched.NewPartitionedPool(trace, cfg.NumCores)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	e.signals = throttle.Signals{
+		NumCores:    cfg.NumCores,
+		MaxWindows:  cfg.NumWindows,
+		CacheStall:  func() int64 { return e.ctr.CacheStall },
+		SliceCycles: func() int64 { return e.ctr.SliceCycles },
+		CoreMem:     func(core int) int64 { return e.cores[core].CMem },
+		CoreIdle:    func(core int) int64 { return e.cores[core].CIdle },
+		Progress:    func(core int) int64 { return e.progress[core] },
+	}
+	return e, nil
+}
+
+// Run executes the cycle loop to completion and returns the collected
+// statistics.
+func (e *Engine) Run() (Result, error) {
+	maxCycles := e.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = e.autoMax
+	}
+	observer, _ := e.ctrl.(throttle.TBObserver)
+
+	now := int64(0)
+	for ; now < maxCycles; now++ {
+		e.ctrl.Tick(now, &e.signals)
+
+		for i, c := range e.cores {
+			c.SetMaxTB(e.ctrl.MaxTB(i))
+			e.net.DeliverResps(i, now, c.OnDelivery)
+			c.Tick(now, e.pool)
+			if observer != nil {
+				for _, done := range c.DrainCompletions() {
+					observer.ObserveTB(done.Core, done.BusyCycles, done.TotalCycles)
+				}
+			} else {
+				c.DrainCompletions()
+			}
+		}
+
+		for i, s := range e.slices {
+			e.net.DeliverReqs(i, now, s.Accept)
+			s.Tick(now)
+		}
+
+		e.mem.Tick(now)
+		for _, resp := range e.mem.Responses(now) {
+			resp.Done = now + int64(e.cfg.MemRespLatency)
+			e.respInFlight = append(e.respInFlight, resp)
+		}
+		if len(e.respInFlight) > 0 {
+			kept := e.respInFlight[:0]
+			for _, resp := range e.respInFlight {
+				if resp.Done <= now {
+					e.slices[resp.Slice].OnDRAMResponse(resp, now)
+				} else {
+					kept = append(kept, resp)
+				}
+			}
+			e.respInFlight = kept
+		}
+
+		// Drain check, amortised.
+		if now&63 == 0 && e.drained() {
+			break
+		}
+	}
+	if now >= maxCycles {
+		return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d without draining (deadlock?)", maxCycles)
+	}
+
+	e.ctr.Cycles = now
+	res := Result{
+		Cycles:   now,
+		Counters: e.ctr,
+		Metrics:  e.ctr.Derive(e.cfg.FreqGHz, e.cfg.LineBytes, e.cfg.NumCores),
+	}
+	if ap, ok := e.pool.(*sched.AffinityPool); ok {
+		res.Steals = ap.Steals
+	}
+	return res, nil
+}
+
+// drained reports whether all work has left the system.
+func (e *Engine) drained() bool {
+	if e.pool.Remaining() > 0 || e.net.Pending() > 0 || e.mem.Pending() > 0 || len(e.respInFlight) > 0 {
+		return false
+	}
+	for _, c := range e.cores {
+		if c.Busy() {
+			return false
+		}
+	}
+	for _, s := range e.slices {
+		if s.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// Cores exposes the core models (tests, diagnostics).
+func (e *Engine) Cores() []*vcore.Core { return e.cores }
+
+// Slices exposes the LLC slices (tests, diagnostics).
+func (e *Engine) Slices() []*llc.Slice { return e.slices }
+
+// Controller exposes the throttling controller (tests, diagnostics).
+func (e *Engine) Controller() throttle.Controller { return e.ctrl }

@@ -1,0 +1,326 @@
+package throttle
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeSignals builds a Signals whose values are driven by the test.
+type fakeSignals struct {
+	stall, slices int64
+	mem, idle     []int64
+	progress      []int64
+}
+
+func (f *fakeSignals) signals(numCores, maxWindows int) *Signals {
+	return &Signals{
+		NumCores:    numCores,
+		MaxWindows:  maxWindows,
+		CacheStall:  func() int64 { return f.stall },
+		SliceCycles: func() int64 { return f.slices },
+		CoreMem:     func(c int) int64 { return f.mem[c] },
+		CoreIdle:    func(c int) int64 { return f.idle[c] },
+		Progress:    func(c int) int64 { return f.progress[c] },
+	}
+}
+
+func newFake(n int) *fakeSignals {
+	return &fakeSignals{
+		mem:      make([]int64, n),
+		idle:     make([]int64, n),
+		progress: make([]int64, n),
+	}
+}
+
+func TestParseName(t *testing.T) {
+	for _, name := range []string{"none", "dyncta", "lcs", "dynmg", "static:2"} {
+		c, err := ParseName(name, 16, 4)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", name, err)
+		}
+		if c.Name() == "" {
+			t.Fatalf("empty name for %q", name)
+		}
+	}
+	if _, err := ParseName("bogus", 16, 4); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	// static clamps to [1, maxWindows].
+	c, _ := ParseName("static:99", 16, 4)
+	if c.MaxTB(0) != 4 {
+		t.Fatalf("static:99 clamped to %d", c.MaxTB(0))
+	}
+	c, _ = ParseName("static:0", 16, 4)
+	if c.MaxTB(0) != 1 {
+		t.Fatalf("static:0 clamped to %d", c.MaxTB(0))
+	}
+}
+
+func TestNone(t *testing.T) {
+	c := NewNone(16, 4)
+	c.Tick(0, nil)
+	for core := 0; core < 16; core++ {
+		if c.MaxTB(core) != 4 {
+			t.Fatal("none must not throttle")
+		}
+	}
+}
+
+func TestClassifyContention(t *testing.T) {
+	p := DefaultDynMGParams()
+	cases := []struct {
+		tcs  float64
+		want Contention
+	}{
+		{0.0, ContentionLow},
+		{p.TCSLow - 0.001, ContentionLow},
+		{p.TCSLow, ContentionNormal},
+		{p.TCSNormal - 0.001, ContentionNormal},
+		{p.TCSNormal, ContentionHigh},
+		{p.TCSHigh - 0.001, ContentionHigh},
+		{p.TCSHigh, ContentionExtreme},
+		{1.0, ContentionExtreme},
+	}
+	for _, c := range cases {
+		if got := p.ClassifyContention(c.tcs); got != c.want {
+			t.Errorf("Classify(%v)=%v want %v", c.tcs, got, c.want)
+		}
+	}
+}
+
+// TestGearAlgorithm1 walks Algorithm 1: high -> +1, low -> -1,
+// extreme -> +2 (saturating).
+func TestGearAlgorithm1(t *testing.T) {
+	p := DefaultDynMGParams()
+	d := NewDynMG(16, 4, p)
+	f := newFake(16)
+	sig := f.signals(16, 4)
+
+	step := func(tcs float64) {
+		f.slices += 1000
+		f.stall += int64(tcs * 1000)
+		// Advance time past one sampling period.
+		d.lastSample = 0
+		d.samplePeriodUpdate(sig)
+	}
+
+	// High contention ratchets up one gear per period.
+	step((p.TCSNormal + p.TCSHigh) / 2)
+	if d.Gear() != 1 {
+		t.Fatalf("gear=%d after one high period", d.Gear())
+	}
+	// Extreme adds two.
+	step(p.TCSHigh + 0.1)
+	if d.Gear() != 3 {
+		t.Fatalf("gear=%d after extreme", d.Gear())
+	}
+	// Extreme at gear 3 saturates at max.
+	step(p.TCSHigh + 0.1)
+	if d.Gear() != p.MaxGear {
+		t.Fatalf("gear=%d want max %d", d.Gear(), p.MaxGear)
+	}
+	step(p.TCSHigh + 0.1)
+	if d.Gear() != p.MaxGear {
+		t.Fatalf("gear exceeded max: %d", d.Gear())
+	}
+	// Low contention steps down.
+	step(p.TCSLow / 2)
+	if d.Gear() != p.MaxGear-1 {
+		t.Fatalf("gear=%d after low", d.Gear())
+	}
+	// Normal holds.
+	step((p.TCSLow + p.TCSNormal) / 2)
+	if d.Gear() != p.MaxGear-1 {
+		t.Fatalf("gear=%d after normal, want hold", d.Gear())
+	}
+	// Low never goes below zero.
+	for i := 0; i < 10; i++ {
+		step(0)
+	}
+	if d.Gear() != 0 {
+		t.Fatalf("gear=%d want 0", d.Gear())
+	}
+}
+
+func TestDynMGThrottlesFastestCores(t *testing.T) {
+	p := DefaultDynMGParams()
+	d := NewDynMG(8, 4, p)
+	f := newFake(8)
+	sig := f.signals(8, 4)
+
+	// Cores 6 and 7 are the fastest.
+	for c := 0; c < 8; c++ {
+		f.progress[c] = int64(c * 100)
+	}
+	// Drive to gear 2 (1/4 of 8 cores = 2 throttled).
+	f.slices, f.stall = 1000, 600 // extreme
+	d.lastSample = 0
+	d.samplePeriodUpdate(sig)
+	if d.Gear() != 2 {
+		t.Fatalf("gear=%d want 2", d.Gear())
+	}
+	if !d.throttled[7] || !d.throttled[6] {
+		t.Fatalf("fastest cores not throttled: %v", d.throttled)
+	}
+	if d.throttled[0] || d.throttled[1] {
+		t.Fatalf("slow cores throttled: %v", d.throttled)
+	}
+	// Newly throttled cores clamp immediately.
+	if d.MaxTB(7) != 1 {
+		t.Fatalf("throttled core maxTB=%d want 1", d.MaxTB(7))
+	}
+	if d.MaxTB(0) != 4 {
+		t.Fatalf("unthrottled core maxTB=%d want 4", d.MaxTB(0))
+	}
+}
+
+func TestDynMGSubPeriodRecovery(t *testing.T) {
+	p := DefaultDynMGParams()
+	d := NewDynMG(4, 4, p)
+	f := newFake(4)
+	sig := f.signals(4, 4)
+	// Throttle core 0 manually.
+	d.throttled[0] = true
+	d.maxTB[0] = 1
+	// Core 0 over-idles: C_idle above bound raises max_tb.
+	f.idle[0] = p.CIdleUpper + 10
+	d.subPeriodUpdate(sig)
+	if d.maxTB[0] != 2 {
+		t.Fatalf("idle throttled core did not recover: %d", d.maxTB[0])
+	}
+	// Unthrottled cores drift back to max one step per sub-period.
+	d.throttled[1] = false
+	d.maxTB[1] = 2
+	d.subPeriodUpdate(sig)
+	if d.maxTB[1] != 3 {
+		t.Fatalf("unthrottled recovery: %d", d.maxTB[1])
+	}
+}
+
+func TestDynMGInCoreCmemRule(t *testing.T) {
+	p := DefaultDynMGParams()
+	d := NewDynMG(2, 4, p)
+	f := newFake(2)
+	sig := f.signals(2, 4)
+	d.throttled[0] = true
+	d.maxTB[0] = 3
+	// C_mem above upper bound: reduce.
+	f.mem[0] = p.CMemUpper + 1
+	d.subPeriodUpdate(sig)
+	if d.maxTB[0] != 2 {
+		t.Fatalf("maxTB=%d want 2", d.maxTB[0])
+	}
+	// C_mem below lower bound: raise.
+	f.mem[0] += p.CMemLower - 1
+	d.subPeriodUpdate(sig)
+	if d.maxTB[0] != 3 {
+		t.Fatalf("maxTB=%d want 3", d.maxTB[0])
+	}
+	// Never below 1.
+	d.maxTB[0] = 1
+	f.mem[0] += p.CMemUpper + 100
+	d.subPeriodUpdate(sig)
+	if d.maxTB[0] != 1 {
+		t.Fatalf("maxTB=%d want 1 floor", d.maxTB[0])
+	}
+}
+
+func TestDYNCTAAppliesToAllCores(t *testing.T) {
+	p := DefaultDYNCTAParams()
+	d := NewDYNCTA(4, 4, p)
+	f := newFake(4)
+	sig := f.signals(4, 4)
+	for c := 0; c < 4; c++ {
+		f.mem[c] = p.CMemUpper + 100
+	}
+	d.Tick(p.SamplingPeriod, sig)
+	for c := 0; c < 4; c++ {
+		if d.MaxTB(c) != 3 {
+			t.Fatalf("core %d maxTB=%d want 3", c, d.MaxTB(c))
+		}
+	}
+	// Below period boundary: no change.
+	for c := 0; c < 4; c++ {
+		f.mem[c] += p.CMemUpper + 100
+	}
+	d.Tick(p.SamplingPeriod+1, sig)
+	if d.MaxTB(0) != 3 {
+		t.Fatal("DYNCTA adjusted mid-period")
+	}
+	// Idle backoff raises.
+	f.idle[0] += p.CIdleUpper + 1
+	f.mem[0] += p.CMemLower // hold range for mem
+	d.Tick(2*p.SamplingPeriod+2, sig)
+	if d.MaxTB(0) != 4 {
+		t.Fatalf("idle core maxTB=%d want 4", d.MaxTB(0))
+	}
+}
+
+func TestLCSFirstBlockDecision(t *testing.T) {
+	l := NewLCS(4, 4)
+	if l.MaxTB(0) != 4 {
+		t.Fatal("LCS must start unthrottled")
+	}
+	// Memory-bound first block: total >> busy saturates at max windows
+	// (the conservatism the paper observes).
+	l.ObserveTB(0, 100, 10_000)
+	if l.MaxTB(0) != 4 {
+		t.Fatalf("memory-bound LCS maxTB=%d want 4", l.MaxTB(0))
+	}
+	// Compute-bound first block: few blocks suffice.
+	l.ObserveTB(1, 5000, 10_000)
+	if l.MaxTB(1) != 2 {
+		t.Fatalf("LCS maxTB=%d want 2", l.MaxTB(1))
+	}
+	// Only the first observation counts.
+	l.ObserveTB(1, 1, 10_000)
+	if l.MaxTB(1) != 2 {
+		t.Fatal("LCS re-decided after first block")
+	}
+	// Out-of-range cores are ignored.
+	l.ObserveTB(99, 1, 1)
+}
+
+func TestStatic(t *testing.T) {
+	s := NewStatic(16, 2)
+	s.Tick(0, nil)
+	if s.MaxTB(3) != 2 || s.Name() != "static:2" {
+		t.Fatalf("static: %d %q", s.MaxTB(3), s.Name())
+	}
+}
+
+// MaxTB stays within [1, maxWindows] for any signal sequence.
+func TestDynMGBoundsProperty(t *testing.T) {
+	check := func(stalls []uint16, progs []uint8) bool {
+		if len(stalls) == 0 || len(progs) == 0 {
+			return true
+		}
+		const n, w = 8, 4
+		d := NewDynMG(n, w, DefaultDynMGParams())
+		f := newFake(n)
+		sig := f.signals(n, w)
+		now := int64(0)
+		for i, s := range stalls {
+			f.slices += 1000
+			f.stall += int64(s % 1000)
+			for c := 0; c < n; c++ {
+				f.mem[c] += int64(progs[i%len(progs)]) * int64(c+1)
+				f.progress[c] += int64(progs[(i+c)%len(progs)])
+			}
+			now += 2001
+			d.Tick(now, sig)
+			for c := 0; c < n; c++ {
+				if tb := d.MaxTB(c); tb < 1 || tb > w {
+					return false
+				}
+			}
+			if d.Gear() < 0 || d.Gear() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package vcore models the 128-element vector cores of Section 5: a
+// core owns a private L1 cache, several instruction windows (each
+// holding one thread block), and an egress queue toward the
+// interconnect. When the current window cannot issue (outstanding
+// memory, compute busy, backpressure) the core switches to another
+// window — the warp-scheduler-like latency hiding of Section 3.1.
+// Programmers (here: the dataflow) control only block sizes and
+// counts, not the switching.
+//
+// The core exposes the performance counters the throttling
+// controllers sample: C_idle (no thread block available to run) and
+// C_mem (all resident blocks blocked on memory).
+package vcore
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/memreq"
+	"repro/internal/memtrace"
+	"repro/internal/noc"
+	"repro/internal/ring"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// MaxWindows bounds the instruction windows per core; the waiter
+// bookkeeping uses fixed-size arrays of this width.
+const MaxWindows = 8
+
+// Config parameterises one core (Table 5 defaults come from the sim
+// package).
+type Config struct {
+	ID          int
+	NumWindows  int // instruction windows (4)
+	WindowDepth int // max outstanding loads per window (128)
+	VectorBytes int // bytes per vector access (128)
+	LineBytes   int // cache line size (64)
+	EgressCap   int // outbound request queue depth
+	NumSlices   int // LLC slice count (for routing)
+	L1          cache.Config
+}
+
+// Validate checks core parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.NumWindows <= 0 || c.NumWindows > MaxWindows:
+		return fmt.Errorf("vcore: NumWindows must be in [1,%d], got %d", MaxWindows, c.NumWindows)
+	case c.WindowDepth <= 0:
+		return fmt.Errorf("vcore: WindowDepth must be positive, got %d", c.WindowDepth)
+	case c.VectorBytes <= 0 || c.VectorBytes%c.LineBytes != 0:
+		return fmt.Errorf("vcore: VectorBytes must be a positive multiple of LineBytes, got %d", c.VectorBytes)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("vcore: LineBytes must be a positive power of two, got %d", c.LineBytes)
+	case c.EgressCap <= 0:
+		return fmt.Errorf("vcore: EgressCap must be positive, got %d", c.EgressCap)
+	case c.NumSlices <= 0 || c.NumSlices&(c.NumSlices-1) != 0:
+		return fmt.Errorf("vcore: NumSlices must be a positive power of two, got %d", c.NumSlices)
+	}
+	return c.L1.Validate()
+}
+
+type window struct {
+	tb          *memtrace.ThreadBlock
+	pc          int
+	outstanding int   // pending line loads
+	busyUntil   int64 // compute occupancy
+	// Expansion state of the current memory instruction into lines.
+	expanding bool
+	nextLine  uint64
+	endLine   uint64
+	isStore   bool
+	// Thread-block timing for the LCS observer.
+	startCycle int64
+	busyCycles int64
+}
+
+func (w *window) active() bool { return w.tb != nil }
+
+func (w *window) finished() bool {
+	return w.tb != nil && !w.expanding && w.pc >= len(w.tb.Insts)
+}
+
+// TBCompletion describes a retired thread block; controllers that
+// implement throttle.TBObserver consume it.
+type TBCompletion struct {
+	Core        int
+	BusyCycles  int64
+	TotalCycles int64
+}
+
+// Core is one vector core.
+type Core struct {
+	cfg     Config
+	l1      *cache.Cache
+	windows []window
+	egress  *ring.Ring[*memreq.Request]
+	// pendingL1 merges same-line L1 misses: line → per-window waiter
+	// counts (an idealised L1 MSHR with ample entries).
+	pendingL1 map[uint64][MaxWindows]int16
+
+	maxTB    int // thread-block limit published by the throttle controller
+	lastWin  int // round-robin pointer
+	doneTBs  []TBCompletion
+	exhausted bool // the pool returned no work on the last refill
+
+	net  *noc.NoC
+	pool *memreq.Pool
+	ctr  *stats.Counters
+
+	// Per-core cumulative throttling signals (the controllers need
+	// them per core; the global stats.Counters aggregate them).
+	CMem  int64
+	CIdle int64
+
+	// Diagnostics.
+	IssuedLines int64
+	TBsRun      int64
+}
+
+// New builds a core.
+func New(cfg Config, net *noc.NoC, pool *memreq.Pool, ctr *stats.Counters) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1, err := cache.New(cfg.L1)
+	if err != nil {
+		return nil, err
+	}
+	if ctr == nil {
+		ctr = &stats.Counters{}
+	}
+	if pool == nil {
+		pool = &memreq.Pool{}
+	}
+	return &Core{
+		cfg:       cfg,
+		l1:        l1,
+		windows:   make([]window, cfg.NumWindows),
+		egress:    ring.New[*memreq.Request](cfg.EgressCap),
+		pendingL1: make(map[uint64][MaxWindows]int16),
+		maxTB:     cfg.NumWindows,
+		net:       net,
+		pool:      pool,
+		ctr:       ctr,
+	}, nil
+}
+
+// L1 exposes the private cache (tests, diagnostics).
+func (c *Core) L1() *cache.Cache { return c.l1 }
+
+// SetMaxTB publishes the throttle controller's thread-block limit.
+func (c *Core) SetMaxTB(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > c.cfg.NumWindows {
+		n = c.cfg.NumWindows
+	}
+	c.maxTB = n
+}
+
+// MaxTB returns the current limit.
+func (c *Core) MaxTB() int { return c.maxTB }
+
+// ActiveTBs counts windows currently holding a thread block.
+func (c *Core) ActiveTBs() int {
+	n := 0
+	for i := range c.windows {
+		if c.windows[i].active() {
+			n++
+		}
+	}
+	return n
+}
+
+// Busy reports whether the core still holds work in flight.
+func (c *Core) Busy() bool {
+	if c.egress.Len() > 0 || len(c.pendingL1) > 0 {
+		return true
+	}
+	return c.ActiveTBs() > 0
+}
+
+// OnDelivery accepts a returning line (L2 hit data or DRAM direct
+// forward): wake the waiting windows and install into L1
+// (allocate-on-fill, streaming insertion).
+func (c *Core) OnDelivery(d noc.Delivery) {
+	waiters, ok := c.pendingL1[d.Line]
+	if !ok {
+		return // store ack or duplicate; nothing waits
+	}
+	for wi := 0; wi < len(c.windows); wi++ {
+		if cnt := waiters[wi]; cnt > 0 {
+			c.windows[wi].outstanding -= int(cnt)
+			if c.windows[wi].outstanding < 0 {
+				c.windows[wi].outstanding = 0
+			}
+		}
+	}
+	delete(c.pendingL1, d.Line)
+	c.l1.Fill(d.Line, false)
+}
+
+// DrainCompletions returns and clears thread-block completion events.
+func (c *Core) DrainCompletions() []TBCompletion {
+	out := c.doneTBs
+	c.doneTBs = nil
+	return out
+}
+
+// Tick advances the core one cycle: retire finished blocks, refill
+// windows from the dispatcher (respecting maxTB), issue at most one
+// instruction/line, and drain the egress queue into the NoC.
+func (c *Core) Tick(now int64, dispatch sched.Pool) {
+	c.retireAndRefill(now, dispatch)
+	c.issue(now)
+	c.drainEgress(now)
+}
+
+func (c *Core) retireAndRefill(now int64, dispatch sched.Pool) {
+	for i := range c.windows {
+		w := &c.windows[i]
+		if w.active() && w.finished() && w.outstanding == 0 && w.busyUntil <= now {
+			c.doneTBs = append(c.doneTBs, TBCompletion{
+				Core:        c.cfg.ID,
+				BusyCycles:  w.busyCycles,
+				TotalCycles: now - w.startCycle,
+			})
+			c.ctr.TBCompleted++
+			c.TBsRun++
+			w.tb = nil
+		}
+	}
+	c.exhausted = false
+	for i := range c.windows {
+		if c.ActiveTBs() >= c.maxTB {
+			return
+		}
+		w := &c.windows[i]
+		if w.active() {
+			continue
+		}
+		tb, ok := dispatch.Next(c.cfg.ID)
+		if !ok {
+			c.exhausted = true
+			return
+		}
+		*w = window{tb: tb, startCycle: now}
+	}
+}
+
+// issue finds one ready window round-robin and issues one line access
+// or compute instruction; updates C_idle/C_mem when nothing can issue.
+func (c *Core) issue(now int64) {
+	n := len(c.windows)
+	anyActive := false
+	anyMemBlocked := false
+	for off := 0; off < n; off++ {
+		wi := (c.lastWin + 1 + off) % n
+		w := &c.windows[wi]
+		if !w.active() {
+			continue
+		}
+		if w.finished() {
+			// Block retired instruction-wise but waiting on loads:
+			// the window is memory-blocked, not idle.
+			if w.outstanding > 0 {
+				anyActive = true
+				anyMemBlocked = true
+			}
+			continue
+		}
+		anyActive = true
+		if w.busyUntil > now {
+			continue
+		}
+		if !w.expanding {
+			inst := &w.tb.Insts[w.pc]
+			if inst.Kind == memtrace.KindCompute {
+				w.busyUntil = now + int64(inst.Cycles)
+				w.pc++
+				w.busyCycles += int64(inst.Cycles)
+				c.ctr.InstIssued++
+				c.ctr.ComputeOps++
+				c.lastWin = wi
+				return
+			}
+			// Begin expanding the vector access into line accesses.
+			lb := uint64(c.cfg.LineBytes)
+			w.expanding = true
+			w.nextLine = inst.Addr / lb
+			w.endLine = (inst.Addr + uint64(inst.Width) - 1) / lb
+			w.isStore = inst.Kind == memtrace.KindStore
+			c.ctr.InstIssued++
+			if w.isStore {
+				c.ctr.VectorStores++
+			} else {
+				c.ctr.VectorLoads++
+			}
+		}
+		// Issue the next line of the expansion.
+		if !w.isStore && w.outstanding >= c.cfg.WindowDepth {
+			anyMemBlocked = true
+			continue
+		}
+		if c.issueLine(w, wi, now) {
+			w.busyCycles++
+			if w.nextLine > w.endLine {
+				w.expanding = false
+				w.pc++
+			}
+			c.lastWin = wi
+			return
+		}
+		anyMemBlocked = true
+	}
+	switch {
+	case !anyActive:
+		c.ctr.CoreIdle++
+		c.CIdle++
+	case anyMemBlocked:
+		c.ctr.CoreMemStall++
+		c.CMem++
+	}
+}
+
+// issueLine performs the L1 access for one line of the current vector
+// instruction; it reports false when backpressure blocks the issue.
+func (c *Core) issueLine(w *window, wi int, now int64) bool {
+	line := w.nextLine
+	if w.isStore {
+		// Write-through, write-no-allocate: probe L1 (update on hit),
+		// always forward the write to L2 as a posted request.
+		if c.egress.Full() {
+			return false
+		}
+		c.ctr.L1Accesses++
+		if c.l1.Access(line, true) {
+			c.ctr.L1Hits++
+		}
+		r := c.pool.Get()
+		r.Line = line
+		r.Write = true
+		r.Posted = true
+		r.Core = c.cfg.ID
+		r.Window = wi
+		r.IssueCycle = now
+		c.egress.Push(r)
+		c.IssuedLines++
+		w.nextLine++
+		return true
+	}
+	c.ctr.L1Accesses++
+	if c.l1.Access(line, false) {
+		c.ctr.L1Hits++
+		c.IssuedLines++
+		w.nextLine++
+		return true
+	}
+	if waiters, ok := c.pendingL1[line]; ok {
+		// Merge with an in-flight miss for the same line.
+		waiters[wi]++
+		c.pendingL1[line] = waiters
+		w.outstanding++
+		c.ctr.L1Merges++
+		c.IssuedLines++
+		w.nextLine++
+		return true
+	}
+	if c.egress.Full() {
+		return false
+	}
+	r := c.pool.Get()
+	r.Line = line
+	r.Core = c.cfg.ID
+	r.Window = wi
+	r.IssueCycle = now
+	c.egress.Push(r)
+	var waiters [MaxWindows]int16
+	waiters[wi] = 1
+	c.pendingL1[line] = waiters
+	w.outstanding++
+	c.IssuedLines++
+	w.nextLine++
+	return true
+}
+
+// drainEgress moves up to one request per cycle into the NoC, subject
+// to the per-slice buffer backpressure.
+func (c *Core) drainEgress(now int64) {
+	r, ok := c.egress.Peek()
+	if !ok {
+		return
+	}
+	slice := int(r.Line & uint64(c.cfg.NumSlices-1))
+	if !c.net.CanSendReq(slice) {
+		c.ctr.NoCBackpress++
+		return
+	}
+	c.egress.Pop()
+	c.net.SendReq(r, slice, now)
+}

@@ -1,0 +1,330 @@
+package vcore
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/memreq"
+	"repro/internal/memtrace"
+	"repro/internal/noc"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func testConfig() Config {
+	return Config{
+		ID:          0,
+		NumWindows:  2,
+		WindowDepth: 8,
+		VectorBytes: 128,
+		LineBytes:   64,
+		EgressCap:   4,
+		NumSlices:   2,
+		L1: cache.Config{
+			SizeBytes: 2 * 64 * 2, // 2 sets, 2 ways
+			LineBytes: 64,
+			Assoc:     2,
+			Alloc:     cache.AllocOnFill,
+			Write:     cache.WritePolicy{WriteAllocate: false, WriteBack: false},
+			Streaming: true,
+		},
+	}
+}
+
+type coreRig struct {
+	core *Core
+	net  *noc.NoC
+	pool *memreq.Pool
+	ctr  *stats.Counters
+	now  int64
+}
+
+func newCoreRig(t *testing.T, cfg Config) *coreRig {
+	t.Helper()
+	ctr := &stats.Counters{}
+	net, err := noc.New(noc.Config{Latency: 1, SliceIngestPer: 8, SliceBufCap: 8}, 1, cfg.NumSlices, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &memreq.Pool{}
+	c, err := New(cfg, net, pool, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &coreRig{core: c, net: net, pool: pool, ctr: ctr}
+}
+
+// collect drains requests arriving at the slices.
+func (r *coreRig) collect() []*memreq.Request {
+	var got []*memreq.Request
+	for s := 0; s < 2; s++ {
+		r.net.DeliverReqs(s, r.now, func(req *memreq.Request) bool {
+			got = append(got, req)
+			return true
+		})
+	}
+	return got
+}
+
+func singleTB(insts ...memtrace.Inst) *memtrace.Trace {
+	return &memtrace.Trace{Blocks: []*memtrace.ThreadBlock{{ID: 0, Insts: insts}}}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NumWindows = 0 },
+		func(c *Config) { c.NumWindows = MaxWindows + 1 },
+		func(c *Config) { c.WindowDepth = 0 },
+		func(c *Config) { c.VectorBytes = 96 },
+		func(c *Config) { c.EgressCap = 0 },
+		func(c *Config) { c.NumSlices = 3 },
+	}
+	for i, mutate := range cases {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestVectorAccessSplitsIntoLines(t *testing.T) {
+	r := newCoreRig(t, testConfig())
+	// One 128-byte load at address 0: lines 0 and 1.
+	pool := sched.NewGlobalPool(singleTB(memtrace.Inst{Kind: memtrace.KindLoad, Addr: 0, Width: 128}))
+	var reqs []*memreq.Request
+	for i := 0; i < 20; i++ {
+		r.core.Tick(r.now, pool)
+		reqs = append(reqs, r.collect()...)
+		r.now++
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("requests=%d want 2", len(reqs))
+	}
+	if reqs[0].Line != 0 || reqs[1].Line != 1 {
+		t.Fatalf("lines %d,%d", reqs[0].Line, reqs[1].Line)
+	}
+	// Lines route to slices by low bits.
+	if r.ctr.VectorLoads != 1 {
+		t.Fatalf("VectorLoads=%d want 1 (one vector instruction)", r.ctr.VectorLoads)
+	}
+	if r.core.Busy() == false {
+		t.Fatal("core must wait for outstanding loads")
+	}
+	// Deliver the lines; block completes.
+	r.core.OnDelivery(noc.Delivery{Line: 0, Core: 0, Window: 0})
+	r.core.OnDelivery(noc.Delivery{Line: 1, Core: 0, Window: 0})
+	r.core.Tick(r.now, pool)
+	if r.core.ActiveTBs() != 0 {
+		t.Fatal("thread block not retired after loads returned")
+	}
+	if r.ctr.TBCompleted != 1 {
+		t.Fatalf("TBCompleted=%d", r.ctr.TBCompleted)
+	}
+}
+
+func TestL1HitAvoidsTraffic(t *testing.T) {
+	r := newCoreRig(t, testConfig())
+	// The compute gap lets the first load's fill land in L1 before the
+	// second access issues.
+	pool := sched.NewGlobalPool(singleTB(
+		memtrace.Inst{Kind: memtrace.KindLoad, Addr: 0, Width: 64},
+		memtrace.Inst{Kind: memtrace.KindCompute, Cycles: 6},
+		memtrace.Inst{Kind: memtrace.KindLoad, Addr: 0, Width: 64},
+	))
+	var reqs []*memreq.Request
+	for i := 0; i < 30; i++ {
+		r.core.Tick(r.now, pool)
+		reqs = append(reqs, r.collect()...)
+		for _, q := range reqs {
+			if q != nil {
+				r.core.OnDelivery(noc.Delivery{Line: q.Line, Core: 0, Window: q.Window})
+			}
+		}
+		r.now++
+	}
+	// First access misses and fills L1; the second hits.
+	if len(reqs) != 1 {
+		t.Fatalf("requests=%d want 1 (second access is an L1 hit)", len(reqs))
+	}
+	if r.ctr.L1Hits != 1 {
+		t.Fatalf("L1Hits=%d", r.ctr.L1Hits)
+	}
+}
+
+func TestL1MergeSameLine(t *testing.T) {
+	cfg := testConfig()
+	r := newCoreRig(t, cfg)
+	// Two windows each run a block loading the same line.
+	tr := &memtrace.Trace{Blocks: []*memtrace.ThreadBlock{
+		{ID: 0, Insts: []memtrace.Inst{{Kind: memtrace.KindLoad, Addr: 0, Width: 64}}},
+		{ID: 1, Insts: []memtrace.Inst{{Kind: memtrace.KindLoad, Addr: 0, Width: 64}}},
+	}}
+	pool := sched.NewGlobalPool(tr)
+	var reqs []*memreq.Request
+	for i := 0; i < 10; i++ {
+		r.core.Tick(r.now, pool)
+		reqs = append(reqs, r.collect()...)
+		r.now++
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("requests=%d want 1 (merged at L1 level)", len(reqs))
+	}
+	if r.ctr.L1Merges != 1 {
+		t.Fatalf("L1Merges=%d", r.ctr.L1Merges)
+	}
+	// One delivery wakes both windows.
+	r.core.OnDelivery(noc.Delivery{Line: 0, Core: 0, Window: 0})
+	r.core.Tick(r.now, pool)
+	if r.core.ActiveTBs() != 0 {
+		t.Fatal("merged windows not both released")
+	}
+}
+
+func TestComputeOccupiesWindow(t *testing.T) {
+	r := newCoreRig(t, testConfig())
+	pool := sched.NewGlobalPool(singleTB(
+		memtrace.Inst{Kind: memtrace.KindCompute, Cycles: 5},
+		memtrace.Inst{Kind: memtrace.KindCompute, Cycles: 1},
+	))
+	done := int64(-1)
+	for i := int64(0); i < 30; i++ {
+		r.core.Tick(i, pool)
+		if r.ctr.TBCompleted == 1 && done < 0 {
+			done = i
+		}
+	}
+	if done < 6 {
+		t.Fatalf("compute completed at %d, want >= 6 (5+1 busy cycles)", done)
+	}
+	if r.ctr.ComputeOps != 2 {
+		t.Fatalf("ComputeOps=%d", r.ctr.ComputeOps)
+	}
+}
+
+func TestStoresArePosted(t *testing.T) {
+	r := newCoreRig(t, testConfig())
+	pool := sched.NewGlobalPool(singleTB(memtrace.Inst{Kind: memtrace.KindStore, Addr: 0, Width: 64}))
+	var reqs []*memreq.Request
+	for i := 0; i < 10; i++ {
+		r.core.Tick(r.now, pool)
+		reqs = append(reqs, r.collect()...)
+		r.now++
+	}
+	if len(reqs) != 1 || !reqs[0].Write || !reqs[0].Posted {
+		t.Fatalf("store request wrong: %+v", reqs)
+	}
+	// Posted: the block retires without any delivery.
+	if r.ctr.TBCompleted != 1 {
+		t.Fatal("store block did not retire")
+	}
+}
+
+func TestMaxTBThrottling(t *testing.T) {
+	r := newCoreRig(t, testConfig())
+	tr := &memtrace.Trace{Blocks: []*memtrace.ThreadBlock{
+		{ID: 0, Insts: []memtrace.Inst{{Kind: memtrace.KindCompute, Cycles: 100}}},
+		{ID: 1, Insts: []memtrace.Inst{{Kind: memtrace.KindCompute, Cycles: 100}}},
+	}}
+	pool := sched.NewGlobalPool(tr)
+	r.core.SetMaxTB(1)
+	r.core.Tick(0, pool)
+	if r.core.ActiveTBs() != 1 {
+		t.Fatalf("ActiveTBs=%d under maxTB=1", r.core.ActiveTBs())
+	}
+	// Raising the limit lets the second window fill.
+	r.core.SetMaxTB(2)
+	r.core.Tick(1, pool)
+	if r.core.ActiveTBs() != 2 {
+		t.Fatalf("ActiveTBs=%d under maxTB=2", r.core.ActiveTBs())
+	}
+	// SetMaxTB clamps.
+	r.core.SetMaxTB(99)
+	if r.core.MaxTB() != 2 {
+		t.Fatalf("MaxTB=%d want clamp to windows", r.core.MaxTB())
+	}
+	r.core.SetMaxTB(0)
+	if r.core.MaxTB() != 1 {
+		t.Fatalf("MaxTB=%d want clamp to 1", r.core.MaxTB())
+	}
+}
+
+func TestCmemCountsWhenBlocked(t *testing.T) {
+	cfg := testConfig()
+	cfg.EgressCap = 1
+	r := newCoreRig(t, cfg)
+	// A giant load: the egress and NoC clog and the core must record
+	// memory-blocked cycles (nothing drains the NoC here).
+	pool := sched.NewGlobalPool(singleTB(memtrace.Inst{Kind: memtrace.KindLoad, Addr: 0, Width: 4096}))
+	for i := int64(0); i < 100; i++ {
+		r.core.Tick(i, pool)
+	}
+	if r.core.CMem == 0 {
+		t.Fatal("no memory-blocked cycles recorded under backpressure")
+	}
+}
+
+func TestCidleWhenNoWork(t *testing.T) {
+	r := newCoreRig(t, testConfig())
+	pool := sched.NewGlobalPool(&memtrace.Trace{Blocks: []*memtrace.ThreadBlock{}})
+	for i := int64(0); i < 10; i++ {
+		r.core.Tick(i, pool)
+	}
+	if r.core.CIdle != 10 {
+		t.Fatalf("CIdle=%d want 10", r.core.CIdle)
+	}
+}
+
+func TestWindowDepthLimitsOutstanding(t *testing.T) {
+	cfg := testConfig()
+	cfg.WindowDepth = 2
+	cfg.EgressCap = 16
+	r := newCoreRig(t, cfg)
+	pool := sched.NewGlobalPool(singleTB(memtrace.Inst{Kind: memtrace.KindLoad, Addr: 0, Width: 512}))
+	var reqs []*memreq.Request
+	for i := 0; i < 20; i++ {
+		r.core.Tick(r.now, pool)
+		reqs = append(reqs, r.collect()...)
+		r.now++
+	}
+	// 8 lines wanted, but only WindowDepth=2 outstanding at once.
+	if len(reqs) != 2 {
+		t.Fatalf("requests=%d want 2 (window depth)", len(reqs))
+	}
+	// Returning one line lets the next issue.
+	r.core.OnDelivery(noc.Delivery{Line: reqs[0].Line, Core: 0, Window: 0})
+	for i := 0; i < 5; i++ {
+		r.core.Tick(r.now, pool)
+		reqs = append(reqs, r.collect()...)
+		r.now++
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("requests=%d want 3 after one return", len(reqs))
+	}
+}
+
+func TestLCSObservationData(t *testing.T) {
+	r := newCoreRig(t, testConfig())
+	pool := sched.NewGlobalPool(singleTB(memtrace.Inst{Kind: memtrace.KindCompute, Cycles: 10}))
+	for i := int64(0); i < 20; i++ {
+		r.core.Tick(i, pool)
+	}
+	done := r.core.DrainCompletions()
+	if len(done) != 1 {
+		t.Fatalf("completions=%d", len(done))
+	}
+	if done[0].BusyCycles != 10 {
+		t.Fatalf("BusyCycles=%d want 10", done[0].BusyCycles)
+	}
+	if done[0].TotalCycles < 10 {
+		t.Fatalf("TotalCycles=%d", done[0].TotalCycles)
+	}
+	// Drain clears.
+	if len(r.core.DrainCompletions()) != 0 {
+		t.Fatal("completions not cleared")
+	}
+}

@@ -1,0 +1,223 @@
+// Package llamcat is a Go reproduction of "LLaMCAT: Optimizing Large
+// Language Model Inference with Cache Arbitration and Throttling"
+// (Zhou, Lai, Zhang — ICPP 2025).
+//
+// LLaMCAT optimises the last-level cache of GPU-like AI accelerators
+// for the memory-bound decode stage of LLM inference. It combines
+// MSHR- and load-balance-aware cache arbitration (the "B", "MA" and
+// "BMA" policies) with two-level dynamic multi-gear thread throttling
+// ("dynmg"), and evaluates them on a hybrid simulation framework that
+// unrolls an analytical dataflow mapping into memory traces driving a
+// cycle-level simulator.
+//
+// This package is the public facade. A minimal run:
+//
+//	op := llamcat.Logit(llamcat.Llama3_70B, 8192)
+//	res, err := llamcat.Run(llamcat.DefaultConfig(), op, llamcat.PolicyDynMGBMA)
+//
+// The internal packages implement the substrates: internal/dataflow
+// (Timeloop-like mapper + trace generation), internal/dram (DDR5 with
+// FR-FCFS), internal/llc (sliced L2 with arbiter, MSHR and queues),
+// internal/vcore (vector cores with instruction windows),
+// internal/throttle (dynmg, DYNCTA, LCS), internal/arbiter (FCFS, B,
+// MA, BMA, COBRRA) and internal/sim (the cycle engine).
+package llamcat
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/dataflow"
+	"repro/internal/memtrace"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config is the simulated system configuration; the zero value is not
+// usable — start from DefaultConfig (Table 5 of the paper).
+type Config = sim.Config
+
+// DefaultConfig returns the paper's Table 5 system: 1.96 GHz, 16
+// vector cores, 16 MB L2 in 8 slices with 6x8 MSHRs per slice, and
+// 4-channel DDR5-3200.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Model re-exports the workload model shape.
+type Model = workload.ModelConfig
+
+// The evaluation models of the paper.
+var (
+	Llama3_70B  = workload.Llama3_70B
+	Llama3_405B = workload.Llama3_405B
+)
+
+// Op is a Logit-operator workload instance.
+type Op = workload.LogitOp
+
+// Logit builds the decode-stage Logit (Q·Kᵀ) operator over a KV cache
+// of seqLen tokens — the paper's benchmark workload.
+func Logit(model Model, seqLen int) Op {
+	return Op{Model: model, SeqLen: seqLen}
+}
+
+// AVWorkload is the attention-value operator (AttProb·V), the decode
+// stage's other KV-cache-bound kernel, provided as an extension
+// workload with the same GQA sharing structure.
+type AVWorkload = workload.AVOp
+
+// AV builds the attention-value operator over a KV cache of seqLen
+// tokens.
+func AV(model Model, seqLen int) AVWorkload {
+	return AVWorkload{Model: model, SeqLen: seqLen}
+}
+
+// TraceAV generates the memory trace for the AV operator under the
+// automatically selected dataflow mapping.
+func TraceAV(op AVWorkload) (*memtrace.Trace, error) {
+	amap, err := workload.NewAVAddressMap(op, 0)
+	if err != nil {
+		return nil, err
+	}
+	logitEquiv := workload.LogitOp{Model: op.Model, SeqLen: op.SeqLen}
+	mapping, _, err := dataflow.FindMapping(logitEquiv, 64)
+	if err != nil {
+		return nil, err
+	}
+	return dataflow.GenerateAV(op, amap, mapping, 64)
+}
+
+// RunAV simulates the AV operator like Run does for Logit.
+func RunAV(cfg Config, op AVWorkload, pol Policy) (Result, error) {
+	tr, err := TraceAV(op)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunTrace(cfg, tr, op.Model.G, pol)
+}
+
+// Policy selects the (throttling, arbitration) pair to simulate.
+type Policy struct {
+	// Throttle is one of "none", "dyncta", "lcs", "dynmg" or
+	// "static:N".
+	Throttle string
+	// Arbiter is the LLC request arbitration policy.
+	Arbiter arbiter.Kind
+}
+
+// The policy points evaluated in the paper.
+var (
+	PolicyUnopt    = Policy{Throttle: "none", Arbiter: arbiter.FCFS}
+	PolicyDynMG    = Policy{Throttle: "dynmg", Arbiter: arbiter.FCFS}
+	PolicyDynMGB   = Policy{Throttle: "dynmg", Arbiter: arbiter.Balanced}
+	PolicyDynMGMA  = Policy{Throttle: "dynmg", Arbiter: arbiter.MA}
+	PolicyDynMGBMA = Policy{Throttle: "dynmg", Arbiter: arbiter.BMA}
+	PolicyDyncta   = Policy{Throttle: "dyncta", Arbiter: arbiter.FCFS}
+	PolicyLCS      = Policy{Throttle: "lcs", Arbiter: arbiter.FCFS}
+	PolicyCobrra   = Policy{Throttle: "none", Arbiter: arbiter.COBRRA}
+)
+
+// ParsePolicy reads "throttle+arbiter" (e.g. "dynmg+BMA", "dyncta",
+// "none+cobrra").
+func ParsePolicy(s string) (Policy, error) {
+	throttle, arb := s, "fcfs"
+	for i := 0; i < len(s); i++ {
+		if s[i] == '+' {
+			throttle, arb = s[:i], s[i+1:]
+			break
+		}
+	}
+	kind, err := arbiter.ParseKind(arb)
+	if err != nil {
+		return Policy{}, err
+	}
+	switch throttle {
+	case "none", "unopt", "dyncta", "lcs", "dynmg":
+	default:
+		var n int
+		if _, err := fmt.Sscanf(throttle, "static:%d", &n); err != nil {
+			return Policy{}, fmt.Errorf("llamcat: unknown throttle policy %q", throttle)
+		}
+	}
+	return Policy{Throttle: throttle, Arbiter: kind}, nil
+}
+
+// Metrics re-exports the derived statistics (Fig. 8 of the paper).
+type Metrics = stats.Metrics
+
+// Result is one simulation outcome.
+type Result struct {
+	Cycles  int64
+	Metrics Metrics
+	// Raw exposes every counter the run accumulated.
+	Raw stats.Counters
+	// TraceBlocks is the number of thread blocks executed.
+	TraceBlocks int
+}
+
+// Trace generates the memory trace for op under the automatically
+// selected dataflow mapping (the Timeloop-equivalent step of the
+// hybrid framework). Most callers use Run directly; Trace is exposed
+// for trace inspection and custom frontends.
+func Trace(op Op) (*memtrace.Trace, error) {
+	amap, err := workload.NewAddressMap(op, 0)
+	if err != nil {
+		return nil, err
+	}
+	mapping, _, err := dataflow.FindMapping(op, 64)
+	if err != nil {
+		return nil, err
+	}
+	return dataflow.Generate(op, amap, mapping, 64)
+}
+
+// TraceWithMapping generates the trace for op under a handwritten
+// mapping (see dataflow.ParseMapping for the format).
+func TraceWithMapping(op Op, mappingText string) (*memtrace.Trace, error) {
+	mapping, err := dataflow.ParseMapping(mappingText)
+	if err != nil {
+		return nil, err
+	}
+	amap, err := workload.NewAddressMap(op, 0)
+	if err != nil {
+		return nil, err
+	}
+	return dataflow.Generate(op, amap, mapping, 64)
+}
+
+// Run simulates op on the configured system under the given policy
+// and returns the collected statistics.
+func Run(cfg Config, op Op, pol Policy) (Result, error) {
+	tr, err := Trace(op)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunTrace(cfg, tr, op.Model.G, pol)
+}
+
+// RunTrace simulates a pre-generated trace (e.g. one loaded from a
+// trace file or built under a handwritten mapping). groupSize is the
+// workload's G, used by the spatial thread-block dispatcher.
+func RunTrace(cfg Config, tr *memtrace.Trace, groupSize int, pol Policy) (Result, error) {
+	cfg.Throttle = pol.Throttle
+	cfg.Arbiter = pol.Arbiter
+	eng, err := sim.New(cfg, tr, groupSize)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:      res.Cycles,
+		Metrics:     res.Metrics,
+		Raw:         res.Counters,
+		TraceBlocks: len(tr.Blocks),
+	}, nil
+}
+
+// Speedup returns base.Cycles / opt.Cycles, the paper's metric.
+func Speedup(base, opt Result) float64 {
+	return stats.Speedup(base.Cycles, opt.Cycles)
+}

@@ -1,0 +1,95 @@
+package llamcat
+
+import (
+	"testing"
+
+	"repro/internal/arbiter"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in       string
+		throttle string
+		arb      arbiter.Kind
+	}{
+		{"unopt", "unopt", arbiter.FCFS},
+		{"dynmg", "dynmg", arbiter.FCFS},
+		{"dynmg+BMA", "dynmg", arbiter.BMA},
+		{"dyncta+fcfs", "dyncta", arbiter.FCFS},
+		{"none+cobrra", "none", arbiter.COBRRA},
+		{"static:2+B", "static:2", arbiter.Balanced},
+	}
+	for _, c := range cases {
+		p, err := ParsePolicy(c.in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", c.in, err)
+			continue
+		}
+		if p.Throttle != c.throttle || p.Arbiter != c.arb {
+			t.Errorf("ParsePolicy(%q) = %+v", c.in, p)
+		}
+	}
+	for _, bad := range []string{"bogus", "dynmg+xyz", "static:x"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestTraceGeneration(t *testing.T) {
+	op := Logit(Llama3_70B, 256)
+	tr, err := Trace(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks) == 0 {
+		t.Fatal("empty trace")
+	}
+	// H*G*(L/16) blocks with the default one-output-line mapping.
+	want := 8 * 8 * (256 / 16)
+	if len(tr.Blocks) != want {
+		t.Fatalf("blocks=%d want %d", len(tr.Blocks), want)
+	}
+}
+
+func TestTraceWithMapping(t *testing.T) {
+	op := Logit(Llama3_70B, 256)
+	tr, err := TraceWithMapping(op, "mapping logit\ntb_out_lines 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8 * 8 * (256 / 32)
+	if len(tr.Blocks) != want {
+		t.Fatalf("blocks=%d want %d", len(tr.Blocks), want)
+	}
+	if _, err := TraceWithMapping(op, "garbage"); err == nil {
+		t.Fatal("garbage mapping accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes = 1 << 20
+	op := Logit(Llama3_70B, 256)
+	base, err := Run(cfg, op, PolicyUnopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles <= 0 || base.TraceBlocks == 0 {
+		t.Fatalf("bad result: %+v", base)
+	}
+	opt, err := Run(cfg, op, PolicyDynMGBMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Speedup(base, opt)
+	if s <= 0 {
+		t.Fatalf("speedup %v", s)
+	}
+	if base.Metrics.DRAMBandwidthGB <= 0 {
+		t.Fatal("no DRAM bandwidth derived")
+	}
+	if base.Raw.TBCompleted != int64(base.TraceBlocks) {
+		t.Fatalf("completed %d of %d blocks", base.Raw.TBCompleted, base.TraceBlocks)
+	}
+}
