@@ -8,34 +8,75 @@
 //	sweep -kind static -model 70b -seq 2048 -scale 8
 //	sweep -kind gear   -model 70b -seq 2048 -scale 8
 //	sweep -kind period -model 70b -seq 2048 -scale 8
+//
+// Sweep points are independent simulations and fan out across
+// -parallel workers. -v streams per-run progress to stderr;
+// -cpuprofile/-memprofile capture pprof profiles of the sweep for the
+// performance work described in README.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
-	"repro"
+	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/throttle"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		kind  = flag.String("kind", "static", "sweep kind: static, gear, period")
-		model = flag.String("model", "70b", "model: 70b or 405b")
-		seq   = flag.Int("seq", 2048, "sequence length (already scaled)")
-		scale = flag.Int("scale", 8, "cache scale divisor (Table 5 16MB / scale)")
+		kind       = flag.String("kind", "static", "sweep kind: static, gear, period")
+		model      = flag.String("model", "70b", "model: 70b or 405b")
+		seq        = flag.Int("seq", 2048, "sequence length (already scaled)")
+		scale      = flag.Int("scale", 8, "cache scale divisor (Table 5 16MB / scale)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		verbose    = flag.Bool("v", false, "stream per-run progress to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*kind, *model, *seq, *scale); err != nil {
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(*kind, *model, *seq, *scale, *parallel, *verbose)
+
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", merr)
+		} else {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", werr)
+			}
+			f.Close()
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, model string, seq, scale int) error {
+func run(kind, model string, seq, scale, parallel int, verbose bool) error {
 	var m workload.ModelConfig
 	switch model {
 	case "70b":
@@ -45,60 +86,64 @@ func run(kind, model string, seq, scale int) error {
 	default:
 		return fmt.Errorf("unknown model %q", model)
 	}
-	op := llamcat.Logit(m, seq)
-	base := llamcat.DefaultConfig()
+	op := workload.LogitOp{Model: m, SeqLen: seq}
+	base := sim.DefaultConfig()
 	base.L2SizeBytes /= scale
 
-	cell := func(cfg sim.Config, pol llamcat.Policy) (llamcat.Result, error) {
-		return llamcat.Run(cfg, op, pol)
+	opts := experiments.Options{Base: &base, Parallel: parallel}
+	if verbose {
+		opts.Log = os.Stderr
 	}
+	r := experiments.NewRunner(opts)
 
-	unopt, err := cell(base, llamcat.PolicyUnopt)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("workload %s, L2 %d KiB, unopt %d cycles\n\n", op.Name(), base.L2SizeBytes>>10, unopt.Cycles)
-
+	// The swept points plus the unoptimized baseline run as one
+	// parallel matrix with stable ordering; cells[0] is the baseline.
+	cells := []experiments.CellSpec{{Op: op, Pol: experiments.Unopt}}
+	var labels []string
 	switch kind {
 	case "static":
-		fmt.Printf("%-10s %12s %10s %10s %10s\n", "max_tb", "cycles", "speedup", "mshr-hit", "tcs")
 		for n := 1; n <= base.NumWindows; n++ {
-			res, err := cell(base, llamcat.Policy{Throttle: fmt.Sprintf("static:%d", n), Arbiter: llamcat.PolicyUnopt.Arbiter})
-			if err != nil {
-				return err
+			pol := experiments.Policy{
+				Label:    fmt.Sprintf("static:%d", n),
+				Throttle: fmt.Sprintf("static:%d", n),
+				Arbiter:  experiments.Unopt.Arbiter,
 			}
-			fmt.Printf("static:%-3d %12d %10.3f %10.3f %10.3f\n", n, res.Cycles,
-				llamcat.Speedup(unopt, res), res.Metrics.MSHRHitRate, res.Metrics.CacheStallFrac)
+			cells = append(cells, experiments.CellSpec{Op: op, Pol: pol})
+			labels = append(labels, pol.Label)
 		}
 	case "gear":
-		fmt.Printf("%-10s %12s %10s\n", "max gear", "cycles", "speedup")
 		for g := 0; g <= 4; g++ {
 			cfg := base
 			params := throttle.DefaultDynMGParams()
 			params.MaxGear = g
 			cfg.DynMG = &params
-			res, err := cell(cfg, llamcat.PolicyDynMG)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("gear %-5d %12d %10.3f\n", g, res.Cycles, llamcat.Speedup(unopt, res))
+			cells = append(cells, experiments.CellSpec{Op: op, Pol: experiments.DynMG, Base: &cfg})
+			labels = append(labels, fmt.Sprintf("gear %d", g))
 		}
 	case "period":
-		fmt.Printf("%-10s %12s %10s\n", "period", "cycles", "speedup")
 		for _, p := range []int64{500, 1000, 2000, 4000, 8000} {
 			cfg := base
 			params := throttle.DefaultDynMGParams()
 			params.SamplingPeriod = p
 			params.SubPeriod = p / 5
 			cfg.DynMG = &params
-			res, err := cell(cfg, llamcat.PolicyDynMG)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-10d %12d %10.3f\n", p, res.Cycles, llamcat.Speedup(unopt, res))
+			cells = append(cells, experiments.CellSpec{Op: op, Pol: experiments.DynMG, Base: &cfg})
+			labels = append(labels, fmt.Sprintf("period %d", p))
 		}
 	default:
 		return fmt.Errorf("unknown sweep kind %q", kind)
+	}
+
+	results, err := r.RunCells(cells)
+	if err != nil {
+		return err
+	}
+	unopt := results[0]
+	fmt.Printf("workload %s, L2 %d KiB, unopt %d cycles\n\n", op.Name(), base.L2SizeBytes>>10, unopt.Cycles)
+	fmt.Printf("%-10s %12s %10s %10s %10s\n", "point", "cycles", "speedup", "mshr-hit", "tcs")
+	for i, res := range results[1:] {
+		fmt.Printf("%-10s %12d %10.3f %10.3f %10.3f\n", labels[i], res.Cycles,
+			stats.Speedup(unopt.Cycles, res.Cycles), res.Metrics.MSHRHitRate, res.Metrics.CacheStallFrac)
 	}
 	return nil
 }

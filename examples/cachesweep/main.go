@@ -4,47 +4,65 @@
 // the cache shrinks, while dynmg+BMA saturates early because
 // throttling bounds the live working set.
 //
-//	go run ./examples/cachesweep
+// The policy×cache matrix fans out across -parallel workers, and -v
+// streams one progress line per finished run to stderr so multi-minute
+// sweeps are observable.
+//
+//	go run ./examples/cachesweep -v
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
-	"repro"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func main() {
 	model := flag.String("model", "70b", "model: 70b or 405b")
 	seq := flag.Int("seq", 4096, "sequence length (scaled; paper uses 32K)")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "stream per-run progress to stderr")
 	flag.Parse()
 
-	m := llamcat.Llama3_70B
+	m := workload.Llama3_70B
 	if *model == "405b" {
-		m = llamcat.Llama3_405B
+		m = workload.Llama3_405B
 	}
-	op := llamcat.Logit(m, *seq)
+	op := workload.LogitOp{Model: m, SeqLen: *seq}
 
 	// Scaled versions of the paper's {16, 32, 64} MB sweep.
 	caches := []int{2 << 20, 4 << 20, 8 << 20}
-	policies := []struct {
-		name string
-		pol  llamcat.Policy
-	}{
-		{"unopt", llamcat.PolicyUnopt},
-		{"dyncta", llamcat.PolicyDyncta},
-		{"dynmg", llamcat.PolicyDynMG},
-		{"dynmg+BMA", llamcat.PolicyDynMGBMA},
+	policies := []experiments.Policy{
+		experiments.Unopt, experiments.Dyncta,
+		experiments.DynMG, experiments.DynMGBMA,
 	}
 
-	// Normalise against unopt at the middle cache size, like Fig. 9.
-	cfg := llamcat.DefaultConfig()
-	cfg.L2SizeBytes = caches[1]
-	base, err := llamcat.Run(cfg, op, llamcat.PolicyUnopt)
+	base := sim.DefaultConfig()
+	opts := experiments.Options{Base: &base, Parallel: *parallel}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	r := experiments.NewRunner(opts)
+
+	// One matrix: the normalisation baseline (unopt at the middle
+	// cache size, like Fig. 9) plus every policy×cache cell.
+	cells := []experiments.CellSpec{{Op: op, Pol: experiments.Unopt, L2Bytes: caches[1]}}
+	for _, p := range policies {
+		for _, c := range caches {
+			cells = append(cells, experiments.CellSpec{Op: op, Pol: p, L2Bytes: c})
+		}
+	}
+	results, err := r.RunCells(cells)
 	if err != nil {
 		log.Fatal(err)
 	}
+	base0 := results[0]
 
 	fmt.Printf("workload %s; speedup vs unopt @%d MiB\n\n", op.Name(), caches[1]>>20)
 	fmt.Printf("%-12s", "policy")
@@ -52,16 +70,12 @@ func main() {
 		fmt.Printf("%10dMiB", c>>20)
 	}
 	fmt.Println()
+	idx := 1
 	for _, p := range policies {
-		fmt.Printf("%-12s", p.name)
-		for _, c := range caches {
-			cfg := llamcat.DefaultConfig()
-			cfg.L2SizeBytes = c
-			res, err := llamcat.Run(cfg, op, p.pol)
-			if err != nil {
-				log.Fatalf("%s @%d: %v", p.name, c, err)
-			}
-			fmt.Printf("%13.3f", llamcat.Speedup(base, res))
+		fmt.Printf("%-12s", p.Label)
+		for range caches {
+			fmt.Printf("%13.3f", stats.Speedup(base0.Cycles, results[idx].Cycles))
+			idx++
 		}
 		fmt.Println()
 	}

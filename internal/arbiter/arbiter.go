@@ -21,6 +21,7 @@ package arbiter
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/memreq"
 	"repro/internal/ring"
@@ -87,37 +88,39 @@ const (
 )
 
 // HitBuffer is the FIFO of recent cache-hit line addresses (Fig. 4).
-// The slice pushes a line each time a lookup hits; the arbiter scans
-// it to speculate that a queued request will hit.
+// The slice pushes a line each time a lookup hits; the arbiter
+// consults it to speculate that a queued request will hit. Alongside
+// the FIFO it maintains a line→occurrence count index so the
+// arbiter's per-request membership test is O(1) instead of a scan —
+// the hardware CAM's parallel compare, done in software as a map.
 type HitBuffer struct {
-	fifo *ring.Ring[uint64]
+	fifo   *ring.Ring[uint64]
+	counts map[uint64]int16
 }
 
 // NewHitBuffer returns a hit buffer holding up to n recent hits.
 func NewHitBuffer(n int) *HitBuffer {
-	return &HitBuffer{fifo: ring.New[uint64](n)}
+	return &HitBuffer{fifo: ring.New[uint64](n), counts: make(map[uint64]int16, n)}
 }
 
 // Push records a determined cache hit, evicting the oldest record when
 // full (FIFO replacement, as hardware would).
 func (h *HitBuffer) Push(line uint64) {
 	if h.fifo.Full() {
-		h.fifo.Pop()
+		old, _ := h.fifo.Pop()
+		if n := h.counts[old]; n <= 1 {
+			delete(h.counts, old)
+		} else {
+			h.counts[old] = n - 1
+		}
 	}
 	h.fifo.Push(line)
+	h.counts[line]++
 }
 
 // Contains reports whether line is in the buffer.
 func (h *HitBuffer) Contains(line uint64) bool {
-	found := false
-	h.fifo.Scan(func(_ int, v uint64) bool {
-		if v == line {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
+	return h.counts[line] > 0
 }
 
 // Len returns the number of recorded hits.
@@ -134,15 +137,18 @@ type sentReq struct {
 // mshr-latency cycles — the window during which a selected request is
 // not yet visible in MSHR_snapshot (Section 4.3.1). Entries whose
 // spec_hit bit is set are masked out when estimating MSHR state, since
-// cache hits never touch the MSHR.
+// cache hits never touch the MSHR. Expire times are monotonic (push
+// cycle + constant latency), so the cached front expiry lets the
+// per-cycle expiry check run without touching the FIFO.
 type SentReqs struct {
-	fifo *ring.Ring[sentReq]
+	fifo        *ring.Ring[sentReq]
+	frontExpire int64
 }
 
 // NewSentReqs returns a sent_reqs FIFO with capacity n (it needs to
 // hold at most hit-latency + mshr-latency selections).
 func NewSentReqs(n int) *SentReqs {
-	return &SentReqs{fifo: ring.New[sentReq](n)}
+	return &SentReqs{fifo: ring.New[sentReq](n), frontExpire: int64(math.MaxInt64)}
 }
 
 // Push records a selected request; expire is the cycle the request
@@ -150,15 +156,31 @@ func NewSentReqs(n int) *SentReqs {
 func (s *SentReqs) Push(line uint64, specHit bool, expire int64) {
 	if s.fifo.Full() {
 		s.fifo.Pop()
+		s.refreshFront()
 	}
 	s.fifo.Push(sentReq{line: line, specHit: specHit, expire: expire})
+	if expire < s.frontExpire {
+		s.frontExpire = expire
+	}
+}
+
+func (s *SentReqs) refreshFront() {
+	if head, ok := s.fifo.Peek(); ok {
+		s.frontExpire = head.expire
+	} else {
+		s.frontExpire = int64(math.MaxInt64)
+	}
 }
 
 // Expire drops entries whose visibility window has passed.
 func (s *SentReqs) Expire(now int64) {
+	if s.frontExpire > now {
+		return
+	}
 	for {
 		head, ok := s.fifo.Peek()
 		if !ok || head.expire > now {
+			s.refreshFront()
 			return
 		}
 		s.fifo.Pop()

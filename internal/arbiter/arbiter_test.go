@@ -139,7 +139,7 @@ func TestBalancedPicksLeastServed(t *testing.T) {
 func TestMAPriorities(t *testing.T) {
 	p := New(MA)
 	ctx := emptyCtx(4)
-	ctx.HitBuf.Push(300)                              // line 300: inferred cache hit
+	ctx.HitBuf.Push(300)                                 // line 300: inferred cache hit
 	ctx.InMSHR = func(l uint64) bool { return l == 200 } // line 200: MSHR hit
 
 	// Queue: other, MSHR-hit, cache-hit (oldest first).

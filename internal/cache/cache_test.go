@@ -27,9 +27,9 @@ func smallCache(t *testing.T, streaming bool) *Cache {
 
 func TestConfigValidate(t *testing.T) {
 	bad := []Config{
-		{SizeBytes: 100, LineBytes: 64, Assoc: 2},  // not divisible
-		{SizeBytes: 1024, LineBytes: 60, Assoc: 2}, // line not pow2
-		{SizeBytes: 1024, LineBytes: 64, Assoc: 0}, // zero assoc
+		{SizeBytes: 100, LineBytes: 64, Assoc: 2},        // not divisible
+		{SizeBytes: 1024, LineBytes: 60, Assoc: 2},       // line not pow2
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 0},       // zero assoc
 		{SizeBytes: 3 * 64 * 2, LineBytes: 64, Assoc: 2}, // 3 sets, not pow2
 	}
 	for i, c := range bad {

@@ -376,7 +376,7 @@ func Generate(op workload.LogitOp, amap *workload.AddressMap, m Mapping, lineByt
 					Meta: memtrace.Meta{Group: h, QHead: g, TileLo: l0, TileHi: l1},
 				}
 				id++
-				nInsts := vecPerQ + (l1-l0)*vecPerRow + (l1-l0) + m.TBOutLines
+				nInsts := vecPerQ + (l1-l0)*vecPerRow + (l1 - l0) + m.TBOutLines
 				tb.Insts = make([]memtrace.Inst, 0, nInsts)
 
 				// Load the query head once per block.

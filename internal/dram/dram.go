@@ -9,6 +9,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/stats"
 )
@@ -143,6 +144,7 @@ type bankState struct {
 type queued struct {
 	acc               Access
 	rank, group, bank int
+	bankIdx           int // precomputed bankIndex(rank, group, bank)
 	row               int64
 	needsAct          bool // an ACT/PRE was issued on this request's behalf
 	sawConflict       bool // a PRE closed another row first
@@ -161,6 +163,11 @@ type channel struct {
 	lastColGroup int // bank group of the last column command (tCCD_L/S)
 	lastColCycle int64
 	lastColWrite bool
+	// wake caches the channel's next-event horizon: while now < wake
+	// and no enqueue has occurred, the FR-FCFS scans provably find
+	// nothing to issue and the tick skips them. Reset on Enqueue and
+	// after every issued command.
+	wake int64
 }
 
 // DRAM is the memory controller + device model. Single-threaded by
@@ -170,7 +177,19 @@ type DRAM struct {
 	channels  []channel
 	resp      []Response
 	respReady []Response
-	ctr       *stats.Counters
+	// respMinDone is the earliest Done among pending responses
+	// (math.MaxInt64 when none), letting Responses return without
+	// scanning on cycles where nothing can be due.
+	respMinDone int64
+	// freed records that a command issue drained queue space since the
+	// engine last consumed the flag; slices blocked on CanEnqueue use
+	// it as their wake signal.
+	freed bool
+	// lazy enables the per-channel wake-horizon skip; the engine's
+	// per-cycle reference loop disables it so the ground truth runs
+	// the full FR-FCFS scan every cycle.
+	lazy bool
+	ctr  *stats.Counters
 }
 
 // New constructs the model. ctr is the shared counter block.
@@ -181,7 +200,7 @@ func New(cfg Config, ctr *stats.Counters) (*DRAM, error) {
 	if ctr == nil {
 		ctr = &stats.Counters{}
 	}
-	d := &DRAM{cfg: cfg, ctr: ctr}
+	d := &DRAM{cfg: cfg, ctr: ctr, respMinDone: math.MaxInt64, lazy: true}
 	nBanks := cfg.Ranks * cfg.BankGroups * cfg.BanksPerGroup
 	d.channels = make([]channel, cfg.Channels)
 	for i := range d.channels {
@@ -200,6 +219,10 @@ func New(cfg Config, ctr *stats.Counters) (*DRAM, error) {
 
 // Config returns the model's configuration.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// SetLazy toggles the per-channel wake-horizon scan skip (on by
+// default; the reference loop turns it off).
+func (d *DRAM) SetLazy(lazy bool) { d.lazy = lazy }
 
 // Channel returns the channel index for a line address.
 func (d *DRAM) Channel(line uint64) int {
@@ -236,7 +259,8 @@ func (d *DRAM) decode(acc Access) queued {
 	group := int(rem % uint64(cfg.BankGroups))
 	bank := int(rem / uint64(cfg.BankGroups))
 	_ = col
-	return queued{acc: acc, rank: rank, group: group, bank: bank, row: row}
+	return queued{acc: acc, rank: rank, group: group, bank: bank,
+		bankIdx: d.bankIndex(rank, group, bank), row: row}
 }
 
 // CanEnqueue reports whether the channel owning line has queue space.
@@ -251,11 +275,63 @@ func (d *DRAM) Enqueue(acc Access) error {
 	if len(ch.queue) >= d.cfg.QueueDepth {
 		return fmt.Errorf("dram: channel %d queue full", d.Channel(acc.Line))
 	}
-	ch.queue = append(ch.queue, d.decode(acc))
+	q := d.decode(acc)
+	ch.queue = append(ch.queue, q)
 	if acc.Write {
+		// A write can flip the drain-preference hysteresis, changing
+		// which queued requests are eligible: full rescan next tick.
 		ch.pendingWr++
+		ch.wake = 0
+	} else if b := d.requestBound(ch, &q); b < ch.wake {
+		// A read changes nothing about existing requests' eligibility
+		// for the worse; folding in its own earliest-issue bound keeps
+		// the cached horizon exact without a rescan.
+		ch.wake = b
 	}
 	return nil
+}
+
+// requestBound returns the earliest cycle at which q's next command
+// (column, precharge or activate) could legally issue, given current
+// bank and bus state. It ignores the global refresh/eligibility gates
+// its callers account for separately; bounds may be early, never late.
+func (d *DRAM) requestBound(ch *channel, q *queued) int64 {
+	t := d.cfg.Timing
+	b := &ch.banks[q.bankIdx]
+	switch {
+	case b.activeRow == q.row:
+		e := b.readyCol
+		if ch.lastColGroup >= 0 {
+			gap := int64(t.TCCDS)
+			if ch.lastColGroup == q.group {
+				gap = int64(t.TCCDL)
+			}
+			if ch.lastColWrite != q.acc.Write && int64(t.TWTR) > gap {
+				gap = int64(t.TWTR)
+			}
+			if g := ch.lastColCycle + gap; g > e {
+				e = g
+			}
+		}
+		lat := int64(t.CL)
+		if q.acc.Write {
+			lat = int64(t.CWL)
+		}
+		if bf := ch.busFree - lat; bf > e {
+			e = bf
+		}
+		return e
+	case b.activeRow >= 0:
+		return b.readyPre
+	default:
+		e := b.readyAct
+		if times := ch.actTimes[q.rank]; len(times) >= 4 {
+			if f := times[len(times)-4] + int64(t.TFAW); f > e {
+				e = f
+			}
+		}
+		return e
+	}
 }
 
 // QueueLen returns the current occupancy of a channel's queue.
@@ -266,14 +342,26 @@ func (d *DRAM) bankIndex(rank, group, bank int) int {
 }
 
 // Tick advances the controller by one core cycle: refresh management
-// plus at most one command per channel (FR-FCFS).
+// plus at most one command per channel (FR-FCFS). A channel whose
+// cached wake horizon has not arrived provably cannot issue anything
+// and skips its scheduling scans entirely.
 func (d *DRAM) Tick(now int64) {
 	for ci := range d.channels {
-		d.tickChannel(ci, now)
+		ch := &d.channels[ci]
+		if d.lazy && now < ch.wake {
+			continue
+		}
+		if d.tickChannel(ci, now) {
+			ch.wake = now + 1 // state changed: rescan next cycle
+		} else {
+			ch.wake = d.channelNextEvent(ch, now)
+		}
 	}
 }
 
-func (d *DRAM) tickChannel(ci int, now int64) {
+// tickChannel runs one channel cycle and reports whether it changed
+// state (issued a command or executed a refresh).
+func (d *DRAM) tickChannel(ci int, now int64) bool {
 	ch := &d.channels[ci]
 	t := d.cfg.Timing
 
@@ -292,10 +380,10 @@ func (d *DRAM) tickChannel(ci int, now int64) {
 				ch.banks[b].readyAct = ch.refUntil
 			}
 		}
-		return
+		return true
 	}
 	if ch.refPending || now < ch.refUntil || len(ch.queue) == 0 {
-		return
+		return false
 	}
 
 	// Write drain hysteresis.
@@ -328,10 +416,10 @@ func (d *DRAM) tickChannel(ci int, now int64) {
 		if !eligible(q) {
 			continue
 		}
-		b := &ch.banks[d.bankIndex(q.rank, q.group, q.bank)]
+		b := &ch.banks[q.bankIdx]
 		if b.activeRow == q.row && d.colReady(ch, b, q, now) {
 			d.issueColumn(ch, b, i, now)
-			return
+			return true
 		}
 	}
 	// Pass 2: oldest request needing row activation — issue PRE/ACT.
@@ -340,7 +428,7 @@ func (d *DRAM) tickChannel(ci int, now int64) {
 		if !eligible(q) {
 			continue
 		}
-		b := &ch.banks[d.bankIndex(q.rank, q.group, q.bank)]
+		b := &ch.banks[q.bankIdx]
 		if b.activeRow == q.row {
 			continue // waiting on column timing only
 		}
@@ -351,7 +439,7 @@ func (d *DRAM) tickChannel(ci int, now int64) {
 				b.readyAct = max64(b.readyAct, now+int64(t.TRP))
 				q.needsAct = true
 				q.sawConflict = true
-				return
+				return true
 			}
 			continue // bank busy; try a younger request's bank
 		}
@@ -393,8 +481,9 @@ func (d *DRAM) tickChannel(ci int, now int64) {
 				}
 			}
 		}
-		return
+		return true
 	}
+	return false
 }
 
 // colReady reports whether a column command for q may issue at now:
@@ -443,7 +532,11 @@ func (d *DRAM) issueColumn(ch *channel, b *bankState, idx int, now int64) {
 	done := start + int64(t.TBurst)
 	if !q.acc.Write {
 		d.resp = append(d.resp, Response{Line: q.acc.Line, Slice: q.acc.Slice, Tag: q.acc.Tag, Done: done})
+		if done < d.respMinDone {
+			d.respMinDone = done
+		}
 	}
+	d.freed = true
 	ch.busFree = done
 	ch.lastColGroup = q.group
 	ch.lastColCycle = now
@@ -460,26 +553,108 @@ func (d *DRAM) issueColumn(ch *channel, b *bankState, idx int, now int64) {
 	ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
 }
 
+// ConsumeFreed reports whether any command issue drained channel-
+// queue space since the last call, clearing the flag. The engine uses
+// it to wake slices blocked on CanEnqueue.
+func (d *DRAM) ConsumeFreed() bool {
+	f := d.freed
+	d.freed = false
+	return f
+}
+
 // Responses returns read responses whose data burst has completed by
 // cycle now, removing them from the pending list. The returned slice
 // is only valid until the next call.
 func (d *DRAM) Responses(now int64) []Response {
-	if len(d.resp) == 0 {
+	if len(d.resp) == 0 || d.respMinDone > now {
 		return nil
 	}
 	ready := d.respReady[:0]
 	n := 0
+	minDone := int64(math.MaxInt64)
 	for _, r := range d.resp {
 		if r.Done <= now {
 			ready = append(ready, r)
 		} else {
+			if r.Done < minDone {
+				minDone = r.Done
+			}
 			d.resp[n] = r
 			n++
 		}
 	}
 	d.resp = d.resp[:n]
+	d.respMinDone = minDone
 	d.respReady = ready
 	return ready
+}
+
+// NextEvent returns a lower bound on the earliest cycle after now at
+// which the controller can change state: complete a read burst the
+// engine must collect, flip or execute a refresh, or issue a column,
+// precharge or activate command for a queued request. The bound may
+// be early (write-drain eligibility is ignored — a too-early horizon
+// only costs a recheck, never correctness); it is never late. Called
+// on post-tick state, where every channel's cached wake is fresh.
+func (d *DRAM) NextEvent(now int64) int64 {
+	h := d.respMinDone
+	for i := range d.channels {
+		if w := d.channels[i].wake; w < h {
+			h = w
+		}
+	}
+	return h
+}
+
+func (d *DRAM) channelNextEvent(ch *channel, now int64) int64 {
+	h := int64(math.MaxInt64)
+	if now < ch.nextRef {
+		h = ch.nextRef // refPending flips, blocking new columns
+	}
+	if ch.refPending {
+		// The all-bank refresh issues once the bus drains and any
+		// previous refresh window closes; nothing else can issue first.
+		e := now + 1
+		if ch.refUntil > e {
+			e = ch.refUntil
+		}
+		if ch.busFree > e {
+			e = ch.busFree
+		}
+		return e
+	}
+	if now < ch.refUntil {
+		// Channel blocked by an in-progress refresh.
+		if len(ch.queue) > 0 && ch.refUntil < h {
+			h = ch.refUntil
+		}
+		return h
+	}
+	// The write-drain eligibility filter below mirrors tickChannel's;
+	// it is stable across a skipped window (pendingWr frozen) and any
+	// write enqueue resets the wake for a full rescan.
+	preferWrites := ch.drainingWr && ch.pendingWr > 0
+	prefersExist := false
+	for i := range ch.queue {
+		if ch.queue[i].acc.Write == preferWrites {
+			prefersExist = true
+			break
+		}
+	}
+	for i := range ch.queue {
+		q := &ch.queue[i]
+		if prefersExist && q.acc.Write != preferWrites {
+			continue
+		}
+		e := d.requestBound(ch, q)
+		if e <= now+1 {
+			return now + 1
+		}
+		if e < h {
+			h = e
+		}
+	}
+	return h
 }
 
 // Pending reports the number of in-flight and queued transactions,

@@ -13,7 +13,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/arbiter"
 	"repro/internal/dataflow"
@@ -35,6 +37,11 @@ type Options struct {
 	// Base overrides the base system configuration (defaults to
 	// sim.DefaultConfig / Table 5).
 	Base *sim.Config
+	// Parallel bounds how many independent simulations the figure
+	// harnesses run concurrently (0 = GOMAXPROCS). Every Engine run is
+	// single-threaded and deterministic, and results are collected in
+	// matrix order, so the output is bit-identical at any setting.
+	Parallel int
 }
 
 func (o Options) scale() int {
@@ -51,10 +58,11 @@ func (o Options) base() sim.Config {
 	return sim.DefaultConfig()
 }
 
-func (o Options) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format, args...)
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
 	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Policy is one (throttle, arbiter) cell of the evaluation matrix.
@@ -78,9 +86,13 @@ var (
 )
 
 // Runner executes simulation cells with trace caching (a trace
-// depends only on the operator shape, not on the policy).
+// depends only on the operator shape, not on the policy). Runners are
+// safe for the concurrent use RunCells makes of them: the trace cache
+// and the progress log are mutex-guarded, and generated traces are
+// read-only while simulations run.
 type Runner struct {
 	opts   Options
+	mu     sync.Mutex
 	traces map[string]*memtrace.Trace
 }
 
@@ -92,6 +104,8 @@ func NewRunner(opts Options) *Runner {
 // Trace returns (building on first use) the trace for an operator.
 func (r *Runner) Trace(op workload.LogitOp) (*memtrace.Trace, error) {
 	key := op.Name()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if tr, ok := r.traces[key]; ok {
 		return tr, nil
 	}
@@ -111,19 +125,81 @@ func (r *Runner) Trace(op workload.LogitOp) (*memtrace.Trace, error) {
 	return tr, nil
 }
 
-// Cell runs one (operator, policy, cache size) simulation.
-func (r *Runner) Cell(op workload.LogitOp, pol Policy, l2Bytes int) (sim.Result, error) {
-	tr, err := r.Trace(op)
+// CellSpec names one simulation of an evaluation matrix.
+type CellSpec struct {
+	Op      workload.LogitOp
+	Pol     Policy
+	L2Bytes int // 0 = the base configuration's size
+	// Base optionally overrides the Runner's base configuration for
+	// this cell (parameter sweeps).
+	Base *sim.Config
+}
+
+// RunCells executes every cell across a bounded worker pool
+// (Options.Parallel wide) and returns the results in input order.
+// Traces are generated once per distinct operator before the fan-out,
+// then shared read-only across workers.
+func (r *Runner) RunCells(cells []CellSpec) ([]sim.Result, error) {
+	for i := range cells {
+		if _, err := r.Trace(cells[i].Op); err != nil {
+			return nil, err
+		}
+	}
+	workers := r.opts.parallel()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]sim.Result, len(cells))
+	errs := make([]error, len(cells))
+	if workers == 1 {
+		for i := range cells {
+			results[i], errs[i] = r.runCell(&cells[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = r.runCell(&cells[i])
+				}
+			}()
+		}
+		for i := range cells {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			c := &cells[i]
+			return nil, fmt.Errorf("cell %s %s L2=%d: %w", c.Op.Name(), c.Pol.Label, c.L2Bytes, err)
+		}
+	}
+	return results, nil
+}
+
+func (r *Runner) runCell(c *CellSpec) (sim.Result, error) {
+	tr, err := r.Trace(c.Op)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	cfg := r.opts.base()
-	cfg.Throttle = pol.Throttle
-	cfg.Arbiter = pol.Arbiter
-	if l2Bytes > 0 {
-		cfg.L2SizeBytes = l2Bytes
+	if c.Base != nil {
+		cfg = *c.Base
 	}
-	eng, err := sim.New(cfg, tr, op.Model.G)
+	cfg.Throttle = c.Pol.Throttle
+	cfg.Arbiter = c.Pol.Arbiter
+	if c.L2Bytes > 0 {
+		cfg.L2SizeBytes = c.L2Bytes
+	}
+	eng, err := sim.New(cfg, tr, c.Op.Model.G)
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -131,11 +207,25 @@ func (r *Runner) Cell(op workload.LogitOp, pol Policy, l2Bytes int) (sim.Result,
 	if err != nil {
 		return sim.Result{}, err
 	}
-	r.opts.logf("%-14s %-12s L2=%-8d cycles=%-10d L2hit=%.3f mshrHit=%.3f util=%.3f tcs=%.3f bw=%.1fGB/s\n",
-		op.Name(), pol.Label, cfg.L2SizeBytes, res.Cycles,
+	r.logCell(c.Op, c.Pol, cfg.L2SizeBytes, res)
+	return res, nil
+}
+
+func (r *Runner) logCell(op workload.LogitOp, pol Policy, l2 int, res sim.Result) {
+	if r.opts.Log == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(r.opts.Log, "%-14s %-12s L2=%-8d cycles=%-10d L2hit=%.3f mshrHit=%.3f util=%.3f tcs=%.3f bw=%.1fGB/s\n",
+		op.Name(), pol.Label, l2, res.Cycles,
 		res.Metrics.L2HitRate, res.Metrics.MSHRHitRate, res.Metrics.MSHREntryUtil,
 		res.Metrics.CacheStallFrac, res.Metrics.DRAMBandwidthGB)
-	return res, nil
+}
+
+// Cell runs one (operator, policy, cache size) simulation.
+func (r *Runner) Cell(op workload.LogitOp, pol Policy, l2Bytes int) (sim.Result, error) {
+	return r.runCell(&CellSpec{Op: op, Pol: pol, L2Bytes: l2Bytes})
 }
 
 // seqLabel renders a sequence length the way the paper labels its x
@@ -172,19 +262,23 @@ func RunFig7(model workload.ModelConfig, opts Options) (*Fig7Result, error) {
 	out := &Fig7Result{Model: model, SeqLens: seqs}
 
 	policies := []Policy{Unopt, Dyncta, LCS, DynMG, DynMGCobrra, DynMGB, DynMGMA, DynMGBMA}
+	var cells []CellSpec
+	for _, seq := range seqs {
+		op := workload.LogitOp{Model: model, SeqLen: seq}
+		for _, p := range policies {
+			cells = append(cells, CellSpec{Op: op, Pol: p})
+		}
+	}
+	results, err := r.RunCells(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 %s: %w", model.Name, err)
+	}
 	cycles := make(map[string]map[int]int64) // label -> seq -> cycles
 	for _, p := range policies {
 		cycles[p.Label] = make(map[int]int64)
 	}
-	for _, seq := range seqs {
-		op := workload.LogitOp{Model: model, SeqLen: seq}
-		for _, p := range policies {
-			res, err := r.Cell(op, p, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s %s L=%d: %w", model.Name, p.Label, seq, err)
-			}
-			cycles[p.Label][seq] = res.Cycles
-		}
+	for i, c := range cells {
+		cycles[c.Pol.Label][c.Op.SeqLen] = results[i].Cycles
 	}
 
 	series := func(label, base string) stats.Series {
@@ -232,13 +326,18 @@ func RunFig8(opts Options) ([]Fig8Row, error) {
 	op := workload.LogitOp{Model: workload.Llama3_70B, SeqLen: 8192 / s}
 
 	policies := []Policy{Unopt, Dyncta, LCS, DynMG, DynMGB, DynMGMA, DynMGBMA}
+	cells := make([]CellSpec, len(policies))
+	for i, p := range policies {
+		cells[i] = CellSpec{Op: op, Pol: p}
+	}
+	results, err := r.RunCells(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
 	var rows []Fig8Row
 	var unoptCycles int64
-	for _, p := range policies {
-		res, err := r.Cell(op, p, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", p.Label, err)
-		}
+	for i, p := range policies {
+		res := results[i]
 		if p.Label == "unopt" {
 			unoptCycles = res.Cycles
 		}
@@ -286,18 +385,22 @@ func RunFig9(model workload.ModelConfig, opts Options) (*Fig9Result, error) {
 	op := workload.LogitOp{Model: model, SeqLen: seq}
 
 	policies := []Policy{Unopt, Dyncta, LCS, Cobrra, DynMG, DynMGCobrra, DynMGBMA}
+	var cells []CellSpec
+	for _, c := range caches {
+		for _, p := range policies {
+			cells = append(cells, CellSpec{Op: op, Pol: p, L2Bytes: c})
+		}
+	}
+	results, err := r.RunCells(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig9 %s: %w", model.Name, err)
+	}
 	cycles := make(map[string]map[int]int64)
 	for _, p := range policies {
 		cycles[p.Label] = make(map[int]int64)
 	}
-	for _, c := range caches {
-		for _, p := range policies {
-			res, err := r.Cell(op, p, c)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s %s L2=%d: %w", model.Name, p.Label, c, err)
-			}
-			cycles[p.Label][c] = res.Cycles
-		}
+	for i, c := range cells {
+		cycles[c.Pol.Label][c.L2Bytes] = results[i].Cycles
 	}
 	base := cycles["unopt"][caches[1]] // unoptimized @ 32 MB/Scale
 	out := &Fig9Result{Model: model, SeqLen: seq, CacheSizes: caches}

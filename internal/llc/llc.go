@@ -22,6 +22,7 @@ package llc
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/arbiter"
 	"repro/internal/cache"
@@ -146,13 +147,19 @@ type Slice struct {
 	// response queue (the data is already on-chip) instead of opening
 	// a fresh MSHR entry.
 	respLines map[uint64]int16
-	// hitResps are hit responses waiting out the data-array latency.
-	hitResps []hitResp
+	// hitResps are hit responses waiting out the data-array latency;
+	// hitRespMin is the earliest ready cycle among them (MaxInt64 when
+	// empty), so cycles where none are due skip the delivery check.
+	hitResps   ring.Queue[hitResp]
+	hitRespMin int64
 	// deferred are MSHR entries whose DRAM read could not be enqueued
 	// immediately (channel queue full); retried every cycle.
 	deferred []uint64
 
 	altTurn bool // COBRRA alternation state when the response queue is full
+	// respMode is the effective request-response arbitration flavour,
+	// resolved once at construction (policy default + override).
+	respMode arbiter.RespArb
 
 	net  *noc.NoC
 	mem  *dram.DRAM
@@ -161,6 +168,19 @@ type Slice struct {
 
 	// Bypasses counts fills the bypass manager kept out of storage.
 	Bypasses int64
+
+	// arbCtx is the reusable arbiter selection context (the closures
+	// capture only the slice, so one instance serves every admit).
+	arbCtx arbiter.Context
+
+	// stallProfile caches the per-cycle counter deltas of a blocked
+	// tick so the engine can apply a skipped cycle in a handful of
+	// adds; rebuilt lazily after every real tick.
+	profileValid  bool
+	profReqQFull  bool
+	profStalled   bool
+	profEntryFull bool
+	profUsed      int64
 }
 
 // New builds a slice.
@@ -189,30 +209,52 @@ func New(cfg Config, net *noc.NoC, mem *dram.DRAM, pool *memreq.Pool, ctr *stats
 	if pool == nil {
 		pool = &memreq.Pool{}
 	}
-	return &Slice{
-		cfg:    cfg,
-		store:  store,
-		mshr:   m,
-		policy: arbiter.New(cfg.Policy),
-		reqQ:   ring.New[*memreq.Request](cfg.ReqQSize),
-		respQ:  ring.New[fill](cfg.RespQSize),
-		wbBuf:  ring.New[uint64](cfg.WBBufSize),
-		pipe:   ring.New[pipeEntry](cfg.HitLatency + cfg.MSHRLatency + 2),
-		hitBuf:    arbiter.NewHitBuffer(cfg.HitBufSize),
-		sent:      arbiter.NewSentReqs(cfg.HitLatency + cfg.MSHRLatency + 2),
-		served:    make([]int64, cfg.NumCores),
-		respLines: make(map[uint64]int16),
-		net:    net,
-		mem:    mem,
-		pool:   pool,
-		ctr:    ctr,
-	}, nil
+	mode := arbiter.New(cfg.Policy).RespArb()
+	switch cfg.ReqRespOverride {
+	case "resp-first":
+		mode = arbiter.RespQueueFirst
+	case "req-first":
+		mode = arbiter.ReqFirstAlternate
+	}
+	s := &Slice{
+		cfg:        cfg,
+		store:      store,
+		mshr:       m,
+		policy:     arbiter.New(cfg.Policy),
+		reqQ:       ring.New[*memreq.Request](cfg.ReqQSize),
+		respQ:      ring.New[fill](cfg.RespQSize),
+		wbBuf:      ring.New[uint64](cfg.WBBufSize),
+		pipe:       ring.New[pipeEntry](cfg.HitLatency + cfg.MSHRLatency + 2),
+		hitBuf:     arbiter.NewHitBuffer(cfg.HitBufSize),
+		sent:       arbiter.NewSentReqs(cfg.HitLatency + cfg.MSHRLatency + 2),
+		served:     make([]int64, cfg.NumCores),
+		respLines:  make(map[uint64]int16),
+		hitRespMin: math.MaxInt64,
+		respMode:   mode,
+		net:        net,
+		mem:        mem,
+		pool:       pool,
+		ctr:        ctr,
+	}
+	s.initArbCtx()
+	return s, nil
 }
 
 // SetGlobalProgress shares the engine-wide per-core progress array so
 // arbiter selections feed the throttling controller's spatial
 // decision.
 func (s *Slice) SetGlobalProgress(p []int64) { s.globalProgress = p }
+
+// initArbCtx builds the reusable arbiter context.
+func (s *Slice) initArbCtx() {
+	s.arbCtx = arbiter.Context{
+		Served:      s.served,
+		InMSHR:      func(line uint64) bool { return s.mshr.Lookup(line) >= 0 },
+		TargetsFree: func(line uint64) int { return s.mshr.TargetsFree(line) },
+		HitBuf:      s.hitBuf,
+		Sent:        s.sent,
+	}
+}
 
 // Served returns this slice's per-core progress counters.
 func (s *Slice) Served() []int64 { return s.served }
@@ -237,16 +279,144 @@ func (s *Slice) OnDRAMResponse(resp dram.Response, now int64) {
 	s.pendingFills = append(s.pendingFills, fill{line: resp.Line})
 }
 
+// ReqQFull reports whether the request queue refuses traffic; the
+// interconnect's horizon uses it to classify arrived head-of-line
+// flits as blocked.
+func (s *Slice) ReqQFull() bool { return s.reqQ.Full() }
+
+// pipeHeadStalled reports whether the pipeline head is a ready MSHR-
+// phase request whose reservation would fail — the state in which the
+// per-cycle loop burns one CacheStall per cycle retrying. Called on
+// post-tick state, where a ready lookup-phase head cannot exist (the
+// lookup always resolves) unless it was exposed by a pop this cycle.
+func (s *Slice) pipeHeadStalled(now int64) (stalled, entryFull bool) {
+	head, ok := s.pipe.Peek()
+	if !ok || head.ready > now || head.phase != phaseMSHR {
+		return false, false
+	}
+	line := head.req.Line
+	if s.respLines[line] > 0 || s.store.Probe(line) {
+		return false, false // replays as a hit next cycle
+	}
+	if s.mshr.Lookup(line) >= 0 {
+		if s.mshr.TargetsFree(line) > 0 {
+			return false, false // merges next cycle
+		}
+		return true, false // target list full
+	}
+	if s.mshr.Used() < s.cfg.MSHREntries {
+		return false, false // allocates next cycle
+	}
+	return true, true // no free entry
+}
+
+// NextEvent returns a lower bound on the earliest cycle after now at
+// which the slice's own tick can change state, assuming no external
+// input (NoC request delivery, DRAM response) arrives before then.
+// Called on post-tick state.
+func (s *Slice) NextEvent(now int64) int64 {
+	h := int64(math.MaxInt64)
+	for _, line := range s.deferred {
+		if s.mem.CanEnqueue(line) {
+			return now + 1 // a deferred MSHR read can dispatch
+		}
+	}
+	if line, ok := s.wbBuf.Peek(); ok && s.mem.CanEnqueue(line) {
+		return now + 1 // a writeback can drain
+	}
+	if len(s.pendingFills) > 0 && !s.respQ.Full() {
+		return now + 1 // a DRAM arrival can release its MSHR entry
+	}
+	if s.hitRespMin < h {
+		h = s.hitRespMin
+	}
+	// Tag-port arbitration: would a request admit or a fill install run
+	// next cycle?
+	switch s.respMode {
+	case arbiter.RespQueueFirst:
+		if s.respQ.Len() > 0 {
+			if !s.wbBuf.Full() {
+				return now + 1 // installFill proceeds
+			}
+			// Install blocked behind the writeback buffer (drain case
+			// handled above); requests stay locked out too.
+		} else if s.reqQ.Len() > 0 && !s.pipe.Full() {
+			return now + 1 // admitRequest proceeds
+		}
+	case arbiter.ReqFirstAlternate:
+		if s.respQ.Full() {
+			return now + 1 // the alternation bit flips every cycle
+		}
+		if s.reqQ.Len() > 0 && !s.pipe.Full() {
+			return now + 1
+		}
+		if s.respQ.Len() > 0 && s.reqQ.Len() == 0 && !s.wbBuf.Full() {
+			return now + 1
+		}
+	}
+	// Lookup/MSHR pipeline.
+	if head, ok := s.pipe.Peek(); ok {
+		if head.ready > now {
+			if head.ready < h {
+				h = head.ready
+			}
+		} else if stalled, _ := s.pipeHeadStalled(now); !stalled {
+			return now + 1 // the head resolves next cycle
+		}
+		// Stalled on MSHR reservation: gated on a DRAM fill releasing
+		// an entry, which the memory-side horizons cover.
+	}
+	return h
+}
+
+// WaitsMem reports whether the slice has work gated purely on DRAM
+// channel-queue space (deferred MSHR reads or buffered writebacks);
+// the engine wakes such slices whenever a channel queue drains.
+func (s *Slice) WaitsMem() bool {
+	return len(s.deferred) > 0 || s.wbBuf.Len() > 0
+}
+
+// ApplyStallTicks bulk-applies the per-cycle occupancy and stall
+// counters of `cycles` skipped dead cycles: slice-cycle and
+// MSHR-occupancy accumulation, request-queue-full cycles, and (when
+// the pipeline head is stalled on MSHR reservation) the per-cycle
+// reservation retries of the reference loop. The slice's state is
+// frozen across the skipped window, so one cached snapshot covers
+// every cycle.
+func (s *Slice) ApplyStallTicks(now, cycles int64) {
+	if !s.profileValid {
+		s.profReqQFull = s.reqQ.Full()
+		s.profStalled, s.profEntryFull = s.pipeHeadStalled(now)
+		s.profUsed = int64(s.mshr.Used())
+		s.profileValid = true
+	}
+	s.ctr.SliceCycles += cycles
+	s.ctr.MSHREntryAcc += s.profUsed * cycles
+	s.ctr.MSHREntryCap += int64(s.cfg.MSHREntries) * cycles
+	if s.profReqQFull {
+		s.ctr.ReqQFullCycle += cycles
+	}
+	if s.profStalled {
+		s.ctr.CacheStall += cycles
+		if s.profEntryFull {
+			s.mshr.AccountFailures(cycles, 0)
+		} else {
+			s.mshr.AccountFailures(0, cycles)
+		}
+	}
+}
+
 // Busy reports whether the slice still holds in-flight state; the
 // engine uses it for the drain check.
 func (s *Slice) Busy() bool {
 	return s.reqQ.Len() > 0 || s.respQ.Len() > 0 || s.pipe.Len() > 0 ||
-		s.wbBuf.Len() > 0 || len(s.pendingFills) > 0 || len(s.hitResps) > 0 ||
+		s.wbBuf.Len() > 0 || len(s.pendingFills) > 0 || s.hitResps.Len() > 0 ||
 		len(s.deferred) > 0 || s.mshr.Used() > 0
 }
 
 // Tick advances the slice by one cycle.
 func (s *Slice) Tick(now int64) {
+	s.profileValid = false
 	s.ctr.SliceCycles++
 	s.ctr.MSHREntryAcc += int64(s.mshr.Used())
 	s.ctr.MSHREntryCap += int64(s.cfg.MSHREntries)
@@ -265,13 +435,7 @@ func (s *Slice) Tick(now int64) {
 
 	// Tag-port arbitration between the response path (fill install)
 	// and the request path (new lookup), Section 3.3.
-	mode := s.policy.RespArb()
-	switch s.cfg.ReqRespOverride {
-	case "resp-first":
-		mode = arbiter.RespQueueFirst
-	case "req-first":
-		mode = arbiter.ReqFirstAlternate
-	}
+	mode := s.respMode
 	doResp := false
 	switch mode {
 	case arbiter.RespQueueFirst:
@@ -396,15 +560,8 @@ func (s *Slice) admitRequest(now int64) {
 	if s.reqQ.Len() == 0 || s.pipe.Full() {
 		return
 	}
-	ctx := arbiter.Context{
-		Now:         now,
-		Served:      s.served,
-		InMSHR:      func(line uint64) bool { return s.mshr.Lookup(line) >= 0 },
-		TargetsFree: func(line uint64) int { return s.mshr.TargetsFree(line) },
-		HitBuf:      s.hitBuf,
-		Sent:        s.sent,
-	}
-	idx, specHit := s.policy.Select(s.reqQ, &ctx)
+	s.arbCtx.Now = now
+	idx, specHit := s.policy.Select(s.reqQ, &s.arbCtx)
 	req := s.reqQ.RemoveAt(idx)
 	req.SpecHit = specHit
 	s.served[req.Core]++
@@ -443,16 +600,7 @@ func (s *Slice) advancePipeline(now int64) {
 			req := head.req
 			s.pipe.Pop()
 			if !req.Write {
-				s.hitResps = append(s.hitResps, hitResp{
-					del: noc.Delivery{
-						Line:   req.Line,
-						Core:   req.Core,
-						Window: req.Window,
-						ReqID:  req.ID,
-						Issue:  req.IssueCycle,
-					},
-					ready: now + int64(s.cfg.DataLatency),
-				})
+				s.pushHitResp(req, now)
 			}
 			s.pool.Put(req)
 			return
@@ -476,16 +624,7 @@ func (s *Slice) advancePipeline(now int64) {
 				}
 			} else {
 				s.store.Access(req.Line, false)
-				s.hitResps = append(s.hitResps, hitResp{
-					del: noc.Delivery{
-						Line:   req.Line,
-						Core:   req.Core,
-						Window: req.Window,
-						ReqID:  req.ID,
-						Issue:  req.IssueCycle,
-					},
-					ready: now + int64(s.cfg.DataLatency),
-				})
+				s.pushHitResp(req, now)
 			}
 			s.pipe.Pop()
 			s.pool.Put(req)
@@ -533,18 +672,39 @@ func (s *Slice) markRespDirty(line uint64) {
 	}
 }
 
+// pushHitResp queues a hit response for delivery after the data-array
+// latency.
+func (s *Slice) pushHitResp(req *memreq.Request, now int64) {
+	ready := now + int64(s.cfg.DataLatency)
+	s.hitResps.Push(hitResp{
+		del: noc.Delivery{
+			Line:   req.Line,
+			Core:   req.Core,
+			Window: req.Window,
+			ReqID:  req.ID,
+			Issue:  req.IssueCycle,
+		},
+		ready: ready,
+	})
+	if ready < s.hitRespMin {
+		s.hitRespMin = ready
+	}
+}
+
 // deliverHitResponses sends hit data whose data-array latency elapsed.
+// Ready times are monotonic (push cycle + constant data latency), so
+// due responses always sit at the front.
 func (s *Slice) deliverHitResponses(now int64) {
-	if len(s.hitResps) == 0 {
+	if s.hitRespMin > now {
 		return
 	}
-	kept := s.hitResps[:0]
-	for _, hr := range s.hitResps {
-		if hr.ready <= now {
-			s.net.SendResp(hr.del, now)
-		} else {
-			kept = append(kept, hr)
-		}
+	for s.hitResps.Len() > 0 && s.hitResps.Front().ready <= now {
+		s.net.SendResp(s.hitResps.Front().del, now)
+		s.hitResps.PopFront()
 	}
-	s.hitResps = kept
+	if s.hitResps.Len() == 0 {
+		s.hitRespMin = math.MaxInt64
+	} else {
+		s.hitRespMin = s.hitResps.Front().ready
+	}
 }

@@ -70,6 +70,26 @@ func (p *Pool) Get() *Request {
 	return r
 }
 
+// Prealloc grows the free list to hold at least n recycled requests,
+// allocating them in one contiguous block. The engine calls it at
+// construction with the system's maximum in-flight request count so
+// the steady-state cycle loop never allocates a Request.
+func (p *Pool) Prealloc(n int) {
+	have := len(p.free)
+	if n <= have {
+		return
+	}
+	block := make([]Request, n-have)
+	if cap(p.free) < n {
+		grown := make([]*Request, have, n)
+		copy(grown, p.free)
+		p.free = grown
+	}
+	for i := range block {
+		p.free = append(p.free, &block[i])
+	}
+}
+
 // Put returns a request to the free list. The caller must not touch
 // the request afterwards.
 func (p *Pool) Put(r *Request) {

@@ -150,8 +150,8 @@ func TestCounts(t *testing.T) {
 
 func TestLinesAndFootprint(t *testing.T) {
 	tb := &ThreadBlock{Insts: []Inst{
-		{Kind: KindLoad, Addr: 0, Width: 128},    // lines 0,1
-		{Kind: KindLoad, Addr: 64, Width: 64},    // line 1 (shared)
+		{Kind: KindLoad, Addr: 0, Width: 128},   // lines 0,1
+		{Kind: KindLoad, Addr: 64, Width: 64},   // line 1 (shared)
 		{Kind: KindStore, Addr: 960, Width: 32}, // line 15
 		{Kind: KindCompute, Cycles: 3},
 	}}

@@ -71,12 +71,12 @@ type MSHR struct {
 	used           int
 	releaseScratch []Target
 	// Counters.
-	Allocs      int64
-	Merges      int64
-	FailEntry   int64
-	FailTarget  int64
-	Releases    int64
-	PeakUsed    int
+	Allocs     int64
+	Merges     int64
+	FailEntry  int64
+	FailTarget int64
+	Releases   int64
+	PeakUsed   int
 }
 
 // New builds an MSHR file with numEntry entries of numTarget targets.
@@ -187,6 +187,15 @@ func (m *MSHR) Snapshot(dst []uint64) []uint64 {
 		}
 	}
 	return dst
+}
+
+// AccountFailures bulk-records repeated reservation failures without
+// performing the lookups. The engine's fast-forward path uses it so
+// that a pipeline head stalled for n cycles leaves the same
+// diagnostic counters as n per-cycle Reserve retries.
+func (m *MSHR) AccountFailures(entryFails, targetFails int64) {
+	m.FailEntry += entryFails
+	m.FailTarget += targetFails
 }
 
 // TargetsFree returns the remaining target capacity for line: full

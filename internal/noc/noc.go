@@ -10,8 +10,10 @@ package noc
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/memreq"
+	"repro/internal/ring"
 	"repro/internal/stats"
 )
 
@@ -70,9 +72,24 @@ type respFlit struct {
 // uniform; delivery therefore pops from the front only.
 type NoC struct {
 	cfg     Config
-	toSlice [][]reqFlit  // per slice
-	toCore  [][]respFlit // per core
+	toSlice []ring.Queue[reqFlit]  // per slice
+	toCore  []ring.Queue[respFlit] // per core
 	ctr     *stats.Counters
+
+	// minRespArrive caches the earliest response-flit arrival across
+	// all cores (dirty after a delivery pops a front), so the engine's
+	// "any response due this cycle?" check is one compare.
+	minRespArrive int64
+	respDirty     bool
+	// spaceEpoch increments whenever a slice-bound queue drops below
+	// its buffer cap — the only transition that can unblock a core's
+	// egress. The engine compares epochs instead of polling CanSendReq
+	// for every core every cycle.
+	spaceEpoch int64
+	// frontEpoch increments whenever any slice-bound queue's head
+	// changes (push to an empty queue, or a delivery pop), which is
+	// the only way the engine's cached front summary can go stale.
+	frontEpoch int64
 }
 
 // New builds the interconnect for the given topology.
@@ -83,37 +100,40 @@ func New(cfg Config, numCores, numSlices int, ctr *stats.Counters) (*NoC, error)
 	if ctr == nil {
 		ctr = &stats.Counters{}
 	}
-	n := &NoC{cfg: cfg, ctr: ctr}
-	n.toSlice = make([][]reqFlit, numSlices)
-	n.toCore = make([][]respFlit, numCores)
+	n := &NoC{cfg: cfg, ctr: ctr, minRespArrive: math.MaxInt64}
+	n.toSlice = make([]ring.Queue[reqFlit], numSlices)
+	n.toCore = make([]ring.Queue[respFlit], numCores)
 	return n, nil
 }
 
 // CanSendReq reports whether the path toward a slice has buffer space.
 func (n *NoC) CanSendReq(slice int) bool {
-	return len(n.toSlice[slice]) < n.cfg.SliceBufCap
+	return n.toSlice[slice].Len() < n.cfg.SliceBufCap
 }
 
 // SendReq injects a request toward a slice at cycle now. The caller
 // must have checked CanSendReq.
 func (n *NoC) SendReq(req *memreq.Request, slice int, now int64) {
 	n.ctr.NoCReqSent++
-	n.toSlice[slice] = append(n.toSlice[slice], reqFlit{req: req, arrive: now + int64(n.cfg.Latency)})
+	if n.toSlice[slice].Len() == 0 {
+		n.frontEpoch++ // a new head appears
+	}
+	n.toSlice[slice].Push(reqFlit{req: req, arrive: now + int64(n.cfg.Latency)})
 }
 
 // SliceQueueLen returns the number of requests in flight toward or
 // waiting at a slice's ingress (diagnostics and drain checks).
-func (n *NoC) SliceQueueLen(slice int) int { return len(n.toSlice[slice]) }
+func (n *NoC) SliceQueueLen(slice int) int { return n.toSlice[slice].Len() }
 
 // DeliverReqs hands arrived requests to a slice via accept, which
 // returns false when the slice's request queue is full; delivery then
 // stops (head-of-line blocking). At most SliceIngestPer requests are
 // delivered per call.
 func (n *NoC) DeliverReqs(slice int, now int64, accept func(*memreq.Request) bool) {
-	q := n.toSlice[slice]
+	q := &n.toSlice[slice]
 	delivered := 0
-	for len(q) > 0 && delivered < n.cfg.SliceIngestPer {
-		f := q[0]
+	for q.Len() > 0 && delivered < n.cfg.SliceIngestPer {
+		f := q.Front()
 		if f.arrive > now {
 			break
 		}
@@ -122,51 +142,158 @@ func (n *NoC) DeliverReqs(slice int, now int64, accept func(*memreq.Request) boo
 			n.ctr.NetQueueDelay++
 			break
 		}
-		q = q[1:]
+		if q.Len() == n.cfg.SliceBufCap {
+			n.spaceEpoch++ // a full path just gained space
+		}
+		q.PopFront()
+		n.frontEpoch++
 		delivered++
-	}
-	// Compact to avoid unbounded backing-array growth.
-	if len(q) == 0 {
-		n.toSlice[slice] = n.toSlice[slice][:0]
-	} else {
-		n.toSlice[slice] = q
 	}
 }
 
 // SendResp injects a data delivery toward a core at cycle now.
 func (n *NoC) SendResp(d Delivery, now int64) {
 	n.ctr.NoCRespSent++
-	n.toCore[d.Core] = append(n.toCore[d.Core], respFlit{del: d, arrive: now + int64(n.cfg.Latency)})
+	arrive := now + int64(n.cfg.Latency)
+	n.toCore[d.Core].Push(respFlit{del: d, arrive: arrive})
+	if arrive < n.minRespArrive {
+		n.minRespArrive = arrive
+	}
 }
 
 // DeliverResps hands all arrived responses for a core to fn.
 func (n *NoC) DeliverResps(core int, now int64, fn func(Delivery)) {
-	q := n.toCore[core]
-	i := 0
-	for ; i < len(q); i++ {
-		if q[i].arrive > now {
+	q := &n.toCore[core]
+	for q.Len() > 0 {
+		f := q.Front()
+		if f.arrive > now {
 			break
 		}
-		fn(q[i].del)
+		fn(f.del)
+		q.PopFront()
+		n.respDirty = true
 	}
-	if i > 0 {
-		q = q[i:]
-		if len(q) == 0 {
-			n.toCore[core] = n.toCore[core][:0]
-		} else {
-			n.toCore[core] = q
+}
+
+// RespDue reports whether any core has a response flit due at or
+// before now, using the cached minimum arrival (recomputed lazily
+// after deliveries).
+func (n *NoC) RespDue(now int64) bool {
+	if n.respDirty {
+		m := int64(math.MaxInt64)
+		for i := range n.toCore {
+			q := &n.toCore[i]
+			if q.Len() > 0 {
+				if a := q.Front().arrive; a < m {
+					m = a
+				}
+			}
+		}
+		n.minRespArrive = m
+		n.respDirty = false
+	}
+	return n.minRespArrive <= now
+}
+
+// SpaceEpoch returns the ingress-space epoch (see field doc).
+func (n *NoC) SpaceEpoch() int64 { return n.spaceEpoch }
+
+// FrontEpoch returns the slice-bound head-change epoch (see field
+// doc).
+func (n *NoC) FrontEpoch() int64 { return n.frontEpoch }
+
+// ReqFrontState summarises the slice-bound queue heads for the
+// engine's slice-loop skip: acceptable is true when an arrived head
+// faces a non-full request queue (the loop must run next cycle), and
+// nextAccept is the earliest future head arrival toward a non-full
+// queue (math.MaxInt64 when none). Heads blocked on full queues never
+// wake the loop — their queue-delay is settled from the frozen state
+// when the slice next runs.
+func (n *NoC) ReqFrontState(now int64, reqQFull func(slice int) bool) (acceptable bool, nextAccept int64) {
+	nextAccept = math.MaxInt64
+	for i := range n.toSlice {
+		q := &n.toSlice[i]
+		if q.Len() == 0 || reqQFull(i) {
+			continue
+		}
+		a := q.Front().arrive
+		if a <= now {
+			acceptable = true
+		} else if a < nextAccept {
+			nextAccept = a
 		}
 	}
+	return acceptable, nextAccept
+}
+
+// ReqFrontArrive returns the arrival cycle of a slice's head-of-line
+// request flit, or math.MaxInt64 when none is in flight.
+func (n *NoC) ReqFrontArrive(slice int) int64 {
+	q := &n.toSlice[slice]
+	if q.Len() == 0 {
+		return math.MaxInt64
+	}
+	return q.Front().arrive
+}
+
+// RespArrived reports whether a response flit for core is due at or
+// before now — the engine's cheap wake check for skipped cores.
+func (n *NoC) RespArrived(core int, now int64) bool {
+	q := &n.toCore[core]
+	return q.Len() > 0 && q.Front().arrive <= now
+}
+
+// ReqArrived reports whether a request flit for slice is due at or
+// before now — the engine's cheap wake check for skipped slices.
+func (n *NoC) ReqArrived(slice int, now int64) bool {
+	q := &n.toSlice[slice]
+	return q.Len() > 0 && q.Front().arrive <= now
 }
 
 // Pending reports the total number of in-flight flits.
 func (n *NoC) Pending() int {
 	total := 0
-	for _, q := range n.toSlice {
-		total += len(q)
+	for i := range n.toSlice {
+		total += n.toSlice[i].Len()
 	}
-	for _, q := range n.toCore {
-		total += len(q)
+	for i := range n.toCore {
+		total += n.toCore[i].Len()
 	}
 	return total
+}
+
+// NextEvent returns a lower bound on the earliest cycle after now at
+// which the interconnect can deliver a flit. reqQFull reports whether
+// a slice's request queue is full: an arrived request flit facing a
+// full queue is head-of-line blocked and gated on the slice draining,
+// so it does not bound the horizon itself. Called on post-tick state
+// (every deliverable response flit has been delivered).
+func (n *NoC) NextEvent(now int64, reqQFull func(slice int) bool) int64 {
+	h := int64(math.MaxInt64)
+	for i := range n.toSlice {
+		q := &n.toSlice[i]
+		if q.Len() == 0 {
+			continue
+		}
+		a := q.Front().arrive
+		if a <= now {
+			if !reqQFull(i) {
+				return now + 1 // the slice can accept next cycle
+			}
+			continue // blocked: the slice's own horizon governs
+		}
+		if a < h {
+			h = a
+		}
+	}
+	for i := range n.toCore {
+		q := &n.toCore[i]
+		if q.Len() == 0 {
+			continue
+		}
+		if a := q.Front().arrive; a < h {
+			h = a
+		}
+	}
+	return h
 }

@@ -83,6 +83,10 @@ func (r *Ring[T]) RemoveAt(i int) T {
 	if i < 0 || i >= r.size {
 		panic(fmt.Sprintf("ring: index %d out of range [0,%d)", i, r.size))
 	}
+	if i == 0 {
+		v, _ := r.Pop()
+		return v
+	}
 	v := r.At(i)
 	// Shift subsequent elements forward.
 	for j := i; j < r.size-1; j++ {
@@ -104,10 +108,20 @@ func (r *Ring[T]) Replace(i int, v T) {
 }
 
 // Scan calls fn for each element from oldest to newest until fn
-// returns false.
+// returns false. The occupied region is visited as (at most) two
+// contiguous segments so the loop body avoids a division per element.
 func (r *Ring[T]) Scan(fn func(i int, v T) bool) {
-	for i := 0; i < r.size; i++ {
-		if !fn(i, r.buf[(r.head+i)%len(r.buf)]) {
+	first := r.size
+	if wrap := r.head + r.size - len(r.buf); wrap > 0 {
+		first = r.size - wrap
+	}
+	for i := 0; i < first; i++ {
+		if !fn(i, r.buf[r.head+i]) {
+			return
+		}
+	}
+	for i := first; i < r.size; i++ {
+		if !fn(i, r.buf[i-first]) {
 			return
 		}
 	}
@@ -121,4 +135,41 @@ func (r *Ring[T]) Clear() {
 	}
 	r.head = 0
 	r.size = 0
+}
+
+// Queue is an unbounded FIFO over a reusable backing array: pops
+// advance a head index and pushes compact the live elements back to
+// the front once the backing array fills, so steady-state use never
+// reallocates (plain `q = q[1:]` slices shrink their capacity with
+// every pop and force append to allocate periodically). The zero
+// value is ready to use.
+type Queue[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Front returns a pointer to the oldest element; it panics when the
+// queue is empty (callers check Len first).
+func (q *Queue[T]) Front() *T { return &q.buf[q.head] }
+
+// Push appends v.
+func (q *Queue[T]) Push(v T) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+// PopFront discards the oldest element.
+func (q *Queue[T]) PopFront() {
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
 }

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/workload"
+)
+
+// The event-horizon fast-forward engine must be bit-identical to the
+// retained per-cycle reference loop: same Cycles, same Counters, for
+// every throttling policy, arbitration policy and scheduler the
+// paper's matrix exercises. This is the contract that lets every
+// reported figure keep its exact value while the simulator skips dead
+// cycles.
+func TestFastForwardEquivalence(t *testing.T) {
+	tr70, g70 := smallTrace(t, workload.Llama3_70B, 256)
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"unopt", func(c *Config) { c.Throttle = "none"; c.Arbiter = arbiter.FCFS }},
+		{"dyncta", func(c *Config) { c.Throttle = "dyncta" }},
+		{"lcs", func(c *Config) { c.Throttle = "lcs" }},
+		{"dynmg+BMA", func(c *Config) { c.Throttle = "dynmg"; c.Arbiter = arbiter.BMA }},
+		{"none+cobrra", func(c *Config) { c.Throttle = "none"; c.Arbiter = arbiter.COBRRA }},
+		{"dynmg+B", func(c *Config) { c.Throttle = "dynmg"; c.Arbiter = arbiter.Balanced }},
+		{"dynmg+MA", func(c *Config) { c.Throttle = "dynmg"; c.Arbiter = arbiter.MA }},
+		{"static:2", func(c *Config) { c.Throttle = "static:2" }},
+		{"sched-global", func(c *Config) { c.Scheduler = "global" }},
+		{"sched-partitioned", func(c *Config) { c.Scheduler = "partitioned" }},
+		{"req-first", func(c *Config) { c.Arbiter = arbiter.BMA; c.ReqRespArb = "req-first" }},
+		{"resp-first", func(c *Config) { c.Throttle = "dynmg"; c.ReqRespArb = "resp-first" }},
+		{"bypass", func(c *Config) { c.Bypass = true }},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(reference bool) Result {
+				cfg := DefaultConfig()
+				cfg.L2SizeBytes = 1 << 20
+				tc.mutate(&cfg)
+				cfg.Reference = reference
+				eng, err := New(cfg, tr70, g70)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			ref, ff := run(true), run(false)
+			if ref.Cycles != ff.Cycles {
+				t.Fatalf("cycles diverge: reference=%d fast-forward=%d", ref.Cycles, ff.Cycles)
+			}
+			if ref.Counters != ff.Counters {
+				t.Fatalf("counters diverge:\nreference:    %+v\nfast-forward: %+v",
+					ref.Counters, ff.Counters)
+			}
+			if ref.Steals != ff.Steals {
+				t.Fatalf("steals diverge: reference=%d fast-forward=%d", ref.Steals, ff.Steals)
+			}
+		})
+	}
+}
+
+// The equivalence must also hold across workload shapes: the 405B
+// model exercises the sharer-limited affinity mapping and a different
+// group size.
+func TestFastForwardEquivalence405B(t *testing.T) {
+	tr, g := smallTrace(t, workload.Llama3_405B, 256)
+	for _, throttle := range []string{"none", "dynmg"} {
+		t.Run(throttle, func(t *testing.T) {
+			run := func(reference bool) Result {
+				cfg := DefaultConfig()
+				cfg.L2SizeBytes = 1 << 20
+				cfg.Throttle = throttle
+				cfg.Arbiter = arbiter.BMA
+				cfg.Reference = reference
+				eng, err := New(cfg, tr, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			ref, ff := run(true), run(false)
+			if ref.Cycles != ff.Cycles || ref.Counters != ff.Counters {
+				t.Fatalf("diverged: reference cycles=%d fast-forward cycles=%d\nref: %+v\nff:  %+v",
+					ref.Cycles, ff.Cycles, ref.Counters, ff.Counters)
+			}
+		})
+	}
+}
+
+// A deadlocked configuration must fail identically under both loops.
+func TestFastForwardMaxCyclesGuard(t *testing.T) {
+	tr, g := smallTrace(t, workload.Llama3_70B, 256)
+	for _, reference := range []bool{true, false} {
+		cfg := DefaultConfig()
+		cfg.L2SizeBytes = 1 << 20
+		cfg.MaxCycles = 100 // far too few to drain
+		cfg.Reference = reference
+		eng, err := New(cfg, tr, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err == nil {
+			t.Fatalf("reference=%v: expected MaxCycles error", reference)
+		} else if want := fmt.Sprintf("MaxCycles=%d", cfg.MaxCycles); !containsStr(err.Error(), want) {
+			t.Fatalf("reference=%v: unexpected error %v", reference, err)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

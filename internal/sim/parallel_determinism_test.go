@@ -1,0 +1,72 @@
+// Extends the determinism suite of determinism_test.go across the
+// parallel experiment matrix: experiments.Options.Parallel > 1 must
+// produce exactly the results of a serial run, in exactly the same
+// order. This lives in an external test package because experiments
+// imports sim.
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func matrixCells() []experiments.CellSpec {
+	policies := []experiments.Policy{
+		experiments.Unopt, experiments.Dyncta, experiments.DynMG,
+		experiments.DynMGBMA, experiments.Cobrra,
+	}
+	var cells []experiments.CellSpec
+	for _, seq := range []int{128, 256} {
+		op := workload.LogitOp{Model: workload.Llama3_70B, SeqLen: seq}
+		for _, p := range policies {
+			cells = append(cells, experiments.CellSpec{Op: op, Pol: p})
+		}
+	}
+	return cells
+}
+
+// RunCells with Parallel > 1 must return bit-identical results in the
+// same matrix order as a serial run.
+func TestParallelResultOrdering(t *testing.T) {
+	base := sim.DefaultConfig()
+	base.L2SizeBytes = 512 << 10
+
+	run := func(parallel int) []sim.Result {
+		r := experiments.NewRunner(experiments.Options{Base: &base, Parallel: parallel})
+		res, err := r.RunCells(matrixCells())
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, p := range []int{2, 4, 8} {
+		got := run(p)
+		if len(got) != len(serial) {
+			t.Fatalf("parallel=%d: %d results, want %d", p, len(got), len(serial))
+		}
+		for i := range serial {
+			if got[i].Cycles != serial[i].Cycles {
+				t.Errorf("parallel=%d cell %d: cycles %d, want %d", p, i, got[i].Cycles, serial[i].Cycles)
+			}
+			if got[i].Counters != serial[i].Counters {
+				t.Errorf("parallel=%d cell %d: counters diverge", p, i)
+			}
+		}
+	}
+}
+
+// The parallel path must surface simulation errors instead of
+// deadlocking or dropping them.
+func TestParallelErrorPropagation(t *testing.T) {
+	base := sim.DefaultConfig()
+	base.L2SizeBytes = 512 << 10
+	base.MaxCycles = 10 // guarantees a MaxCycles failure
+	r := experiments.NewRunner(experiments.Options{Base: &base, Parallel: 4})
+	if _, err := r.RunCells(matrixCells()); err == nil {
+		t.Fatal("expected an error from the parallel matrix")
+	}
+}

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/arbiter"
 	"repro/internal/cache"
@@ -91,6 +92,13 @@ type Config struct {
 	// MaxCycles aborts a run that fails to drain (deadlock guard).
 	// Zero means a generous automatic bound.
 	MaxCycles int64
+
+	// Reference forces the retained per-cycle reference loop instead
+	// of the event-horizon fast-forward engine. Both produce
+	// bit-identical Cycles, Counters and Metrics (the equivalence
+	// tests assert it); the reference loop is the ground truth and a
+	// debugging aid, the fast-forward engine is the default.
+	Reference bool
 }
 
 // DefaultConfig returns the simulated system of Table 5: 1.96 GHz, 16
@@ -101,33 +109,33 @@ type Config struct {
 // 4-channel DDR5-3200.
 func DefaultConfig() Config {
 	return Config{
-		FreqGHz:      1.96,
-		NumCores:     16,
-		NumSlices:    8,
-		LineBytes:    64,
-		NumWindows:   4,
-		WindowDepth:  128,
-		VectorBytes:  128,
-		EgressCap:    16,
-		L1SizeBytes:  64 << 10,
-		L1Assoc:      8,
-		L2SizeBytes:  16 << 20,
-		L2Assoc:      8,
-		HitLatency:   3,
-		DataLatency:  25,
-		MSHRLatency:  5,
-		MSHREntries:  6,
-		MSHRTargets:  8,
-		ReqQSize:     12,
-		RespQSize:    64,
-		HitBufSize:   32,
-		WBBufSize:    8,
+		FreqGHz:        1.96,
+		NumCores:       16,
+		NumSlices:      8,
+		LineBytes:      64,
+		NumWindows:     4,
+		WindowDepth:    128,
+		VectorBytes:    128,
+		EgressCap:      16,
+		L1SizeBytes:    64 << 10,
+		L1Assoc:        8,
+		L2SizeBytes:    16 << 20,
+		L2Assoc:        8,
+		HitLatency:     3,
+		DataLatency:    25,
+		MSHRLatency:    5,
+		MSHREntries:    6,
+		MSHRTargets:    8,
+		ReqQSize:       12,
+		RespQSize:      64,
+		HitBufSize:     32,
+		WBBufSize:      8,
 		NoC:            noc.DefaultConfig(),
 		DRAMChannels:   4,
 		MemRespLatency: 30,
-		Arbiter:      arbiter.FCFS,
-		Throttle:     "none",
-		Scheduler:    "affinity",
+		Arbiter:        arbiter.FCFS,
+		Throttle:       "none",
+		Scheduler:      "affinity",
 	}
 }
 
@@ -178,6 +186,50 @@ type Engine struct {
 	autoMax  int64
 	// respInFlight models the MC→slice transit of fill data.
 	respInFlight []dram.Response
+
+	// Component-level fast-forward state: per-component wake horizons
+	// (the component's own NextEvent, valid until an external input
+	// arrives) plus the cheap external-input checks that re-arm them.
+	coreWake    []int64
+	coreLimit   []int
+	coreEgSlice []int // egress head's target slice, -1 when empty
+	sliceWake   []int64
+	// memFreed records that a DRAM command drained channel-queue space
+	// last cycle, waking slices blocked on CanEnqueue.
+	memFreed bool
+	// ctrlWake is the controller's next output-change boundary; until
+	// it arrives the per-core limits are provably unchanged and the
+	// per-cycle MaxTB polling is skipped (except for event-driven
+	// observers like LCS, which bypass this gate).
+	ctrlWake int64
+	// coreLoopWake is the minimum core wake; when it has not arrived,
+	// no response flit is due and no ingress path regained space, the
+	// entire core loop is skipped in O(1) and its per-cycle counter
+	// effects accumulate in corePending, flushed before anything reads
+	// the counters (a controller boundary, a real core loop, the
+	// Result).
+	coreLoopWake   int64
+	coreSpaceEpoch int64
+
+	// Whole-slice-loop skip, mirroring the core side: when no slice
+	// has self-work due, no request flit is acceptable now or soon,
+	// the head set is unchanged and no DRAM queue freed space a
+	// waiting slice wants, the slice loop is skipped in O(1).
+	sliceLoopWake   int64
+	sliceWaitsAny   bool
+	sliceNextArrive int64
+	sliceFrontEpoch int64
+	sliceWaits      []bool
+
+	// Debt-based settlement: skipped components do no per-cycle
+	// counter work at all. coreApplied/sliceApplied record the last
+	// cycle whose counter effects have been applied for each
+	// component; the gap to the current cycle is settled from the
+	// component's frozen stall profile when it next real-ticks, at a
+	// controller boundary (the controller reads the counters), or at
+	// the end of the run.
+	coreApplied  []int64
+	sliceApplied []int64
 }
 
 // New builds an engine for a trace. groupSize is the workload's G
@@ -192,6 +244,21 @@ func New(cfg Config, trace *memtrace.Trace, groupSize int) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, reqPool: &memreq.Pool{}, groupSz: groupSize}
 	e.progress = make([]int64, cfg.NumCores)
+	e.coreWake = make([]int64, cfg.NumCores)
+	e.coreLimit = make([]int, cfg.NumCores)
+	e.coreEgSlice = make([]int, cfg.NumCores)
+	e.sliceWake = make([]int64, cfg.NumSlices)
+	e.sliceWaits = make([]bool, cfg.NumSlices)
+	e.coreApplied = make([]int64, cfg.NumCores)
+	e.sliceApplied = make([]int64, cfg.NumSlices)
+	for i := range e.coreLimit {
+		e.coreLimit[i] = -1 // force the first tick to publish maxTB
+		e.coreEgSlice[i] = -1
+		e.coreApplied[i] = -1
+	}
+	for i := range e.sliceApplied {
+		e.sliceApplied[i] = -1
+	}
 	// Deadlock guard: even a fully serialised run (every line access
 	// taking a whole DRAM round trip, no overlap at all) finishes well
 	// within this bound.
@@ -268,13 +335,13 @@ func New(cfg Config, trace *memtrace.Trace, groupSize int) (*Engine, error) {
 				Alloc:     cache.AllocOnFill,
 				Write:     cache.WritePolicy{WriteAllocate: true, WriteBack: true},
 			},
-			HitLatency:  cfg.HitLatency,
-			DataLatency: cfg.DataLatency,
-			MSHRLatency: cfg.MSHRLatency,
-			MSHREntries: cfg.MSHREntries,
-			MSHRTargets: cfg.MSHRTargets,
-			ReqQSize:    cfg.ReqQSize,
-			RespQSize:   cfg.RespQSize,
+			HitLatency:      cfg.HitLatency,
+			DataLatency:     cfg.DataLatency,
+			MSHRLatency:     cfg.MSHRLatency,
+			MSHREntries:     cfg.MSHREntries,
+			MSHRTargets:     cfg.MSHRTargets,
+			ReqQSize:        cfg.ReqQSize,
+			RespQSize:       cfg.RespQSize,
 			HitBufSize:      cfg.HitBufSize,
 			WBBufSize:       cfg.WBBufSize,
 			Policy:          cfg.Arbiter,
@@ -310,65 +377,71 @@ func New(cfg Config, trace *memtrace.Trace, groupSize int) (*Engine, error) {
 		CoreIdle:    func(core int) int64 { return e.cores[core].CIdle },
 		Progress:    func(core int) int64 { return e.progress[core] },
 	}
+
+	// Every request lives in a core egress queue, the interconnect, a
+	// slice request queue or a slice pipeline; pre-filling the free
+	// list to that bound keeps the steady-state loop allocation-free.
+	e.reqPool.Prealloc(cfg.NumCores*cfg.EgressCap +
+		cfg.NumSlices*(cfg.NoC.SliceBufCap+cfg.ReqQSize+cfg.HitLatency+cfg.MSHRLatency+2))
 	return e, nil
 }
 
 // Run executes the cycle loop to completion and returns the collected
-// statistics.
+// statistics. By default it uses the event-horizon fast-forward
+// engine: after each real cycle it asks every component for the
+// earliest cycle at which that component's state can change (next
+// DRAM timing edge, next in-flight NoC delivery, next pipeline or
+// hit-response ready time, next core compute-retire, next throttle
+// period boundary); when no component has work due, the clock jumps
+// straight to the minimum horizon and the per-cycle counters the
+// skipped dead cycles would have accumulated (idle/stall
+// classification, slice occupancy integrals, backpressure and
+// reservation retries) are applied in bulk. Cfg.Reference selects the
+// retained per-cycle reference loop; both produce bit-identical
+// results.
 func (e *Engine) Run() (Result, error) {
 	maxCycles := e.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = e.autoMax
 	}
 	observer, _ := e.ctrl.(throttle.TBObserver)
+	fastForward := !e.cfg.Reference
+	e.mem.SetLazy(fastForward)
 
 	now := int64(0)
 	for ; now < maxCycles; now++ {
-		e.ctrl.Tick(now, &e.signals)
-
-		for i, c := range e.cores {
-			c.SetMaxTB(e.ctrl.MaxTB(i))
-			e.net.DeliverResps(i, now, c.OnDelivery)
-			c.Tick(now, e.pool)
-			if observer != nil {
-				for _, done := range c.DrainCompletions() {
-					observer.ObserveTB(done.Core, done.BusyCycles, done.TotalCycles)
-				}
-			} else {
-				c.DrainCompletions()
-			}
-		}
-
-		for i, s := range e.slices {
-			e.net.DeliverReqs(i, now, s.Accept)
-			s.Tick(now)
-		}
-
-		e.mem.Tick(now)
-		for _, resp := range e.mem.Responses(now) {
-			resp.Done = now + int64(e.cfg.MemRespLatency)
-			e.respInFlight = append(e.respInFlight, resp)
-		}
-		if len(e.respInFlight) > 0 {
-			kept := e.respInFlight[:0]
-			for _, resp := range e.respInFlight {
-				if resp.Done <= now {
-					e.slices[resp.Slice].OnDRAMResponse(resp, now)
-				} else {
-					kept = append(kept, resp)
-				}
-			}
-			e.respInFlight = kept
-		}
+		e.tick(now, observer, fastForward)
 
 		// Drain check, amortised.
 		if now&63 == 0 && e.drained() {
 			break
 		}
+		if !fastForward {
+			continue
+		}
+		h := e.horizon(now)
+		if h <= now+1 {
+			continue
+		}
+		if e.drained() {
+			// State is frozen across the dead window, so the reference
+			// loop would keep ticking idle cycles only until its next
+			// 64-aligned drain check; stop the jump there.
+			if b := (now + 64) &^ 63; h > b {
+				h = b
+			}
+		}
+		if h > maxCycles {
+			h = maxCycles
+		}
+		// The skipped cycles need no explicit work at all: every
+		// component's settlement debt grows implicitly with the clock.
+		now = h - 1
 	}
 	if now >= maxCycles {
 		return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d without draining (deadlock?)", maxCycles)
 	}
+	e.settleAll(now)
 
 	e.ctr.Cycles = now
 	res := Result{
@@ -381,6 +454,244 @@ func (e *Engine) Run() (Result, error) {
 	}
 	return res, nil
 }
+
+// tick advances every component by one cycle. Components whose cached
+// wake horizon has not arrived and whose external inputs are silent
+// (no delivered flit, no throttle-limit change, no freed egress slot
+// or DRAM queue space) are provably state-frozen this cycle and are
+// skipped without any per-cycle work; their counter effects are
+// settled in bulk when they wake. Components with work due run the
+// paper's original per-cycle logic unchanged.
+func (e *Engine) tick(now int64, observer throttle.TBObserver, lazy bool) {
+	boundary := now >= e.ctrlWake
+	if boundary && lazy {
+		e.settleAll(now - 1) // the controller reads counters this cycle
+	}
+	e.ctrl.Tick(now, &e.signals)
+	checkLimits := observer != nil || boundary || !lazy
+	if checkLimits {
+		e.ctrlWake = e.ctrl.NextEvent(now)
+	}
+
+	if lazy && !checkLimits && now < e.coreLoopWake &&
+		!e.net.RespDue(now) && e.net.SpaceEpoch() == e.coreSpaceEpoch {
+		// No core has self-work due, no response is arriving, no
+		// ingress path regained space and the limits are frozen: the
+		// whole core loop is provably a stall cycle for every core.
+	} else {
+		wakeMin := int64(math.MaxInt64)
+		for i, c := range e.cores {
+			limit := e.coreLimit[i]
+			if checkLimits {
+				limit = e.ctrl.MaxTB(i)
+			}
+			if lazy && now < e.coreWake[i] && limit == e.coreLimit[i] &&
+				!e.net.RespArrived(i, now) &&
+				(e.coreEgSlice[i] < 0 || !e.net.CanSendReq(e.coreEgSlice[i])) {
+				if e.coreWake[i] < wakeMin {
+					wakeMin = e.coreWake[i]
+				}
+				continue
+			}
+			e.settleCore(i, now-1)
+			e.coreApplied[i] = now
+			c.SetMaxTB(limit)
+			e.coreLimit[i] = limit
+			e.net.DeliverResps(i, now, c.OnDelivery)
+			c.Tick(now, e.pool)
+			if observer != nil {
+				for _, done := range c.DrainCompletions() {
+					observer.ObserveTB(done.Core, done.BusyCycles, done.TotalCycles)
+				}
+			} else {
+				c.DrainCompletions()
+			}
+			if lazy {
+				e.coreWake[i] = c.NextEvent(now)
+				e.coreEgSlice[i] = c.EgressHeadSlice()
+				if e.coreWake[i] < wakeMin {
+					wakeMin = e.coreWake[i]
+				}
+			}
+		}
+		e.coreLoopWake = wakeMin
+		e.coreSpaceEpoch = e.net.SpaceEpoch()
+	}
+
+	if lazy && now < e.sliceLoopWake && now < e.sliceNextArrive &&
+		e.net.FrontEpoch() == e.sliceFrontEpoch &&
+		!(e.memFreed && e.sliceWaitsAny) {
+		// No slice has self-work due, no flit is acceptable now or
+		// soon, the ingress head set is unchanged and no freed DRAM
+		// queue space is wanted: the whole slice loop is a stall cycle
+		// for every slice.
+	} else {
+		sliceWakeMin := int64(math.MaxInt64)
+		for i, s := range e.slices {
+			if lazy && now < e.sliceWake[i] {
+				wake := e.net.ReqArrived(i, now) && !s.ReqQFull()
+				if !wake && e.memFreed && e.sliceWaits[i] {
+					wake = true
+				}
+				if !wake {
+					if e.sliceWake[i] < sliceWakeMin {
+						sliceWakeMin = e.sliceWake[i]
+					}
+					continue
+				}
+			}
+			e.settleSlice(i, now-1)
+			e.sliceApplied[i] = now
+			e.net.DeliverReqs(i, now, s.Accept)
+			s.Tick(now)
+			if lazy {
+				e.sliceWake[i] = s.NextEvent(now)
+				e.sliceWaits[i] = s.WaitsMem()
+				if e.sliceWake[i] < sliceWakeMin {
+					sliceWakeMin = e.sliceWake[i]
+				}
+			}
+		}
+		if lazy {
+			e.sliceLoopWake = sliceWakeMin
+			acceptable, nextAccept := e.net.ReqFrontState(now, e.sliceReqQFull)
+			if acceptable {
+				e.sliceLoopWake = now + 1
+			}
+			e.sliceNextArrive = nextAccept
+			e.sliceFrontEpoch = e.net.FrontEpoch()
+			e.sliceWaitsAny = false
+			for _, w := range e.sliceWaits {
+				if w {
+					e.sliceWaitsAny = true
+					break
+				}
+			}
+		}
+	}
+
+	e.mem.Tick(now)
+	e.memFreed = e.mem.ConsumeFreed()
+	for _, resp := range e.mem.Responses(now) {
+		resp.Done = now + int64(e.cfg.MemRespLatency)
+		e.respInFlight = append(e.respInFlight, resp)
+	}
+	if len(e.respInFlight) > 0 {
+		kept := e.respInFlight[:0]
+		for _, resp := range e.respInFlight {
+			if resp.Done <= now {
+				e.slices[resp.Slice].OnDRAMResponse(resp, now)
+				// Fill arrived: wake the slice and its loop.
+				e.sliceWake[resp.Slice] = 0
+				e.sliceLoopWake = 0
+			} else {
+				kept = append(kept, resp)
+			}
+		}
+		e.respInFlight = kept
+	}
+}
+
+// settleCore applies the counter effects of the core's unapplied
+// skipped cycles up to and including `through`. Classification uses
+// the first unapplied cycle, which provably lies inside the frozen
+// window.
+func (e *Engine) settleCore(i int, through int64) {
+	if d := through - e.coreApplied[i]; d > 0 {
+		e.cores[i].ApplyStallTicks(e.coreApplied[i]+1, d)
+	}
+	e.coreApplied[i] = through
+}
+
+// settleSlice applies the counter effects of the slice's unapplied
+// skipped cycles up to and including `through`, including the
+// per-cycle ingress queue-delay of an arrived head-of-line request
+// blocked on the full request queue (both frozen across the window).
+func (e *Engine) settleSlice(i int, through int64) {
+	applied := e.sliceApplied[i]
+	if d := through - applied; d > 0 {
+		s := e.slices[i]
+		s.ApplyStallTicks(applied+1, d)
+		if s.ReqQFull() {
+			if a := e.net.ReqFrontArrive(i); a <= through {
+				from := applied
+				if a-1 > from {
+					from = a - 1
+				}
+				e.ctr.NetQueueDelay += through - from
+			}
+		}
+	}
+	e.sliceApplied[i] = through
+}
+
+// settleAll settles every core and slice through the given cycle.
+func (e *Engine) settleAll(through int64) {
+	for i := range e.cores {
+		e.settleCore(i, through)
+	}
+	for i := range e.slices {
+		e.settleSlice(i, through)
+	}
+}
+
+// horizon returns the earliest cycle after now at which any component
+// may change state — the event horizon. A return of now+1 means the
+// next cycle must be ticked normally; anything later proves the
+// intervening cycles dead. Components are consulted cheapest-first
+// with an early exit, so busy phases pay almost nothing for the
+// check.
+func (e *Engine) horizon(now int64) int64 {
+	h := e.ctrl.NextEvent(now)
+	if h <= now+1 {
+		return now + 1
+	}
+	// Core and slice horizons come from the cached per-component wakes
+	// (refreshed at each component's most recent real tick; their
+	// external gates are the other components' horizons below).
+	for i, w := range e.coreWake {
+		if w < h {
+			if w <= now+1 {
+				return now + 1
+			}
+			h = w
+		}
+		// A core wake assumes its egress stays blocked; slices tick
+		// after cores, so an accept later in the same cycle can free
+		// buffer space the cached wake never saw. Check freshly.
+		if sl := e.coreEgSlice[i]; sl >= 0 && e.net.CanSendReq(sl) {
+			return now + 1
+		}
+	}
+	for _, w := range e.sliceWake {
+		if w < h {
+			if w <= now+1 {
+				return now + 1
+			}
+			h = w
+		}
+	}
+	if t := e.net.NextEvent(now, e.sliceReqQFull); t < h {
+		if t <= now+1 {
+			return now + 1
+		}
+		h = t
+	}
+	if t := e.mem.NextEvent(now); t < h {
+		if t <= now+1 {
+			return now + 1
+		}
+		h = t
+	}
+	for i := range e.respInFlight {
+		if t := e.respInFlight[i].Done; t < h {
+			h = t // post-tick, Done > now always
+		}
+	}
+	return h
+}
+
+func (e *Engine) sliceReqQFull(i int) bool { return e.slices[i].ReqQFull() }
 
 // drained reports whether all work has left the system.
 func (e *Engine) drained() bool {

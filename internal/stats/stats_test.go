@@ -74,16 +74,16 @@ func TestCountersAdd(t *testing.T) {
 
 func TestDerive(t *testing.T) {
 	c := Counters{
-		Cycles:       1_000_000,
-		InstIssued:   500_000,
-		L1Accesses:   100, L1Hits: 25,
-		L2Accesses:   1000, L2Hits: 400, L2Misses: 600,
+		Cycles:     1_000_000,
+		InstIssued: 500_000,
+		L1Accesses: 100, L1Hits: 25,
+		L2Accesses: 1000, L2Hits: 400, L2Misses: 600,
 		MSHRMerges:   150,
 		MSHREntryAcc: 480, MSHREntryCap: 960,
-		CacheStall:   100, SliceCycles: 1000,
-		RowHits:      90, RowMisses: 10,
-		DRAMReads:    1000, DRAMWrites: 0,
-		CoreIdle:     160_000, CoreMemStall: 320_000,
+		CacheStall: 100, SliceCycles: 1000,
+		RowHits: 90, RowMisses: 10,
+		DRAMReads: 1000, DRAMWrites: 0,
+		CoreIdle: 160_000, CoreMemStall: 320_000,
 	}
 	m := c.Derive(2.0, 64, 16)
 	if m.L1HitRate != 0.25 {

@@ -13,6 +13,7 @@ package throttle
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -44,6 +45,12 @@ type Controller interface {
 	Tick(now int64, sig *Signals)
 	// MaxTB returns the current thread-block limit for core.
 	MaxTB(core int) int
+	// NextEvent returns the earliest cycle after now at which the
+	// controller may change its outputs (its next sampling-period
+	// boundary), or math.MaxInt64 for static and purely event-driven
+	// controllers. The engine's fast-forward path uses it to prove a
+	// window of cycles dead.
+	NextEvent(now int64) int64
 }
 
 // TBObserver is implemented by controllers that learn from thread
@@ -97,6 +104,9 @@ func (*Static) Tick(int64, *Signals) {}
 // MaxTB implements Controller.
 func (s *Static) MaxTB(int) int { return s.limit }
 
+// NextEvent implements Controller.
+func (*Static) NextEvent(int64) int64 { return math.MaxInt64 }
+
 // None applies no throttling: every core may fill all windows.
 type None struct {
 	max int
@@ -114,6 +124,9 @@ func (*None) Tick(int64, *Signals) {}
 // MaxTB implements Controller.
 func (n *None) MaxTB(int) int { return n.max }
 
+// NextEvent implements Controller.
+func (*None) NextEvent(int64) int64 { return math.MaxInt64 }
+
 // ---------------------------------------------------------------------------
 // dynmg: two-level dynamic multi-gear throttling (the paper's policy).
 // ---------------------------------------------------------------------------
@@ -128,9 +141,9 @@ type DynMGParams struct {
 	// (Table 1: 0, 1/8, 1/4, 1/2, 3/4).
 	GearFrac []float64
 	// Contention classification thresholds over t_cs (Table 3).
-	TCSLow     float64 // below: Low contention (gear down)
-	TCSNormal  float64 // below: Normal (hold)
-	TCSHigh    float64 // below: High (gear up); at or above: Extreme (+2)
+	TCSLow    float64 // below: Low contention (gear down)
+	TCSNormal float64 // below: Normal (hold)
+	TCSHigh   float64 // below: High (gear up); at or above: Extreme (+2)
 	// In-core thresholds per sub-period (Table 4), in cycles.
 	CIdleUpper int64 // C_idle above this: raise max_tb
 	CMemUpper  int64 // C_mem above this: lower max_tb
@@ -204,13 +217,13 @@ type DynMG struct {
 	maxTB     []int
 
 	// Period-start snapshots.
-	lastSample   int64
-	lastSub      int64
-	stallSnap    int64
-	sliceSnap    int64
-	progSnap     []int64
-	memSnap      []int64
-	idleSnap     []int64
+	lastSample int64
+	lastSub    int64
+	stallSnap  int64
+	sliceSnap  int64
+	progSnap   []int64
+	memSnap    []int64
+	idleSnap   []int64
 	// scratch for sorting cores by progress
 	order []int
 
@@ -246,6 +259,16 @@ func (d *DynMG) MaxTB(core int) int { return d.maxTB[core] }
 
 // Gear returns the current gear (diagnostics).
 func (d *DynMG) Gear() int { return d.gear }
+
+// NextEvent implements Controller: the next sub-period or
+// sampling-period boundary, whichever comes first.
+func (d *DynMG) NextEvent(int64) int64 {
+	next := d.lastSub + d.params.SubPeriod
+	if s := d.lastSample + d.params.SamplingPeriod; s < next {
+		next = s
+	}
+	return next
+}
 
 // Tick implements Controller: the global gear update every sampling
 // period and the in-core max_tb update every sub-period.
@@ -415,6 +438,11 @@ func (*DYNCTA) Name() string { return "dyncta" }
 // MaxTB implements Controller.
 func (d *DYNCTA) MaxTB(core int) int { return d.maxTB[core] }
 
+// NextEvent implements Controller.
+func (d *DYNCTA) NextEvent(int64) int64 {
+	return d.lastSample + d.params.SamplingPeriod
+}
+
 // Tick implements Controller.
 func (d *DYNCTA) Tick(now int64, sig *Signals) {
 	if now-d.lastSample < d.params.SamplingPeriod {
@@ -483,6 +511,11 @@ func (l *LCS) MaxTB(core int) int { return l.maxTB[core] }
 
 // Tick implements Controller (LCS is event-driven; nothing per cycle).
 func (*LCS) Tick(int64, *Signals) {}
+
+// NextEvent implements Controller: LCS changes outputs only from
+// ObserveTB, which the engine invokes on thread-block retirement — a
+// core event the core's own horizon already covers.
+func (*LCS) NextEvent(int64) int64 { return math.MaxInt64 }
 
 // ObserveTB implements TBObserver: on the first completed block of a
 // core, set the static limit to ceil(totalCycles / busyCycles), the

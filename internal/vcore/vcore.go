@@ -14,6 +14,7 @@ package vcore
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cache"
 	"repro/internal/memreq"
@@ -73,6 +74,13 @@ type window struct {
 	// Thread-block timing for the LCS observer.
 	startCycle int64
 	busyCycles int64
+	// Miss-probe memo: a line that probed as an unmerged L1 miss stays
+	// one until that exact line is filled or merged (fills of other
+	// lines only evict — they cannot make an absent line present), so
+	// a blocked window's per-cycle re-probe needs no lookup. The core
+	// invalidates matching memos on fills and new in-flight misses.
+	probeLine  uint64
+	probeValid bool
 }
 
 func (w *window) active() bool { return w.tb != nil }
@@ -99,9 +107,9 @@ type Core struct {
 	// counts (an idealised L1 MSHR with ample entries).
 	pendingL1 map[uint64][MaxWindows]int16
 
-	maxTB    int // thread-block limit published by the throttle controller
-	lastWin  int // round-robin pointer
-	doneTBs  []TBCompletion
+	maxTB     int // thread-block limit published by the throttle controller
+	lastWin   int // round-robin pointer
+	doneTBs   []TBCompletion
 	exhausted bool // the pool returned no work on the last refill
 
 	net  *noc.NoC
@@ -116,6 +124,15 @@ type Core struct {
 	// Diagnostics.
 	IssuedLines int64
 	TBsRun      int64
+
+	// stallProfile caches the per-cycle counter deltas of a blocked
+	// tick so the engine can apply a skipped cycle in a handful of
+	// adds; it is rebuilt lazily after every real tick.
+	profileValid  bool
+	profIdle      bool
+	profMem       bool
+	profProbes    int64
+	profBackpress bool
 }
 
 // New builds a core.
@@ -200,12 +217,27 @@ func (c *Core) OnDelivery(d noc.Delivery) {
 	}
 	delete(c.pendingL1, d.Line)
 	c.l1.Fill(d.Line, false)
+	c.invalidateProbes(d.Line)
+}
+
+// invalidateProbes drops miss-probe memos for line: it just became
+// resident (fill) or merged (new in-flight miss), so "unmerged miss"
+// no longer holds for it. Memos for other lines stay valid — fills
+// only evict, and eviction cannot make an absent line present.
+func (c *Core) invalidateProbes(line uint64) {
+	for i := range c.windows {
+		if c.windows[i].probeLine == line {
+			c.windows[i].probeValid = false
+		}
+	}
 }
 
 // DrainCompletions returns and clears thread-block completion events.
+// The returned slice aliases an internal buffer that the next Tick
+// reuses; callers consume it before ticking the core again.
 func (c *Core) DrainCompletions() []TBCompletion {
 	out := c.doneTBs
-	c.doneTBs = nil
+	c.doneTBs = c.doneTBs[:0]
 	return out
 }
 
@@ -213,15 +245,20 @@ func (c *Core) DrainCompletions() []TBCompletion {
 // windows from the dispatcher (respecting maxTB), issue at most one
 // instruction/line, and drain the egress queue into the NoC.
 func (c *Core) Tick(now int64, dispatch sched.Pool) {
+	c.profileValid = false
 	c.retireAndRefill(now, dispatch)
 	c.issue(now)
 	c.drainEgress(now)
 }
 
 func (c *Core) retireAndRefill(now int64, dispatch sched.Pool) {
+	active := 0
 	for i := range c.windows {
 		w := &c.windows[i]
-		if w.active() && w.finished() && w.outstanding == 0 && w.busyUntil <= now {
+		if !w.active() {
+			continue
+		}
+		if w.finished() && w.outstanding == 0 && w.busyUntil <= now {
 			c.doneTBs = append(c.doneTBs, TBCompletion{
 				Core:        c.cfg.ID,
 				BusyCycles:  w.busyCycles,
@@ -230,11 +267,13 @@ func (c *Core) retireAndRefill(now int64, dispatch sched.Pool) {
 			c.ctr.TBCompleted++
 			c.TBsRun++
 			w.tb = nil
+			continue
 		}
+		active++
 	}
 	c.exhausted = false
 	for i := range c.windows {
-		if c.ActiveTBs() >= c.maxTB {
+		if active >= c.maxTB {
 			return
 		}
 		w := &c.windows[i]
@@ -247,6 +286,7 @@ func (c *Core) retireAndRefill(now int64, dispatch sched.Pool) {
 			return
 		}
 		*w = window{tb: tb, startCycle: now}
+		active++
 	}
 }
 
@@ -352,24 +392,36 @@ func (c *Core) issueLine(w *window, wi int, now int64) bool {
 		return true
 	}
 	c.ctr.L1Accesses++
-	if c.l1.Access(line, false) {
-		c.ctr.L1Hits++
-		c.IssuedLines++
-		w.nextLine++
-		return true
-	}
-	if waiters, ok := c.pendingL1[line]; ok {
-		// Merge with an in-flight miss for the same line.
-		waiters[wi]++
-		c.pendingL1[line] = waiters
-		w.outstanding++
-		c.ctr.L1Merges++
-		c.IssuedLines++
-		w.nextLine++
-		return true
-	}
-	if c.egress.Full() {
-		return false
+	if w.probeValid && w.probeLine == line {
+		// Memoized probe: with the core's memory state unchanged since
+		// the last attempt, the line is still an unmerged L1 miss, so
+		// only the egress queue gates the issue. Account the repeated
+		// miss lookup without re-scanning the set.
+		c.l1.AccountMisses(1)
+		if c.egress.Full() {
+			return false
+		}
+	} else {
+		if c.l1.Access(line, false) {
+			c.ctr.L1Hits++
+			c.IssuedLines++
+			w.nextLine++
+			return true
+		}
+		if waiters, ok := c.pendingL1[line]; ok {
+			// Merge with an in-flight miss for the same line.
+			waiters[wi]++
+			c.pendingL1[line] = waiters
+			w.outstanding++
+			c.ctr.L1Merges++
+			c.IssuedLines++
+			w.nextLine++
+			return true
+		}
+		if c.egress.Full() {
+			w.probeLine, w.probeValid = line, true
+			return false
+		}
 	}
 	r := c.pool.Get()
 	r.Line = line
@@ -380,6 +432,7 @@ func (c *Core) issueLine(w *window, wi int, now int64) bool {
 	var waiters [MaxWindows]int16
 	waiters[wi] = 1
 	c.pendingL1[line] = waiters
+	c.invalidateProbes(line)
 	w.outstanding++
 	c.IssuedLines++
 	w.nextLine++
@@ -400,4 +453,162 @@ func (c *Core) drainEgress(now int64) {
 	}
 	c.egress.Pop()
 	c.net.SendReq(r, slice, now)
+}
+
+// NextEvent returns a lower bound on the earliest cycle after now at
+// which the core's own tick can change state, assuming no external
+// input (NoC delivery, controller update, backpressure release)
+// arrives before then. Returning now+1 means the next tick may act;
+// math.MaxInt64 means the core is entirely gated on external events.
+// Called on post-tick state only.
+func (c *Core) NextEvent(now int64) int64 {
+	h := int64(math.MaxInt64)
+	idle := 0
+	for i := range c.windows {
+		w := &c.windows[i]
+		if !w.active() {
+			idle++
+			continue
+		}
+		if w.finished() {
+			// Retires once outstanding loads return (external) and any
+			// trailing compute occupancy elapses.
+			if w.outstanding == 0 {
+				t := w.busyUntil
+				if t <= now {
+					t = now + 1
+				}
+				if t < h {
+					h = t
+				}
+			}
+			continue
+		}
+		if w.busyUntil > now {
+			if w.busyUntil < h {
+				h = w.busyUntil
+			}
+			continue
+		}
+		if !w.expanding {
+			// Next instruction issue (compute, or the start of a vector
+			// expansion) always changes state.
+			return now + 1
+		}
+		if !w.isStore && w.outstanding >= c.cfg.WindowDepth {
+			continue // window-depth blocked: waits on a delivery
+		}
+		if w.isStore {
+			if !c.egress.Full() {
+				return now + 1
+			}
+			continue // store line blocked on a full egress queue
+		}
+		// Load line: an L1 hit or an in-flight-miss merge issues even
+		// with a full egress queue.
+		if w.probeValid && w.probeLine == w.nextLine {
+			// Memoized unmerged miss: gated on the egress queue only.
+			if !c.egress.Full() {
+				return now + 1
+			}
+			continue
+		}
+		if c.l1.Probe(w.nextLine) {
+			return now + 1
+		}
+		if _, merged := c.pendingL1[w.nextLine]; merged {
+			return now + 1
+		}
+		if !c.egress.Full() {
+			return now + 1
+		}
+		// L1 miss blocked on egress: gated on the NoC draining.
+	}
+	if idle > 0 && c.ActiveTBs() < c.maxTB && !c.exhausted {
+		return now + 1 // a refill from the dispatcher can proceed
+	}
+	if r, ok := c.egress.Peek(); ok {
+		if c.net.CanSendReq(int(r.Line & uint64(c.cfg.NumSlices-1))) {
+			return now + 1 // egress drain can proceed
+		}
+	}
+	return h
+}
+
+// rebuildProfile snapshots the per-cycle counter deltas of a blocked
+// tick: the C_idle/C_mem classification the issue stage would record,
+// the L1 probes of issue-blocked load windows, and egress
+// backpressure. Valid for every cycle in which the engine skips the
+// core, since its state (and therefore the classification) is frozen
+// across such a window.
+func (c *Core) rebuildProfile(now int64) {
+	anyActive, anyMemBlocked := false, false
+	probes := int64(0)
+	for i := range c.windows {
+		w := &c.windows[i]
+		if !w.active() {
+			continue
+		}
+		if w.finished() {
+			if w.outstanding > 0 {
+				anyActive = true
+				anyMemBlocked = true
+			}
+			continue
+		}
+		anyActive = true
+		if w.busyUntil > now {
+			continue
+		}
+		// Ready but blocked (NextEvent ruled out a successful issue):
+		// window-depth-blocked loads and egress-blocked stores fail
+		// before touching the L1; egress-blocked load lines re-probe
+		// the L1 (and miss) every cycle.
+		anyMemBlocked = true
+		if w.expanding && !w.isStore && w.outstanding < c.cfg.WindowDepth {
+			probes++
+		}
+	}
+	c.profIdle = !anyActive
+	c.profMem = anyActive && anyMemBlocked
+	c.profProbes = probes
+	c.profBackpress = c.egress.Len() > 0
+	c.profileValid = true
+}
+
+// ApplyStallTicks bulk-applies the per-cycle counter effects of
+// `cycles` skipped dead cycles starting after now. The engine calls
+// it only for cycles NextEvent proved dead, during which the core's
+// state is frozen.
+func (c *Core) ApplyStallTicks(now, cycles int64) {
+	if !c.profileValid {
+		c.rebuildProfile(now)
+	}
+	switch {
+	case c.profIdle:
+		c.ctr.CoreIdle += cycles
+		c.CIdle += cycles
+	case c.profMem:
+		c.ctr.CoreMemStall += cycles
+		c.CMem += cycles
+	}
+	if c.profProbes > 0 {
+		c.ctr.L1Accesses += c.profProbes * cycles
+		c.l1.AccountMisses(c.profProbes * cycles)
+	}
+	if c.profBackpress {
+		c.ctr.NoCBackpress += cycles
+	}
+}
+
+// EgressHeadSlice returns the LLC slice the egress queue's head
+// request routes to, or -1 when the queue is empty. The engine uses
+// it to wake a skipped core the moment that slice's ingress path
+// gains buffer space.
+func (c *Core) EgressHeadSlice() int {
+	r, ok := c.egress.Peek()
+	if !ok {
+		return -1
+	}
+	return int(r.Line & uint64(c.cfg.NumSlices-1))
 }
