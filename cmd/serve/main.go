@@ -1,0 +1,178 @@
+// Command serve runs serving scenarios: many concurrent decode
+// requests under a continuous-batching scheduler, evaluated across
+// the paper's throttle/arbiter policy matrix. This is the workload an
+// inference server actually presents to the cache hierarchy — mixed
+// sequence lengths, streams arriving and retiring, per-stream address
+// spaces contending in the LLC and DRAM — and the serving metrics the
+// figures do not report: aggregate tokens/kilocycle, token-latency
+// percentiles and queueing delay.
+//
+//	serve                                  # stock 8-request scenario, unopt vs dynmg+BMA
+//	serve -policies unopt,dynmg,dynmg+BMA  # wider policy matrix
+//	serve -streams 16 -batch 8 -rate 15000 # heavier traffic
+//	serve -model mix -av                   # mixed 70B/405B, Logit+AV per token
+//	serve -dumptrace step0.trace           # write the first composed step trace
+//
+// Workload flags (-streams, -seqmin/-seqmax, -tokmin/-tokmax, -rate,
+// -seed) shape the fixed-seed request population; trace flags (-av,
+// -dumptrace) control per-token trace composition; -scale divides the
+// prompt-length range and the L2 size together, preserving the
+// working-set-to-cache ratio exactly like the figure harnesses. Runs
+// are deterministic for a fixed flag set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		streams   = flag.Int("streams", 8, "number of decode requests in the scenario")
+		batch     = flag.Int("batch", 4, "continuous-batching capacity (concurrent streams)")
+		model     = flag.String("model", "70b", "request model mix: 70b, 405b or mix")
+		seqmin    = flag.Int("seqmin", 0, "min prompt length (0 = 512/scale)")
+		seqmax    = flag.Int("seqmax", 0, "max prompt length (0 = 2048/scale)")
+		tokmin    = flag.Int("tokmin", 4, "min tokens decoded per request")
+		tokmax    = flag.Int("tokmax", 8, "max tokens decoded per request")
+		rate      = flag.Float64("rate", 30000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
+		seed      = flag.Uint64("seed", 1, "arrival-process seed")
+		av        = flag.Bool("av", false, "append the AV operator to every token step")
+		scale     = flag.Int("scale", 8, "divide default prompt lengths and the L2 size by this factor")
+		policies  = flag.String("policies", "unopt,dynmg+BMA", "comma-separated policy list, e.g. unopt,dyncta,dynmg,dynmg+BMA")
+		parallel  = flag.Int("parallel", 0, "concurrent policy cells (0 = GOMAXPROCS)")
+		verbose   = flag.Bool("v", false, "stream per-cell progress to stderr")
+		dumptrace = flag.String("dumptrace", "", "write the first step's composed multi-stream trace to this file")
+	)
+	flag.Parse()
+
+	if err := run(*streams, *batch, *model, *seqmin, *seqmax, *tokmin, *tokmax,
+		*rate, *seed, *av, *scale, *policies, *parallel, *verbose, *dumptrace); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func modelMix(name string) ([]workload.ModelConfig, error) {
+	switch name {
+	case "70b":
+		return []workload.ModelConfig{workload.Llama3_70B}, nil
+	case "405b":
+		return []workload.ModelConfig{workload.Llama3_405B}, nil
+	case "mix":
+		return []workload.ModelConfig{workload.Llama3_70B, workload.Llama3_405B}, nil
+	}
+	return nil, fmt.Errorf("unknown model mix %q", name)
+}
+
+func run(streams, batch int, model string, seqmin, seqmax, tokmin, tokmax int,
+	rate float64, seed uint64, av bool, scale int, policyList string,
+	parallel int, verbose bool, dumptrace string) error {
+	if scale <= 0 {
+		scale = 1
+	}
+	models, err := modelMix(model)
+	if err != nil {
+		return err
+	}
+	// Computed defaults clamp to the mapping floor like
+	// serving.DefaultScenario, so any -scale works; explicitly passed
+	// values are validated as given.
+	if seqmin == 0 {
+		if seqmin = 512 / scale; seqmin < 16 {
+			seqmin = 16
+		}
+	}
+	if seqmax == 0 {
+		if seqmax = 2048 / scale; seqmax < seqmin {
+			seqmax = seqmin
+		}
+	}
+	scn, err := serving.NewScenario(serving.ScenarioConfig{
+		Name:             fmt.Sprintf("%s/%dreq/seed%d", model, streams, seed),
+		Seed:             seed,
+		NumRequests:      streams,
+		Models:           models,
+		MinPromptLen:     seqmin,
+		MaxPromptLen:     seqmax,
+		MinDecode:        tokmin,
+		MaxDecode:        tokmax,
+		MeanInterArrival: rate,
+		MaxBatch:         batch,
+		IncludeAV:        av,
+	})
+	if err != nil {
+		return err
+	}
+
+	var pols []experiments.Policy
+	for _, s := range strings.Split(policyList, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		p, err := llamcat.ParsePolicy(s)
+		if err != nil {
+			return err
+		}
+		pols = append(pols, experiments.Policy{Label: s, Throttle: p.Throttle, Arbiter: p.Arbiter})
+	}
+	if len(pols) == 0 {
+		return fmt.Errorf("empty policy list")
+	}
+
+	base := sim.DefaultConfig()
+
+	if dumptrace != "" {
+		if err := writeFirstStep(scn, base, dumptrace); err != nil {
+			return err
+		}
+	}
+
+	// Scale is applied by the grid runner (L2 size / scale), matching
+	// the figure harnesses.
+	opts := experiments.Options{Base: &base, Scale: scale, Parallel: parallel}
+	if verbose {
+		opts.Log = os.Stderr
+	}
+	grid, err := experiments.ServeGrid(scn, pols, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(grid.Render())
+	return nil
+}
+
+// writeFirstStep composes the scenario's first token step (the batch
+// admitted at the earliest non-empty boundary) and serialises its
+// interleaved multi-stream trace for inspection with cmd/tracegen
+// tooling.
+func writeFirstStep(scn serving.Scenario, cfg sim.Config, path string) error {
+	states, err := serving.FirstStep(scn)
+	if err != nil {
+		return err
+	}
+	tr, _, err := serving.ComposeStep(states, scn.IncludeAV, cfg.LineBytes)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := tr.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: wrote %d-stream step trace (%d blocks) to %s\n",
+		len(states), len(tr.Blocks), path)
+	return nil
+}

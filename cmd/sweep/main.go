@@ -9,9 +9,21 @@
 //	sweep -kind gear   -model 70b -seq 2048 -scale 8
 //	sweep -kind period -model 70b -seq 2048 -scale 8
 //
+// The full flag set (documented with defaults in docs/EXPERIMENTS.md,
+// which CI keeps in sync with this binary):
+//
+//	-kind        sweep kind: static, gear, period
+//	-model       model: 70b or 405b
+//	-seq         sequence length (already scaled)
+//	-scale       cache scale divisor (Table 5 16 MB / scale)
+//	-parallel    concurrent simulations (0 = GOMAXPROCS)
+//	-v           stream per-run progress to stderr
+//	-cpuprofile  write a pprof CPU profile to this file
+//	-memprofile  write a pprof heap profile to this file
+//
 // Sweep points are independent simulations and fan out across
-// -parallel workers. -v streams per-run progress to stderr;
-// -cpuprofile/-memprofile capture pprof profiles of the sweep for the
+// -parallel workers with results in stable order; -cpuprofile and
+// -memprofile capture pprof profiles of the sweep for the
 // performance work described in README.md.
 package main
 

@@ -1,5 +1,6 @@
 // Package dram is a cycle-level DDR5 DRAM model in the spirit of the
-// Ramulator2 component the paper keeps "completely unchanged": per
+// Ramulator2 component the paper keeps "completely unchanged"
+// (Section 5; the DDR5-3200 configuration is Table 5): per
 // channel command queues, rank/bank-group/bank topology, row-buffer
 // state, DDR5 timing constraints and FR-FCFS scheduling, plus
 // periodic refresh. All timing is expressed in *core* cycles so the

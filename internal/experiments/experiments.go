@@ -145,18 +145,38 @@ func (r *Runner) RunCells(cells []CellSpec) ([]sim.Result, error) {
 			return nil, err
 		}
 	}
-	workers := r.opts.parallel()
-	if workers > len(cells) {
-		workers = len(cells)
+	results := make([]sim.Result, len(cells))
+	err := forEach(len(cells), r.opts.parallel(), func(i int) error {
+		res, err := r.runCell(&cells[i])
+		if err != nil {
+			c := &cells[i]
+			return fmt.Errorf("cell %s %s L2=%d: %w", c.Op.Name(), c.Pol.Label, c.L2Bytes, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// forEach runs fn(0..n-1) across a bounded worker pool and returns
+// the first error in input order (every index still runs). It is the
+// parallel spine shared by RunCells and the serving grid: each fn
+// writes only its own result slot, so output order — and therefore
+// every figure and table — is independent of the worker count.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	results := make([]sim.Result, len(cells))
-	errs := make([]error, len(cells))
+	errs := make([]error, n)
 	if workers == 1 {
-		for i := range cells {
-			results[i], errs[i] = r.runCell(&cells[i])
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -166,23 +186,22 @@ func (r *Runner) RunCells(cells []CellSpec) ([]sim.Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i], errs[i] = r.runCell(&cells[i])
+					errs[i] = fn(i)
 				}
 			}()
 		}
-		for i := range cells {
+		for i := 0; i < n; i++ {
 			next <- i
 		}
 		close(next)
 		wg.Wait()
 	}
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			c := &cells[i]
-			return nil, fmt.Errorf("cell %s %s L2=%d: %w", c.Op.Name(), c.Pol.Label, c.L2Bytes, err)
+			return err
 		}
 	}
-	return results, nil
+	return nil
 }
 
 func (r *Runner) runCell(c *CellSpec) (sim.Result, error) {

@@ -1,0 +1,116 @@
+// The serving-scenario grid: the serving engine run across the
+// paper's throttle/arbiter policy matrix, the way RunFig7/8/9 run the
+// single-operator cells. A serving cell is one complete
+// continuous-batching scenario under one policy; cells are
+// independent and deterministic, so the grid fans out across the same
+// bounded worker pool as the figure harnesses with results in stable
+// matrix order.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/serving"
+	"repro/internal/sim"
+)
+
+// ServeCellSpec names one serving simulation: a scenario under a
+// policy, optionally with a per-cell base configuration override.
+type ServeCellSpec struct {
+	Scenario serving.Scenario
+	Pol      Policy
+	// Base optionally overrides the grid's base configuration for
+	// this cell (hardware sweeps under serving load).
+	Base *sim.Config
+}
+
+// RunServeCells executes every serving cell across the bounded worker
+// pool (Options.Parallel wide) and returns the metrics in input
+// order. Options.Scale divides the L2 size exactly like the figure
+// harnesses; prompt lengths are explicit in each Scenario, which the
+// caller scales when building it. Unlike RunCells there is no shared
+// trace cache: a serving run composes a fresh multi-stream trace per
+// token step because the batch composition changes as requests are
+// admitted and retired.
+func RunServeCells(cells []ServeCellSpec, opts Options) ([]*serving.Metrics, error) {
+	results := make([]*serving.Metrics, len(cells))
+	err := forEach(len(cells), opts.parallel(), func(i int) error {
+		c := &cells[i]
+		cfg := opts.base()
+		if c.Base != nil {
+			cfg = *c.Base
+		}
+		cfg.L2SizeBytes /= opts.scale()
+		cfg.Throttle = c.Pol.Throttle
+		cfg.Arbiter = c.Pol.Arbiter
+		m, err := serving.Run(cfg, c.Scenario)
+		if err != nil {
+			return fmt.Errorf("serve cell %s %s: %w", c.Scenario.Name, c.Pol.Label, err)
+		}
+		if opts.Log != nil {
+			logServeCell(opts, c, m)
+		}
+		results[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+var serveLogMu sync.Mutex
+
+func logServeCell(opts Options, c *ServeCellSpec, m *serving.Metrics) {
+	serveLogMu.Lock()
+	defer serveLogMu.Unlock()
+	fmt.Fprintf(opts.Log,
+		"%-20s %-12s tokens=%-5d steps=%-4d makespan=%-10d tok/kcyc=%.4f p50=%.0f p99=%.0f\n",
+		c.Scenario.Name, c.Pol.Label, m.Tokens, m.Steps, m.Makespan,
+		m.TokensPerKCycle, m.TokenLatency.P50, m.TokenLatency.P99)
+}
+
+// ServeGridResult is one scenario evaluated across a policy list.
+type ServeGridResult struct {
+	Scenario serving.Scenario
+	Policies []Policy
+	Metrics  []*serving.Metrics // parallel to Policies
+}
+
+// ServeGrid runs one serving scenario across every policy in the
+// matrix and collects the serving metrics per policy. The scenario's
+// fixed-seed arrival process and the deterministic engine make every
+// cell reproducible; the parallel fan-out preserves matrix order.
+// Options.Scale divides the L2 size (see RunServeCells).
+func ServeGrid(scn serving.Scenario, policies []Policy, opts Options) (*ServeGridResult, error) {
+	cells := make([]ServeCellSpec, len(policies))
+	for i, p := range policies {
+		cells[i] = ServeCellSpec{Scenario: scn, Pol: p}
+	}
+	metrics, err := RunServeCells(cells, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ServeGridResult{Scenario: scn, Policies: policies, Metrics: metrics}, nil
+}
+
+// Render formats the grid as an aligned per-policy table of the
+// headline serving metrics.
+func (g *ServeGridResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d requests, %d tokens, batch %d\n\n",
+		g.Scenario.Name, len(g.Scenario.Requests), g.Scenario.TotalTokens(), g.Scenario.MaxBatch)
+	fmt.Fprintf(&b, "%-14s %12s %10s %10s %10s %10s %10s %10s\n",
+		"policy", "tok/kcycle", "makespan", "lat-p50", "lat-p95", "lat-p99", "queue-p99", "occupancy")
+	for i, p := range g.Policies {
+		m := g.Metrics[i]
+		fmt.Fprintf(&b, "%-14s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.2f\n",
+			p.Label, m.TokensPerKCycle, m.Makespan,
+			m.TokenLatency.P50, m.TokenLatency.P95, m.TokenLatency.P99,
+			m.QueueDelay.P99, m.MeanBatchOccupancy)
+	}
+	return b.String()
+}

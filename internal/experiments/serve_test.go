@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/serving"
+	"repro/internal/sim"
+)
+
+func serveTestScenario(t *testing.T) serving.Scenario {
+	t.Helper()
+	scn, err := serving.NewScenario(serving.ScenarioConfig{
+		Name: "grid/test", Seed: 5, NumRequests: 4,
+		MinPromptLen: 16, MaxPromptLen: 32,
+		MinDecode: 2, MaxDecode: 2,
+		MeanInterArrival: 4000, MaxBatch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+// TestServeGridParallelDeterminism: the serving grid returns
+// bit-identical metrics in matrix order at any worker count —
+// extending the PR 1 parallel-determinism guarantee to the serving
+// scenario.
+func TestServeGridParallelDeterminism(t *testing.T) {
+	scn := serveTestScenario(t)
+	base := sim.DefaultConfig()
+	base.L2SizeBytes = 1 << 20
+	policies := []Policy{Unopt, DynMG, DynMGBMA}
+
+	serial, err := ServeGrid(scn, policies, Options{Base: &base, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ServeGrid(scn, policies, Options{Base: &base, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Metrics, parallel.Metrics) {
+		t.Fatal("serving grid results depend on worker count")
+	}
+
+	rendered := serial.Render()
+	for _, p := range policies {
+		if !strings.Contains(rendered, p.Label) {
+			t.Fatalf("rendered grid missing policy %q:\n%s", p.Label, rendered)
+		}
+	}
+}
+
+// TestRunServeCellsBaseOverride: a per-cell base config override is
+// honoured (hardware sweeps under serving load).
+func TestRunServeCellsBaseOverride(t *testing.T) {
+	scn := serveTestScenario(t)
+	narrow := sim.DefaultConfig()
+	narrow.NumCores = 2
+	wide := sim.DefaultConfig()
+
+	cells := []ServeCellSpec{
+		{Scenario: scn, Pol: Unopt, Base: &narrow},
+		{Scenario: scn, Pol: Unopt, Base: &wide},
+	}
+	res, err := RunServeCells(cells, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Makespan <= res[1].Makespan {
+		t.Fatalf("2-core serving makespan %d not above the 16-core %d",
+			res[0].Makespan, res[1].Makespan)
+	}
+}

@@ -1,8 +1,9 @@
 // Package memreq defines the memory request type that travels from the
 // vector cores through the interconnect into the LLC slices and, on a
-// miss, down to the DRAM model. A request always refers to a single
-// cache line; vector accesses are split into line requests at the L1
-// boundary.
+// miss, down to the DRAM model — the unit of traffic on every datapath
+// of Fig. 4 (Section 3.1) of the paper. A request always refers to a
+// single cache line; vector accesses are split into line requests at
+// the L1 boundary.
 package memreq
 
 // LineShift is log2 of the cache line size in bytes. The whole system

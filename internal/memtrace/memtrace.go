@@ -52,11 +52,18 @@ type Inst struct {
 
 // Meta carries the loop-space coordinates a thread block covers; used
 // for debugging, locality analysis and scheduling diagnostics.
+//
+// Stream identifies the decode stream (serving-scenario batch slot)
+// the block belongs to. Single-operator traces leave it zero; the
+// serving engine composes per-request traces into one multi-stream
+// trace and stamps each block with its slot so the dispatcher can
+// spread streams across cores and diagnostics can attribute traffic.
 type Meta struct {
 	Group  int // head group index h
 	QHead  int // query head index g within the group
 	TileLo int // first sequence position covered
 	TileHi int // one past the last sequence position covered
+	Stream int // decode stream (batch slot); 0 for single-stream traces
 }
 
 // ThreadBlock is the unit of work dispatched to an instruction window
@@ -145,13 +152,15 @@ func (t *Trace) Footprint(lineBytes int) int64 {
 // WriteTo serialises the trace in a line-oriented text format:
 //
 //	# trace <name>
-//	tb <id> <group> <qhead> <tilelo> <tilehi>
+//	tb <id> <group> <qhead> <tilelo> <tilehi> <stream>
 //	LD <addr-hex> <width>
 //	ST <addr-hex> <width>
 //	CP <cycles>
 //
 // The format is the analogue of the paper's trace files feeding
-// Ramulator2 and is consumed by cmd/tracegen and ReadTrace.
+// Ramulator2 and is consumed by cmd/tracegen and ReadTrace. ReadTrace
+// also accepts the pre-serving six-field tb header (stream column
+// omitted, meaning stream 0).
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
@@ -163,8 +172,8 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	for _, tb := range t.Blocks {
-		if err := count(fmt.Fprintf(bw, "tb %d %d %d %d %d\n",
-			tb.ID, tb.Meta.Group, tb.Meta.QHead, tb.Meta.TileLo, tb.Meta.TileHi)); err != nil {
+		if err := count(fmt.Fprintf(bw, "tb %d %d %d %d %d %d\n",
+			tb.ID, tb.Meta.Group, tb.Meta.QHead, tb.Meta.TileLo, tb.Meta.TileHi, tb.Meta.Stream)); err != nil {
 			return n, err
 		}
 		for _, in := range tb.Insts {
@@ -203,20 +212,30 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 				t.Name = strings.Join(fields[2:], " ")
 			}
 		case "tb":
-			if len(fields) != 6 {
+			// Six fields is the pre-serving header (no stream column).
+			if len(fields) != 6 && len(fields) != 7 {
 				return nil, fmt.Errorf("memtrace: line %d: malformed tb header", lineNo)
 			}
-			vals := make([]int, 5)
-			for i := 0; i < 5; i++ {
+			vals := make([]int, len(fields)-1)
+			for i := range vals {
 				v, err := strconv.Atoi(fields[i+1])
 				if err != nil {
 					return nil, fmt.Errorf("memtrace: line %d: %v", lineNo, err)
+				}
+				// All tb coordinates are non-negative by construction;
+				// a negative value would corrupt the dispatcher's
+				// core-home arithmetic downstream.
+				if v < 0 {
+					return nil, fmt.Errorf("memtrace: line %d: negative tb field %d", lineNo, v)
 				}
 				vals[i] = v
 			}
 			cur = &ThreadBlock{
 				ID:   vals[0],
 				Meta: Meta{Group: vals[1], QHead: vals[2], TileLo: vals[3], TileHi: vals[4]},
+			}
+			if len(vals) == 6 {
+				cur.Meta.Stream = vals[5]
 			}
 			t.Blocks = append(t.Blocks, cur)
 		case "LD", "ST":

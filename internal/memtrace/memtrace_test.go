@@ -127,6 +127,8 @@ func TestReadTraceErrors(t *testing.T) {
 		"tb 0 0 0 0 16\nCP x",    // bad cycles
 		"bogus 1 2 3\n",          // unknown record
 		"tb 0 0 0 0 16\nLD 10\n", // malformed memory instruction
+		"tb 0 0 0 0 16 -5\n",     // negative stream coordinate
+		"tb 0 -1 0 0 16\nCP 1\n", // negative group coordinate
 	}
 	for _, c := range cases {
 		if _, err := ReadTrace(strings.NewReader(c)); err == nil {

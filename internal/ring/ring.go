@@ -1,8 +1,9 @@
 // Package ring provides a fixed-capacity generic ring buffer used for
-// the hardware queues in the simulator (request queues, response
-// queues, egress buffers, FIFOs like hit_buffer and sent_reqs). A
-// bounded queue with O(1) push/pop keeps the cycle loop allocation-free
-// and models finite hardware capacity faithfully.
+// the hardware queues in the simulator (the request/response queues,
+// egress buffers, and hit_buffer/sent_reqs FIFOs of the Section 3.1 /
+// Fig. 4 slice datapath). A bounded queue with O(1) push/pop keeps the
+// cycle loop allocation-free and models finite hardware capacity
+// faithfully.
 package ring
 
 import "fmt"

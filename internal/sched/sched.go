@@ -82,10 +82,14 @@ type AffinityPool struct {
 // other head groups, staggering the streams.
 //
 // With A = min(G, numCores, sharerLimit) and B = numCores/A, block
-// (h, g) is homed on core (g mod A) + A*(h mod B). For Llama3-70B
-// (G=8, 16 cores) this reduces to (h*G+g) mod numCores; for
-// Llama3-405B (G=16) it splits the 16 query heads over 8 cores per
-// head group so co-requests never exceed the MSHR target capacity.
+// (h, g) of stream s is homed on core (g mod A) + A*((h+s) mod B).
+// For single-stream traces (s = 0) and Llama3-70B (G=8, 16 cores)
+// this reduces to (h*G+g) mod numCores; for Llama3-405B (G=16) it
+// splits the 16 query heads over 8 cores per head group so
+// co-requests never exceed the MSHR target capacity. In multi-stream
+// serving traces the stream index rotates each stream's head groups
+// across the B dimension, so concurrent decode requests spread over
+// the cores instead of piling onto the same homes.
 func NewAffinityPool(t *memtrace.Trace, numCores, groupSize, sharerLimit int) (*AffinityPool, error) {
 	if numCores <= 0 {
 		return nil, fmt.Errorf("sched: numCores must be positive, got %d", numCores)
@@ -114,7 +118,7 @@ func NewAffinityPool(t *memtrace.Trace, numCores, groupSize, sharerLimit int) (*
 		b = 1
 	}
 	for _, tb := range t.Blocks {
-		home := (tb.Meta.QHead % a) + a*(tb.Meta.Group%b)
+		home := (tb.Meta.QHead % a) + a*((tb.Meta.Group+tb.Meta.Stream)%b)
 		p.queues[home%numCores] = append(p.queues[home%numCores], tb)
 	}
 	// Interleave each core's streams tile-major: the core's windows
@@ -128,6 +132,9 @@ func NewAffinityPool(t *memtrace.Trace, numCores, groupSize, sharerLimit int) (*
 		sort.SliceStable(q, func(a, b int) bool {
 			if q[a].Meta.TileLo != q[b].Meta.TileLo {
 				return q[a].Meta.TileLo < q[b].Meta.TileLo
+			}
+			if q[a].Meta.Stream != q[b].Meta.Stream {
+				return q[a].Meta.Stream < q[b].Meta.Stream
 			}
 			if q[a].Meta.Group != q[b].Meta.Group {
 				return q[a].Meta.Group < q[b].Meta.Group

@@ -1,0 +1,311 @@
+// Package serving is the serving-scenario engine: it models an
+// inference server running many concurrent decode requests under a
+// continuous-batching scheduler on the paper's simulated hardware —
+// the production regime the single-operator figures of Section 6
+// deliberately isolate away.
+//
+// A scenario is a population of decode requests (per-request model,
+// prompt length, decode length, arrival cycle) plus a batch capacity.
+// The engine advances the server one token step at a time: the
+// per-token Logit (and optionally AV) operator traces of every
+// running stream are composed into one interleaved multi-stream
+// memory trace — each stream at its own address-space offset, so
+// streams contend realistically in the LLC, MSHRs and DRAM — and the
+// composed trace drives the cycle-level engine of internal/sim.
+// Requests are admitted FCFS at step boundaries whenever a batch slot
+// is free and retire when their decode budget is exhausted — the
+// iteration-granularity admission of continuous batching.
+//
+// The engine reports serving-level metrics the paper's figures do
+// not: aggregate decode throughput (tokens per kilocycle), per-token
+// latency percentiles (p50/p95/p99), queueing delay, and batch
+// occupancy, across the same throttle/arbiter policy matrix. Every
+// run is deterministic: the arrival process is fixed-seed
+// (splitmix64), the simulator is deterministic, and admission is
+// FCFS, so the same (scenario, config) pair always yields the same
+// Metrics.
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RequestStats is the per-request outcome of a serving run.
+type RequestStats struct {
+	ID           int
+	Model        string
+	ArrivalCycle int64
+	AdmitCycle   int64
+	FinishCycle  int64
+	QueueDelay   int64 // AdmitCycle - ArrivalCycle
+	Tokens       int   // tokens generated
+	FinalKVLen   int   // KV-cache length at retirement
+}
+
+// Percentiles summarises a latency sample in cycles.
+type Percentiles struct {
+	P50, P95, P99 float64
+	Mean          float64
+	Max           float64
+}
+
+func summarise(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	ps := stats.PercentileSet(xs, 50, 95, 99, 100)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return Percentiles{
+		P50:  ps[0],
+		P95:  ps[1],
+		P99:  ps[2],
+		Max:  ps[3],
+		Mean: sum / float64(len(xs)),
+	}
+}
+
+// Metrics is the outcome of one serving run.
+type Metrics struct {
+	Requests int
+	Tokens   int64
+	Steps    int64 // continuous-batching iterations executed
+	// Cycles is the busy time: the sum of every step's simulated
+	// cycles. Makespan additionally includes the idle gaps when the
+	// server was empty and waiting for arrivals.
+	Cycles   int64
+	Makespan int64
+	// TokensPerKCycle is the aggregate decode throughput:
+	// 1000 × Tokens / Makespan.
+	TokensPerKCycle float64
+	// MeanBatchOccupancy is the mean number of streams per step —
+	// Tokens / Steps, the continuous-batching utilisation.
+	MeanBatchOccupancy float64
+	// TokenLatency summarises per-token latency: every generated
+	// token's latency is the simulated length of the step that
+	// produced it (all streams of a step receive their token when the
+	// iteration completes).
+	TokenLatency Percentiles
+	// QueueDelay summarises per-request admission delay in cycles.
+	QueueDelay Percentiles
+	// Sim aggregates the cycle-level counters of every step and the
+	// hardware metrics derived from them (hit rates, bandwidth, t_cs)
+	// over the whole serving run.
+	Counters stats.Counters
+	Sim      stats.Metrics
+	// PerRequest holds one entry per request, in request-ID order.
+	PerRequest []RequestStats
+}
+
+// stream is one occupied batch slot.
+type stream struct {
+	req    Request
+	slot   int
+	kvLen  int
+	left   int
+	admit  int64
+	tokens int
+}
+
+// Run executes a serving scenario on the configured system. The
+// policy under evaluation is carried by cfg.Throttle / cfg.Arbiter,
+// exactly as in single-operator runs; every other cfg field describes
+// the hardware. The run is deterministic for a fixed (cfg, scn).
+func Run(cfg sim.Config, scn Scenario) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := make([]Request, len(scn.Requests))
+	copy(reqs, scn.Requests)
+	sortRequests(reqs)
+	stride, err := StreamStride(scn)
+	if err != nil {
+		return nil, err
+	}
+
+	slots := make([]*stream, scn.MaxBatch)
+	var (
+		queue      []Request // arrived, waiting for a slot (FCFS)
+		arrived    int       // reqs[:arrived] have entered the queue
+		finished   int
+		now        int64
+		m          = &Metrics{Requests: len(reqs)}
+		tokenLats  []float64
+		queueLats  []float64
+		perRequest = make([]RequestStats, len(reqs))
+		running    = make([]StreamState, 0, scn.MaxBatch)
+	)
+
+	for finished < len(reqs) {
+		// Arrivals up to the current step boundary enter the queue.
+		for arrived < len(reqs) && reqs[arrived].ArrivalCycle <= now {
+			queue = append(queue, reqs[arrived])
+			arrived++
+		}
+		// FCFS admission into the lowest free slot.
+		for len(queue) > 0 {
+			slot := -1
+			for i, s := range slots {
+				if s == nil {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				break
+			}
+			req := queue[0]
+			queue = queue[1:]
+			slots[slot] = &stream{
+				req:   req,
+				slot:  slot,
+				kvLen: req.PromptLen,
+				left:  req.DecodeTokens,
+				admit: now,
+			}
+			queueLats = append(queueLats, float64(now-req.ArrivalCycle))
+			perRequest[req.ID] = RequestStats{
+				ID:           req.ID,
+				Model:        req.Model.Name,
+				ArrivalCycle: req.ArrivalCycle,
+				AdmitCycle:   now,
+				QueueDelay:   now - req.ArrivalCycle,
+			}
+		}
+
+		// Empty server: fast-forward the wall clock to the next
+		// arrival instead of simulating idle steps.
+		running = running[:0]
+		for _, s := range slots {
+			if s != nil {
+				running = append(running, StreamState{
+					Slot:  s.slot,
+					Base:  uint64(s.slot) * stride,
+					Model: s.req.Model,
+					KVLen: s.kvLen,
+				})
+			}
+		}
+		if len(running) == 0 {
+			if arrived >= len(reqs) {
+				return nil, fmt.Errorf("serving: no runnable stream but %d requests unfinished", len(reqs)-finished)
+			}
+			now = reqs[arrived].ArrivalCycle
+			continue
+		}
+
+		// One continuous-batching iteration: every running stream
+		// decodes one token over the composed multi-stream trace.
+		tr, groupSize, err := ComposeStep(running, scn.IncludeAV, cfg.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := sim.New(cfg, tr, groupSize)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("serving: step %d: %w", m.Steps, err)
+		}
+		stepCycles := res.Cycles
+		now += stepCycles
+		m.Steps++
+		m.Cycles += stepCycles
+		m.Counters.Add(&res.Counters)
+
+		for i, s := range slots {
+			if s == nil {
+				continue
+			}
+			s.kvLen++
+			s.left--
+			s.tokens++
+			m.Tokens++
+			tokenLats = append(tokenLats, float64(stepCycles))
+			if s.left == 0 {
+				st := &perRequest[s.req.ID]
+				st.FinishCycle = now
+				st.Tokens = s.tokens
+				st.FinalKVLen = s.kvLen
+				slots[i] = nil
+				finished++
+			}
+		}
+	}
+
+	m.Makespan = now
+	if m.Makespan > 0 {
+		m.TokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)
+	}
+	if m.Steps > 0 {
+		m.MeanBatchOccupancy = float64(m.Tokens) / float64(m.Steps)
+	}
+	m.TokenLatency = summarise(tokenLats)
+	m.QueueDelay = summarise(queueLats)
+	// Counters.Cycles already equals m.Cycles: every step's Result
+	// carries its cycle count and Add accumulates it.
+	m.Sim = m.Counters.Derive(cfg.FreqGHz, cfg.LineBytes, cfg.NumCores)
+	m.PerRequest = perRequest
+	return m, nil
+}
+
+// String renders the headline serving metrics as an aligned block.
+func (m *Metrics) String() string {
+	return fmt.Sprintf(
+		"requests          %d\n"+
+			"tokens            %d\n"+
+			"steps             %d\n"+
+			"makespan          %d cycles\n"+
+			"throughput        %.4f tokens/kcycle\n"+
+			"batch occupancy   %.2f\n"+
+			"token latency     p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n"+
+			"queue delay       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n"+
+			"L2 hit rate       %.4f\n"+
+			"DRAM bandwidth    %.2f GB/s\n",
+		m.Requests, m.Tokens, m.Steps, m.Makespan,
+		m.TokensPerKCycle, m.MeanBatchOccupancy,
+		m.TokenLatency.P50, m.TokenLatency.P95, m.TokenLatency.P99, m.TokenLatency.Max,
+		m.QueueDelay.P50, m.QueueDelay.P95, m.QueueDelay.P99, m.QueueDelay.Max,
+		m.Sim.L2HitRate, m.Sim.DRAMBandwidthGB)
+}
+
+// DefaultScenario returns the stock mixed-sequence-length scenario
+// cmd/serve and the examples use: eight Llama3-70B requests at mixed
+// prompt lengths, decoding 4–8 tokens each, Poisson arrivals, batch
+// capacity four. scale divides the prompt-length range the way the
+// experiment harnesses divide sequence lengths (scale 1 = the
+// unscaled scenario; the default CLI scale is 8).
+func DefaultScenario(scale int) (Scenario, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	minP, maxP := 512/scale, 2048/scale
+	if minP < minKVLen {
+		minP = minKVLen
+	}
+	if maxP < minP {
+		maxP = minP
+	}
+	return NewScenario(ScenarioConfig{
+		Name:             fmt.Sprintf("default/scale%d", scale),
+		Seed:             1,
+		NumRequests:      8,
+		Models:           []workload.ModelConfig{workload.Llama3_70B},
+		MinPromptLen:     minP,
+		MaxPromptLen:     maxP,
+		MinDecode:        4,
+		MaxDecode:        8,
+		MeanInterArrival: 30000,
+		MaxBatch:         4,
+	})
+}

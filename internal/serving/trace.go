@@ -1,0 +1,177 @@
+// Multi-stream trace composition: each running decode stream
+// contributes the per-token trace of its own operator(s) at its own
+// address-space offset, and the composer interleaves the streams'
+// thread blocks round-robin so their memory traffic contends in the
+// LLC and DRAM the way concurrent requests do on real hardware.
+
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/memtrace"
+	"repro/internal/workload"
+)
+
+// streamAlign is the alignment of per-stream address regions: 4 MiB,
+// far above the DRAM row and channel-interleave granularity, so two
+// streams never share a cache line or DRAM row but still contend for
+// the same slices, MSHRs, rows and channels through the normal
+// address-interleaving functions.
+const streamAlign = 4 << 20
+
+// StreamState is one running decode stream at a token-step boundary:
+// which batch slot it occupies (and therefore where its KV cache
+// lives), which model it runs, and how long its KV cache currently
+// is.
+type StreamState struct {
+	Slot  int
+	Base  uint64 // address-space base of the stream's tensor region
+	Model workload.ModelConfig
+	KVLen int
+}
+
+// StreamStride returns the per-slot address-space stride for a
+// scenario: the largest tensor footprint any request reaches (Logit
+// tensors, plus the AV tensors when enabled), aligned up to the 4 MiB
+// stream region alignment. Slot i's region starts at i×stride; a
+// retired request's slot — and therefore its KV-cache region — is
+// reused by the next admitted request, the slot-reuse behaviour of a
+// real KV-cache allocator.
+func StreamStride(scn Scenario) (uint64, error) {
+	var stride uint64
+	for _, r := range scn.Requests {
+		op := workload.LogitOp{Model: r.Model, SeqLen: r.PromptLen + r.DecodeTokens}
+		amap, err := workload.NewAddressMap(op, 0)
+		if err != nil {
+			return 0, err
+		}
+		limit := amap.Limit
+		if scn.IncludeAV {
+			avop := workload.AVOp{Model: r.Model, SeqLen: op.SeqLen}
+			avmap, err := workload.NewAVAddressMap(avop, limit)
+			if err != nil {
+				return 0, err
+			}
+			limit = avmap.Limit
+		}
+		if limit > stride {
+			stride = limit
+		}
+	}
+	return (stride + streamAlign - 1) / streamAlign * streamAlign, nil
+}
+
+// FirstStep returns the stream states of the scenario's first token
+// step: the FCFS batch admitted at the earliest arrival boundary, up
+// to the batch capacity, each stream at its slot's address base. It
+// lives next to the engine so the admission logic cannot drift from
+// Run's first iteration; cmd/serve uses it to dump the first composed
+// step trace.
+func FirstStep(scn Scenario) ([]StreamState, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	stride, err := StreamStride(scn)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]Request, len(scn.Requests))
+	copy(reqs, scn.Requests)
+	sortRequests(reqs)
+	first := reqs[0].ArrivalCycle
+	var states []StreamState
+	for _, r := range reqs {
+		if len(states) >= scn.MaxBatch || r.ArrivalCycle > first {
+			break
+		}
+		states = append(states, StreamState{
+			Slot:  len(states),
+			Base:  uint64(len(states)) * stride,
+			Model: r.Model,
+			KVLen: r.PromptLen,
+		})
+	}
+	return states, nil
+}
+
+// ComposeStep builds the memory trace of one continuous-batching
+// token step: every stream's per-token operator trace is generated at
+// the stream's address base, stamped with the stream's slot, and the
+// streams' thread blocks are interleaved round-robin (stream 0 block
+// 0, stream 1 block 0, …, stream 0 block 1, …) so the composed
+// dispatch order alternates streams — concurrent decode requests, not
+// a concatenation of sequential ones.
+//
+// The returned group size is the largest G among the streams' models;
+// the affinity dispatcher uses it together with Meta.Stream to spread
+// the streams across cores.
+func ComposeStep(streams []StreamState, includeAV bool, lineBytes int) (*memtrace.Trace, int, error) {
+	if len(streams) == 0 {
+		return nil, 0, fmt.Errorf("serving: empty step")
+	}
+	perStream := make([][]*memtrace.ThreadBlock, len(streams))
+	groupSize := 0
+	name := ""
+	for i, st := range streams {
+		if st.Model.G > groupSize {
+			groupSize = st.Model.G
+		}
+		op := workload.LogitOp{Model: st.Model, SeqLen: st.KVLen}
+		amap, err := workload.NewAddressMap(op, st.Base)
+		if err != nil {
+			return nil, 0, err
+		}
+		mapping, _, err := dataflow.FindMapping(op, lineBytes)
+		if err != nil {
+			return nil, 0, err
+		}
+		tr, err := dataflow.Generate(op, amap, mapping, lineBytes)
+		if err != nil {
+			return nil, 0, err
+		}
+		blocks := tr.Blocks
+		if includeAV {
+			avop := workload.AVOp{Model: st.Model, SeqLen: st.KVLen}
+			avmap, err := workload.NewAVAddressMap(avop, amap.Limit)
+			if err != nil {
+				return nil, 0, err
+			}
+			avtr, err := dataflow.GenerateAV(avop, avmap, mapping, lineBytes)
+			if err != nil {
+				return nil, 0, err
+			}
+			blocks = append(blocks, avtr.Blocks...)
+		}
+		for _, tb := range blocks {
+			tb.Meta.Stream = st.Slot
+		}
+		perStream[i] = blocks
+		if name == "" {
+			name = tr.Name
+		}
+	}
+
+	out := &memtrace.Trace{Name: fmt.Sprintf("serve/%dstreams/%s", len(streams), name)}
+	total := 0
+	for _, blocks := range perStream {
+		total += len(blocks)
+	}
+	out.Blocks = make([]*memtrace.ThreadBlock, 0, total)
+	for j := 0; ; j++ {
+		appended := false
+		for i := range perStream {
+			if j < len(perStream[i]) {
+				tb := perStream[i][j]
+				tb.ID = len(out.Blocks)
+				out.Blocks = append(out.Blocks, tb)
+				appended = true
+			}
+		}
+		if !appended {
+			break
+		}
+	}
+	return out, groupSize, nil
+}

@@ -1,8 +1,9 @@
 // Package stats collects and derives the performance statistics the
-// LLaMCAT paper reports: execution cycles, cache-stall proportion
-// (t_cs), L2 hit rate, MSHR hit (merge) rate, MSHR entry utilisation
-// and DRAM bandwidth. It also provides the speedup and geometric-mean
-// helpers used by the experiment harness.
+// LLaMCAT paper reports (Section 6, Fig. 8): execution cycles,
+// cache-stall proportion (t_cs), L2 hit rate, MSHR hit (merge) rate,
+// MSHR entry utilisation and DRAM bandwidth. It also provides the
+// speedup, geometric-mean and percentile helpers used by the
+// experiment harnesses and the serving engine.
 package stats
 
 import (
@@ -184,6 +185,55 @@ func Speedup(baselineCycles, optimizedCycles int64) float64 {
 		return 0
 	}
 	return float64(baselineCycles) / float64(optimizedCycles)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest ranks (the definition NumPy
+// calls "linear"): rank = p/100 × (n−1), interpolated between the
+// surrounding order statistics. xs need not be sorted; it is not
+// modified. An empty input returns 0.
+//
+// The serving engine reports token-latency p50/p95/p99 through this
+// function, so its exact definition is part of the serving metrics
+// contract.
+func Percentile(xs []float64, p float64) float64 {
+	return PercentileSet(xs, p)[0]
+}
+
+// PercentileSet computes several percentiles in one pass over one
+// sorted copy — cheaper than repeated Percentile calls on large
+// latency samples.
+func PercentileSet(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	n := len(xs)
+	if n == 0 {
+		return out
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	switch {
+	case p <= 0:
+		return sorted[0]
+	case p >= 100:
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
 }
 
 // Geomean returns the geometric mean of xs. Non-positive entries are

@@ -158,3 +158,66 @@ func TestSortedKeys(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},            // median of an odd-length sample
+		{25, 20},            // rank 1 exactly
+		{75, 40},            // rank 3 exactly
+		{40, 29},            // rank 1.6: 20 + 0.6*(35-20)
+		{90, 46},            // rank 3.6: 40 + 0.6*(50-40)
+		{-5, 15}, {120, 50}, // clamped
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated or required sorted.
+	unsorted := []float64{3, 1, 2}
+	if got := Percentile(unsorted, 50); got != 2 {
+		t.Errorf("median of unsorted = %v, want 2", got)
+	}
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", unsorted)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty sample = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single sample = %v, want 7", got)
+	}
+	// Even-length median interpolates between the middle pair.
+	if got := Percentile([]float64{1, 2, 3, 4}, 50); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileSet(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	got := PercentileSet(xs, 0, 50, 100)
+	want := []float64{15, 35, 50}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("PercentileSet = %v, want %v", got, want)
+		}
+	}
+	if out := PercentileSet(nil, 50, 99); out[0] != 0 || out[1] != 0 {
+		t.Fatalf("empty PercentileSet = %v, want zeros", out)
+	}
+	// Set and single-call definitions agree.
+	for _, p := range []float64{10, 33, 50, 66, 90, 95, 99} {
+		if a, b := Percentile(xs, p), PercentileSet(xs, p)[0]; a != b {
+			t.Fatalf("Percentile(%v)=%v != PercentileSet=%v", p, a, b)
+		}
+	}
+}

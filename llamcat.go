@@ -10,17 +10,28 @@
 // unrolls an analytical dataflow mapping into memory traces driving a
 // cycle-level simulator.
 //
-// This package is the public facade. A minimal run:
+// This package is the public facade. A minimal single-operator run:
 //
 //	op := llamcat.Logit(llamcat.Llama3_70B, 8192)
 //	res, err := llamcat.Run(llamcat.DefaultConfig(), op, llamcat.PolicyDynMGBMA)
+//
+// Beyond the paper's single-operator cells, the repo also models the
+// serving regime: many concurrent decode requests under a
+// continuous-batching scheduler, composed into interleaved
+// multi-stream traces (see internal/serving). A minimal serving run:
+//
+//	scn, err := llamcat.DefaultServeScenario(8)
+//	m, err := llamcat.Serve(llamcat.DefaultConfig(), scn, llamcat.PolicyDynMGBMA)
 //
 // The internal packages implement the substrates: internal/dataflow
 // (Timeloop-like mapper + trace generation), internal/dram (DDR5 with
 // FR-FCFS), internal/llc (sliced L2 with arbiter, MSHR and queues),
 // internal/vcore (vector cores with instruction windows),
 // internal/throttle (dynmg, DYNCTA, LCS), internal/arbiter (FCFS, B,
-// MA, BMA, COBRRA) and internal/sim (the cycle engine).
+// MA, BMA, COBRRA), internal/sim (the cycle engine),
+// internal/serving (the continuous-batching serving engine) and
+// internal/experiments (the figure and serving-grid harnesses). See
+// docs/ARCHITECTURE.md for the layer map.
 package llamcat
 
 import (
@@ -29,6 +40,7 @@ import (
 	"repro/internal/arbiter"
 	"repro/internal/dataflow"
 	"repro/internal/memtrace"
+	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -220,4 +232,42 @@ func RunTrace(cfg Config, tr *memtrace.Trace, groupSize int, pol Policy) (Result
 // Speedup returns base.Cycles / opt.Cycles, the paper's metric.
 func Speedup(base, opt Result) float64 {
 	return stats.Speedup(base.Cycles, opt.Cycles)
+}
+
+// ServeScenario re-exports the serving workload: a population of
+// decode requests plus a continuous-batching capacity.
+type ServeScenario = serving.Scenario
+
+// ServeScenarioConfig re-exports the fixed-seed scenario generator's
+// parameters (request count, model mix, prompt/decode ranges, Poisson
+// arrival rate).
+type ServeScenarioConfig = serving.ScenarioConfig
+
+// ServeMetrics re-exports the serving-level result: tokens/kilocycle,
+// token-latency percentiles, queueing delay and the aggregated
+// hardware counters of the whole run.
+type ServeMetrics = serving.Metrics
+
+// NewServeScenario draws a serving scenario deterministically from a
+// seeded config — the same config always yields the same requests and
+// arrival times.
+func NewServeScenario(cfg ServeScenarioConfig) (ServeScenario, error) {
+	return serving.NewScenario(cfg)
+}
+
+// DefaultServeScenario returns the stock eight-request
+// mixed-sequence-length scenario at the given scale divisor (the
+// scenario cmd/serve runs by default).
+func DefaultServeScenario(scale int) (ServeScenario, error) {
+	return serving.DefaultScenario(scale)
+}
+
+// Serve runs a continuous-batching serving scenario under the given
+// policy: token step by token step, every running stream's per-token
+// operator trace composed into one interleaved multi-stream trace
+// driving the cycle engine. Deterministic for a fixed (cfg, scn, pol).
+func Serve(cfg Config, scn ServeScenario, pol Policy) (*ServeMetrics, error) {
+	cfg.Throttle = pol.Throttle
+	cfg.Arbiter = pol.Arbiter
+	return serving.Run(cfg, scn)
 }
