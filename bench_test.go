@@ -366,6 +366,94 @@ func BenchmarkAV_Extension(b *testing.B) {
 	}
 }
 
+// BenchmarkServe_Default runs the stock eight-request
+// continuous-batching scenario under the unoptimized baseline and the
+// full policy, reporting the serving-level headline numbers — the
+// serving performance trajectory BENCH_results.json tracks alongside
+// the figures.
+func BenchmarkServe_Default(b *testing.B) {
+	defer record(b)()
+	scale := benchScale()
+	scn, err := DefaultServeScenario(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		base, err := Serve(cfg, scn, PolicyUnopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := Serve(cfg, scn, PolicyDynMGBMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(base.TokensPerKCycle, "unopt-tok/kcyc")
+		b.ReportMetric(opt.TokensPerKCycle, "BMA-tok/kcyc")
+		b.ReportMetric(opt.TokenLatency.P99, "BMA-lat-p99")
+	}
+}
+
+// BenchmarkServe_Saturated runs a closed-batch (all requests at cycle
+// 0) scenario that keeps the batch full — the occupancy-bound serving
+// regime.
+func BenchmarkServe_Saturated(b *testing.B) {
+	defer record(b)()
+	scale := benchScale()
+	minP := 512 / scale
+	if minP < 16 {
+		minP = 16
+	}
+	scn, err := NewServeScenario(ServeScenarioConfig{
+		Name: "bench/saturated", Seed: 2, NumRequests: 8,
+		MinPromptLen: minP, MaxPromptLen: minP * 2,
+		MinDecode: 2, MaxDecode: 4,
+		MeanInterArrival: 0, MaxBatch: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		m, err := Serve(cfg, scn, PolicyDynMGBMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.MeanBatchOccupancy, "occupancy")
+		b.ReportMetric(m.QueueDelay.P99, "queue-p99")
+	}
+}
+
+// BenchmarkCluster_Smoke runs the stock fleet workload on a four-node
+// cluster under the balanced (power-of-two) and locality (affinity)
+// routers — the cluster layer's entry in the performance trajectory.
+func BenchmarkCluster_Smoke(b *testing.B) {
+	defer record(b)()
+	scale := benchScale()
+	scn, err := DefaultClusterScenario(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		p2c, err := ServeCluster(cfg, scn, 4, RouterPowerOfTwo, PolicyDynMGBMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		aff, err := ServeCluster(cfg, scn, 4, RouterSessionAffinity, PolicyDynMGBMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(p2c.FleetTokensPerKCycle, "p2c-tok/kcyc")
+		b.ReportMetric(p2c.LoadImbalance, "p2c-imbalance")
+		b.ReportMetric(aff.FleetTokensPerKCycle, "affinity-tok/kcyc")
+		b.ReportMetric(aff.LoadImbalance, "affinity-imbalance")
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator speed (simulated
 // cycles per second) — a property of the framework itself rather than
 // a paper figure, useful for regression tracking.

@@ -1,0 +1,208 @@
+// Command cluster runs fleet-scale serving scenarios: an open-loop
+// request stream dispatched by a router to N simulated nodes, each a
+// full continuous-batching engine on its own cycle-level simulator.
+// This is the production regime above cmd/serve — the question is no
+// longer only how one accelerator behaves under batched decode
+// traffic, but how routing policy spreads that traffic across a
+// fleet, and how the answer interacts with the paper's cache
+// arbitration/throttling policies running on every node.
+//
+//	cluster                                   # stock 16-request fleet, 4 routers × {1,2,4} nodes
+//	cluster -nodes 8 -routers p2c,affinity    # narrower matrix
+//	cluster -streams 32 -sessions 8 -rate 8000
+//	cluster -policy dynmg+BMA -model mix -av  # cache policy / workload knobs
+//
+// Workload flags (-streams, -sessions, -seqmin/-seqmax,
+// -tokmin/-tokmax, -rate, -seed) shape the fixed-seed request
+// population; -nodes and -routers shape the evaluation matrix;
+// -policy selects the cache-level (throttle+arbiter) policy every
+// node runs; -scale divides the prompt-length range and the L2 size
+// together, like every other harness. Runs are deterministic for a
+// fixed flag set at any -parallel width.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		streams  = flag.Int("streams", 16, "number of decode requests in the fleet scenario")
+		sessions = flag.Int("sessions", 4, "distinct sessions the requests are drawn from (0 = one per request)")
+		batch    = flag.Int("batch", 4, "per-node continuous-batching capacity")
+		nodes    = flag.String("nodes", "1,2,4", "comma-separated node counts to evaluate")
+		routers  = flag.String("routers", "all", "comma-separated router policies (round-robin, least-outstanding, p2c, affinity) or 'all'")
+		policy   = flag.String("policy", "dynmg+BMA", "cache policy every node runs (throttle+arbiter)")
+		model    = flag.String("model", "70b", "request model mix: 70b, 405b or mix")
+		seqmin   = flag.Int("seqmin", 0, "min prompt length (0 = 512/scale)")
+		seqmax   = flag.Int("seqmax", 0, "max prompt length (0 = 2048/scale)")
+		tokmin   = flag.Int("tokmin", 4, "min tokens decoded per request")
+		tokmax   = flag.Int("tokmax", 8, "max tokens decoded per request")
+		rate     = flag.Float64("rate", 15000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
+		seed     = flag.Uint64("seed", 1, "arrival-process seed")
+		av       = flag.Bool("av", false, "append the AV operator to every token step")
+		scale    = flag.Int("scale", 8, "divide default prompt lengths and the L2 size by this factor")
+		parallel = flag.Int("parallel", 0, "concurrent cells / node engines (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "stream per-cell progress to stderr")
+	)
+	flag.Parse()
+
+	if err := run(*streams, *sessions, *batch, *nodes, *routers, *policy, *model,
+		*seqmin, *seqmax, *tokmin, *tokmax, *rate, *seed, *av, *scale, *parallel, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func modelMix(name string) ([]workload.ModelConfig, error) {
+	switch name {
+	case "70b":
+		return []workload.ModelConfig{workload.Llama3_70B}, nil
+	case "405b":
+		return []workload.ModelConfig{workload.Llama3_405B}, nil
+	case "mix":
+		return []workload.ModelConfig{workload.Llama3_70B, workload.Llama3_405B}, nil
+	}
+	return nil, fmt.Errorf("unknown model mix %q", name)
+}
+
+// parseNodes reads the -nodes list, rejecting non-positive counts up
+// front — a zero node count would otherwise surface as a deep
+// simulator error (or, with a naive modulo router, a panic).
+func parseNodes(list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -nodes entry %q: %v", s, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("-nodes entries must be positive, got %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -nodes list")
+	}
+	return out, nil
+}
+
+func parseRouters(list string) ([]cluster.Policy, error) {
+	if list == "all" {
+		return cluster.Policies(), nil
+	}
+	var out []cluster.Policy
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		p, err := cluster.ParsePolicy(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -routers list")
+	}
+	return out, nil
+}
+
+func run(streams, sessions, batch int, nodeList, routerList, policy, model string,
+	seqmin, seqmax, tokmin, tokmax int, rate float64, seed uint64, av bool,
+	scale, parallel int, verbose bool) error {
+	// Validate the workload shape up front with flag-level messages
+	// instead of letting a deep generator or engine error (or hang)
+	// report it.
+	switch {
+	case streams <= 0:
+		return fmt.Errorf("-streams must be positive, got %d", streams)
+	case batch <= 0:
+		return fmt.Errorf("-batch must be positive, got %d", batch)
+	case sessions < 0:
+		return fmt.Errorf("-sessions must be non-negative, got %d", sessions)
+	case tokmin <= 0 || tokmax < tokmin:
+		return fmt.Errorf("decode range [-tokmin %d, -tokmax %d] invalid", tokmin, tokmax)
+	case rate < 0:
+		return fmt.Errorf("-rate must be non-negative, got %v", rate)
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	nodeCounts, err := parseNodes(nodeList)
+	if err != nil {
+		return err
+	}
+	routerPols, err := parseRouters(routerList)
+	if err != nil {
+		return err
+	}
+	pol, err := llamcat.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	models, err := modelMix(model)
+	if err != nil {
+		return err
+	}
+	// Computed defaults clamp to the mapping floor like
+	// cluster.DefaultScenario; explicit values are validated as given.
+	if seqmin == 0 {
+		if seqmin = 512 / scale; seqmin < 16 {
+			seqmin = 16
+		}
+	}
+	if seqmax == 0 {
+		if seqmax = 2048 / scale; seqmax < seqmin {
+			seqmax = seqmin
+		}
+	}
+	scn, err := cluster.NewScenario(cluster.ScenarioConfig{
+		ScenarioConfig: serving.ScenarioConfig{
+			Name:             fmt.Sprintf("%s/%dreq/seed%d", model, streams, seed),
+			Seed:             seed,
+			NumRequests:      streams,
+			Models:           models,
+			MinPromptLen:     seqmin,
+			MaxPromptLen:     seqmax,
+			MinDecode:        tokmin,
+			MaxDecode:        tokmax,
+			MeanInterArrival: rate,
+			MaxBatch:         batch,
+			IncludeAV:        av,
+		},
+		NumSessions: sessions,
+	})
+	if err != nil {
+		return err
+	}
+
+	base := sim.DefaultConfig()
+	opts := experiments.Options{Base: &base, Scale: scale, Parallel: parallel}
+	if verbose {
+		opts.Log = os.Stderr
+	}
+	grid, err := experiments.ClusterGrid(scn, nodeCounts, routerPols,
+		experiments.Policy{Label: policy, Throttle: pol.Throttle, Arbiter: pol.Arbiter}, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(grid.Render())
+	return nil
+}

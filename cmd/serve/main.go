@@ -76,6 +76,18 @@ func modelMix(name string) ([]workload.ModelConfig, error) {
 func run(streams, batch int, model string, seqmin, seqmax, tokmin, tokmax int,
 	rate float64, seed uint64, av bool, scale int, policyList string,
 	parallel int, verbose bool, dumptrace string) error {
+	// Validate the workload shape up front with flag-level messages
+	// instead of letting a deep generator or engine error report it.
+	switch {
+	case streams <= 0:
+		return fmt.Errorf("-streams must be positive, got %d", streams)
+	case batch <= 0:
+		return fmt.Errorf("-batch must be positive, got %d", batch)
+	case tokmin <= 0 || tokmax < tokmin:
+		return fmt.Errorf("decode range [-tokmin %d, -tokmax %d] invalid", tokmin, tokmax)
+	case rate < 0:
+		return fmt.Errorf("-rate must be non-negative, got %v", rate)
+	}
 	if scale <= 0 {
 		scale = 1
 	}

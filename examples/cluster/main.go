@@ -1,0 +1,48 @@
+// Cluster demonstrates the fleet-scale serving simulator through the
+// public facade: the stock sixteen-request, four-session workload
+// dispatched across a four-node fleet under each router policy,
+// reporting the fleet-level metrics a single node cannot — aggregate
+// fleet throughput, end-to-end latency including router queueing, and
+// the load-imbalance coefficient.
+//
+// The comparison makes the routing tradeoff concrete: round-robin and
+// least-outstanding spread load evenly (imbalance near 1) while
+// session affinity concentrates sessions on their home nodes
+// (imbalance above 1) — the price a prefix-cache-aware router pays in
+// tail latency on this cache-contention simulator.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	scn, err := llamcat.DefaultClusterScenario(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := llamcat.DefaultConfig()
+	cfg.L2SizeBytes /= 8 // shrink the cache with the prompt lengths
+
+	fmt.Printf("fleet workload: %d requests, %d tokens total, batch %d/node\n\n",
+		len(scn.Requests), scn.TotalTokens(), scn.MaxBatch)
+
+	const nodes = 4
+	for _, router := range []llamcat.RouterPolicy{
+		llamcat.RouterRoundRobin,
+		llamcat.RouterLeastOutstanding,
+		llamcat.RouterPowerOfTwo,
+		llamcat.RouterSessionAffinity,
+	} {
+		m, err := llamcat.ServeCluster(cfg, scn, nodes, router, llamcat.PolicyDynMGBMA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %d nodes, router %s ===\n%s\n", nodes, router, m)
+	}
+}

@@ -1,0 +1,264 @@
+// Package cluster is the cluster-scale serving simulator: a routed
+// fleet of N simulated nodes, each a full internal/serving
+// continuous-batching engine with its own cycle-level simulator
+// instance, behind a request router with pluggable load-balancing
+// policies (round-robin, least-outstanding-tokens, power-of-two
+// choices, session/prefix affinity).
+//
+// The run processes arrivals in global time order. For each arriving
+// request the router first advances every node's engine concurrently
+// (on the bounded worker pool of internal/pool) up to the arrival
+// cycle, then reads each node's outstanding-token load, picks a node
+// per policy, and dispatches. After the last dispatch the nodes drain
+// concurrently. Every node evolves only under its own goroutine and
+// all routing decisions happen sequentially between fan-outs, so a
+// cluster run is bit-reproducible at any worker-pool width.
+//
+// Reported metrics are fleet-level: aggregate tokens per kilocycle,
+// end-to-end latency percentiles (arrival at the router to last
+// token, so router-side queueing is included), per-node batch
+// occupancy, and a load-imbalance coefficient (max/mean over nodes of
+// outstanding tokens sampled at every routing decision).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pool"
+	"repro/internal/serving"
+	"repro/internal/sim"
+)
+
+// Options controls cluster execution.
+type Options struct {
+	// Parallel bounds how many node engines advance concurrently
+	// during a fleet fan-out (0 = as many workers as nodes). Results
+	// are bit-identical at any setting.
+	Parallel int
+}
+
+func (o Options) parallel(nodes int) int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return nodes
+}
+
+// RequestStats is one request's fleet-level outcome: the serving
+// outcome plus where it ran and its end-to-end latency.
+type RequestStats struct {
+	serving.RequestStats
+	Node    int
+	Session int
+	// E2ELatency is FinishCycle - ArrivalCycle: router queueing, node
+	// queueing and every decode step the request lived through.
+	E2ELatency int64
+}
+
+// Metrics is the outcome of one cluster run.
+type Metrics struct {
+	Nodes    int
+	Policy   string
+	Requests int
+	Tokens   int64
+	// Makespan is the fleet completion time: the latest node-local
+	// finish cycle on the shared global clock.
+	Makespan int64
+	// FleetTokensPerKCycle is the aggregate decode throughput of the
+	// whole fleet: 1000 × Tokens / Makespan.
+	FleetTokensPerKCycle float64
+	// MeanBatchOccupancy is the fleet-wide mean streams per executed
+	// step: ΣTokens / ΣSteps over nodes that ran at all.
+	MeanBatchOccupancy float64
+	// E2ELatency summarises per-request end-to-end latency (arrival at
+	// the router to final token), in request-ID order.
+	E2ELatency serving.Percentiles
+	// QueueDelay summarises per-request admission delay — arrival at
+	// the router until a batch slot on the assigned node — i.e. router
+	// plus node queueing, in request-ID order.
+	QueueDelay serving.Percentiles
+	// LoadImbalance is max over nodes / mean over nodes of the
+	// outstanding-token load accumulated across all routing-decision
+	// samples: 1.0 is a perfectly balanced fleet, N means one node
+	// carried everything.
+	LoadImbalance float64
+	// PerNode holds every node's full serving metrics, node order.
+	PerNode []*serving.Metrics
+	// PerRequest holds one entry per request, in request-ID order.
+	PerRequest []RequestStats
+}
+
+// Run executes a cluster scenario on nodes identical copies of the
+// configured system under the given router policy. The policy under
+// evaluation at the cache level is carried by cfg.Throttle /
+// cfg.Arbiter exactly as in serving runs. Deterministic for a fixed
+// (cfg, scn, nodes, pol) at any Options.Parallel.
+func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Metrics, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: node count must be positive, got %d", nodes)
+	}
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	// One fleet-wide stride, sized over the whole population: any node
+	// may receive any request, and a 1-node cluster must lay out
+	// memory exactly like the single-node serving run.
+	stride, err := serving.StreamStride(scn.ServingScenario())
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]*serving.Engine, nodes)
+	for i := range engines {
+		if engines[i], err = serving.NewEngine(cfg, scn.MaxBatch, scn.IncludeAV, stride); err != nil {
+			return nil, err
+		}
+	}
+
+	reqs := make([]Request, len(scn.Requests))
+	copy(reqs, scn.Requests)
+	sortRequests(reqs)
+
+	var (
+		rt          = newRouter(pol, nodes)
+		par         = opts.parallel(nodes)
+		outstanding = make([]int64, nodes)
+		loadAcc     = make([]float64, nodes) // outstanding-token integrals
+		sessionOf   = make([]int, len(reqs)) // by request ID (a permutation of [0, n))
+		horizon     int64                    // the fleet has already advanced to this cycle
+	)
+	for _, r := range reqs {
+		t := r.ArrivalCycle
+		// Fleet fan-out: every node progresses to the arrival horizon
+		// concurrently; each engine is touched only by its own index.
+		// Simultaneous arrivals share one fan-out — re-advancing to the
+		// same horizon is a no-op on every node (engines start at cycle
+		// 0, matching the initial horizon).
+		if t != horizon {
+			err := pool.ForEach(nodes, par, func(i int) error { return engines[i].AdvanceTo(t) })
+			if err != nil {
+				return nil, err
+			}
+			horizon = t
+		}
+		for i, e := range engines {
+			outstanding[i] = e.OutstandingTokens()
+		}
+		target := rt.pick(r, outstanding)
+		if err := engines[target].Submit(r.Request); err != nil {
+			return nil, err
+		}
+		sessionOf[r.ID] = r.Session
+		// Post-dispatch load sample: the routed request counts against
+		// its node, so a policy that piles work up is visibly imbalanced
+		// even on an otherwise idle fleet.
+		for i := range loadAcc {
+			s := outstanding[i]
+			if i == target {
+				s += int64(r.DecodeTokens)
+			}
+			loadAcc[i] += float64(s)
+		}
+	}
+	err = pool.ForEach(nodes, par, func(i int) error { return engines[i].Drain() })
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Metrics{
+		Nodes:    nodes,
+		Policy:   pol.String(),
+		Requests: len(reqs),
+		PerNode:  make([]*serving.Metrics, nodes),
+	}
+	var steps int64
+	for i, e := range engines {
+		nm := e.Metrics()
+		m.PerNode[i] = nm
+		m.Tokens += nm.Tokens
+		steps += nm.Steps
+		if nm.Makespan > m.Makespan {
+			m.Makespan = nm.Makespan
+		}
+	}
+	if m.Makespan > 0 {
+		m.FleetTokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)
+	}
+	if steps > 0 {
+		m.MeanBatchOccupancy = float64(m.Tokens) / float64(steps)
+	}
+
+	// Fleet-level per-request stats in request-ID order; IDs are a
+	// permutation of [0, n), so indexing by ID is total.
+	m.PerRequest = make([]RequestStats, len(reqs))
+	for i, nm := range m.PerNode {
+		for _, rs := range nm.PerRequest {
+			m.PerRequest[rs.ID] = RequestStats{
+				RequestStats: rs,
+				Node:         i,
+				Session:      sessionOf[rs.ID],
+				E2ELatency:   rs.FinishCycle - rs.ArrivalCycle,
+			}
+		}
+	}
+	e2e := make([]float64, len(reqs))
+	qd := make([]float64, len(reqs))
+	for i, rs := range m.PerRequest {
+		e2e[i] = float64(rs.E2ELatency)
+		qd[i] = float64(rs.QueueDelay)
+	}
+	m.E2ELatency = serving.Summarise(e2e)
+	m.QueueDelay = serving.Summarise(qd)
+	m.LoadImbalance = imbalance(loadAcc)
+	return m, nil
+}
+
+// imbalance returns max/mean over the per-node load integrals: 1 for
+// a perfectly balanced fleet, len(loads) when one node carried all of
+// it, 0 when the fleet saw no load samples at all.
+func imbalance(loads []float64) float64 {
+	var max, sum float64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(loads)))
+}
+
+// sortRequests orders requests by arrival cycle, ties by ID — the
+// global dispatch order of the router.
+func sortRequests(reqs []Request) {
+	sort.SliceStable(reqs, func(a, b int) bool {
+		if reqs[a].ArrivalCycle != reqs[b].ArrivalCycle {
+			return reqs[a].ArrivalCycle < reqs[b].ArrivalCycle
+		}
+		return reqs[a].ID < reqs[b].ID
+	})
+}
+
+// String renders the headline fleet metrics as an aligned block.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes             %d (router %s)\n", m.Nodes, m.Policy)
+	fmt.Fprintf(&b, "requests          %d\n", m.Requests)
+	fmt.Fprintf(&b, "tokens            %d\n", m.Tokens)
+	fmt.Fprintf(&b, "makespan          %d cycles\n", m.Makespan)
+	fmt.Fprintf(&b, "fleet throughput  %.4f tokens/kcycle\n", m.FleetTokensPerKCycle)
+	fmt.Fprintf(&b, "batch occupancy   %.2f\n", m.MeanBatchOccupancy)
+	fmt.Fprintf(&b, "load imbalance    %.3f (max/mean outstanding tokens)\n", m.LoadImbalance)
+	fmt.Fprintf(&b, "e2e latency       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
+		m.E2ELatency.P50, m.E2ELatency.P95, m.E2ELatency.P99, m.E2ELatency.Max)
+	fmt.Fprintf(&b, "queue delay       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
+		m.QueueDelay.P50, m.QueueDelay.P95, m.QueueDelay.P99, m.QueueDelay.Max)
+	for i, nm := range m.PerNode {
+		fmt.Fprintf(&b, "node %-2d           %d req  %d tok  occupancy %.2f  tok/kcyc %.4f\n",
+			i, nm.Requests, nm.Tokens, nm.MeanBatchOccupancy, nm.TokensPerKCycle)
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+// The request router: pluggable load-balancing policies deciding
+// which node serves each arriving request. Every policy is
+// deterministic — stateful ones (round-robin's cursor, power-of-two's
+// sampling stream) evolve from explicit seeds only, so a cluster run
+// is bit-reproducible.
+
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/serving"
+)
+
+// Kind enumerates the router policies.
+type Kind int
+
+const (
+	// RoundRobin dispatches request k to node k mod N — the
+	// state-oblivious baseline.
+	RoundRobin Kind = iota
+	// LeastOutstanding dispatches to the node with the fewest
+	// outstanding decode tokens (ties to the lowest node index) — the
+	// full-information greedy policy.
+	LeastOutstanding
+	// PowerOfTwo samples two nodes from a fixed-seed splitmix64 stream
+	// and dispatches to the less-loaded of the pair — the classic
+	// two-choices tradeoff between probe cost and balance.
+	PowerOfTwo
+	// SessionAffinity hashes the request's session to a node, so all
+	// requests of one session land on the same node — modelling
+	// KV/prefix-cache locality at the cost of load imbalance.
+	SessionAffinity
+)
+
+// String returns the canonical policy name ParsePolicy accepts.
+func (k Kind) String() string {
+	switch k {
+	case RoundRobin:
+		return "round-robin"
+	case LeastOutstanding:
+		return "least-outstanding"
+	case PowerOfTwo:
+		return "p2c"
+	case SessionAffinity:
+		return "affinity"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Policy is one router configuration: the policy kind plus the seed
+// of its sampling stream (PowerOfTwo only; the other kinds ignore
+// it).
+type Policy struct {
+	Kind Kind
+	Seed uint64
+}
+
+// String names the policy; the seed is shown only when it matters.
+func (p Policy) String() string {
+	if p.Kind == PowerOfTwo && p.Seed != 0 {
+		return fmt.Sprintf("%s/seed%d", p.Kind, p.Seed)
+	}
+	return p.Kind.String()
+}
+
+// ParsePolicy reads a router policy name: "round-robin" (or "rr"),
+// "least-outstanding" (or "lot"), "p2c" (or "power-of-two"),
+// "affinity" (or "session-affinity").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "round-robin", "rr":
+		return Policy{Kind: RoundRobin}, nil
+	case "least-outstanding", "lot":
+		return Policy{Kind: LeastOutstanding}, nil
+	case "p2c", "power-of-two":
+		return Policy{Kind: PowerOfTwo}, nil
+	case "affinity", "session-affinity":
+		return Policy{Kind: SessionAffinity}, nil
+	}
+	return Policy{}, fmt.Errorf("cluster: unknown router policy %q (want round-robin, least-outstanding, p2c or affinity)", s)
+}
+
+// Policies returns the four stock router policies in stable order.
+func Policies() []Policy {
+	return []Policy{
+		{Kind: RoundRobin},
+		{Kind: LeastOutstanding},
+		{Kind: PowerOfTwo},
+		{Kind: SessionAffinity},
+	}
+}
+
+// router is the dispatch state for one cluster run.
+type router struct {
+	pol   Policy
+	nodes int
+	rr    int          // round-robin cursor
+	rnd   serving.Rand // power-of-two sampling stream
+}
+
+func newRouter(pol Policy, nodes int) *router {
+	return &router{pol: pol, nodes: nodes, rnd: serving.Rand{State: pol.Seed}}
+}
+
+// pick chooses the node for one arriving request. outstanding[i] is
+// node i's outstanding decode tokens at the request's arrival cycle.
+func (r *router) pick(req Request, outstanding []int64) int {
+	switch r.pol.Kind {
+	case RoundRobin:
+		n := r.rr % r.nodes
+		r.rr++
+		return n
+	case LeastOutstanding:
+		best := 0
+		for i := 1; i < r.nodes; i++ {
+			if outstanding[i] < outstanding[best] {
+				best = i
+			}
+		}
+		return best
+	case PowerOfTwo:
+		a := r.rnd.Intn(r.nodes)
+		b := r.rnd.Intn(r.nodes)
+		if outstanding[b] < outstanding[a] || (outstanding[b] == outstanding[a] && b < a) {
+			return b
+		}
+		return a
+	case SessionAffinity:
+		return sessionNode(req.Session, r.nodes)
+	}
+	return 0
+}
+
+// sessionNode hashes a session to its home node with one splitmix64
+// finalisation step — stable across runs and node orderings.
+func sessionNode(session, nodes int) int {
+	h := serving.Rand{State: uint64(session)}
+	return int(h.Uint64() % uint64(nodes))
+}

@@ -1,0 +1,171 @@
+// Cluster workload construction: the fleet-level request population.
+// A cluster request is a serving request plus a session identifier —
+// the unit of KV/prefix-cache locality the session-affinity router
+// exploits. Generation is open-loop (arrivals are drawn from a fixed
+// Poisson process, independent of service progress) and fixed-seed
+// (splitmix64), so a (seed, config) pair always produces the same
+// fleet workload.
+
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// sessionSeedMix decorrelates the session-assignment stream from the
+// request-population stream drawn from the same user seed.
+const sessionSeedMix = 0x5e5510aded5eed
+
+// Request is one decode request arriving at the cluster router: the
+// serving request plus the session it belongs to. Requests of the
+// same session share prompt-prefix state, so routing them to the same
+// node models KV/prefix-cache locality.
+type Request struct {
+	serving.Request
+	Session int
+}
+
+// Scenario is a complete fleet workload: a request population in
+// arrival order plus the per-node continuous-batching capacity.
+type Scenario struct {
+	Name     string
+	Requests []Request
+	// MaxBatch is every node's continuous-batching capacity.
+	MaxBatch int
+	// IncludeAV appends the attention-value operator to every stream's
+	// per-token work on every node.
+	IncludeAV bool
+}
+
+// Validate checks the scenario. Request IDs must form a permutation
+// of [0, len(Requests)): the router uses them as indices into the
+// fleet-level result slice and as dispatch tie-breakers.
+func (s Scenario) Validate() error {
+	if len(s.Requests) == 0 {
+		return fmt.Errorf("cluster: scenario has no requests")
+	}
+	if s.MaxBatch <= 0 {
+		return fmt.Errorf("cluster: MaxBatch must be positive, got %d", s.MaxBatch)
+	}
+	seen := make([]bool, len(s.Requests))
+	for _, r := range s.Requests {
+		if err := r.Request.Validate(); err != nil {
+			return err
+		}
+		if r.Session < 0 {
+			return fmt.Errorf("cluster: request %d: Session must be non-negative, got %d", r.ID, r.Session)
+		}
+		if r.ID < 0 || r.ID >= len(s.Requests) {
+			return fmt.Errorf("cluster: request ID %d outside [0, %d)", r.ID, len(s.Requests))
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("cluster: duplicate request ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}
+
+// ServingScenario strips the cluster scenario down to the equivalent
+// single-node serving scenario (sessions dropped): the population a
+// 1-node cluster serves, and the address-space sizing input for every
+// node's StreamStride.
+func (s Scenario) ServingScenario() serving.Scenario {
+	reqs := make([]serving.Request, len(s.Requests))
+	for i, r := range s.Requests {
+		reqs[i] = r.Request
+	}
+	return serving.Scenario{
+		Name:      s.Name,
+		Requests:  reqs,
+		MaxBatch:  s.MaxBatch,
+		IncludeAV: s.IncludeAV,
+	}
+}
+
+// TotalTokens returns the number of tokens the fleet generates.
+func (s Scenario) TotalTokens() int64 {
+	var n int64
+	for _, r := range s.Requests {
+		n += int64(r.DecodeTokens)
+	}
+	return n
+}
+
+// ScenarioConfig parameterises the fixed-seed cluster workload
+// generator: the serving generator's population parameters plus the
+// session count.
+type ScenarioConfig struct {
+	serving.ScenarioConfig
+	// NumSessions is how many distinct sessions the population is drawn
+	// from; each request is assigned one uniformly. Zero means every
+	// request is its own session (no prefix locality to exploit).
+	NumSessions int
+}
+
+// NewScenario draws a cluster workload deterministically: the request
+// population comes from the serving generator (same splitmix64 stream,
+// so the same seed yields the same requests a single-node scenario
+// would see) and sessions are assigned from a second stream derived
+// from the seed.
+func NewScenario(cfg ScenarioConfig) (Scenario, error) {
+	if cfg.NumSessions < 0 {
+		return Scenario{}, fmt.Errorf("cluster: NumSessions must be non-negative, got %d", cfg.NumSessions)
+	}
+	base, err := serving.NewScenario(cfg.ScenarioConfig)
+	if err != nil {
+		return Scenario{}, err
+	}
+	r := serving.Rand{State: cfg.Seed ^ sessionSeedMix}
+	reqs := make([]Request, len(base.Requests))
+	for i, br := range base.Requests {
+		session := br.ID // NumSessions == 0: one session per request
+		if cfg.NumSessions > 0 {
+			session = r.Intn(cfg.NumSessions)
+		}
+		reqs[i] = Request{Request: br, Session: session}
+	}
+	return Scenario{
+		Name:      base.Name,
+		Requests:  reqs,
+		MaxBatch:  base.MaxBatch,
+		IncludeAV: base.IncludeAV,
+	}, nil
+}
+
+// DefaultScenario returns the stock fleet workload cmd/cluster and
+// the examples use: sixteen Llama3-70B requests across four sessions
+// at mixed prompt lengths, Poisson arrivals twice as dense as the
+// single-node default (a fleet serves heavier traffic), per-node
+// batch capacity four. scale divides the prompt-length range exactly
+// like serving.DefaultScenario.
+func DefaultScenario(scale int) (Scenario, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	minP, maxP := 512/scale, 2048/scale
+	if minP < 16 {
+		minP = 16
+	}
+	if maxP < minP {
+		maxP = minP
+	}
+	return NewScenario(ScenarioConfig{
+		ScenarioConfig: serving.ScenarioConfig{
+			Name:             fmt.Sprintf("cluster-default/scale%d", scale),
+			Seed:             1,
+			NumRequests:      16,
+			Models:           []workload.ModelConfig{workload.Llama3_70B},
+			MinPromptLen:     minP,
+			MaxPromptLen:     maxP,
+			MinDecode:        4,
+			MaxDecode:        8,
+			MeanInterArrival: 15000,
+			MaxBatch:         4,
+		},
+		NumSessions: 4,
+	})
+}

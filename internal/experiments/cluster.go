@@ -1,0 +1,149 @@
+// The cluster-scale grid: the routed multi-node fleet simulator run
+// across a router-policy × node-count matrix, the way ServeGrid runs
+// one scenario across the throttle/arbiter matrix. A cluster cell is
+// one complete fleet simulation; cells are independent and
+// deterministic, so the grid fans out across the shared bounded
+// worker pool with results in stable matrix order — and each cell's
+// own node fan-out is bit-reproducible at any width, so nesting the
+// two levels of parallelism never changes a number.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/pool"
+	"repro/internal/sim"
+)
+
+// ClusterCellSpec names one fleet simulation: a scenario on a node
+// count under a router policy and a cache policy, optionally with a
+// per-cell base configuration override.
+type ClusterCellSpec struct {
+	Scenario cluster.Scenario
+	Nodes    int
+	Router   cluster.Policy
+	// Pol is the cache-level (throttle, arbiter) policy every node
+	// runs.
+	Pol Policy
+	// Base optionally overrides the grid's base configuration for this
+	// cell (hardware sweeps under fleet load).
+	Base *sim.Config
+}
+
+// RunClusterCells executes every cluster cell across the bounded
+// worker pool and returns the metrics in input order. Options.Scale
+// divides the L2 size exactly like the figure and serving harnesses.
+// The Options.Parallel budget is split between the two nested
+// fan-outs — cells on the outer pool, node engines inside each cell —
+// so a wide grid never oversubscribes the CPU with cells × nodes
+// goroutines; both levels are order-stable, so the split never
+// changes a number.
+func RunClusterCells(cells []ClusterCellSpec, opts Options) ([]*cluster.Metrics, error) {
+	outer := opts.parallel()
+	if outer > len(cells) {
+		outer = len(cells)
+	}
+	inner := 1
+	if outer > 0 && opts.parallel()/outer > 1 {
+		inner = opts.parallel() / outer
+	}
+	results := make([]*cluster.Metrics, len(cells))
+	err := pool.ForEach(len(cells), outer, func(i int) error {
+		c := &cells[i]
+		cfg := opts.base()
+		if c.Base != nil {
+			cfg = *c.Base
+		}
+		cfg.L2SizeBytes /= opts.scale()
+		cfg.Throttle = c.Pol.Throttle
+		cfg.Arbiter = c.Pol.Arbiter
+		m, err := cluster.Run(cfg, c.Scenario, c.Nodes, c.Router, cluster.Options{Parallel: inner})
+		if err != nil {
+			return fmt.Errorf("cluster cell %s nodes=%d %s %s: %w",
+				c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
+		}
+		if opts.Log != nil {
+			logClusterCell(opts, c, m)
+		}
+		results[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+var clusterLogMu sync.Mutex
+
+func logClusterCell(opts Options, c *ClusterCellSpec, m *cluster.Metrics) {
+	clusterLogMu.Lock()
+	defer clusterLogMu.Unlock()
+	fmt.Fprintf(opts.Log,
+		"%-20s n=%-3d %-18s %-12s tok/kcyc=%.4f imb=%.3f e2e-p99=%.0f\n",
+		c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label,
+		m.FleetTokensPerKCycle, m.LoadImbalance, m.E2ELatency.P99)
+}
+
+// ClusterGridResult is one scenario evaluated across a node-count ×
+// router-policy matrix under one cache policy.
+type ClusterGridResult struct {
+	Scenario   cluster.Scenario
+	NodeCounts []int
+	Routers    []cluster.Policy
+	Pol        Policy
+	// Metrics[i][j] is NodeCounts[i] under Routers[j].
+	Metrics [][]*cluster.Metrics
+}
+
+// ClusterGrid runs one fleet scenario across every (node count,
+// router policy) cell of the matrix under a single cache policy and
+// collects the fleet metrics in matrix order. Deterministic at any
+// Options.Parallel; Options.Scale divides the L2 size (see
+// RunClusterCells).
+func ClusterGrid(scn cluster.Scenario, nodeCounts []int, routers []cluster.Policy, pol Policy, opts Options) (*ClusterGridResult, error) {
+	if len(nodeCounts) == 0 || len(routers) == 0 {
+		return nil, fmt.Errorf("cluster grid: empty node-count or router list")
+	}
+	cells := make([]ClusterCellSpec, 0, len(nodeCounts)*len(routers))
+	for _, n := range nodeCounts {
+		for _, r := range routers {
+			cells = append(cells, ClusterCellSpec{Scenario: scn, Nodes: n, Router: r, Pol: pol})
+		}
+	}
+	metrics, err := RunClusterCells(cells, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &ClusterGridResult{Scenario: scn, NodeCounts: nodeCounts, Routers: routers, Pol: pol}
+	out.Metrics = make([][]*cluster.Metrics, len(nodeCounts))
+	for i := range nodeCounts {
+		out.Metrics[i] = metrics[i*len(routers) : (i+1)*len(routers)]
+	}
+	return out, nil
+}
+
+// Render formats the grid as an aligned per-cell table of the
+// headline fleet metrics.
+func (g *ClusterGridResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d requests, %d tokens, batch %d/node, cache policy %s\n\n",
+		g.Scenario.Name, len(g.Scenario.Requests), g.Scenario.TotalTokens(),
+		g.Scenario.MaxBatch, g.Pol.Label)
+	fmt.Fprintf(&b, "%-6s %-18s %12s %10s %10s %10s %10s %10s %10s\n",
+		"nodes", "router", "tok/kcycle", "makespan", "e2e-p50", "e2e-p95", "e2e-p99", "queue-p99", "imbalance")
+	for i, n := range g.NodeCounts {
+		for j, r := range g.Routers {
+			m := g.Metrics[i][j]
+			fmt.Fprintf(&b, "%-6d %-18s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.3f\n",
+				n, r.String(), m.FleetTokensPerKCycle, m.Makespan,
+				m.E2ELatency.P50, m.E2ELatency.P95, m.E2ELatency.P99,
+				m.QueueDelay.P99, m.LoadImbalance)
+		}
+	}
+	return b.String()
+}

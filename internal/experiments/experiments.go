@@ -21,6 +21,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/hwcost"
 	"repro/internal/memtrace"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -146,7 +147,7 @@ func (r *Runner) RunCells(cells []CellSpec) ([]sim.Result, error) {
 		}
 	}
 	results := make([]sim.Result, len(cells))
-	err := forEach(len(cells), r.opts.parallel(), func(i int) error {
+	err := pool.ForEach(len(cells), r.opts.parallel(), func(i int) error {
 		res, err := r.runCell(&cells[i])
 		if err != nil {
 			c := &cells[i]
@@ -159,49 +160,6 @@ func (r *Runner) RunCells(cells []CellSpec) ([]sim.Result, error) {
 		return nil, err
 	}
 	return results, nil
-}
-
-// forEach runs fn(0..n-1) across a bounded worker pool and returns
-// the first error in input order (every index still runs). It is the
-// parallel spine shared by RunCells and the serving grid: each fn
-// writes only its own result slot, so output order — and therefore
-// every figure and table — is independent of the worker count.
-func forEach(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	errs := make([]error, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					errs[i] = fn(i)
-				}
-			}()
-		}
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func (r *Runner) runCell(c *CellSpec) (sim.Result, error) {

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/pool"
 	"repro/internal/serving"
 	"repro/internal/sim"
 )
@@ -37,7 +38,7 @@ type ServeCellSpec struct {
 // admitted and retired.
 func RunServeCells(cells []ServeCellSpec, opts Options) ([]*serving.Metrics, error) {
 	results := make([]*serving.Metrics, len(cells))
-	err := forEach(len(cells), opts.parallel(), func(i int) error {
+	err := pool.ForEach(len(cells), opts.parallel(), func(i int) error {
 		c := &cells[i]
 		cfg := opts.base()
 		if c.Base != nil {

@@ -1,0 +1,51 @@
+// Package pool provides the bounded deterministic worker pool that
+// fans independent simulation units across goroutines: the experiment
+// grids run matrix cells on it, and the cluster router advances its
+// per-node serving engines on it. Each unit writes only its own
+// result slot, so output order — and therefore every figure, table
+// and cluster metric — is independent of the worker count.
+package pool
+
+import "sync"
+
+// ForEach runs fn(0..n-1) across a bounded worker pool of the given
+// width and returns the first error in input order (every index still
+// runs). Width is clamped to [1, n]; width 1 degenerates to a plain
+// serial loop with no goroutines at all.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

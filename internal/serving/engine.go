@@ -1,0 +1,300 @@
+// The incremental continuous-batching engine: one server instance
+// that can be driven step by step. Run wraps it for whole-scenario
+// execution; the cluster router (internal/cluster) holds one Engine
+// per node and interleaves request admission with node progress, so
+// routing decisions can observe each node's load mid-flight.
+
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// stream is one occupied batch slot.
+type stream struct {
+	req    Request
+	slot   int
+	kvLen  int
+	left   int
+	admit  int64
+	tokens int
+}
+
+// Engine is one continuous-batching server advanced incrementally on
+// its own local clock. Requests are submitted in arrival order
+// (Submit), the clock is advanced to routing horizons (AdvanceTo) and
+// the remaining work is finished with Drain; Metrics can be read at
+// any step boundary. Driving an Engine with Submit-all-then-Drain is
+// exactly Run — the single-node serving semantics and the cluster's
+// per-node semantics are one implementation, which is what makes a
+// 1-node cluster bit-identical to a plain serving run.
+type Engine struct {
+	cfg       sim.Config
+	maxBatch  int
+	includeAV bool
+	stride    uint64
+
+	slots   []*stream
+	queue   []Request // arrival reached, waiting for a slot (FCFS)
+	pending []Request // submitted, arrival still ahead of the local clock
+	now     int64
+
+	steps      int64
+	cycles     int64
+	tokens     int64
+	counters   stats.Counters
+	tokenLats  []float64
+	queueLats  []float64
+	stats      []RequestStats // submit order
+	statIdx    map[int]int    // request ID -> index into stats
+	unfinished int
+	running    []StreamState // per-step scratch
+}
+
+// NewEngine builds an empty server: a batch capacity, the per-token
+// trace composition mode, and the per-slot address-space stride
+// (StreamStride of the request population the engine may receive — in
+// a cluster, of the whole fleet's population, so every node uses the
+// same address layout regardless of routing).
+func NewEngine(cfg sim.Config, maxBatch int, includeAV bool, stride uint64) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("serving: MaxBatch must be positive, got %d", maxBatch)
+	}
+	if stride == 0 || stride%streamAlign != 0 {
+		return nil, fmt.Errorf("serving: stride %d is not a positive multiple of the %d-byte stream alignment", stride, streamAlign)
+	}
+	return &Engine{
+		cfg:       cfg,
+		maxBatch:  maxBatch,
+		includeAV: includeAV,
+		stride:    stride,
+		slots:     make([]*stream, maxBatch),
+		statIdx:   make(map[int]int),
+		running:   make([]StreamState, 0, maxBatch),
+	}, nil
+}
+
+// Submit hands the engine one more request. Requests must arrive in
+// nondecreasing ArrivalCycle order (the global dispatch order of a
+// router, or the sorted order of a scenario) and carry unique IDs.
+func (e *Engine) Submit(req Request) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	if _, dup := e.statIdx[req.ID]; dup {
+		return fmt.Errorf("serving: duplicate request ID %d submitted", req.ID)
+	}
+	if n := len(e.pending); n > 0 && req.ArrivalCycle < e.pending[n-1].ArrivalCycle {
+		return fmt.Errorf("serving: request %d submitted out of arrival order (%d after %d)",
+			req.ID, req.ArrivalCycle, e.pending[n-1].ArrivalCycle)
+	}
+	e.statIdx[req.ID] = len(e.stats)
+	e.stats = append(e.stats, RequestStats{
+		ID:           req.ID,
+		Model:        req.Model.Name,
+		ArrivalCycle: req.ArrivalCycle,
+	})
+	e.pending = append(e.pending, req)
+	e.unfinished++
+	return nil
+}
+
+// admit moves pending arrivals up to the local clock into the FCFS
+// queue, then fills free batch slots lowest-index first — the
+// iteration-boundary admission of continuous batching.
+func (e *Engine) admit() {
+	for len(e.pending) > 0 && e.pending[0].ArrivalCycle <= e.now {
+		e.queue = append(e.queue, e.pending[0])
+		e.pending = e.pending[1:]
+	}
+	for len(e.queue) > 0 {
+		slot := -1
+		for i, s := range e.slots {
+			if s == nil {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			break
+		}
+		req := e.queue[0]
+		e.queue = e.queue[1:]
+		e.slots[slot] = &stream{
+			req:   req,
+			slot:  slot,
+			kvLen: req.PromptLen,
+			left:  req.DecodeTokens,
+			admit: e.now,
+		}
+		e.queueLats = append(e.queueLats, float64(e.now-req.ArrivalCycle))
+		st := &e.stats[e.statIdx[req.ID]]
+		st.AdmitCycle = e.now
+		st.QueueDelay = e.now - req.ArrivalCycle
+	}
+}
+
+func (e *Engine) runnable() bool {
+	for _, s := range e.slots {
+		if s != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// stepOnce executes one continuous-batching iteration: every running
+// stream decodes one token over the composed multi-stream trace on a
+// fresh cycle-level simulator instance. The caller guarantees at
+// least one slot is occupied.
+func (e *Engine) stepOnce() error {
+	e.running = e.running[:0]
+	for _, s := range e.slots {
+		if s != nil {
+			e.running = append(e.running, StreamState{
+				Slot:  s.slot,
+				Base:  uint64(s.slot) * e.stride,
+				Model: s.req.Model,
+				KVLen: s.kvLen,
+			})
+		}
+	}
+	tr, groupSize, err := ComposeStep(e.running, e.includeAV, e.cfg.LineBytes)
+	if err != nil {
+		return err
+	}
+	eng, err := sim.New(e.cfg, tr, groupSize)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return fmt.Errorf("serving: step %d: %w", e.steps, err)
+	}
+	stepCycles := res.Cycles
+	e.now += stepCycles
+	e.steps++
+	e.cycles += stepCycles
+	e.counters.Add(&res.Counters)
+
+	for i, s := range e.slots {
+		if s == nil {
+			continue
+		}
+		s.kvLen++
+		s.left--
+		s.tokens++
+		e.tokens++
+		e.tokenLats = append(e.tokenLats, float64(stepCycles))
+		if s.left == 0 {
+			st := &e.stats[e.statIdx[s.req.ID]]
+			st.FinishCycle = e.now
+			st.Tokens = s.tokens
+			st.FinalKVLen = s.kvLen
+			e.slots[i] = nil
+			e.unfinished--
+		}
+	}
+	return nil
+}
+
+// AdvanceTo runs iterations until the local clock reaches t or the
+// engine runs out of admissible work. A step that begins before t may
+// complete past it — an iteration is never split. An empty engine
+// fast-forwards only to submitted arrivals at or before t, never to t
+// itself, so an idle node's clock lags the global clock and admission
+// timing is unaffected by how often the router polls it.
+func (e *Engine) AdvanceTo(t int64) error {
+	for e.now < t && e.unfinished > 0 {
+		e.admit()
+		if !e.runnable() {
+			if len(e.pending) == 0 || e.pending[0].ArrivalCycle > t {
+				return nil
+			}
+			e.now = e.pending[0].ArrivalCycle
+			continue
+		}
+		if err := e.stepOnce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain runs the engine to completion: every submitted request
+// retires, with idle gaps fast-forwarded to the next arrival.
+func (e *Engine) Drain() error {
+	for e.unfinished > 0 {
+		e.admit()
+		if !e.runnable() {
+			if len(e.pending) == 0 {
+				return fmt.Errorf("serving: no runnable stream but %d requests unfinished", e.unfinished)
+			}
+			e.now = e.pending[0].ArrivalCycle
+			continue
+		}
+		if err := e.stepOnce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Now returns the engine's local clock: the completion cycle of the
+// last executed step (or the last idle fast-forward target).
+func (e *Engine) Now() int64 { return e.now }
+
+// Submitted returns how many requests the engine has received.
+func (e *Engine) Submitted() int { return len(e.stats) }
+
+// OutstandingTokens is the router's load signal: the decode tokens
+// the node still owes — remaining budgets of running streams plus the
+// full budgets of queued and not-yet-arrived submitted requests.
+func (e *Engine) OutstandingTokens() int64 {
+	var n int64
+	for _, s := range e.slots {
+		if s != nil {
+			n += int64(s.left)
+		}
+	}
+	for _, r := range e.queue {
+		n += int64(r.DecodeTokens)
+	}
+	for _, r := range e.pending {
+		n += int64(r.DecodeTokens)
+	}
+	return n
+}
+
+// Metrics finalises the statistics accumulated so far. PerRequest is
+// ordered by request ID. Calling it mid-run reports the work done so
+// far (unfinished requests keep zero Finish fields).
+func (e *Engine) Metrics() *Metrics {
+	m := &Metrics{
+		Requests: len(e.stats),
+		Tokens:   e.tokens,
+		Steps:    e.steps,
+		Cycles:   e.cycles,
+		Makespan: e.now,
+		Counters: e.counters,
+	}
+	if m.Makespan > 0 {
+		m.TokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)
+	}
+	if m.Steps > 0 {
+		m.MeanBatchOccupancy = float64(m.Tokens) / float64(m.Steps)
+	}
+	m.TokenLatency = Summarise(e.tokenLats)
+	m.QueueDelay = Summarise(e.queueLats)
+	m.Sim = e.counters.Derive(e.cfg.FreqGHz, e.cfg.LineBytes, e.cfg.NumCores)
+	m.PerRequest = append([]RequestStats(nil), e.stats...)
+	sort.Slice(m.PerRequest, func(a, b int) bool { return m.PerRequest[a].ID < m.PerRequest[b].ID })
+	return m
+}

@@ -168,7 +168,7 @@ func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 		}
 	}
 
-	r := rng{state: cfg.Seed}
+	r := Rand{State: cfg.Seed}
 	scn := Scenario{
 		Name:      cfg.Name,
 		MaxBatch:  cfg.MaxBatch,
@@ -178,13 +178,13 @@ func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 	var clock float64
 	for i := 0; i < cfg.NumRequests; i++ {
 		if cfg.MeanInterArrival > 0 {
-			clock += r.expFloat64() * cfg.MeanInterArrival
+			clock += r.ExpFloat64() * cfg.MeanInterArrival
 		}
 		scn.Requests = append(scn.Requests, Request{
 			ID:           i,
-			Model:        models[r.intn(len(models))],
-			PromptLen:    cfg.MinPromptLen + r.intn(cfg.MaxPromptLen-cfg.MinPromptLen+1),
-			DecodeTokens: cfg.MinDecode + r.intn(cfg.MaxDecode-cfg.MinDecode+1),
+			Model:        models[r.Intn(len(models))],
+			PromptLen:    cfg.MinPromptLen + r.Intn(cfg.MaxPromptLen-cfg.MinPromptLen+1),
+			DecodeTokens: cfg.MinDecode + r.Intn(cfg.MaxDecode-cfg.MinDecode+1),
 			ArrivalCycle: int64(clock),
 		})
 	}
@@ -206,32 +206,35 @@ func sortRequests(reqs []Request) {
 	})
 }
 
-// rng is a splitmix64 generator. The sequence is fixed by the
+// Rand is a splitmix64 generator. The sequence is fixed by the
 // algorithm itself (not by math/rand's implementation), so scenarios
 // are reproducible across Go releases — a requirement for the
-// fixed-seed determinism tests.
-type rng struct{ state uint64 }
+// fixed-seed determinism tests. It is exported so the cluster
+// workload generator and router draw from the same deterministic
+// stream family.
+type Rand struct{ State uint64 }
 
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
+// Uint64 advances the stream and returns the next 64-bit draw.
+func (r *Rand) Uint64() uint64 {
+	r.State += 0x9e3779b97f4a7c15
+	z := r.State
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
-// intn returns a uniform int in [0, n).
-func (r *rng) intn(n int) int {
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int {
 	if n <= 1 {
 		return 0
 	}
-	return int(r.next() % uint64(n))
+	return int(r.Uint64() % uint64(n))
 }
 
-// expFloat64 returns an exponentially distributed float with mean 1.
-func (r *rng) expFloat64() float64 {
+// ExpFloat64 returns an exponentially distributed float with mean 1.
+func (r *Rand) ExpFloat64() float64 {
 	// 53 uniform mantissa bits in (0, 1]; the +1 excludes zero so the
 	// log is finite.
-	u := float64(r.next()>>11+1) / (1 << 53)
+	u := float64(r.Uint64()>>11+1) / (1 << 53)
 	return -math.Log(u)
 }

@@ -53,7 +53,10 @@ type Percentiles struct {
 	Max           float64
 }
 
-func summarise(xs []float64) Percentiles {
+// Summarise reduces a latency sample (cycles) to its percentile
+// summary; exported for the cluster layer's fleet-level latency
+// aggregation.
+func Summarise(xs []float64) Percentiles {
 	if len(xs) == 0 {
 		return Percentiles{}
 	}
@@ -103,160 +106,40 @@ type Metrics struct {
 	PerRequest []RequestStats
 }
 
-// stream is one occupied batch slot.
-type stream struct {
-	req    Request
-	slot   int
-	kvLen  int
-	left   int
-	admit  int64
-	tokens int
-}
-
 // Run executes a serving scenario on the configured system. The
 // policy under evaluation is carried by cfg.Throttle / cfg.Arbiter,
 // exactly as in single-operator runs; every other cfg field describes
 // the hardware. The run is deterministic for a fixed (cfg, scn).
+//
+// Run is a thin wrapper over Engine: every request is submitted in
+// arrival order and the engine drained to completion — the same code
+// path a cluster node executes, interleaved with routing.
 func Run(cfg sim.Config, scn Scenario) (*Metrics, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := scn.Validate(); err != nil {
 		return nil, err
 	}
-	if err := scn.Validate(); err != nil {
+	stride, err := StreamStride(scn)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewEngine(cfg, scn.MaxBatch, scn.IncludeAV, stride)
+	if err != nil {
 		return nil, err
 	}
 	reqs := make([]Request, len(scn.Requests))
 	copy(reqs, scn.Requests)
 	sortRequests(reqs)
-	stride, err := StreamStride(scn)
-	if err != nil {
+	for _, r := range reqs {
+		if err := eng.Submit(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Drain(); err != nil {
 		return nil, err
 	}
-
-	slots := make([]*stream, scn.MaxBatch)
-	var (
-		queue      []Request // arrived, waiting for a slot (FCFS)
-		arrived    int       // reqs[:arrived] have entered the queue
-		finished   int
-		now        int64
-		m          = &Metrics{Requests: len(reqs)}
-		tokenLats  []float64
-		queueLats  []float64
-		perRequest = make([]RequestStats, len(reqs))
-		running    = make([]StreamState, 0, scn.MaxBatch)
-	)
-
-	for finished < len(reqs) {
-		// Arrivals up to the current step boundary enter the queue.
-		for arrived < len(reqs) && reqs[arrived].ArrivalCycle <= now {
-			queue = append(queue, reqs[arrived])
-			arrived++
-		}
-		// FCFS admission into the lowest free slot.
-		for len(queue) > 0 {
-			slot := -1
-			for i, s := range slots {
-				if s == nil {
-					slot = i
-					break
-				}
-			}
-			if slot < 0 {
-				break
-			}
-			req := queue[0]
-			queue = queue[1:]
-			slots[slot] = &stream{
-				req:   req,
-				slot:  slot,
-				kvLen: req.PromptLen,
-				left:  req.DecodeTokens,
-				admit: now,
-			}
-			queueLats = append(queueLats, float64(now-req.ArrivalCycle))
-			perRequest[req.ID] = RequestStats{
-				ID:           req.ID,
-				Model:        req.Model.Name,
-				ArrivalCycle: req.ArrivalCycle,
-				AdmitCycle:   now,
-				QueueDelay:   now - req.ArrivalCycle,
-			}
-		}
-
-		// Empty server: fast-forward the wall clock to the next
-		// arrival instead of simulating idle steps.
-		running = running[:0]
-		for _, s := range slots {
-			if s != nil {
-				running = append(running, StreamState{
-					Slot:  s.slot,
-					Base:  uint64(s.slot) * stride,
-					Model: s.req.Model,
-					KVLen: s.kvLen,
-				})
-			}
-		}
-		if len(running) == 0 {
-			if arrived >= len(reqs) {
-				return nil, fmt.Errorf("serving: no runnable stream but %d requests unfinished", len(reqs)-finished)
-			}
-			now = reqs[arrived].ArrivalCycle
-			continue
-		}
-
-		// One continuous-batching iteration: every running stream
-		// decodes one token over the composed multi-stream trace.
-		tr, groupSize, err := ComposeStep(running, scn.IncludeAV, cfg.LineBytes)
-		if err != nil {
-			return nil, err
-		}
-		eng, err := sim.New(cfg, tr, groupSize)
-		if err != nil {
-			return nil, err
-		}
-		res, err := eng.Run()
-		if err != nil {
-			return nil, fmt.Errorf("serving: step %d: %w", m.Steps, err)
-		}
-		stepCycles := res.Cycles
-		now += stepCycles
-		m.Steps++
-		m.Cycles += stepCycles
-		m.Counters.Add(&res.Counters)
-
-		for i, s := range slots {
-			if s == nil {
-				continue
-			}
-			s.kvLen++
-			s.left--
-			s.tokens++
-			m.Tokens++
-			tokenLats = append(tokenLats, float64(stepCycles))
-			if s.left == 0 {
-				st := &perRequest[s.req.ID]
-				st.FinishCycle = now
-				st.Tokens = s.tokens
-				st.FinalKVLen = s.kvLen
-				slots[i] = nil
-				finished++
-			}
-		}
-	}
-
-	m.Makespan = now
-	if m.Makespan > 0 {
-		m.TokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)
-	}
-	if m.Steps > 0 {
-		m.MeanBatchOccupancy = float64(m.Tokens) / float64(m.Steps)
-	}
-	m.TokenLatency = summarise(tokenLats)
-	m.QueueDelay = summarise(queueLats)
-	// Counters.Cycles already equals m.Cycles: every step's Result
-	// carries its cycle count and Add accumulates it.
-	m.Sim = m.Counters.Derive(cfg.FreqGHz, cfg.LineBytes, cfg.NumCores)
-	m.PerRequest = perRequest
-	return m, nil
+	// Counters.Cycles already equals Metrics.Cycles: every step's
+	// Result carries its cycle count and Add accumulates it.
+	return eng.Metrics(), nil
 }
 
 // String renders the headline serving metrics as an aligned block.

@@ -23,21 +23,31 @@
 //	scn, err := llamcat.DefaultServeScenario(8)
 //	m, err := llamcat.Serve(llamcat.DefaultConfig(), scn, llamcat.PolicyDynMGBMA)
 //
+// One layer further up, the cluster regime routes an open-loop
+// request stream across a fleet of such servers under a pluggable
+// load-balancing policy (see internal/cluster). A minimal fleet run:
+//
+//	fleet, err := llamcat.DefaultClusterScenario(8)
+//	cm, err := llamcat.ServeCluster(llamcat.DefaultConfig(), fleet, 4,
+//		llamcat.RouterPowerOfTwo, llamcat.PolicyDynMGBMA)
+//
 // The internal packages implement the substrates: internal/dataflow
 // (Timeloop-like mapper + trace generation), internal/dram (DDR5 with
 // FR-FCFS), internal/llc (sliced L2 with arbiter, MSHR and queues),
 // internal/vcore (vector cores with instruction windows),
 // internal/throttle (dynmg, DYNCTA, LCS), internal/arbiter (FCFS, B,
 // MA, BMA, COBRRA), internal/sim (the cycle engine),
-// internal/serving (the continuous-batching serving engine) and
-// internal/experiments (the figure and serving-grid harnesses). See
-// docs/ARCHITECTURE.md for the layer map.
+// internal/serving (the continuous-batching serving engine),
+// internal/cluster (the routed multi-node fleet simulator) and
+// internal/experiments (the figure, serving-grid and cluster-grid
+// harnesses). See docs/ARCHITECTURE.md for the layer map.
 package llamcat
 
 import (
 	"fmt"
 
 	"repro/internal/arbiter"
+	"repro/internal/cluster"
 	"repro/internal/dataflow"
 	"repro/internal/memtrace"
 	"repro/internal/serving"
@@ -270,4 +280,64 @@ func Serve(cfg Config, scn ServeScenario, pol Policy) (*ServeMetrics, error) {
 	cfg.Throttle = pol.Throttle
 	cfg.Arbiter = pol.Arbiter
 	return serving.Run(cfg, scn)
+}
+
+// ClusterScenario re-exports the fleet workload: a session-tagged
+// request population plus the per-node continuous-batching capacity.
+type ClusterScenario = cluster.Scenario
+
+// ClusterScenarioConfig re-exports the fixed-seed fleet workload
+// generator's parameters: the serving generator's population knobs
+// plus the session count.
+type ClusterScenarioConfig = cluster.ScenarioConfig
+
+// ClusterMetrics re-exports the fleet-level result: aggregate
+// tokens/kilocycle, end-to-end latency percentiles including router
+// queueing, per-node serving metrics and the load-imbalance
+// coefficient.
+type ClusterMetrics = cluster.Metrics
+
+// RouterPolicy re-exports the request-router policy (the
+// load-balancing decision, orthogonal to the cache-level Policy every
+// node runs).
+type RouterPolicy = cluster.Policy
+
+// The stock router policies.
+var (
+	RouterRoundRobin       = RouterPolicy{Kind: cluster.RoundRobin}
+	RouterLeastOutstanding = RouterPolicy{Kind: cluster.LeastOutstanding}
+	RouterPowerOfTwo       = RouterPolicy{Kind: cluster.PowerOfTwo}
+	RouterSessionAffinity  = RouterPolicy{Kind: cluster.SessionAffinity}
+)
+
+// ParseRouterPolicy reads a router policy name: "round-robin" ("rr"),
+// "least-outstanding" ("lot"), "p2c" ("power-of-two") or "affinity"
+// ("session-affinity").
+func ParseRouterPolicy(s string) (RouterPolicy, error) {
+	return cluster.ParsePolicy(s)
+}
+
+// NewClusterScenario draws a fleet workload deterministically from a
+// seeded config — the same config always yields the same requests,
+// sessions and arrival times.
+func NewClusterScenario(cfg ClusterScenarioConfig) (ClusterScenario, error) {
+	return cluster.NewScenario(cfg)
+}
+
+// DefaultClusterScenario returns the stock sixteen-request,
+// four-session fleet workload at the given scale divisor (the
+// scenario cmd/cluster runs by default).
+func DefaultClusterScenario(scale int) (ClusterScenario, error) {
+	return cluster.DefaultScenario(scale)
+}
+
+// ServeCluster runs a fleet serving scenario: an open-loop request
+// stream dispatched by the router policy to nodes identical
+// continuous-batching engines, every node running the cache-level
+// policy pol on its own cycle-level simulator. Deterministic for a
+// fixed (cfg, scn, nodes, router, pol) at any internal parallelism.
+func ServeCluster(cfg Config, scn ClusterScenario, nodes int, router RouterPolicy, pol Policy) (*ClusterMetrics, error) {
+	cfg.Throttle = pol.Throttle
+	cfg.Arbiter = pol.Arbiter
+	return cluster.Run(cfg, scn, nodes, router, cluster.Options{})
 }
