@@ -17,8 +17,13 @@
 // population; -nodes and -routers shape the evaluation matrix;
 // -policy selects the cache-level (throttle+arbiter) policy every
 // node runs; -scale divides the prompt-length range and the L2 size
-// together, like every other harness. Runs are deterministic for a
-// fixed flag set at any -parallel width.
+// together, like every other harness; -stepcache selects the
+// token-step fast path (on = signature memo shared across the fleet's
+// nodes and the grid's cells, nomemo = no memoized replay, off = the
+// naive reference pipeline); -cpuprofile/-memprofile capture pprof
+// profiles of the run. Runs are deterministic for a fixed flag set at
+// any -parallel width (modulo the step-cache hit-rate diagnostics,
+// which depend on fan-out timing).
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -38,28 +44,46 @@ import (
 
 func main() {
 	var (
-		streams  = flag.Int("streams", 16, "number of decode requests in the fleet scenario")
-		sessions = flag.Int("sessions", 4, "distinct sessions the requests are drawn from (0 = one per request)")
-		batch    = flag.Int("batch", 4, "per-node continuous-batching capacity")
-		nodes    = flag.String("nodes", "1,2,4", "comma-separated node counts to evaluate")
-		routers  = flag.String("routers", "all", "comma-separated router policies (round-robin, least-outstanding, p2c, affinity) or 'all'")
-		policy   = flag.String("policy", "dynmg+BMA", "cache policy every node runs (throttle+arbiter)")
-		model    = flag.String("model", "70b", "request model mix: 70b, 405b or mix")
-		seqmin   = flag.Int("seqmin", 0, "min prompt length (0 = 512/scale)")
-		seqmax   = flag.Int("seqmax", 0, "max prompt length (0 = 2048/scale)")
-		tokmin   = flag.Int("tokmin", 4, "min tokens decoded per request")
-		tokmax   = flag.Int("tokmax", 8, "max tokens decoded per request")
-		rate     = flag.Float64("rate", 15000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
-		seed     = flag.Uint64("seed", 1, "arrival-process seed")
-		av       = flag.Bool("av", false, "append the AV operator to every token step")
-		scale    = flag.Int("scale", 8, "divide default prompt lengths and the L2 size by this factor")
-		parallel = flag.Int("parallel", 0, "concurrent cells / node engines (0 = GOMAXPROCS)")
-		verbose  = flag.Bool("v", false, "stream per-cell progress to stderr")
+		streams    = flag.Int("streams", 16, "number of decode requests in the fleet scenario")
+		sessions   = flag.Int("sessions", 4, "distinct sessions the requests are drawn from (0 = one per request)")
+		batch      = flag.Int("batch", 4, "per-node continuous-batching capacity")
+		nodes      = flag.String("nodes", "1,2,4", "comma-separated node counts to evaluate")
+		routers    = flag.String("routers", "all", "comma-separated router policies (round-robin, least-outstanding, p2c, affinity) or 'all'")
+		policy     = flag.String("policy", "dynmg+BMA", "cache policy every node runs (throttle+arbiter)")
+		model      = flag.String("model", "70b", "request model mix: 70b, 405b or mix")
+		seqmin     = flag.Int("seqmin", 0, "min prompt length (0 = 512/scale)")
+		seqmax     = flag.Int("seqmax", 0, "max prompt length (0 = 2048/scale)")
+		tokmin     = flag.Int("tokmin", 4, "min tokens decoded per request")
+		tokmax     = flag.Int("tokmax", 8, "max tokens decoded per request")
+		rate       = flag.Float64("rate", 15000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
+		seed       = flag.Uint64("seed", 1, "arrival-process seed")
+		av         = flag.Bool("av", false, "append the AV operator to every token step")
+		scale      = flag.Int("scale", 8, "divide default prompt lengths and the L2 size by this factor")
+		parallel   = flag.Int("parallel", 0, "concurrent cells / node engines (0 = GOMAXPROCS)")
+		verbose    = flag.Bool("v", false, "stream per-cell progress to stderr")
+		stepcache  = flag.String("stepcache", "on", "token-step fast path: on, nomemo or off (the naive reference)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
-	if err := run(*streams, *sessions, *batch, *nodes, *routers, *policy, *model,
-		*seqmin, *seqmax, *tokmin, *tokmax, *rate, *seed, *av, *scale, *parallel, *verbose); err != nil {
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+
+	err = run(*streams, *sessions, *batch, *nodes, *routers, *policy, *model,
+		*seqmin, *seqmax, *tokmin, *tokmax, *rate, *seed, *av, *scale, *parallel,
+		*verbose, *stepcache)
+
+	// Flush the profiles before the error exit below: os.Exit skips
+	// defers, which would truncate them.
+	stopCPU()
+	if merr := profiling.WriteHeap(*memprofile); merr != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", merr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 		os.Exit(1)
 	}
@@ -126,7 +150,11 @@ func parseRouters(list string) ([]cluster.Policy, error) {
 
 func run(streams, sessions, batch int, nodeList, routerList, policy, model string,
 	seqmin, seqmax, tokmin, tokmax int, rate float64, seed uint64, av bool,
-	scale, parallel int, verbose bool) error {
+	scale, parallel int, verbose bool, stepcache string) error {
+	mode, err := serving.ParseStepCacheMode(stepcache)
+	if err != nil {
+		return err
+	}
 	// Validate the workload shape up front with flag-level messages
 	// instead of letting a deep generator or engine error (or hang)
 	// report it.
@@ -194,7 +222,7 @@ func run(streams, sessions, batch int, nodeList, routerList, policy, model strin
 	}
 
 	base := sim.DefaultConfig()
-	opts := experiments.Options{Base: &base, Scale: scale, Parallel: parallel}
+	opts := experiments.Options{Base: &base, Scale: scale, Parallel: parallel, StepCache: mode}
 	if verbose {
 		opts.Log = os.Stderr
 	}

@@ -17,8 +17,12 @@
 // -seed) shape the fixed-seed request population; trace flags (-av,
 // -dumptrace) control per-token trace composition; -scale divides the
 // prompt-length range and the L2 size together, preserving the
-// working-set-to-cache ratio exactly like the figure harnesses. Runs
-// are deterministic for a fixed flag set.
+// working-set-to-cache ratio exactly like the figure harnesses;
+// -stepcache selects the token-step fast path (on = signature memo +
+// resettable simulator, nomemo = no memoized replay, off = the naive
+// reference pipeline); -cpuprofile/-memprofile capture pprof profiles
+// of the run. Runs are deterministic for a fixed flag set (modulo the
+// step-cache hit-rate diagnostics, which depend on process history).
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -36,26 +41,43 @@ import (
 
 func main() {
 	var (
-		streams   = flag.Int("streams", 8, "number of decode requests in the scenario")
-		batch     = flag.Int("batch", 4, "continuous-batching capacity (concurrent streams)")
-		model     = flag.String("model", "70b", "request model mix: 70b, 405b or mix")
-		seqmin    = flag.Int("seqmin", 0, "min prompt length (0 = 512/scale)")
-		seqmax    = flag.Int("seqmax", 0, "max prompt length (0 = 2048/scale)")
-		tokmin    = flag.Int("tokmin", 4, "min tokens decoded per request")
-		tokmax    = flag.Int("tokmax", 8, "max tokens decoded per request")
-		rate      = flag.Float64("rate", 30000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
-		seed      = flag.Uint64("seed", 1, "arrival-process seed")
-		av        = flag.Bool("av", false, "append the AV operator to every token step")
-		scale     = flag.Int("scale", 8, "divide default prompt lengths and the L2 size by this factor")
-		policies  = flag.String("policies", "unopt,dynmg+BMA", "comma-separated policy list, e.g. unopt,dyncta,dynmg,dynmg+BMA")
-		parallel  = flag.Int("parallel", 0, "concurrent policy cells (0 = GOMAXPROCS)")
-		verbose   = flag.Bool("v", false, "stream per-cell progress to stderr")
-		dumptrace = flag.String("dumptrace", "", "write the first step's composed multi-stream trace to this file")
+		streams    = flag.Int("streams", 8, "number of decode requests in the scenario")
+		batch      = flag.Int("batch", 4, "continuous-batching capacity (concurrent streams)")
+		model      = flag.String("model", "70b", "request model mix: 70b, 405b or mix")
+		seqmin     = flag.Int("seqmin", 0, "min prompt length (0 = 512/scale)")
+		seqmax     = flag.Int("seqmax", 0, "max prompt length (0 = 2048/scale)")
+		tokmin     = flag.Int("tokmin", 4, "min tokens decoded per request")
+		tokmax     = flag.Int("tokmax", 8, "max tokens decoded per request")
+		rate       = flag.Float64("rate", 30000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
+		seed       = flag.Uint64("seed", 1, "arrival-process seed")
+		av         = flag.Bool("av", false, "append the AV operator to every token step")
+		scale      = flag.Int("scale", 8, "divide default prompt lengths and the L2 size by this factor")
+		policies   = flag.String("policies", "unopt,dynmg+BMA", "comma-separated policy list, e.g. unopt,dyncta,dynmg,dynmg+BMA")
+		parallel   = flag.Int("parallel", 0, "concurrent policy cells (0 = GOMAXPROCS)")
+		verbose    = flag.Bool("v", false, "stream per-cell progress to stderr")
+		dumptrace  = flag.String("dumptrace", "", "write the first step's composed multi-stream trace to this file")
+		stepcache  = flag.String("stepcache", "on", "token-step fast path: on, nomemo or off (the naive reference)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
-	if err := run(*streams, *batch, *model, *seqmin, *seqmax, *tokmin, *tokmax,
-		*rate, *seed, *av, *scale, *policies, *parallel, *verbose, *dumptrace); err != nil {
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+
+	err = run(*streams, *batch, *model, *seqmin, *seqmax, *tokmin, *tokmax,
+		*rate, *seed, *av, *scale, *policies, *parallel, *verbose, *dumptrace, *stepcache)
+
+	// Flush the profiles before the error exit below: os.Exit skips
+	// defers, which would truncate them.
+	stopCPU()
+	if merr := profiling.WriteHeap(*memprofile); merr != nil {
+		fmt.Fprintln(os.Stderr, "serve:", merr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
@@ -75,7 +97,11 @@ func modelMix(name string) ([]workload.ModelConfig, error) {
 
 func run(streams, batch int, model string, seqmin, seqmax, tokmin, tokmax int,
 	rate float64, seed uint64, av bool, scale int, policyList string,
-	parallel int, verbose bool, dumptrace string) error {
+	parallel int, verbose bool, dumptrace, stepcache string) error {
+	mode, err := serving.ParseStepCacheMode(stepcache)
+	if err != nil {
+		return err
+	}
 	// Validate the workload shape up front with flag-level messages
 	// instead of letting a deep generator or engine error report it.
 	switch {
@@ -151,7 +177,7 @@ func run(streams, batch int, model string, seqmin, seqmax, tokmin, tokmax int,
 
 	// Scale is applied by the grid runner (L2 size / scale), matching
 	// the figure harnesses.
-	opts := experiments.Options{Base: &base, Scale: scale, Parallel: parallel}
+	opts := experiments.Options{Base: &base, Scale: scale, Parallel: parallel, StepCache: mode}
 	if verbose {
 		opts.Log = os.Stderr
 	}

@@ -31,10 +31,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/throttle"
@@ -54,33 +53,19 @@ func main() {
 	)
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
 	}
 
-	err := run(*kind, *model, *seq, *scale, *parallel, *verbose)
+	err = run(*kind, *model, *seq, *scale, *parallel, *verbose)
 
-	if *memprofile != "" {
-		f, merr := os.Create(*memprofile)
-		if merr != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", merr)
-		} else {
-			runtime.GC()
-			if werr := pprof.WriteHeapProfile(f); werr != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", werr)
-			}
-			f.Close()
-		}
+	// Flush the profiles before the error exit below: os.Exit skips
+	// defers, which would truncate them.
+	stopCPU()
+	if merr := profiling.WriteHeap(*memprofile); merr != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", merr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)

@@ -123,6 +123,12 @@ func (h *HitBuffer) Contains(line uint64) bool {
 	return h.counts[line] > 0
 }
 
+// Reset empties the buffer, keeping the FIFO and index allocations.
+func (h *HitBuffer) Reset() {
+	h.fifo.Clear()
+	clear(h.counts)
+}
+
 // Len returns the number of recorded hits.
 func (h *HitBuffer) Len() int { return h.fifo.Len() }
 
@@ -172,6 +178,12 @@ func (s *SentReqs) refreshFront() {
 	}
 }
 
+// Reset empties the FIFO, keeping its allocation.
+func (s *SentReqs) Reset() {
+	s.fifo.Clear()
+	s.frontExpire = int64(math.MaxInt64)
+}
+
 // Expire drops entries whose visibility window has passed.
 func (s *SentReqs) Expire(now int64) {
 	if s.frontExpire > now {
@@ -189,17 +201,22 @@ func (s *SentReqs) Expire(now int64) {
 
 // ContainsMiss reports whether line is tracked by an entry that was
 // *not* speculated to be a cache hit — i.e. a request that will open
-// or merge into an MSHR entry.
+// or merge into an MSHR entry. It runs on the arbiter's per-request
+// hot path, so it walks the FIFO's raw segments instead of paying a
+// closure call per entry.
 func (s *SentReqs) ContainsMiss(line uint64) bool {
-	found := false
-	s.fifo.Scan(func(_ int, v sentReq) bool {
-		if !v.specHit && v.line == line {
-			found = true
-			return false
+	a, b := s.fifo.Segments()
+	for i := range a {
+		if !a[i].specHit && a[i].line == line {
+			return true
 		}
-		return true
-	})
-	return found
+	}
+	for i := range b {
+		if !b[i].specHit && b[i].line == line {
+			return true
+		}
+	}
+	return false
 }
 
 // PendingMisses counts tracked non-spec-hit entries for distinct
@@ -248,6 +265,11 @@ type Context struct {
 	// entry occupancy, so MA avoids selecting a request that would
 	// fail reservation and stall the pipeline. Nil means unknown.
 	TargetsFree func(line uint64) int
+	// MSHRView, when non-nil, fuses InMSHR and TargetsFree into one
+	// CAM scan: whether the line has an entry and its remaining merge
+	// capacity. The MA/BMA hot path prefers it; the separate funcs
+	// remain for callers (and tests) that provide only one view.
+	MSHRView func(line uint64) (present bool, targetsFree int)
 	// HitBuf and Sent are the speculative structures.
 	HitBuf *HitBuffer
 	Sent   *SentReqs
@@ -304,16 +326,20 @@ func (balancedPolicy) RespArb() RespArb { return RespQueueFirst }
 func (balancedPolicy) Select(q *ring.Ring[*memreq.Request], ctx *Context) (int, bool) {
 	best := 0
 	bestServed := int64(-1)
-	q.Scan(func(i int, r *memreq.Request) bool {
-		served := int64(0)
-		if r.Core >= 0 && r.Core < len(ctx.Served) {
-			served = ctx.Served[r.Core]
+	segA, segB := q.Segments()
+	idx := 0
+	for _, seg := range [2][]*memreq.Request{segA, segB} {
+		for _, r := range seg {
+			served := int64(0)
+			if r.Core >= 0 && r.Core < len(ctx.Served) {
+				served = ctx.Served[r.Core]
+			}
+			if bestServed < 0 || served < bestServed {
+				best, bestServed = idx, served
+			}
+			idx++
 		}
-		if bestServed < 0 || served < bestServed {
-			best, bestServed = i, served
-		}
-		return true
-	})
+	}
 	r := q.At(best)
 	return best, ctx.HitBuf != nil && ctx.HitBuf.Contains(r.Line)
 }
@@ -341,48 +367,72 @@ func (p maPolicy) Select(q *ring.Ring[*memreq.Request], ctx *Context) (int, bool
 		classOther = 2
 		classStall = 3 // in MSHR but target list full: selection would stall
 	)
+	// Single-request fast path: the selection is forced, only the
+	// speculative hit bit matters. Queues drain to one entry often in
+	// low-contention phases, so this skips the class ranking entirely.
+	if q.Len() == 1 {
+		return 0, ctx.HitBuf.Contains(q.At(0).Line)
+	}
 	best := -1
 	bestClass := classStall + 1
 	bestServed := int64(-1)
 	bestSpec := false
-	q.Scan(func(i int, r *memreq.Request) bool {
-		specHit := ctx.HitBuf.Contains(r.Line)
-		class := classOther
-		switch {
-		case specHit:
-			class = classHit
-		case ctx.InMSHR(r.Line):
-			class = classMSHR
-			if ctx.TargetsFree != nil && ctx.TargetsFree(r.Line) <= 0 {
-				class = classStall
+	segA, segB := q.Segments()
+	idx := 0
+	for _, seg := range [2][]*memreq.Request{segA, segB} {
+		for _, r := range seg {
+			i := idx
+			idx++
+			specHit := ctx.HitBuf.Contains(r.Line)
+			class := classOther
+			switch {
+			case specHit:
+				class = classHit
+			default:
+				var inMSHR bool
+				free := 1
+				if ctx.MSHRView != nil {
+					inMSHR, free = ctx.MSHRView(r.Line)
+				} else if ctx.InMSHR(r.Line) {
+					inMSHR = true
+					if ctx.TargetsFree != nil {
+						free = ctx.TargetsFree(r.Line)
+					}
+				}
+				switch {
+				case inMSHR:
+					class = classMSHR
+					if free <= 0 {
+						class = classStall
+					}
+				case ctx.Sent.ContainsMiss(r.Line):
+					class = classMSHR
+				}
 			}
-		case ctx.Sent.ContainsMiss(r.Line):
-			class = classMSHR
-		}
-		better := false
-		if class < bestClass {
-			better = true
-		} else if class == bestClass && p.balancedTie {
-			served := int64(0)
-			if r.Core >= 0 && r.Core < len(ctx.Served) {
-				served = ctx.Served[r.Core]
-			}
-			if served < bestServed {
+			better := false
+			if class < bestClass {
 				better = true
+			} else if class == bestClass && p.balancedTie {
+				served := int64(0)
+				if r.Core >= 0 && r.Core < len(ctx.Served) {
+					served = ctx.Served[r.Core]
+				}
+				if served < bestServed {
+					better = true
+				}
+			}
+			if best < 0 || better {
+				best = i
+				bestClass = class
+				bestSpec = specHit
+				if r.Core >= 0 && r.Core < len(ctx.Served) {
+					bestServed = ctx.Served[r.Core]
+				} else {
+					bestServed = 0
+				}
 			}
 		}
-		if best < 0 || better {
-			best = i
-			bestClass = class
-			bestSpec = specHit
-			if r.Core >= 0 && r.Core < len(ctx.Served) {
-				bestServed = ctx.Served[r.Core]
-			} else {
-				bestServed = 0
-			}
-		}
-		return true
-	})
+	}
 	return best, bestSpec
 }
 

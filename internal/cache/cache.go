@@ -171,32 +171,40 @@ func (c *Cache) AccountMisses(n int64) {
 func (c *Cache) Fill(line uint64, dirty bool) (victim uint64, victimDirty bool, evicted bool) {
 	si := c.setIndex(line)
 	set := c.sets[si]
-	// Already present (e.g. a racing fill): refresh state only.
+	// One pass gathers everything the fill can need: presence, the
+	// first free way, the LRU victim and the minimum resident LRU (for
+	// the streaming insertion position).
+	free := -1
+	lruSlot := 0
+	minLRU := ^uint64(0)
 	for i := range set {
 		w := &set[i]
-		if w.valid && w.tag == line {
+		if !w.valid {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if w.tag == line {
+			// Already present (e.g. a racing fill): refresh state only.
 			if dirty {
 				w.dirty = true
 			}
 			return 0, false, false
 		}
-	}
-	// Free way?
-	slot := -1
-	for i := range set {
-		if !set[i].valid {
-			slot = i
-			break
+		if w.lru < set[lruSlot].lru || !set[lruSlot].valid {
+			lruSlot = i
+		}
+		if w.lru < minLRU {
+			minLRU = w.lru
 		}
 	}
+	slot := free
 	if slot < 0 {
-		// Evict LRU.
-		slot = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lru < set[slot].lru {
-				slot = i
-			}
-		}
+		// Evict LRU. minLRU currently includes the victim; the
+		// streaming insertion position must exclude it, recomputed
+		// below only when needed.
+		slot = lruSlot
 		victim = set[slot].tag
 		victimDirty = set[slot].dirty
 		evicted = true
@@ -208,16 +216,17 @@ func (c *Cache) Fill(line uint64, dirty bool) (victim uint64, victimDirty bool, 
 	c.lruClock++
 	pos := c.lruClock
 	if c.cfg.Streaming && !dirty {
-		// Insert at LRU: use a position older than every resident way.
-		minLRU := ^uint64(0)
-		found := false
-		for i := range set {
-			if set[i].valid && i != slot && set[i].lru < minLRU {
-				minLRU = set[i].lru
-				found = true
+		// Insert at LRU: use a position older than every resident way
+		// (excluding the slot being replaced).
+		if evicted {
+			minLRU = ^uint64(0)
+			for i := range set {
+				if set[i].valid && i != slot && set[i].lru < minLRU {
+					minLRU = set[i].lru
+				}
 			}
 		}
-		if found {
+		if minLRU != ^uint64(0) {
 			if minLRU > 0 {
 				pos = minLRU - 1
 			} else {
@@ -242,6 +251,24 @@ func (c *Cache) Invalidate(line uint64) (wasDirty, wasPresent bool) {
 		}
 	}
 	return false, false
+}
+
+// Reset rewinds the cache to its just-constructed state — every way
+// invalidated, the replacement clock and the diagnostic counters
+// zeroed — without touching the backing storage, so a resettable
+// engine can reuse the allocation across runs.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+	c.lruClock = 0
+	c.Lookups = 0
+	c.Hits = 0
+	c.Misses = 0
+	c.Evictions = 0
+	c.DirtyEvictions = 0
 }
 
 // Occupancy returns the number of valid lines; a test/diagnostic hook.

@@ -37,6 +37,15 @@ type Options struct {
 	// during a fleet fan-out (0 = as many workers as nodes). Results
 	// are bit-identical at any setting.
 	Parallel int
+	// StepCache selects every node engine's token-step path (default
+	// on: signature memo + arena + resettable simulator; off = the
+	// naive reference). Simulated metrics are bit-identical either way.
+	StepCache serving.StepCacheMode
+	// Memo overrides the step memo shared by the fleet's node engines
+	// (nil = the process-wide serving.SharedStepMemo()). The fleet's
+	// nodes execute heavily overlapping step signatures, so sharing is
+	// where the cluster fast path earns its speedup.
+	Memo *serving.StepMemo
 }
 
 func (o Options) parallel(nodes int) int {
@@ -84,6 +93,12 @@ type Metrics struct {
 	// samples: 1.0 is a perfectly balanced fleet, N means one node
 	// carried everything.
 	LoadImbalance float64
+	// StepCache aggregates the per-node token-step fast-path
+	// diagnostics. Like serving.Metrics.StepCache it sits outside the
+	// bit-identity guarantees: concurrently advancing nodes race to
+	// publish shared signatures, so the hit/miss split depends on
+	// fan-out timing (the simulated metrics never do).
+	StepCache serving.StepCacheStats
 	// PerNode holds every node's full serving metrics, node order.
 	PerNode []*serving.Metrics
 	// PerRequest holds one entry per request, in request-ID order.
@@ -109,11 +124,26 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	if err != nil {
 		return nil, err
 	}
+	ropts := serving.RunOptions{StepCache: opts.StepCache, Memo: opts.Memo}
 	engines := make([]*serving.Engine, nodes)
+	// Prealloc a doubled per-node share of the population (capped at
+	// the whole scenario): a balanced router lands near 1/N per node,
+	// an imbalanced one (affinity) grows the one hot node dynamically —
+	// O(requests) fleet-wide either way, not O(nodes × requests).
+	reqShare := (len(scn.Requests) + nodes - 1) / nodes * 2
+	if reqShare > len(scn.Requests) {
+		reqShare = len(scn.Requests)
+	}
+	total := scn.TotalTokens()
+	tokShare := (total + int64(nodes) - 1) / int64(nodes) * 2
+	if tokShare > total {
+		tokShare = total
+	}
 	for i := range engines {
-		if engines[i], err = serving.NewEngine(cfg, scn.MaxBatch, scn.IncludeAV, stride); err != nil {
+		if engines[i], err = serving.NewEngineWith(cfg, scn.MaxBatch, scn.IncludeAV, stride, ropts); err != nil {
 			return nil, err
 		}
+		engines[i].Prealloc(reqShare, tokShare)
 	}
 
 	reqs := make([]Request, len(scn.Requests))
@@ -178,6 +208,7 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		m.PerNode[i] = nm
 		m.Tokens += nm.Tokens
 		steps += nm.Steps
+		m.StepCache.Add(nm.StepCache)
 		if nm.Makespan > m.Makespan {
 			m.Makespan = nm.Makespan
 		}
@@ -212,6 +243,16 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	m.QueueDelay = serving.Summarise(qd)
 	m.LoadImbalance = imbalance(loadAcc)
 	return m, nil
+}
+
+// StripStepCache zeroes the fleet-level and per-node step-cache
+// diagnostics, leaving only the bit-identical simulated metrics — the
+// form the determinism and equivalence tests compare.
+func (m *Metrics) StripStepCache() {
+	m.StepCache = serving.StepCacheStats{}
+	for _, nm := range m.PerNode {
+		nm.StripStepCache()
+	}
 }
 
 // imbalance returns max/mean over the per-node load integrals: 1 for
@@ -256,6 +297,10 @@ func (m *Metrics) String() string {
 		m.E2ELatency.P50, m.E2ELatency.P95, m.E2ELatency.P99, m.E2ELatency.Max)
 	fmt.Fprintf(&b, "queue delay       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
 		m.QueueDelay.P50, m.QueueDelay.P95, m.QueueDelay.P99, m.QueueDelay.Max)
+	fmt.Fprintf(&b, "step cache        memo %d/%d  optrace %d/%d  sim resets %d\n",
+		m.StepCache.MemoHits, m.StepCache.MemoHits+m.StepCache.MemoMisses,
+		m.StepCache.OpCacheHits, m.StepCache.OpCacheHits+m.StepCache.OpCacheMisses,
+		m.StepCache.SimResets)
 	for i, nm := range m.PerNode {
 		fmt.Fprintf(&b, "node %-2d           %d req  %d tok  occupancy %.2f  tok/kcyc %.4f\n",
 			i, nm.Requests, nm.Tokens, nm.MeanBatchOccupancy, nm.TokensPerKCycle)

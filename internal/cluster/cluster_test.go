@@ -55,6 +55,11 @@ func TestClusterParallelDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s parallel: %v", pol, err)
 		}
+		// StepCache counters are diagnostics outside the bit-identity
+		// contract: concurrently advancing nodes race to publish shared
+		// step signatures, so the hit/miss split depends on timing.
+		serial.StripStepCache()
+		parallel.StripStepCache()
 		if !reflect.DeepEqual(serial, parallel) {
 			t.Fatalf("%s: metrics differ between -parallel 1 and %d:\n%v\n%v", pol, wide, serial, parallel)
 		}
@@ -62,6 +67,7 @@ func TestClusterParallelDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s again: %v", pol, err)
 		}
+		again.StripStepCache()
 		if !reflect.DeepEqual(parallel, again) {
 			t.Fatalf("%s: repeated parallel runs disagree", pol)
 		}
@@ -113,11 +119,13 @@ func TestSingleNodeDegenerateEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	want.StripStepCache()
 	for _, pol := range Policies() {
 		m, err := Run(cfg, scn, 1, pol, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", pol, err)
 		}
+		m.StripStepCache()
 		if len(m.PerNode) != 1 {
 			t.Fatalf("%s: %d node metrics, want 1", pol, len(m.PerNode))
 		}

@@ -51,13 +51,28 @@ func GenerateAV(op workload.AVOp, amap *workload.AVAddressMap, m Mapping, lineBy
 		}
 	}
 	e0, e1, e2 := extent(m.TBOrder[0]), extent(m.TBOrder[1]), extent(m.TBOrder[2])
+	numBlocks := e0 * e1 * e2
 	trace := &memtrace.Trace{Name: op.Name() + "/" + orderString(m.TBOrder)}
-	trace.Blocks = make([]*memtrace.ThreadBlock, 0, e0*e1*e2)
+	trace.Blocks = make([]*memtrace.ThreadBlock, 0, numBlocks)
 
 	rowBytes := op.Model.D * op.Model.ElemBytes
 	vecPerRow := (rowBytes + m.VectorBytes - 1) / m.VectorBytes
 	accBytes := op.Model.D * op.Model.OutBytes
 	vecPerAcc := (accBytes + m.VectorBytes - 1) / m.VectorBytes
+
+	// Arena allocation, exactly like Generate: one block slab, one
+	// instruction slab sized by the per-tile instruction bound.
+	instTotal := 0
+	for lt := 0; lt < numLTiles; lt++ {
+		l0 := lt * tileL
+		l1 := l0 + tileL
+		if l1 > op.SeqLen {
+			l1 = op.SeqLen
+		}
+		instTotal += (vecPerAcc + 1 + (l1-l0)*vecPerRow + (l1 - l0) + 1) * op.Model.H * op.Model.G
+	}
+	blockArena := make([]memtrace.ThreadBlock, 0, numBlocks)
+	instArena := make([]memtrace.Inst, 0, instTotal)
 
 	id := 0
 	for i0 := 0; i0 < e0; i0++ {
@@ -83,11 +98,16 @@ func GenerateAV(op workload.AVOp, amap *workload.AVAddressMap, m Mapping, lineBy
 				if l1 > op.SeqLen {
 					l1 = op.SeqLen
 				}
-				tb := &memtrace.ThreadBlock{
+				blockArena = append(blockArena, memtrace.ThreadBlock{
 					ID:   id,
 					Meta: memtrace.Meta{Group: h, QHead: g, TileLo: l0, TileHi: l1},
-				}
+				})
+				tb := &blockArena[len(blockArena)-1]
 				id++
+				nInsts := vecPerAcc + 1 + (l1-l0)*vecPerRow + (l1 - l0) + 1
+				base := len(instArena)
+				instArena = instArena[:base+nInsts]
+				tb.Insts = instArena[base : base : base+nInsts]
 
 				// Accumulator read.
 				for v := 0; v < vecPerAcc; v++ {

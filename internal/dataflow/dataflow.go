@@ -338,14 +338,38 @@ func Generate(op workload.LogitOp, amap *workload.AddressMap, m Mapping, lineByt
 		}
 	}
 	e0, e1, e2 := extent(m.TBOrder[0]), extent(m.TBOrder[1]), extent(m.TBOrder[2])
+	numBlocks := e0 * e1 * e2
 	trace := &memtrace.Trace{Name: op.Name() + "/" + orderString(m.TBOrder)}
-	trace.Blocks = make([]*memtrace.ThreadBlock, 0, e0*e1*e2)
+	trace.Blocks = make([]*memtrace.ThreadBlock, 0, numBlocks)
 
 	rowBytes := op.Model.D * op.Model.ElemBytes
 	vecPerRow := (rowBytes + m.VectorBytes - 1) / m.VectorBytes
 	qBytes := op.Model.D * op.Model.ElemBytes
 	vecPerQ := (qBytes + m.VectorBytes - 1) / m.VectorBytes
 	outElemsPerLine := lineBytes / op.Model.OutBytes
+
+	// Arena allocation: every block header comes from one slab and
+	// every instruction from one contiguous slab, sized exactly by
+	// summing the per-tile instruction counts. Serving-regime callers
+	// generate thousands of small per-token traces (one per stream per
+	// kvLen), so 2×blocks+1 allocations per trace collapsing to 3
+	// matters there.
+	instTotal := 0
+	// Upper bound per tile, matching the per-block capacity estimate
+	// below (stores may come in under TBOutLines on the last tile).
+	instPerTile := func(l0, l1 int) int {
+		return vecPerQ + (l1-l0)*vecPerRow + (l1 - l0) + m.TBOutLines
+	}
+	for lt := 0; lt < numLTiles; lt++ {
+		l0 := lt * tileL
+		l1 := l0 + tileL
+		if l1 > op.SeqLen {
+			l1 = op.SeqLen
+		}
+		instTotal += instPerTile(l0, l1) * op.Model.H * op.Model.G
+	}
+	blockArena := make([]memtrace.ThreadBlock, 0, numBlocks)
+	instArena := make([]memtrace.Inst, 0, instTotal)
 
 	id := 0
 	for i0 := 0; i0 < e0; i0++ {
@@ -371,13 +395,18 @@ func Generate(op workload.LogitOp, amap *workload.AddressMap, m Mapping, lineByt
 				if l1 > op.SeqLen {
 					l1 = op.SeqLen
 				}
-				tb := &memtrace.ThreadBlock{
+				blockArena = append(blockArena, memtrace.ThreadBlock{
 					ID:   id,
 					Meta: memtrace.Meta{Group: h, QHead: g, TileLo: l0, TileHi: l1},
-				}
+				})
+				tb := &blockArena[len(blockArena)-1]
 				id++
 				nInsts := vecPerQ + (l1-l0)*vecPerRow + (l1 - l0) + m.TBOutLines
-				tb.Insts = make([]memtrace.Inst, 0, nInsts)
+				// Carve the block's window out of the instruction slab;
+				// appends below stay within its capacity.
+				base := len(instArena)
+				instArena = instArena[:base+nInsts]
+				tb.Insts = instArena[base : base : base+nInsts]
 
 				// Load the query head once per block.
 				for v := 0; v < vecPerQ; v++ {

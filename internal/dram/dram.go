@@ -221,6 +221,36 @@ func New(cfg Config, ctr *stats.Counters) (*DRAM, error) {
 // Config returns the model's configuration.
 func (d *DRAM) Config() Config { return d.cfg }
 
+// Reset rewinds the controller to its just-constructed state — empty
+// queues, precharged banks, fresh refresh schedule, cleared bus and
+// column history — reusing every allocation (queues, bank arrays,
+// tFAW windows), so a resettable engine pays no per-run construction.
+func (d *DRAM) Reset() {
+	for i := range d.channels {
+		ch := &d.channels[i]
+		ch.queue = ch.queue[:0]
+		for b := range ch.banks {
+			ch.banks[b] = bankState{activeRow: -1}
+		}
+		for r := range ch.actTimes {
+			ch.actTimes[r] = ch.actTimes[r][:0]
+		}
+		ch.busFree = 0
+		ch.nextRef = int64(d.cfg.Timing.TREFI)
+		ch.refUntil = 0
+		ch.refPending = false
+		ch.pendingWr = 0
+		ch.drainingWr = false
+		ch.lastColGroup = -1
+		ch.lastColCycle = 0
+		ch.lastColWrite = false
+		ch.wake = 0
+	}
+	d.resp = d.resp[:0]
+	d.respMinDone = math.MaxInt64
+	d.freed = false
+}
+
 // SetLazy toggles the per-channel wake-horizon scan skip (on by
 // default; the reference loop turns it off).
 func (d *DRAM) SetLazy(lazy bool) { d.lazy = lazy }

@@ -61,7 +61,8 @@ func RunClusterCells(cells []ClusterCellSpec, opts Options) ([]*cluster.Metrics,
 		cfg.L2SizeBytes /= opts.scale()
 		cfg.Throttle = c.Pol.Throttle
 		cfg.Arbiter = c.Pol.Arbiter
-		m, err := cluster.Run(cfg, c.Scenario, c.Nodes, c.Router, cluster.Options{Parallel: inner})
+		m, err := cluster.Run(cfg, c.Scenario, c.Nodes, c.Router,
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache})
 		if err != nil {
 			return fmt.Errorf("cluster cell %s nodes=%d %s %s: %w",
 				c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
@@ -84,9 +85,12 @@ func logClusterCell(opts Options, c *ClusterCellSpec, m *cluster.Metrics) {
 	clusterLogMu.Lock()
 	defer clusterLogMu.Unlock()
 	fmt.Fprintf(opts.Log,
-		"%-20s n=%-3d %-18s %-12s tok/kcyc=%.4f imb=%.3f e2e-p99=%.0f\n",
+		"%-20s n=%-3d %-18s %-12s tok/kcyc=%.4f imb=%.3f e2e-p99=%.0f memo=%d/%d optrace=%d/%d resets=%d\n",
 		c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label,
-		m.FleetTokensPerKCycle, m.LoadImbalance, m.E2ELatency.P99)
+		m.FleetTokensPerKCycle, m.LoadImbalance, m.E2ELatency.P99,
+		m.StepCache.MemoHits, m.StepCache.MemoHits+m.StepCache.MemoMisses,
+		m.StepCache.OpCacheHits, m.StepCache.OpCacheHits+m.StepCache.OpCacheMisses,
+		m.StepCache.SimResets)
 }
 
 // ClusterGridResult is one scenario evaluated across a node-count ×

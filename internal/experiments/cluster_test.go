@@ -46,6 +46,18 @@ func TestClusterGridParallelDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// StepCache counters are diagnostics outside the bit-identity
+	// contract (cells share the process-wide step memo).
+	for _, row := range serial.Metrics {
+		for _, m := range row {
+			m.StripStepCache()
+		}
+	}
+	for _, row := range parallel.Metrics {
+		for _, m := range row {
+			m.StripStepCache()
+		}
+	}
 	if !reflect.DeepEqual(serial.Metrics, parallel.Metrics) {
 		t.Fatal("cluster grid results depend on worker count")
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/hwcost"
 	"repro/internal/memtrace"
 	"repro/internal/pool"
+	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -43,6 +44,13 @@ type Options struct {
 	// single-threaded and deterministic, and results are collected in
 	// matrix order, so the output is bit-identical at any setting.
 	Parallel int
+	// StepCache selects the serving/cluster token-step path for the
+	// serving and cluster grids (default on). All cells of a grid share
+	// the process-wide step memo, so overlapping cells — the same fleet
+	// scenario across router policies or node counts — reuse each
+	// other's simulated steps. Simulated metrics are bit-identical at
+	// any setting.
+	StepCache serving.StepCacheMode
 }
 
 func (o Options) scale() int {

@@ -47,7 +47,7 @@ func RunServeCells(cells []ServeCellSpec, opts Options) ([]*serving.Metrics, err
 		cfg.L2SizeBytes /= opts.scale()
 		cfg.Throttle = c.Pol.Throttle
 		cfg.Arbiter = c.Pol.Arbiter
-		m, err := serving.Run(cfg, c.Scenario)
+		m, err := serving.RunWith(cfg, c.Scenario, serving.RunOptions{StepCache: opts.StepCache})
 		if err != nil {
 			return fmt.Errorf("serve cell %s %s: %w", c.Scenario.Name, c.Pol.Label, err)
 		}
@@ -69,9 +69,12 @@ func logServeCell(opts Options, c *ServeCellSpec, m *serving.Metrics) {
 	serveLogMu.Lock()
 	defer serveLogMu.Unlock()
 	fmt.Fprintf(opts.Log,
-		"%-20s %-12s tokens=%-5d steps=%-4d makespan=%-10d tok/kcyc=%.4f p50=%.0f p99=%.0f\n",
+		"%-20s %-12s tokens=%-5d steps=%-4d makespan=%-10d tok/kcyc=%.4f p50=%.0f p99=%.0f memo=%d/%d optrace=%d/%d resets=%d\n",
 		c.Scenario.Name, c.Pol.Label, m.Tokens, m.Steps, m.Makespan,
-		m.TokensPerKCycle, m.TokenLatency.P50, m.TokenLatency.P99)
+		m.TokensPerKCycle, m.TokenLatency.P50, m.TokenLatency.P99,
+		m.StepCache.MemoHits, m.StepCache.MemoHits+m.StepCache.MemoMisses,
+		m.StepCache.OpCacheHits, m.StepCache.OpCacheHits+m.StepCache.OpCacheMisses,
+		m.StepCache.SimResets)
 }
 
 // ServeGridResult is one scenario evaluated across a policy list.

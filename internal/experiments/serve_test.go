@@ -41,6 +41,14 @@ func TestServeGridParallelDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// StepCache counters are diagnostics outside the bit-identity
+	// contract (cells share the process-wide step memo).
+	for _, m := range serial.Metrics {
+		m.StripStepCache()
+	}
+	for _, m := range parallel.Metrics {
+		m.StripStepCache()
+	}
 	if !reflect.DeepEqual(serial.Metrics, parallel.Metrics) {
 		t.Fatal("serving grid results depend on worker count")
 	}

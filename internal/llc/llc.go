@@ -245,12 +245,52 @@ func New(cfg Config, net *noc.NoC, mem *dram.DRAM, pool *memreq.Pool, ctr *stats
 // decision.
 func (s *Slice) SetGlobalProgress(p []int64) { s.globalProgress = p }
 
+// Reset rewinds the slice to its just-constructed state, reusing every
+// allocation: storage, MSHR, the queues and pipeline (any leftover
+// requests are recycled into the shared pool), the speculative
+// structures and the per-core progress counters. A Reset slice is
+// indistinguishable from a fresh New.
+func (s *Slice) Reset() {
+	s.store.Reset()
+	s.mshr.Reset()
+	for {
+		r, ok := s.reqQ.Pop()
+		if !ok {
+			break
+		}
+		s.pool.Put(r)
+	}
+	for {
+		pe, ok := s.pipe.Pop()
+		if !ok {
+			break
+		}
+		s.pool.Put(pe.req)
+	}
+	s.respQ.Clear()
+	s.wbBuf.Clear()
+	s.hitBuf.Reset()
+	s.sent.Reset()
+	for i := range s.served {
+		s.served[i] = 0
+	}
+	s.pendingFills = s.pendingFills[:0]
+	clear(s.respLines)
+	s.hitResps.Clear()
+	s.hitRespMin = math.MaxInt64
+	s.deferred = s.deferred[:0]
+	s.altTurn = false
+	s.Bypasses = 0
+	s.profileValid = false
+}
+
 // initArbCtx builds the reusable arbiter context.
 func (s *Slice) initArbCtx() {
 	s.arbCtx = arbiter.Context{
 		Served:      s.served,
 		InMSHR:      func(line uint64) bool { return s.mshr.Lookup(line) >= 0 },
 		TargetsFree: func(line uint64) int { return s.mshr.TargetsFree(line) },
+		MSHRView:    s.mshr.View,
 		HitBuf:      s.hitBuf,
 		Sent:        s.sent,
 	}

@@ -11,7 +11,10 @@
 // entry's target list is full).
 package mshr
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Target is one requester waiting on an in-flight line: enough
 // information to route the data back to the issuing core.
@@ -64,12 +67,20 @@ func (r Result) String() string {
 
 // MSHR is one slice's miss file. The entry array is small (Table 5:
 // six entries per slice), so linear scans are both faithful to the
-// CAM hardware and fast.
+// CAM hardware and fast; a compact line/occupancy mirror keeps the
+// scan on one cache line for the arbiter's per-request lookups.
 type MSHR struct {
 	entries        []Entry
 	numTarget      int
 	used           int
 	releaseScratch []Target
+	// lines/occMask mirror the valid entries' line addresses so Lookup
+	// scans a dense uint64 array instead of the fat Entry structs — the
+	// software analogue of the CAM's dedicated tag array. The one-word
+	// mask covers files of up to 64 entries (Table 5 uses 6); larger
+	// research configurations fall back to the entry scan.
+	lines   []uint64
+	occMask uint64
 	// Counters.
 	Allocs     int64
 	Merges     int64
@@ -87,11 +98,28 @@ func New(numEntry, numTarget int) (*MSHR, error) {
 	if numTarget <= 0 {
 		return nil, fmt.Errorf("mshr: numTarget must be positive, got %d", numTarget)
 	}
-	m := &MSHR{entries: make([]Entry, numEntry), numTarget: numTarget}
+	m := &MSHR{entries: make([]Entry, numEntry), numTarget: numTarget, lines: make([]uint64, numEntry)}
 	for i := range m.entries {
 		m.entries[i].Targets = make([]Target, 0, numTarget)
 	}
 	return m, nil
+}
+
+// Reset rewinds the file to its just-constructed state: every entry
+// invalidated (target backing arrays kept) and the counters zeroed.
+func (m *MSHR) Reset() {
+	for i := range m.entries {
+		m.entries[i].Valid = false
+		m.entries[i].Targets = m.entries[i].Targets[:0]
+	}
+	m.occMask = 0
+	m.used = 0
+	m.Allocs = 0
+	m.Merges = 0
+	m.FailEntry = 0
+	m.FailTarget = 0
+	m.Releases = 0
+	m.PeakUsed = 0
 }
 
 // NumEntry returns the entry capacity.
@@ -105,12 +133,33 @@ func (m *MSHR) Used() int { return m.used }
 
 // Lookup returns the entry index holding line, or -1.
 func (m *MSHR) Lookup(line uint64) int {
-	for i := range m.entries {
-		if m.entries[i].Valid && m.entries[i].Line == line {
+	if len(m.entries) > 64 {
+		for i := range m.entries {
+			if m.entries[i].Valid && m.entries[i].Line == line {
+				return i
+			}
+		}
+		return -1
+	}
+	for mask := m.occMask; mask != 0; mask &= mask - 1 {
+		i := bits.TrailingZeros64(mask)
+		if m.lines[i] == line {
 			return i
 		}
 	}
 	return -1
+}
+
+// View combines Lookup and TargetsFree in one scan: whether line has
+// an entry, and the remaining merge capacity (full capacity when
+// absent — a new entry would be allocated). The MSHR-aware arbiter
+// calls both per queued request per selection; fusing them halves its
+// CAM traffic.
+func (m *MSHR) View(line uint64) (present bool, targetsFree int) {
+	if i := m.Lookup(line); i >= 0 {
+		return true, m.numTarget - len(m.entries[i].Targets)
+	}
+	return false, m.numTarget
 }
 
 // Reserve attempts to register a missing request: merge onto an
@@ -136,6 +185,8 @@ func (m *MSHR) Reserve(line uint64, tgt Target, now int64) (Result, int) {
 			e.Sent = false
 			e.Primary = tgt
 			e.Targets = e.Targets[:0]
+			m.lines[i] = line
+			m.occMask |= 1 << uint(i)
 			m.Allocs++
 			m.used++
 			if m.used > m.PeakUsed {
@@ -169,6 +220,7 @@ func (m *MSHR) Release(line uint64) ([]Target, bool) {
 	}
 	e := &m.entries[i]
 	e.Valid = false
+	m.occMask &^= 1 << uint(i)
 	m.used--
 	m.Releases++
 	m.releaseScratch = m.releaseScratch[:0]

@@ -106,6 +106,23 @@ func New(cfg Config, numCores, numSlices int, ctr *stats.Counters) (*NoC, error)
 	return n, nil
 }
 
+// Reset rewinds the interconnect to its just-constructed state: every
+// in-flight flit dropped (the caller owns request recycling; after a
+// drained run the queues are empty anyway) and the cached horizons and
+// epochs rewound, keeping all queue allocations.
+func (n *NoC) Reset() {
+	for i := range n.toSlice {
+		n.toSlice[i].Clear()
+	}
+	for i := range n.toCore {
+		n.toCore[i].Clear()
+	}
+	n.minRespArrive = math.MaxInt64
+	n.respDirty = false
+	n.spaceEpoch = 0
+	n.frontEpoch = 0
+}
+
 // CanSendReq reports whether the path toward a slice has buffer space.
 func (n *NoC) CanSendReq(slice int) bool {
 	return n.toSlice[slice].Len() < n.cfg.SliceBufCap

@@ -1,0 +1,50 @@
+// Package profiling centralises the -cpuprofile/-memprofile
+// scaffolding the CLI mains (cmd/sweep, cmd/serve, cmd/cluster)
+// share: start/stop of the pprof CPU profile with an explicit stop
+// closure — callable before an os.Exit error path, which a defer
+// would skip, truncating the profile — and the GC-then-write heap
+// snapshot.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns a stop closure
+// that flushes and closes the profile; it must be called before the
+// process exits (including error exits — do not rely on defers around
+// os.Exit). An empty path is a no-op returning a no-op closure.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap forces a GC and writes a heap profile to path. An empty
+// path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

@@ -128,6 +128,19 @@ func (r *Ring[T]) Scan(fn func(i int, v T) bool) {
 	}
 }
 
+// Segments returns the occupied region as (at most) two contiguous
+// slices in FIFO order — the zero-cost alternative to Scan for hot
+// loops that cannot afford a closure call per element. The slices
+// alias the ring's backing array and are valid until the next
+// mutation.
+func (r *Ring[T]) Segments() ([]T, []T) {
+	first := r.size
+	if wrap := r.head + r.size - len(r.buf); wrap > 0 {
+		first = r.size - wrap
+	}
+	return r.buf[r.head : r.head+first], r.buf[:r.size-first]
+}
+
 // Clear empties the ring.
 func (r *Ring[T]) Clear() {
 	var zero T
@@ -173,4 +186,16 @@ func (q *Queue[T]) PopFront() {
 		q.buf = q.buf[:0]
 		q.head = 0
 	}
+}
+
+// Clear empties the queue, zeroing the live elements so pointer
+// payloads do not pin their referents, and keeps the backing array for
+// reuse — the reset path of a rewindable simulator component.
+func (q *Queue[T]) Clear() {
+	var zero T
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = zero
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
 }

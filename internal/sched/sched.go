@@ -43,6 +43,13 @@ func NewGlobalPool(t *memtrace.Trace) *GlobalPool {
 	return &GlobalPool{blocks: t.Blocks}
 }
 
+// Reload rewinds the dispatcher onto a new trace — the resettable
+// engine's path for reusing one pool across runs.
+func (p *GlobalPool) Reload(t *memtrace.Trace) {
+	p.blocks = t.Blocks
+	p.next = 0
+}
+
 // Next implements Pool.
 func (p *GlobalPool) Next(core int) (*memtrace.ThreadBlock, bool) {
 	if p.next >= len(p.blocks) {
@@ -97,15 +104,29 @@ func NewAffinityPool(t *memtrace.Trace, numCores, groupSize, sharerLimit int) (*
 	if groupSize <= 0 {
 		return nil, fmt.Errorf("sched: groupSize must be positive, got %d", groupSize)
 	}
-	if sharerLimit <= 0 {
-		sharerLimit = numCores
-	}
 	p := &AffinityPool{
-		queues:    make([][]*memtrace.ThreadBlock, numCores),
-		heads:     make([]int, numCores),
-		numCores:  numCores,
-		groupSize: groupSize,
+		queues:   make([][]*memtrace.ThreadBlock, numCores),
+		heads:    make([]int, numCores),
+		numCores: numCores,
 	}
+	p.Reload(t, groupSize, sharerLimit)
+	return p, nil
+}
+
+// Reload rewinds the dispatcher onto a new trace (and group size),
+// reusing the per-core queue backings — the resettable engine's path
+// for reusing one pool across runs. A reloaded pool is
+// indistinguishable from a fresh NewAffinityPool.
+func (p *AffinityPool) Reload(t *memtrace.Trace, groupSize, sharerLimit int) {
+	if sharerLimit <= 0 {
+		sharerLimit = p.numCores
+	}
+	p.groupSize = groupSize
+	for c := range p.queues {
+		p.queues[c] = p.queues[c][:0]
+		p.heads[c] = 0
+	}
+	numCores := p.numCores
 	a := groupSize
 	if a > numCores {
 		a = numCores
@@ -143,7 +164,7 @@ func NewAffinityPool(t *memtrace.Trace, numCores, groupSize, sharerLimit int) (*
 		})
 	}
 	p.remaining = len(t.Blocks)
-	return p, nil
+	p.Steals = 0
 }
 
 // Next implements Pool: own queue first, then steal from the
@@ -206,11 +227,21 @@ func NewPartitionedPool(t *memtrace.Trace, numCores int) (*PartitionedPool, erro
 		queues: make([][]*memtrace.ThreadBlock, numCores),
 		heads:  make([]int, numCores),
 	}
+	p.Reload(t)
+	return p, nil
+}
+
+// Reload rewinds the dispatcher onto a new trace, reusing the per-core
+// queue backings.
+func (p *PartitionedPool) Reload(t *memtrace.Trace) {
+	for c := range p.queues {
+		p.queues[c] = p.queues[c][:0]
+		p.heads[c] = 0
+	}
 	for i, tb := range t.Blocks {
-		p.queues[i%numCores] = append(p.queues[i%numCores], tb)
+		p.queues[i%len(p.queues)] = append(p.queues[i%len(p.queues)], tb)
 	}
 	p.remaining = len(t.Blocks)
-	return p, nil
 }
 
 // Next implements Pool: strictly the core's own queue.

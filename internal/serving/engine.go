@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/memtrace"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -53,14 +54,39 @@ type Engine struct {
 	statIdx    map[int]int    // request ID -> index into stats
 	unfinished int
 	running    []StreamState // per-step scratch
+
+	// Token-step fast path (see stepcache.go). mode selects the path;
+	// memo is the shared signature memo; simEng is the persistent
+	// resettable simulator; the remaining fields are per-engine reusable
+	// buffers: the signature key builder, the canonicalization scratch,
+	// the per-stream block table, the block arena and the composed step
+	// trace.
+	mode       StepCacheMode
+	memo       *StepMemo
+	sigPrefix  string
+	sigBuf     []byte
+	sigScratch []StreamState
+	perStream  [][]*memtrace.ThreadBlock
+	blockArena []memtrace.ThreadBlock
+	stepTrace  memtrace.Trace
+	simEng     *sim.Engine
+	cacheStats StepCacheStats
 }
 
 // NewEngine builds an empty server: a batch capacity, the per-token
 // trace composition mode, and the per-slot address-space stride
 // (StreamStride of the request population the engine may receive — in
 // a cluster, of the whole fleet's population, so every node uses the
-// same address layout regardless of routing).
+// same address layout regardless of routing). The engine runs the
+// default fast path (StepCacheOn, shared memo); NewEngineWith selects
+// another mode or memo.
 func NewEngine(cfg sim.Config, maxBatch int, includeAV bool, stride uint64) (*Engine, error) {
+	return NewEngineWith(cfg, maxBatch, includeAV, stride, RunOptions{})
+}
+
+// NewEngineWith is NewEngine with an explicit step-cache mode and
+// memo (see RunOptions).
+func NewEngineWith(cfg sim.Config, maxBatch int, includeAV bool, stride uint64, opts RunOptions) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,7 +96,7 @@ func NewEngine(cfg sim.Config, maxBatch int, includeAV bool, stride uint64) (*En
 	if stride == 0 || stride%streamAlign != 0 {
 		return nil, fmt.Errorf("serving: stride %d is not a positive multiple of the %d-byte stream alignment", stride, streamAlign)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		maxBatch:  maxBatch,
 		includeAV: includeAV,
@@ -78,8 +104,45 @@ func NewEngine(cfg sim.Config, maxBatch int, includeAV bool, stride uint64) (*En
 		slots:     make([]*stream, maxBatch),
 		statIdx:   make(map[int]int),
 		running:   make([]StreamState, 0, maxBatch),
-	}, nil
+		mode:      opts.StepCache,
+		memo:      opts.Memo,
+	}
+	if e.mode == StepCacheOn {
+		if e.memo == nil {
+			e.memo = SharedStepMemo()
+		}
+		// The full config rendering is interned to a short id so every
+		// step key (and every memo entry's key) embeds a few bytes
+		// instead of the multi-hundred-byte rendering.
+		e.sigPrefix = internPrefix(configSignature(cfg, includeAV, stride))
+	}
+	return e, nil
 }
+
+// Prealloc sizes the engine's statistics buffers for a known workload
+// — the request count and total decode-token count of the scenario —
+// so the step loop appends without growing. Callers invoke it before
+// the first Submit; Run and the cluster router do.
+func (e *Engine) Prealloc(requests int, tokens int64) {
+	if n := int(tokens); cap(e.tokenLats) < n {
+		e.tokenLats = append(make([]float64, 0, n), e.tokenLats...)
+	}
+	if cap(e.queueLats) < requests {
+		e.queueLats = append(make([]float64, 0, requests), e.queueLats...)
+	}
+	if cap(e.stats) < requests {
+		e.stats = append(make([]RequestStats, 0, requests), e.stats...)
+	}
+	if cap(e.pending) < requests {
+		e.pending = append(make([]Request, 0, requests), e.pending...)
+	}
+	if cap(e.queue) < requests {
+		e.queue = append(make([]Request, 0, requests), e.queue...)
+	}
+}
+
+// StepCacheStats returns the engine's fast-path diagnostics so far.
+func (e *Engine) StepCacheStats() StepCacheStats { return e.cacheStats }
 
 // Submit hands the engine one more request. Requests must arrive in
 // nondecreasing ArrivalCycle order (the global dispatch order of a
@@ -151,9 +214,14 @@ func (e *Engine) runnable() bool {
 }
 
 // stepOnce executes one continuous-batching iteration: every running
-// stream decodes one token over the composed multi-stream trace on a
-// fresh cycle-level simulator instance. The caller guarantees at
-// least one slot is occupied.
+// stream decodes one token over the composed multi-stream trace. Under
+// the default fast path a memoized signature replays the recorded
+// (cycles, counters) without composing or simulating anything; a miss
+// composes into the engine's arena and rewinds the persistent
+// simulator. StepCacheOff is the naive reference: a fresh trace and a
+// fresh simulator per step. All paths are bit-identical — the step
+// cache equivalence tests assert it. The caller guarantees at least
+// one slot is occupied.
 func (e *Engine) stepOnce() error {
 	e.running = e.running[:0]
 	for _, s := range e.slots {
@@ -166,23 +234,69 @@ func (e *Engine) stepOnce() error {
 			})
 		}
 	}
-	tr, groupSize, err := ComposeStep(e.running, e.includeAV, e.cfg.LineBytes)
+
+	if e.mode == StepCacheOff {
+		tr, groupSize, err := ComposeStep(e.running, e.includeAV, e.cfg.LineBytes)
+		if err != nil {
+			return err
+		}
+		eng, err := sim.New(e.cfg, tr, groupSize)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return fmt.Errorf("serving: step %d: %w", e.steps, err)
+		}
+		e.applyStep(res.Cycles, &res.Counters)
+		return nil
+	}
+
+	var key string
+	if e.mode == StepCacheOn {
+		e.sigBuf, e.sigScratch = appendStepSignature(e.sigBuf, e.sigPrefix, e.running, e.sigScratch)
+		key = string(e.sigBuf)
+		if r, ok := e.memo.lookup(key); ok {
+			e.cacheStats.MemoHits++
+			e.applyStep(r.cycles, &r.counters)
+			return nil
+		}
+		e.cacheStats.MemoMisses++
+	}
+
+	tr, groupSize, err := e.composeStepFast()
 	if err != nil {
 		return err
 	}
-	eng, err := sim.New(e.cfg, tr, groupSize)
-	if err != nil {
-		return err
+	if e.simEng == nil {
+		if e.simEng, err = sim.New(e.cfg, tr, groupSize); err != nil {
+			return err
+		}
+	} else {
+		if err = e.simEng.Reset(tr, groupSize); err != nil {
+			return err
+		}
+		e.cacheStats.SimResets++
 	}
-	res, err := eng.Run()
+	res, err := e.simEng.Run()
 	if err != nil {
 		return fmt.Errorf("serving: step %d: %w", e.steps, err)
 	}
-	stepCycles := res.Cycles
+	if e.mode == StepCacheOn {
+		e.memo.store(key, stepResult{cycles: res.Cycles, counters: res.Counters})
+	}
+	e.applyStep(res.Cycles, &res.Counters)
+	return nil
+}
+
+// applyStep folds one executed (or replayed) token step into the
+// engine: clock, aggregate counters, per-token latencies and stream
+// retirement.
+func (e *Engine) applyStep(stepCycles int64, ctr *stats.Counters) {
 	e.now += stepCycles
 	e.steps++
 	e.cycles += stepCycles
-	e.counters.Add(&res.Counters)
+	e.counters.Add(ctr)
 
 	for i, s := range e.slots {
 		if s == nil {
@@ -202,7 +316,6 @@ func (e *Engine) stepOnce() error {
 			e.unfinished--
 		}
 	}
-	return nil
 }
 
 // AdvanceTo runs iterations until the local clock reaches t or the
@@ -293,6 +406,7 @@ func (e *Engine) Metrics() *Metrics {
 	}
 	m.TokenLatency = Summarise(e.tokenLats)
 	m.QueueDelay = Summarise(e.queueLats)
+	m.StepCache = e.cacheStats
 	m.Sim = e.counters.Derive(e.cfg.FreqGHz, e.cfg.LineBytes, e.cfg.NumCores)
 	m.PerRequest = append([]RequestStats(nil), e.stats...)
 	sort.Slice(m.PerRequest, func(a, b int) bool { return m.PerRequest[a].ID < m.PerRequest[b].ID })

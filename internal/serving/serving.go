@@ -102,19 +102,49 @@ type Metrics struct {
 	// over the whole serving run.
 	Counters stats.Counters
 	Sim      stats.Metrics
+	// StepCache reports what the token-step fast path did: memoized
+	// replays vs executed steps, operator-trace reuse and simulator
+	// rewinds. Diagnostics only — the memo counters depend on process
+	// history and fan-out timing, so this block sits outside the
+	// bit-identity guarantees every other field carries (determinism
+	// tests compare metrics with StripStepCache applied).
+	StepCache StepCacheStats
 	// PerRequest holds one entry per request, in request-ID order.
 	PerRequest []RequestStats
+}
+
+// StripStepCache zeroes the step-cache diagnostics, leaving only the
+// bit-identical simulated metrics — the form the determinism and
+// equivalence tests compare.
+func (m *Metrics) StripStepCache() { m.StepCache = StepCacheStats{} }
+
+// RunOptions tunes the token-step fast path of a serving run. The
+// zero value is the default: the full step cache (memo + arena +
+// resettable simulator) on the process-wide shared memo.
+type RunOptions struct {
+	// StepCache selects the execution path; StepCacheOff is the naive
+	// reference the equivalence tests compare against.
+	StepCache StepCacheMode
+	// Memo overrides the step memo (nil = SharedStepMemo()). Ignored
+	// unless StepCache is StepCacheOn.
+	Memo *StepMemo
 }
 
 // Run executes a serving scenario on the configured system. The
 // policy under evaluation is carried by cfg.Throttle / cfg.Arbiter,
 // exactly as in single-operator runs; every other cfg field describes
-// the hardware. The run is deterministic for a fixed (cfg, scn).
+// the hardware. The run is deterministic for a fixed (cfg, scn)
+// (modulo the StepCache diagnostics block; see Metrics.StepCache).
 //
 // Run is a thin wrapper over Engine: every request is submitted in
 // arrival order and the engine drained to completion — the same code
 // path a cluster node executes, interleaved with routing.
 func Run(cfg sim.Config, scn Scenario) (*Metrics, error) {
+	return RunWith(cfg, scn, RunOptions{})
+}
+
+// RunWith is Run with an explicit step-cache configuration.
+func RunWith(cfg sim.Config, scn Scenario, opts RunOptions) (*Metrics, error) {
 	if err := scn.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,10 +152,11 @@ func Run(cfg sim.Config, scn Scenario) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := NewEngine(cfg, scn.MaxBatch, scn.IncludeAV, stride)
+	eng, err := NewEngineWith(cfg, scn.MaxBatch, scn.IncludeAV, stride, opts)
 	if err != nil {
 		return nil, err
 	}
+	eng.Prealloc(len(scn.Requests), scn.TotalTokens())
 	reqs := make([]Request, len(scn.Requests))
 	copy(reqs, scn.Requests)
 	sortRequests(reqs)
@@ -154,12 +185,16 @@ func (m *Metrics) String() string {
 			"token latency     p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n"+
 			"queue delay       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n"+
 			"L2 hit rate       %.4f\n"+
-			"DRAM bandwidth    %.2f GB/s\n",
+			"DRAM bandwidth    %.2f GB/s\n"+
+			"step cache        memo %d/%d  optrace %d/%d  sim resets %d\n",
 		m.Requests, m.Tokens, m.Steps, m.Makespan,
 		m.TokensPerKCycle, m.MeanBatchOccupancy,
 		m.TokenLatency.P50, m.TokenLatency.P95, m.TokenLatency.P99, m.TokenLatency.Max,
 		m.QueueDelay.P50, m.QueueDelay.P95, m.QueueDelay.P99, m.QueueDelay.Max,
-		m.Sim.L2HitRate, m.Sim.DRAMBandwidthGB)
+		m.Sim.L2HitRate, m.Sim.DRAMBandwidthGB,
+		m.StepCache.MemoHits, m.StepCache.MemoHits+m.StepCache.MemoMisses,
+		m.StepCache.OpCacheHits, m.StepCache.OpCacheHits+m.StepCache.OpCacheMisses,
+		m.StepCache.SimResets)
 }
 
 // DefaultScenario returns the stock mixed-sequence-length scenario

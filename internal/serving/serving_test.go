@@ -98,6 +98,10 @@ func TestServeDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", pol.label, err)
 		}
+		// StepCache counters are diagnostics outside the bit-identity
+		// contract (the second run hits memo entries the first filled).
+		first.StripStepCache()
+		second.StripStepCache()
 		if !reflect.DeepEqual(first, second) {
 			t.Fatalf("%s: repeated runs disagree:\n%v\n%v", pol.label, first, second)
 		}
@@ -295,6 +299,8 @@ func TestReferenceEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mFast.StripStepCache()
+	mRef.StripStepCache()
 	if !reflect.DeepEqual(mFast, mRef) {
 		t.Fatalf("fast-forward and reference serving metrics differ:\n%v\n%v", mFast, mRef)
 	}

@@ -1,0 +1,386 @@
+// The token-step fast path: signature-keyed step memoization, the
+// shared per-stream operator-trace cache, and the canonical step
+// signature.
+//
+// The cycle simulator is deterministic, so one token step's outcome —
+// (cycles, counters) — is a pure function of the hardware
+// configuration and the canonical state of the running set: the
+// sorted (slot, model, kvLen) tuples plus the address layout (stream
+// stride, AV inclusion). Two steps with the same signature are
+// therefore bit-identical, wherever they execute: a later step of the
+// same engine, another node of a cluster fleet, or another cell of an
+// experiment grid. The StepMemo exploits exactly that: a hit skips
+// trace composition and simulation entirely and replays the recorded
+// result; a miss computes the step on the engine's persistent
+// (resettable) simulator and publishes it.
+//
+// The same determinism argument covers the per-stream operator traces:
+// the thread blocks of one stream's token step depend only on (model,
+// kvLen, address base, AV, line size), so they are generated once and
+// shared process-wide. Cached blocks are immutable masters — the
+// composition arena copies the small ThreadBlock headers per step
+// (instruction slices shared read-only) before stamping step-local
+// IDs, which is what makes sharing safe across concurrently advancing
+// node engines.
+//
+// Both caches are concurrency-safe and value-deterministic: whichever
+// engine computes a key first, every reader observes the same bytes,
+// so cluster fan-outs and experiment grids stay bit-reproducible at
+// any parallelism. The memo-hit *counters* are the one exception —
+// they depend on process history and fan-out timing and are reported
+// as diagnostics only (Metrics.StepCache), outside the bit-identity
+// contract.
+
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memtrace"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// StepCacheMode selects the token-step execution path.
+type StepCacheMode uint8
+
+// Step-cache modes. The zero value is the full fast path.
+const (
+	// StepCacheOn is the default: signature memo + composition arena +
+	// resettable persistent simulator.
+	StepCacheOn StepCacheMode = iota
+	// StepCacheNoMemo keeps the arena and the resettable simulator but
+	// executes every step (no memoized replay) — the mode that isolates
+	// reset/arena equivalence from memo equivalence in tests.
+	StepCacheNoMemo
+	// StepCacheOff is the naive reference path: every step composes a
+	// fresh trace and constructs a fresh simulator, exactly the
+	// pre-memoization pipeline. It is the serving analogue of
+	// sim.Config.Reference and the ground truth the equivalence tests
+	// compare against.
+	StepCacheOff
+)
+
+// String implements fmt.Stringer.
+func (m StepCacheMode) String() string {
+	switch m {
+	case StepCacheOn:
+		return "on"
+	case StepCacheNoMemo:
+		return "nomemo"
+	case StepCacheOff:
+		return "off"
+	}
+	return fmt.Sprintf("StepCacheMode(%d)", uint8(m))
+}
+
+// ParseStepCacheMode reads a -stepcache flag value: "on", "nomemo" or
+// "off".
+func ParseStepCacheMode(s string) (StepCacheMode, error) {
+	switch s {
+	case "on", "":
+		return StepCacheOn, nil
+	case "nomemo":
+		return StepCacheNoMemo, nil
+	case "off", "naive":
+		return StepCacheOff, nil
+	}
+	return 0, fmt.Errorf("serving: unknown step-cache mode %q (want on, nomemo or off)", s)
+}
+
+// StepCacheStats reports what the fast path did during a run. All
+// fields are diagnostics outside the bit-identity guarantees every
+// other Metrics field carries: the memo and op-cache hit/miss splits
+// depend on process history and fan-out timing (an earlier run or a
+// concurrently advancing node may have published an entry first).
+// SimResets is deterministic for a given run and mode (one rewind per
+// executed step after the first).
+type StepCacheStats struct {
+	// MemoHits counts steps replayed from the signature memo;
+	// MemoMisses counts steps that were composed and simulated.
+	MemoHits, MemoMisses int64
+	// OpCacheHits/OpCacheMisses count per-stream operator-trace reuses
+	// vs generations during composition (arena reuse).
+	OpCacheHits, OpCacheMisses int64
+	// SimResets counts sim.Engine.Reset rewinds of the persistent
+	// simulator (its construction is counted once, not here).
+	SimResets int64
+}
+
+// Add accumulates other into s — the cluster layer's fleet rollup.
+func (s *StepCacheStats) Add(other StepCacheStats) {
+	s.MemoHits += other.MemoHits
+	s.MemoMisses += other.MemoMisses
+	s.OpCacheHits += other.OpCacheHits
+	s.OpCacheMisses += other.OpCacheMisses
+	s.SimResets += other.SimResets
+}
+
+// stepResult is one memoized token-step outcome.
+type stepResult struct {
+	cycles   int64
+	counters stats.Counters
+}
+
+// StepMemo is a concurrency-safe memo of token-step outcomes keyed by
+// canonical step signature. Values are pure functions of their keys,
+// so sharing one memo across engines, cluster nodes, experiment-grid
+// cells — or the whole process — never changes a simulated number,
+// only how often it is recomputed.
+type StepMemo struct {
+	mu     sync.RWMutex
+	m      map[string]stepResult
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewStepMemo returns an empty memo.
+func NewStepMemo() *StepMemo {
+	return &StepMemo{m: make(map[string]stepResult)}
+}
+
+// sharedMemo is the process-wide default memo (see SharedStepMemo).
+var sharedMemo = NewStepMemo()
+
+// SharedStepMemo returns the process-wide memo every engine uses by
+// default (RunOptions.Memo overrides it, StepCacheOff bypasses it).
+// Entries are small — a cycle count plus one stats.Counters block —
+// and keyed by the full hardware configuration, so distinct configs
+// never collide; the memo grows with the number of distinct step
+// states simulated in the process (FlushSharedCaches releases it).
+func SharedStepMemo() *StepMemo { return sharedMemo }
+
+// FlushSharedCaches drops every entry of the process-wide step memo
+// and operator-trace cache, releasing their memory. Both caches grow
+// with the number of distinct step states and per-stream operator
+// traces simulated in the process; a long-lived embedding that cycles
+// through many unrelated scenarios calls this between phases. Safe
+// concurrently with running engines: traces already handed out remain
+// valid, and subsequent steps simply regenerate what they need.
+func FlushSharedCaches() {
+	sharedMemo.mu.Lock()
+	sharedMemo.m = make(map[string]stepResult)
+	sharedMemo.mu.Unlock()
+	opCache.mu.Lock()
+	opCache.m = make(map[opKey][]*memtrace.ThreadBlock)
+	opCache.mu.Unlock()
+}
+
+// Hits returns how many lookups found a memoized step.
+func (m *StepMemo) Hits() int64 { return m.hits.Load() }
+
+// Misses returns how many lookups missed.
+func (m *StepMemo) Misses() int64 { return m.misses.Load() }
+
+// Len returns the number of memoized steps.
+func (m *StepMemo) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.m)
+}
+
+func (m *StepMemo) lookup(key string) (stepResult, bool) {
+	m.mu.RLock()
+	r, ok := m.m[key]
+	m.mu.RUnlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return r, ok
+}
+
+func (m *StepMemo) store(key string, r stepResult) {
+	m.mu.Lock()
+	m.m[key] = r
+	m.mu.Unlock()
+}
+
+// prefixIDs interns rendered config signatures: every distinct
+// configuration string maps to a short stable id that step keys embed
+// instead of the full multi-hundred-byte rendering, so the memo's
+// keys stay small and the hit-path key build copies a handful of
+// bytes. Interning is injective by construction (one id per distinct
+// string), so key collisions remain impossible.
+var prefixIDs = struct {
+	mu   sync.Mutex
+	m    map[string]string
+	next uint64
+}{m: make(map[string]string)}
+
+func internPrefix(rendered string) string {
+	prefixIDs.mu.Lock()
+	defer prefixIDs.mu.Unlock()
+	if id, ok := prefixIDs.m[rendered]; ok {
+		return id
+	}
+	id := "c" + strconv.FormatUint(prefixIDs.next, 36)
+	prefixIDs.next++
+	prefixIDs.m[rendered] = id
+	return id
+}
+
+// configSignature renders every simulation-relevant knob of a serving
+// engine into the signature prefix: the full sim.Config (with the
+// optional controller parameter blocks dereferenced — pointer
+// addresses must never enter a key), AV inclusion and the per-slot
+// address stride. Two engines with equal prefixes run bit-identical
+// hardware on bit-identical address layouts.
+func configSignature(cfg sim.Config, includeAV bool, stride uint64) string {
+	var dynmg, dyncta string
+	if cfg.DynMG != nil {
+		dynmg = fmt.Sprintf("%+v", *cfg.DynMG)
+	}
+	if cfg.DYNCTA != nil {
+		dyncta = fmt.Sprintf("%+v", *cfg.DYNCTA)
+	}
+	cfg.DynMG, cfg.DYNCTA = nil, nil
+	return fmt.Sprintf("cfg{%+v}/dynmg{%s}/dyncta{%s}/av=%t/stride=%d",
+		cfg, dynmg, dyncta, includeAV, stride)
+}
+
+// appendStepSignature appends the canonical running-set signature to
+// buf: the prefix followed by the (slot, model, kvLen, base) tuples in
+// ascending slot order. The input order of streams is irrelevant —
+// scratch receives a sorted copy — so any presentation of the same
+// running set produces the same key. Returns the grown buffers for
+// reuse.
+func appendStepSignature(buf []byte, prefix string, streams []StreamState, scratch []StreamState) ([]byte, []StreamState) {
+	scratch = append(scratch[:0], streams...)
+	sort.Slice(scratch, func(a, b int) bool { return scratch[a].Slot < scratch[b].Slot })
+	buf = append(buf[:0], prefix...)
+	for _, st := range scratch {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(st.Slot), 10)
+		buf = append(buf, ':')
+		buf = append(buf, st.Model.Name...)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(st.Model.H), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(st.Model.G), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(st.Model.D), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(st.Model.ElemBytes), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(st.Model.OutBytes), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(st.KVLen), 10)
+		buf = append(buf, '@')
+		buf = strconv.AppendUint(buf, st.Base, 10)
+	}
+	return buf, scratch
+}
+
+// StepSignature returns the canonical signature of a running set under
+// a config prefix — exported so tests can assert the canonicalization
+// properties (slot-order invariance; sensitivity to kvLen, model,
+// base and prefix) directly.
+func StepSignature(prefix string, streams []StreamState) string {
+	buf, _ := appendStepSignature(nil, prefix, streams, nil)
+	return string(buf)
+}
+
+// opKey identifies one stream's per-token operator trace: everything
+// trace generation depends on.
+type opKey struct {
+	model     workload.ModelConfig
+	kvLen     int
+	slot      int
+	base      uint64
+	av        bool
+	lineBytes int
+}
+
+// opCache is the process-wide per-stream operator-trace cache. Cached
+// block slices are immutable masters: Meta.Stream is stamped (it is
+// part of the key via slot) but IDs are left zero — the composition
+// arena copies the headers and stamps step-local IDs.
+var opCache = struct {
+	mu sync.RWMutex
+	m  map[opKey][]*memtrace.ThreadBlock
+}{m: make(map[opKey][]*memtrace.ThreadBlock)}
+
+// opBlocks returns the cached per-token thread blocks for one stream,
+// generating and publishing them on first use.
+func (e *Engine) opBlocks(st StreamState) ([]*memtrace.ThreadBlock, error) {
+	key := opKey{
+		model: st.Model, kvLen: st.KVLen, slot: st.Slot, base: st.Base,
+		av: e.includeAV, lineBytes: e.cfg.LineBytes,
+	}
+	opCache.mu.RLock()
+	blocks, ok := opCache.m[key]
+	opCache.mu.RUnlock()
+	if ok {
+		e.cacheStats.OpCacheHits++
+		return blocks, nil
+	}
+	e.cacheStats.OpCacheMisses++
+	blocks, _, err := streamBlocks(st, e.includeAV, e.cfg.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	opCache.mu.Lock()
+	if cached, dup := opCache.m[key]; dup {
+		blocks = cached // a concurrent generator won; share its masters
+	} else {
+		opCache.m[key] = blocks
+	}
+	opCache.mu.Unlock()
+	return blocks, nil
+}
+
+// composeStepFast builds the step trace into the engine's reusable
+// arena: per-stream cached blocks are header-copied into the block
+// arena (instruction slices shared), interleaved round-robin exactly
+// like ComposeStep, and stamped with step-local IDs. The returned
+// trace aliases engine-owned storage valid until the next composition.
+func (e *Engine) composeStepFast() (*memtrace.Trace, int, error) {
+	groupSize := 0
+	e.perStream = e.perStream[:0]
+	total := 0
+	for _, st := range e.running {
+		if st.Model.G > groupSize {
+			groupSize = st.Model.G
+		}
+		blocks, err := e.opBlocks(st)
+		if err != nil {
+			return nil, 0, err
+		}
+		e.perStream = append(e.perStream, blocks)
+		total += len(blocks)
+	}
+	if cap(e.blockArena) < total {
+		e.blockArena = make([]memtrace.ThreadBlock, 0, total)
+	}
+	arena := e.blockArena[:0] // capacity ensured: pointers below stay stable
+	out := &e.stepTrace
+	out.Name = "serve/step"
+	if cap(out.Blocks) < total {
+		out.Blocks = make([]*memtrace.ThreadBlock, 0, total)
+	}
+	out.Blocks = out.Blocks[:0]
+	for j := 0; ; j++ {
+		appended := false
+		for i := range e.perStream {
+			if j < len(e.perStream[i]) {
+				arena = append(arena, *e.perStream[i][j])
+				tb := &arena[len(arena)-1]
+				tb.ID = len(out.Blocks)
+				out.Blocks = append(out.Blocks, tb)
+				appended = true
+			}
+		}
+		if !appended {
+			break
+		}
+	}
+	e.blockArena = arena
+	return out, groupSize, nil
+}

@@ -1,0 +1,289 @@
+// Step-cache guarantees: canonical signatures (slot-order invariant,
+// sensitive to every simulated degree of freedom) and bit-identical
+// serving metrics across the three execution paths — full fast path,
+// arena+reset without memo, and the naive reference.
+
+package serving
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/throttle"
+	"repro/internal/workload"
+)
+
+func sigStreams() []StreamState {
+	const stride = uint64(4 << 20)
+	return []StreamState{
+		{Slot: 0, Base: 0, Model: workload.Llama3_70B, KVLen: 32},
+		{Slot: 1, Base: 1 * stride, Model: workload.Llama3_405B, KVLen: 48},
+		{Slot: 2, Base: 2 * stride, Model: workload.Llama3_70B, KVLen: 16},
+	}
+}
+
+// TestStepSignatureCanonical: the signature is a pure function of the
+// running SET — presenting the same streams in any order yields the
+// same key.
+func TestStepSignatureCanonical(t *testing.T) {
+	streams := sigStreams()
+	want := StepSignature("prefix", streams)
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		shuffled := []StreamState{streams[p[0]], streams[p[1]], streams[p[2]]}
+		if got := StepSignature("prefix", shuffled); got != want {
+			t.Fatalf("permutation %v changed the signature:\n%q\n%q", p, got, want)
+		}
+	}
+}
+
+// TestStepSignatureSensitivity: changing any simulated degree of
+// freedom — kvLen, model, slot, base, or the config prefix — changes
+// the key.
+func TestStepSignatureSensitivity(t *testing.T) {
+	base := sigStreams()
+	want := StepSignature("prefix", base)
+
+	mutate := func(name string, f func([]StreamState)) {
+		streams := append([]StreamState(nil), base...)
+		f(streams)
+		if got := StepSignature("prefix", streams); got == want {
+			t.Errorf("%s did not change the signature", name)
+		}
+	}
+	mutate("kvLen", func(s []StreamState) { s[1].KVLen++ })
+	mutate("model", func(s []StreamState) { s[0].Model = workload.Llama3_405B })
+	mutate("slot", func(s []StreamState) { s[2].Slot = 3 })
+	mutate("base", func(s []StreamState) { s[2].Base += 4 << 20 })
+	mutate("drop-stream", func(s []StreamState) { s[2] = s[0] })
+
+	if got := StepSignature("other-prefix", base); got == want {
+		t.Error("config prefix did not change the signature")
+	}
+}
+
+// TestConfigSignature: the prefix distinguishes configs (including
+// dereferenced controller parameter blocks), AV inclusion and stride,
+// and is identical for equal configs regardless of parameter-pointer
+// identity.
+func TestConfigSignature(t *testing.T) {
+	cfg := testConfig()
+	a := configSignature(cfg, false, 4<<20)
+	if b := configSignature(cfg, false, 4<<20); b != a {
+		t.Fatal("equal configs produced different prefixes")
+	}
+
+	mod := cfg
+	mod.Arbiter = arbiter.BMA
+	if configSignature(mod, false, 4<<20) == a {
+		t.Error("arbiter change did not change the prefix")
+	}
+	if configSignature(cfg, true, 4<<20) == a {
+		t.Error("AV inclusion did not change the prefix")
+	}
+	if configSignature(cfg, false, 8<<20) == a {
+		t.Error("stride change did not change the prefix")
+	}
+
+	// Parameter blocks are compared by value, never by pointer.
+	p1 := cfg
+	params1 := throttle.DefaultDynMGParams()
+	p1.DynMG = &params1
+	p2 := cfg
+	params2 := throttle.DefaultDynMGParams()
+	p2.DynMG = &params2
+	if configSignature(p1, false, 4<<20) != configSignature(p2, false, 4<<20) {
+		t.Error("equal DynMG params at different addresses produced different prefixes")
+	}
+	params2.SamplingPeriod++
+	if configSignature(p1, false, 4<<20) == configSignature(p2, false, 4<<20) {
+		t.Error("DynMG param change did not change the prefix")
+	}
+}
+
+// TestStepCacheEquivalence is the serving half of the ISSUE 4
+// acceptance: for every execution path — full fast path on a private
+// memo, arena+reset without memo, and the naive reference — the
+// serving metrics are bit-identical, across policies.
+func TestStepCacheEquivalence(t *testing.T) {
+	scn := testScenario(t)
+	policies := []struct {
+		label    string
+		throttle string
+		arb      arbiter.Kind
+	}{
+		{"unopt", "none", arbiter.FCFS},
+		{"dynmg+BMA", "dynmg", arbiter.BMA},
+		{"cobrra", "none", arbiter.COBRRA},
+	}
+	for _, pol := range policies {
+		cfg := testConfig()
+		cfg.Throttle = pol.throttle
+		cfg.Arbiter = pol.arb
+
+		naive, err := RunWith(cfg, scn, RunOptions{StepCache: StepCacheOff})
+		if err != nil {
+			t.Fatalf("%s naive: %v", pol.label, err)
+		}
+		naive.StripStepCache()
+
+		nomemo, err := RunWith(cfg, scn, RunOptions{StepCache: StepCacheNoMemo})
+		if err != nil {
+			t.Fatalf("%s nomemo: %v", pol.label, err)
+		}
+		if nomemo.StepCache.MemoHits != 0 || nomemo.StepCache.MemoMisses != 0 {
+			t.Fatalf("%s: nomemo path consulted the memo: %+v", pol.label, nomemo.StepCache)
+		}
+		if nomemo.StepCache.SimResets != nomemo.Steps-1 {
+			t.Fatalf("%s: nomemo path executed %d steps but reset %d times",
+				pol.label, nomemo.Steps, nomemo.StepCache.SimResets)
+		}
+		nomemo.StripStepCache()
+		if !reflect.DeepEqual(nomemo, naive) {
+			t.Fatalf("%s: arena+reset path diverges from naive:\n%v\n%v", pol.label, nomemo, naive)
+		}
+
+		memo := NewStepMemo()
+		fast, err := RunWith(cfg, scn, RunOptions{StepCache: StepCacheOn, Memo: memo})
+		if err != nil {
+			t.Fatalf("%s fast: %v", pol.label, err)
+		}
+		if hits, misses := fast.StepCache.MemoHits, fast.StepCache.MemoMisses; hits+misses != fast.Steps {
+			t.Fatalf("%s: memo lookups %d+%d do not cover %d steps", pol.label, hits, misses, fast.Steps)
+		}
+		fast.StripStepCache()
+		if !reflect.DeepEqual(fast, naive) {
+			t.Fatalf("%s: memo path diverges from naive:\n%v\n%v", pol.label, fast, naive)
+		}
+
+		// A second run on the now-warm private memo replays every step
+		// and still agrees bit-for-bit.
+		warm, err := RunWith(cfg, scn, RunOptions{StepCache: StepCacheOn, Memo: memo})
+		if err != nil {
+			t.Fatalf("%s warm: %v", pol.label, err)
+		}
+		if warm.StepCache.MemoMisses != 0 {
+			t.Fatalf("%s: warm run missed the memo %d times", pol.label, warm.StepCache.MemoMisses)
+		}
+		warm.StripStepCache()
+		if !reflect.DeepEqual(warm, naive) {
+			t.Fatalf("%s: warm replay diverges from naive:\n%v\n%v", pol.label, warm, naive)
+		}
+	}
+}
+
+// TestStepCacheEquivalenceAV extends the equivalence to AV-composed
+// token steps (both decode kernels per step).
+func TestStepCacheEquivalenceAV(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{
+		Seed: 9, NumRequests: 3,
+		MinPromptLen: 16, MaxPromptLen: 32,
+		MinDecode: 2, MaxDecode: 2,
+		MeanInterArrival: 6000, MaxBatch: 2,
+		IncludeAV: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	naive, err := RunWith(cfg, scn, RunOptions{StepCache: StepCacheOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunWith(cfg, scn, RunOptions{StepCache: StepCacheOn, Memo: NewStepMemo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive.StripStepCache()
+	fast.StripStepCache()
+	if !reflect.DeepEqual(fast, naive) {
+		t.Fatalf("AV fast path diverges from naive:\n%v\n%v", fast, naive)
+	}
+}
+
+// TestComposeArenaMatchesComposeStep: the arena composition used by
+// the fast path produces a trace with exactly the blocks ComposeStep
+// builds — same order, same IDs, same metadata, same instructions.
+func TestComposeArenaMatchesComposeStep(t *testing.T) {
+	streams := sigStreams()
+	cfg := testConfig()
+	want, wantG, err := ComposeStep(streams, false, cfg.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(cfg, 4, false, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.running = append(eng.running[:0], streams...)
+	got, gotG, err := eng.composeStepFast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotG != wantG {
+		t.Fatalf("group size %d, want %d", gotG, wantG)
+	}
+	if len(got.Blocks) != len(want.Blocks) {
+		t.Fatalf("%d blocks, want %d", len(got.Blocks), len(want.Blocks))
+	}
+	for i := range want.Blocks {
+		if !reflect.DeepEqual(*got.Blocks[i], *want.Blocks[i]) {
+			t.Fatalf("block %d differs:\n%+v\n%+v", i, *got.Blocks[i], *want.Blocks[i])
+		}
+	}
+	// The op-trace cache was consulted once per stream.
+	st := eng.StepCacheStats()
+	if st.OpCacheHits+st.OpCacheMisses != int64(len(streams)) {
+		t.Fatalf("op cache consulted %d times, want %d", st.OpCacheHits+st.OpCacheMisses, len(streams))
+	}
+}
+
+// TestStepMemoCounters: the shared-memo accessors see traffic.
+func TestStepMemoCounters(t *testing.T) {
+	memo := NewStepMemo()
+	if memo.Len() != 0 || memo.Hits() != 0 || memo.Misses() != 0 {
+		t.Fatal("fresh memo not empty")
+	}
+	if _, ok := memo.lookup("k"); ok {
+		t.Fatal("empty memo hit")
+	}
+	memo.store("k", stepResult{cycles: 7})
+	r, ok := memo.lookup("k")
+	if !ok || r.cycles != 7 {
+		t.Fatalf("lookup after store: %+v %v", r, ok)
+	}
+	if memo.Len() != 1 || memo.Hits() != 1 || memo.Misses() != 1 {
+		t.Fatalf("counters: len=%d hits=%d misses=%d", memo.Len(), memo.Hits(), memo.Misses())
+	}
+}
+
+// TestFlushSharedCaches: flushing releases the process-wide caches
+// without affecting subsequent runs.
+func TestFlushSharedCaches(t *testing.T) {
+	scn := testScenario(t)
+	cfg := testConfig()
+	first, err := Run(cfg, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SharedStepMemo().Len() == 0 {
+		t.Fatal("run left the shared memo empty")
+	}
+	FlushSharedCaches()
+	if n := SharedStepMemo().Len(); n != 0 {
+		t.Fatalf("flush left %d memo entries", n)
+	}
+	second, err := Run(cfg, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.StepCache.MemoHits != 0 && second.StepCache.MemoMisses == 0 {
+		t.Fatal("post-flush run hit a memo that should have been empty")
+	}
+	first.StripStepCache()
+	second.StripStepCache()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("flush changed simulated metrics")
+	}
+}

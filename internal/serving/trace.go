@@ -118,38 +118,13 @@ func ComposeStep(streams []StreamState, includeAV bool, lineBytes int) (*memtrac
 		if st.Model.G > groupSize {
 			groupSize = st.Model.G
 		}
-		op := workload.LogitOp{Model: st.Model, SeqLen: st.KVLen}
-		amap, err := workload.NewAddressMap(op, st.Base)
+		blocks, opName, err := streamBlocks(st, includeAV, lineBytes)
 		if err != nil {
 			return nil, 0, err
-		}
-		mapping, _, err := dataflow.FindMapping(op, lineBytes)
-		if err != nil {
-			return nil, 0, err
-		}
-		tr, err := dataflow.Generate(op, amap, mapping, lineBytes)
-		if err != nil {
-			return nil, 0, err
-		}
-		blocks := tr.Blocks
-		if includeAV {
-			avop := workload.AVOp{Model: st.Model, SeqLen: st.KVLen}
-			avmap, err := workload.NewAVAddressMap(avop, amap.Limit)
-			if err != nil {
-				return nil, 0, err
-			}
-			avtr, err := dataflow.GenerateAV(avop, avmap, mapping, lineBytes)
-			if err != nil {
-				return nil, 0, err
-			}
-			blocks = append(blocks, avtr.Blocks...)
-		}
-		for _, tb := range blocks {
-			tb.Meta.Stream = st.Slot
 		}
 		perStream[i] = blocks
 		if name == "" {
-			name = tr.Name
+			name = opName
 		}
 	}
 
@@ -174,4 +149,44 @@ func ComposeStep(streams []StreamState, includeAV bool, lineBytes int) (*memtrac
 		}
 	}
 	return out, groupSize, nil
+}
+
+// streamBlocks generates one stream's per-token thread blocks — the
+// Logit operator (plus AV when enabled) at the stream's address base,
+// every block stamped with the stream's slot. Both composition paths
+// share it: ComposeStep interleaves freshly generated blocks (the
+// naive reference), the step cache publishes them as immutable masters
+// keyed by (model, kvLen, slot, base, av, lineBytes). The returned
+// name is the Logit trace's name (used by ComposeStep's trace label).
+func streamBlocks(st StreamState, includeAV bool, lineBytes int) ([]*memtrace.ThreadBlock, string, error) {
+	op := workload.LogitOp{Model: st.Model, SeqLen: st.KVLen}
+	amap, err := workload.NewAddressMap(op, st.Base)
+	if err != nil {
+		return nil, "", err
+	}
+	mapping, _, err := dataflow.FindMapping(op, lineBytes)
+	if err != nil {
+		return nil, "", err
+	}
+	tr, err := dataflow.Generate(op, amap, mapping, lineBytes)
+	if err != nil {
+		return nil, "", err
+	}
+	blocks := tr.Blocks
+	if includeAV {
+		avop := workload.AVOp{Model: st.Model, SeqLen: st.KVLen}
+		avmap, err := workload.NewAVAddressMap(avop, amap.Limit)
+		if err != nil {
+			return nil, "", err
+		}
+		avtr, err := dataflow.GenerateAV(avop, avmap, mapping, lineBytes)
+		if err != nil {
+			return nil, "", err
+		}
+		blocks = append(blocks, avtr.Blocks...)
+	}
+	for _, tb := range blocks {
+		tb.Meta.Stream = st.Slot
+	}
+	return blocks, tr.Name, nil
 }

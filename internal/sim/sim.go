@@ -168,8 +168,9 @@ type Result struct {
 	Steals int64
 }
 
-// Engine is one configured simulation instance. Engines are single
-// use: build, Run, read the Result.
+// Engine is one configured simulation instance: build, Run, read the
+// Result — then either discard it or rewind it onto the next trace
+// with Reset (the serving engine's per-token-step fast path).
 type Engine struct {
 	cfg      Config
 	cores    []*vcore.Core
@@ -384,6 +385,73 @@ func New(cfg Config, trace *memtrace.Trace, groupSize int) (*Engine, error) {
 	e.reqPool.Prealloc(cfg.NumCores*cfg.EgressCap +
 		cfg.NumSlices*(cfg.NoC.SliceBufCap+cfg.ReqQSize+cfg.HitLatency+cfg.MSHRLatency+2))
 	return e, nil
+}
+
+// Reset rewinds the engine onto a new trace without rebuilding the
+// machine: counters zeroed, queues drained, component state (cores,
+// LLC slices, interconnect, DRAM channels, throttle controller) and
+// the memreq free list reused in place, and the dispatcher reloaded.
+// A Reset engine run is bit-identical to a fresh New(cfg, trace,
+// groupSize) run — the reset equivalence tests assert it across the
+// policy/arbiter/scheduler matrix — which is what lets the serving
+// engine keep one persistent simulator instead of constructing and
+// discarding a whole machine per token step.
+func (e *Engine) Reset(trace *memtrace.Trace, groupSize int) error {
+	if trace == nil || len(trace.Blocks) == 0 {
+		return fmt.Errorf("sim: empty trace")
+	}
+	if groupSize <= 0 {
+		return fmt.Errorf("sim: groupSize must be positive, got %d", groupSize)
+	}
+	e.groupSz = groupSize
+	e.ctr = stats.Counters{}
+	for i := range e.progress {
+		e.progress[i] = 0
+	}
+	for i := range e.coreWake {
+		e.coreWake[i] = 0
+		e.coreLimit[i] = -1 // force the first tick to publish maxTB
+		e.coreEgSlice[i] = -1
+		e.coreApplied[i] = -1
+	}
+	for i := range e.sliceWake {
+		e.sliceWake[i] = 0
+		e.sliceWaits[i] = false
+		e.sliceApplied[i] = -1
+	}
+	linesPerVec := int64(e.cfg.VectorBytes/e.cfg.LineBytes + 1)
+	e.autoMax = 400*int64(trace.TotalMemInsts())*linesPerVec + 1_000_000
+
+	e.ctrl.Reset()
+	e.net.Reset()
+	e.mem.Reset()
+	for _, c := range e.cores {
+		c.Reset()
+	}
+	for _, s := range e.slices {
+		s.Reset()
+	}
+	switch p := e.pool.(type) {
+	case *sched.AffinityPool:
+		p.Reload(trace, groupSize, e.cfg.MSHRTargets+1)
+	case *sched.GlobalPool:
+		p.Reload(trace)
+	case *sched.PartitionedPool:
+		p.Reload(trace)
+	default:
+		return fmt.Errorf("sim: cannot reset unknown pool type %T", e.pool)
+	}
+
+	e.respInFlight = e.respInFlight[:0]
+	e.memFreed = false
+	e.ctrlWake = 0
+	e.coreLoopWake = 0
+	e.coreSpaceEpoch = 0
+	e.sliceLoopWake = 0
+	e.sliceWaitsAny = false
+	e.sliceNextArrive = 0
+	e.sliceFrontEpoch = 0
+	return nil
 }
 
 // Run executes the cycle loop to completion and returns the collected

@@ -51,6 +51,10 @@ type Controller interface {
 	// controllers. The engine's fast-forward path uses it to prove a
 	// window of cycles dead.
 	NextEvent(now int64) int64
+	// Reset rewinds the controller to its just-constructed state
+	// (parameters kept, learned state and period snapshots dropped) so
+	// a resettable engine can reuse the instance across runs.
+	Reset()
 }
 
 // TBObserver is implemented by controllers that learn from thread
@@ -107,6 +111,9 @@ func (s *Static) MaxTB(int) int { return s.limit }
 // NextEvent implements Controller.
 func (*Static) NextEvent(int64) int64 { return math.MaxInt64 }
 
+// Reset implements Controller (stateless).
+func (*Static) Reset() {}
+
 // None applies no throttling: every core may fill all windows.
 type None struct {
 	max int
@@ -126,6 +133,9 @@ func (n *None) MaxTB(int) int { return n.max }
 
 // NextEvent implements Controller.
 func (*None) NextEvent(int64) int64 { return math.MaxInt64 }
+
+// Reset implements Controller (stateless).
+func (*None) Reset() {}
 
 // ---------------------------------------------------------------------------
 // dynmg: two-level dynamic multi-gear throttling (the paper's policy).
@@ -268,6 +278,25 @@ func (d *DynMG) NextEvent(int64) int64 {
 		next = s
 	}
 	return next
+}
+
+// Reset implements Controller: gear, throttled set, limits and every
+// period snapshot rewind to the just-constructed state.
+func (d *DynMG) Reset() {
+	d.gear = 0
+	for i := 0; i < d.numCores; i++ {
+		d.throttled[i] = false
+		d.maxTB[i] = d.maxWindows
+		d.progSnap[i] = 0
+		d.memSnap[i] = 0
+		d.idleSnap[i] = 0
+	}
+	d.lastSample = 0
+	d.lastSub = 0
+	d.stallSnap = 0
+	d.sliceSnap = 0
+	d.GearChanges = 0
+	d.LastTCS = 0
 }
 
 // Tick implements Controller: the global gear update every sampling
@@ -443,6 +472,17 @@ func (d *DYNCTA) NextEvent(int64) int64 {
 	return d.lastSample + d.params.SamplingPeriod
 }
 
+// Reset implements Controller: limits and period snapshots rewind to
+// the just-constructed state.
+func (d *DYNCTA) Reset() {
+	for i := 0; i < d.numCores; i++ {
+		d.maxTB[i] = d.maxWindows
+		d.memSnap[i] = 0
+		d.idleSnap[i] = 0
+	}
+	d.lastSample = 0
+}
+
 // Tick implements Controller.
 func (d *DYNCTA) Tick(now int64, sig *Signals) {
 	if now-d.lastSample < d.params.SamplingPeriod {
@@ -511,6 +551,15 @@ func (l *LCS) MaxTB(core int) int { return l.maxTB[core] }
 
 // Tick implements Controller (LCS is event-driven; nothing per cycle).
 func (*LCS) Tick(int64, *Signals) {}
+
+// Reset implements Controller: forget the observed first blocks so the
+// next run re-derives its limits.
+func (l *LCS) Reset() {
+	for i := 0; i < l.numCores; i++ {
+		l.maxTB[i] = l.maxWindows
+		l.decided[i] = false
+	}
+}
 
 // NextEvent implements Controller: LCS changes outputs only from
 // ObserveTB, which the engine invokes on thread-block retirement — a

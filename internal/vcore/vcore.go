@@ -166,6 +166,35 @@ func New(cfg Config, net *noc.NoC, pool *memreq.Pool, ctr *stats.Counters) (*Cor
 // L1 exposes the private cache (tests, diagnostics).
 func (c *Core) L1() *cache.Cache { return c.l1 }
 
+// Reset rewinds the core to its just-constructed state, reusing every
+// allocation: the L1 storage, the window array, the egress ring (any
+// leftover requests are recycled into the shared pool) and the
+// in-flight miss table. Counters and the round-robin pointer rewind
+// too, so a Reset core is indistinguishable from a fresh New.
+func (c *Core) Reset() {
+	c.l1.Reset()
+	for i := range c.windows {
+		c.windows[i] = window{}
+	}
+	for {
+		r, ok := c.egress.Pop()
+		if !ok {
+			break
+		}
+		c.pool.Put(r)
+	}
+	clear(c.pendingL1)
+	c.maxTB = c.cfg.NumWindows
+	c.lastWin = 0
+	c.doneTBs = c.doneTBs[:0]
+	c.exhausted = false
+	c.CMem = 0
+	c.CIdle = 0
+	c.IssuedLines = 0
+	c.TBsRun = 0
+	c.profileValid = false
+}
+
 // SetMaxTB publishes the throttle controller's thread-block limit.
 func (c *Core) SetMaxTB(n int) {
 	if n < 1 {

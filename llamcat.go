@@ -275,12 +275,48 @@ func DefaultServeScenario(scale int) (ServeScenario, error) {
 // Serve runs a continuous-batching serving scenario under the given
 // policy: token step by token step, every running stream's per-token
 // operator trace composed into one interleaved multi-stream trace
-// driving the cycle engine. Deterministic for a fixed (cfg, scn, pol).
+// driving the cycle engine. Deterministic for a fixed (cfg, scn, pol)
+// (modulo the StepCache diagnostics block of the returned metrics).
+//
+// By default the token-step fast path is on: steps whose canonical
+// signature was simulated before — by any engine in the process — are
+// replayed from the shared step memo, and executed steps reuse a
+// persistent resettable simulator. ServeWith selects another mode.
 func Serve(cfg Config, scn ServeScenario, pol Policy) (*ServeMetrics, error) {
+	return ServeWith(cfg, scn, pol, ServeOptions{})
+}
+
+// StepCacheMode re-exports the token-step execution path selector.
+type StepCacheMode = serving.StepCacheMode
+
+// The step-cache modes: the full fast path (default), arena+reset
+// without memoized replay, and the naive compose-fresh reference. All
+// three produce bit-identical simulated metrics.
+const (
+	StepCacheOn     = serving.StepCacheOn
+	StepCacheNoMemo = serving.StepCacheNoMemo
+	StepCacheOff    = serving.StepCacheOff
+)
+
+// ServeOptions re-exports the serving run options (step-cache mode
+// and memo override).
+type ServeOptions = serving.RunOptions
+
+// ServeWith is Serve with an explicit step-cache configuration —
+// StepCacheOff is the naive reference path, the serving analogue of
+// Config.Reference.
+func ServeWith(cfg Config, scn ServeScenario, pol Policy, opts ServeOptions) (*ServeMetrics, error) {
 	cfg.Throttle = pol.Throttle
 	cfg.Arbiter = pol.Arbiter
-	return serving.Run(cfg, scn)
+	return serving.RunWith(cfg, scn, opts)
 }
+
+// FlushStepCaches drops every entry of the process-wide step memo and
+// operator-trace cache, releasing their memory. Long-lived embeddings
+// that cycle through many unrelated scenarios call it between phases;
+// simulated results are unaffected (subsequent steps regenerate what
+// they need).
+func FlushStepCaches() { serving.FlushSharedCaches() }
 
 // ClusterScenario re-exports the fleet workload: a session-tagged
 // request population plus the per-node continuous-batching capacity.
@@ -331,13 +367,25 @@ func DefaultClusterScenario(scale int) (ClusterScenario, error) {
 	return cluster.DefaultScenario(scale)
 }
 
+// ClusterOptions re-exports the cluster run options (node fan-out
+// width, step-cache mode, memo override).
+type ClusterOptions = cluster.Options
+
 // ServeCluster runs a fleet serving scenario: an open-loop request
 // stream dispatched by the router policy to nodes identical
 // continuous-batching engines, every node running the cache-level
 // policy pol on its own cycle-level simulator. Deterministic for a
-// fixed (cfg, scn, nodes, router, pol) at any internal parallelism.
+// fixed (cfg, scn, nodes, router, pol) at any internal parallelism
+// (modulo the StepCache diagnostics block). The fleet's nodes share
+// the process-wide step memo by default; ServeClusterWith selects
+// another mode or memo.
 func ServeCluster(cfg Config, scn ClusterScenario, nodes int, router RouterPolicy, pol Policy) (*ClusterMetrics, error) {
+	return ServeClusterWith(cfg, scn, nodes, router, pol, ClusterOptions{})
+}
+
+// ServeClusterWith is ServeCluster with explicit cluster options.
+func ServeClusterWith(cfg Config, scn ClusterScenario, nodes int, router RouterPolicy, pol Policy, opts ClusterOptions) (*ClusterMetrics, error) {
 	cfg.Throttle = pol.Throttle
 	cfg.Arbiter = pol.Arbiter
-	return cluster.Run(cfg, scn, nodes, router, cluster.Options{})
+	return cluster.Run(cfg, scn, nodes, router, opts)
 }

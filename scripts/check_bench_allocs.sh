@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# check_bench_allocs.sh — the CI allocation-regression gate.
+#
+# Runs the serving and cluster benchmarks once (-benchtime=1x,
+# -benchmem) at the standard scale and fails if allocs/op regresses
+# above the committed ceilings. The step-cache fast path of ISSUE 4
+# (op-trace cache + composition arena + resettable simulator) keeps
+# BenchmarkServe_Default around 11k allocs/op and
+# BenchmarkCluster_Smoke around 21k; the ceilings carry ~2x headroom
+# and still sit an order of magnitude below the pre-cache values
+# (87k / 255k), so losing the fast path fails loudly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE_CEILING=25000
+CLUSTER_CEILING=45000
+
+out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkCluster_Smoke$' -benchtime=1x -benchmem)"
+echo "$out"
+
+fail=0
+check() {
+  name="$1"
+  ceiling="$2"
+  allocs=$(echo "$out" | awk -v n="$name" '$1 ~ n { for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
+  if [ -z "$allocs" ]; then
+    echo "check_bench_allocs: no allocs/op reported for $name" >&2
+    fail=1
+    return
+  fi
+  if [ "$allocs" -gt "$ceiling" ]; then
+    echo "check_bench_allocs: $name allocs/op $allocs exceeds ceiling $ceiling" >&2
+    fail=1
+    return
+  fi
+  echo "check_bench_allocs: $name allocs/op $allocs <= ceiling $ceiling"
+}
+
+check BenchmarkServe_Default "$SERVE_CEILING"
+check BenchmarkCluster_Smoke "$CLUSTER_CEILING"
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench allocs check failed" >&2
+  exit 1
+fi
+echo "bench allocs check OK"
