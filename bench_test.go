@@ -426,6 +426,51 @@ func BenchmarkServe_Saturated(b *testing.B) {
 	}
 }
 
+// BenchmarkServe_Chunked runs an eight-request chunked-prefill
+// scenario under KV-capacity admission — the prefill subsystem's entry
+// in the performance trajectory: every prompt is prefilled on-node in
+// fixed chunks co-scheduled with decode steps, and the headline
+// numbers are the TTFT percentiles the decode-only scenarios cannot
+// report.
+func BenchmarkServe_Chunked(b *testing.B) {
+	defer record(b)()
+	scale := benchScale()
+	minP := 512 / scale
+	if minP < 16 {
+		minP = 16
+	}
+	maxP := 2048 / scale
+	if maxP < minP {
+		maxP = minP
+	}
+	scn, err := NewServeScenario(ServeScenarioConfig{
+		Name: "bench/chunked", Seed: 1, NumRequests: 8,
+		MinPromptLen: minP, MaxPromptLen: maxP,
+		MinDecode: 4, MaxDecode: 8,
+		MeanInterArrival: 30000, MaxBatch: 4,
+		Sched: SchedulerConfig{
+			Policy:      SchedChunked,
+			ChunkTokens: 16,
+			KVCapTokens: 4 * int64(maxP+8),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		m, err := Serve(cfg, scn, PolicyDynMGBMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.TokensPerKCycle, "tok/kcyc")
+		b.ReportMetric(m.TTFT.P50, "ttft-p50")
+		b.ReportMetric(m.TTFT.P99, "ttft-p99")
+		b.ReportMetric(float64(m.PrefillTokens), "prefill-tok")
+	}
+}
+
 // BenchmarkCluster_Smoke runs the stock fleet workload on a four-node
 // cluster under the balanced (power-of-two) and locality (affinity)
 // routers — the cluster layer's entry in the performance trajectory.

@@ -7,26 +7,35 @@
 // fleet, and how the answer interacts with the paper's cache
 // arbitration/throttling policies running on every node.
 //
-//	cluster                                   # stock 16-request fleet, 4 routers × {1,2,4} nodes
+//	cluster                                   # stock 16-request fleet, 5 routers × {1,2,4} nodes
 //	cluster -nodes 8 -routers p2c,affinity    # narrower matrix
 //	cluster -streams 32 -sessions 8 -rate 8000
 //	cluster -policy dynmg+BMA -model mix -av  # cache policy / workload knobs
+//	cluster -sched chunked -chunk 32 -routers ttft-pressure,least-outstanding
+//	cluster -json                             # machine-readable fleet metrics
 //
 // Workload flags (-streams, -sessions, -seqmin/-seqmax,
 // -tokmin/-tokmax, -rate, -seed) shape the fixed-seed request
-// population; -nodes and -routers shape the evaluation matrix;
-// -policy selects the cache-level (throttle+arbiter) policy every
-// node runs; -scale divides the prompt-length range and the L2 size
-// together, like every other harness; -stepcache selects the
-// token-step fast path (on = signature memo shared across the fleet's
-// nodes and the grid's cells, nomemo = no memoized replay, off = the
-// naive reference pipeline); -cpuprofile/-memprofile capture pprof
-// profiles of the run. Runs are deterministic for a fixed flag set at
-// any -parallel width (modulo the step-cache hit-rate diagnostics,
-// which depend on fan-out timing).
+// population; scheduler flags (-sched, -chunk, -kvcap) select every
+// node's prefill/decode co-scheduling policy, prefill chunk size and
+// KV-capacity admission bound (the ttft-pressure router balances on
+// the prefill backlog these schedulers create); -nodes and -routers
+// shape the evaluation matrix; -policy selects the cache-level
+// (throttle+arbiter) policy every node runs; -scale divides the
+// prompt-length range and the L2 size together, like every other
+// harness; -stepcache selects the token-step fast path (on =
+// signature memo shared across the fleet's nodes and the grid's
+// cells, nomemo = no memoized replay, off = the naive reference
+// pipeline); -json switches the report from the aligned table to a
+// JSON document of the full per-cell fleet metrics (TTFT percentiles
+// included); -cpuprofile/-memprofile capture pprof profiles of the
+// run. Runs are deterministic for a fixed flag set at any -parallel
+// width (modulo the step-cache hit-rate diagnostics, which depend on
+// fan-out timing).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,29 +51,49 @@ import (
 	"repro/internal/workload"
 )
 
+// cliOpts carries the parsed flag set into run.
+type cliOpts struct {
+	streams, sessions, batch       int
+	nodes, routers, policy, model  string
+	seqmin, seqmax, tokmin, tokmax int
+	rate                           float64
+	seed                           uint64
+	av                             bool
+	scale                          int
+	sched                          string
+	chunk                          int
+	kvcap                          int64
+	parallel                       int
+	verbose, jsonOut               bool
+	stepcache                      string
+}
+
 func main() {
-	var (
-		streams    = flag.Int("streams", 16, "number of decode requests in the fleet scenario")
-		sessions   = flag.Int("sessions", 4, "distinct sessions the requests are drawn from (0 = one per request)")
-		batch      = flag.Int("batch", 4, "per-node continuous-batching capacity")
-		nodes      = flag.String("nodes", "1,2,4", "comma-separated node counts to evaluate")
-		routers    = flag.String("routers", "all", "comma-separated router policies (round-robin, least-outstanding, p2c, affinity) or 'all'")
-		policy     = flag.String("policy", "dynmg+BMA", "cache policy every node runs (throttle+arbiter)")
-		model      = flag.String("model", "70b", "request model mix: 70b, 405b or mix")
-		seqmin     = flag.Int("seqmin", 0, "min prompt length (0 = 512/scale)")
-		seqmax     = flag.Int("seqmax", 0, "max prompt length (0 = 2048/scale)")
-		tokmin     = flag.Int("tokmin", 4, "min tokens decoded per request")
-		tokmax     = flag.Int("tokmax", 8, "max tokens decoded per request")
-		rate       = flag.Float64("rate", 15000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
-		seed       = flag.Uint64("seed", 1, "arrival-process seed")
-		av         = flag.Bool("av", false, "append the AV operator to every token step")
-		scale      = flag.Int("scale", 8, "divide default prompt lengths and the L2 size by this factor")
-		parallel   = flag.Int("parallel", 0, "concurrent cells / node engines (0 = GOMAXPROCS)")
-		verbose    = flag.Bool("v", false, "stream per-cell progress to stderr")
-		stepcache  = flag.String("stepcache", "on", "token-step fast path: on, nomemo or off (the naive reference)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
-	)
+	var o cliOpts
+	flag.IntVar(&o.streams, "streams", 16, "number of decode requests in the fleet scenario")
+	flag.IntVar(&o.sessions, "sessions", 4, "distinct sessions the requests are drawn from (0 = one per request)")
+	flag.IntVar(&o.batch, "batch", 4, "per-node continuous-batching capacity")
+	flag.StringVar(&o.nodes, "nodes", "1,2,4", "comma-separated node counts to evaluate")
+	flag.StringVar(&o.routers, "routers", "all", "comma-separated router policies (round-robin, least-outstanding, p2c, affinity, ttft-pressure) or 'all'")
+	flag.StringVar(&o.policy, "policy", "dynmg+BMA", "cache policy every node runs (throttle+arbiter)")
+	flag.StringVar(&o.model, "model", "70b", "request model mix: 70b, 405b or mix")
+	flag.IntVar(&o.seqmin, "seqmin", 0, "min prompt length (0 = 512/scale)")
+	flag.IntVar(&o.seqmax, "seqmax", 0, "max prompt length (0 = 2048/scale)")
+	flag.IntVar(&o.tokmin, "tokmin", 4, "min tokens decoded per request")
+	flag.IntVar(&o.tokmax, "tokmax", 8, "max tokens decoded per request")
+	flag.Float64Var(&o.rate, "rate", 15000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
+	flag.Uint64Var(&o.seed, "seed", 1, "arrival-process seed")
+	flag.BoolVar(&o.av, "av", false, "append the AV operator to every token step")
+	flag.IntVar(&o.scale, "scale", 8, "divide default prompt lengths and the L2 size by this factor")
+	flag.StringVar(&o.sched, "sched", "decode-only", "prefill scheduler every node runs: decode-only, prefill-first or chunked")
+	flag.IntVar(&o.chunk, "chunk", 32, "prefill chunk size in tokens (chunked scheduler only)")
+	flag.Int64Var(&o.kvcap, "kvcap", 0, "per-node KV-cache capacity in tokens, gating admission (0 = unlimited)")
+	flag.IntVar(&o.parallel, "parallel", 0, "concurrent cells / node engines (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.verbose, "v", false, "stream per-cell progress to stderr")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON metrics instead of the table")
+	flag.StringVar(&o.stepcache, "stepcache", "on", "token-step fast path: on, nomemo or off (the naive reference)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
@@ -73,9 +102,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	err = run(*streams, *sessions, *batch, *nodes, *routers, *policy, *model,
-		*seqmin, *seqmax, *tokmin, *tokmax, *rate, *seed, *av, *scale, *parallel,
-		*verbose, *stepcache)
+	err = run(o)
 
 	// Flush the profiles before the error exit below: os.Exit skips
 	// defers, which would truncate them.
@@ -87,6 +114,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 		os.Exit(1)
 	}
+}
+
+// chunkFlagSet reports whether -chunk was passed explicitly, so a
+// contradictory -sched/-chunk combination errors instead of silently
+// ignoring the chunk size.
+func chunkFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "chunk" {
+			set = true
+		}
+	})
+	return set
 }
 
 func modelMix(name string) ([]workload.ModelConfig, error) {
@@ -148,10 +188,12 @@ func parseRouters(list string) ([]cluster.Policy, error) {
 	return out, nil
 }
 
-func run(streams, sessions, batch int, nodeList, routerList, policy, model string,
-	seqmin, seqmax, tokmin, tokmax int, rate float64, seed uint64, av bool,
-	scale, parallel int, verbose bool, stepcache string) error {
-	mode, err := serving.ParseStepCacheMode(stepcache)
+func run(o cliOpts) error {
+	mode, err := serving.ParseStepCacheMode(o.stepcache)
+	if err != nil {
+		return err
+	}
+	schedPol, err := serving.ParseSchedPolicy(o.sched)
 	if err != nil {
 		return err
 	}
@@ -159,78 +201,130 @@ func run(streams, sessions, batch int, nodeList, routerList, policy, model strin
 	// instead of letting a deep generator or engine error (or hang)
 	// report it.
 	switch {
-	case streams <= 0:
-		return fmt.Errorf("-streams must be positive, got %d", streams)
-	case batch <= 0:
-		return fmt.Errorf("-batch must be positive, got %d", batch)
-	case sessions < 0:
-		return fmt.Errorf("-sessions must be non-negative, got %d", sessions)
-	case tokmin <= 0 || tokmax < tokmin:
-		return fmt.Errorf("decode range [-tokmin %d, -tokmax %d] invalid", tokmin, tokmax)
-	case rate < 0:
-		return fmt.Errorf("-rate must be non-negative, got %v", rate)
+	case o.streams <= 0:
+		return fmt.Errorf("-streams must be positive, got %d", o.streams)
+	case o.batch <= 0:
+		return fmt.Errorf("-batch must be positive, got %d", o.batch)
+	case o.sessions < 0:
+		return fmt.Errorf("-sessions must be non-negative, got %d", o.sessions)
+	case o.tokmin <= 0 || o.tokmax < o.tokmin:
+		return fmt.Errorf("decode range [-tokmin %d, -tokmax %d] invalid", o.tokmin, o.tokmax)
+	case o.rate < 0:
+		return fmt.Errorf("-rate must be non-negative, got %v", o.rate)
+	case o.kvcap < 0:
+		return fmt.Errorf("-kvcap must be non-negative, got %d", o.kvcap)
 	}
-	if scale <= 0 {
-		scale = 1
+	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap}
+	if schedPol == serving.SchedChunked {
+		sched.ChunkTokens = o.chunk
+	} else if chunkFlagSet() {
+		return fmt.Errorf("-chunk only applies to -sched chunked (got -sched %s)", schedPol)
 	}
-	nodeCounts, err := parseNodes(nodeList)
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+	if o.scale <= 0 {
+		o.scale = 1
+	}
+	nodeCounts, err := parseNodes(o.nodes)
 	if err != nil {
 		return err
 	}
-	routerPols, err := parseRouters(routerList)
+	routerPols, err := parseRouters(o.routers)
 	if err != nil {
 		return err
 	}
-	pol, err := llamcat.ParsePolicy(policy)
+	pol, err := llamcat.ParsePolicy(o.policy)
 	if err != nil {
 		return err
 	}
-	models, err := modelMix(model)
+	models, err := modelMix(o.model)
 	if err != nil {
 		return err
 	}
 	// Computed defaults clamp to the mapping floor like
 	// cluster.DefaultScenario; explicit values are validated as given.
-	if seqmin == 0 {
-		if seqmin = 512 / scale; seqmin < 16 {
-			seqmin = 16
+	if o.seqmin == 0 {
+		if o.seqmin = 512 / o.scale; o.seqmin < 16 {
+			o.seqmin = 16
 		}
 	}
-	if seqmax == 0 {
-		if seqmax = 2048 / scale; seqmax < seqmin {
-			seqmax = seqmin
+	if o.seqmax == 0 {
+		if o.seqmax = 2048 / o.scale; o.seqmax < o.seqmin {
+			o.seqmax = o.seqmin
 		}
 	}
 	scn, err := cluster.NewScenario(cluster.ScenarioConfig{
 		ScenarioConfig: serving.ScenarioConfig{
-			Name:             fmt.Sprintf("%s/%dreq/seed%d", model, streams, seed),
-			Seed:             seed,
-			NumRequests:      streams,
+			Name:             fmt.Sprintf("%s/%dreq/seed%d", o.model, o.streams, o.seed),
+			Seed:             o.seed,
+			NumRequests:      o.streams,
 			Models:           models,
-			MinPromptLen:     seqmin,
-			MaxPromptLen:     seqmax,
-			MinDecode:        tokmin,
-			MaxDecode:        tokmax,
-			MeanInterArrival: rate,
-			MaxBatch:         batch,
-			IncludeAV:        av,
+			MinPromptLen:     o.seqmin,
+			MaxPromptLen:     o.seqmax,
+			MinDecode:        o.tokmin,
+			MaxDecode:        o.tokmax,
+			MeanInterArrival: o.rate,
+			MaxBatch:         o.batch,
+			IncludeAV:        o.av,
+			Sched:            sched,
 		},
-		NumSessions: sessions,
+		NumSessions: o.sessions,
 	})
 	if err != nil {
 		return err
 	}
 
 	base := sim.DefaultConfig()
-	opts := experiments.Options{Base: &base, Scale: scale, Parallel: parallel, StepCache: mode}
-	if verbose {
+	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode}
+	if o.verbose {
 		opts.Log = os.Stderr
 	}
 	grid, err := experiments.ClusterGrid(scn, nodeCounts, routerPols,
-		experiments.Policy{Label: policy, Throttle: pol.Throttle, Arbiter: pol.Arbiter}, opts)
+		experiments.Policy{Label: o.policy, Throttle: pol.Throttle, Arbiter: pol.Arbiter}, opts)
 	if err != nil {
 		return err
 	}
+	if o.jsonOut {
+		return writeJSON(grid, sched, o.scale)
+	}
 	fmt.Print(grid.Render())
 	return nil
+}
+
+// jsonCell is one (node count, router) cell of the -json document.
+type jsonCell struct {
+	Nodes   int              `json:"nodes"`
+	Router  string           `json:"router"`
+	Metrics *cluster.Metrics `json:"metrics"`
+}
+
+// jsonDoc is the -json report: the scenario identity plus every
+// cell's full fleet metrics (TTFT percentiles included).
+type jsonDoc struct {
+	Scenario  string     `json:"scenario"`
+	Requests  int        `json:"requests"`
+	Scale     int        `json:"scale"`
+	Scheduler string     `json:"scheduler"`
+	Policy    string     `json:"policy"`
+	Cells     []jsonCell `json:"cells"`
+}
+
+// writeJSON emits the grid as an indented JSON document on stdout.
+func writeJSON(grid *experiments.ClusterGridResult, sched serving.SchedulerConfig, scale int) error {
+	doc := jsonDoc{
+		Scenario:  grid.Scenario.Name,
+		Requests:  len(grid.Scenario.Requests),
+		Scale:     scale,
+		Scheduler: experiments.SchedLabel(sched),
+		Policy:    grid.Pol.Label,
+	}
+	for i, n := range grid.NodeCounts {
+		for j, r := range grid.Routers {
+			doc.Cells = append(doc.Cells, jsonCell{Nodes: n, Router: r.String(), Metrics: grid.Metrics[i][j]})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

@@ -11,21 +11,30 @@
 //	serve -policies unopt,dynmg,dynmg+BMA  # wider policy matrix
 //	serve -streams 16 -batch 8 -rate 15000 # heavier traffic
 //	serve -model mix -av                   # mixed 70B/405B, Logit+AV per token
+//	serve -sched chunked -chunk 32         # on-node chunked prefill before decode
+//	serve -sched prefill-first -kvcap 4096 # monolithic prefill, bounded KV cache
+//	serve -json                            # machine-readable metrics incl. TTFT
 //	serve -dumptrace step0.trace           # write the first composed step trace
 //
 // Workload flags (-streams, -seqmin/-seqmax, -tokmin/-tokmax, -rate,
-// -seed) shape the fixed-seed request population; trace flags (-av,
-// -dumptrace) control per-token trace composition; -scale divides the
-// prompt-length range and the L2 size together, preserving the
-// working-set-to-cache ratio exactly like the figure harnesses;
-// -stepcache selects the token-step fast path (on = signature memo +
-// resettable simulator, nomemo = no memoized replay, off = the naive
-// reference pipeline); -cpuprofile/-memprofile capture pprof profiles
-// of the run. Runs are deterministic for a fixed flag set (modulo the
-// step-cache hit-rate diagnostics, which depend on process history).
+// -seed) shape the fixed-seed request population; scheduler flags
+// (-sched, -chunk, -kvcap) select the prefill/decode co-scheduling
+// policy, the prefill chunk size and the KV-capacity admission bound;
+// trace flags (-av, -dumptrace) control per-step trace composition;
+// -scale divides the prompt-length range and the L2 size together,
+// preserving the working-set-to-cache ratio exactly like the figure
+// harnesses; -stepcache selects the token-step fast path (on =
+// signature memo + resettable simulator, nomemo = no memoized replay,
+// off = the naive reference pipeline); -json switches the report from
+// the aligned table to a JSON document of the full per-cell metrics
+// (TTFT percentiles included) for downstream tooling;
+// -cpuprofile/-memprofile capture pprof profiles of the run. Runs are
+// deterministic for a fixed flag set (modulo the step-cache hit-rate
+// diagnostics, which depend on process history).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,27 +48,48 @@ import (
 	"repro/internal/workload"
 )
 
+// cliOpts carries the parsed flag set into run.
+type cliOpts struct {
+	streams, batch                 int
+	model                          string
+	seqmin, seqmax, tokmin, tokmax int
+	rate                           float64
+	seed                           uint64
+	av                             bool
+	scale                          int
+	sched                          string
+	chunk                          int
+	kvcap                          int64
+	policies                       string
+	parallel                       int
+	verbose, jsonOut               bool
+	dumptrace, stepcache           string
+}
+
 func main() {
-	var (
-		streams    = flag.Int("streams", 8, "number of decode requests in the scenario")
-		batch      = flag.Int("batch", 4, "continuous-batching capacity (concurrent streams)")
-		model      = flag.String("model", "70b", "request model mix: 70b, 405b or mix")
-		seqmin     = flag.Int("seqmin", 0, "min prompt length (0 = 512/scale)")
-		seqmax     = flag.Int("seqmax", 0, "max prompt length (0 = 2048/scale)")
-		tokmin     = flag.Int("tokmin", 4, "min tokens decoded per request")
-		tokmax     = flag.Int("tokmax", 8, "max tokens decoded per request")
-		rate       = flag.Float64("rate", 30000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
-		seed       = flag.Uint64("seed", 1, "arrival-process seed")
-		av         = flag.Bool("av", false, "append the AV operator to every token step")
-		scale      = flag.Int("scale", 8, "divide default prompt lengths and the L2 size by this factor")
-		policies   = flag.String("policies", "unopt,dynmg+BMA", "comma-separated policy list, e.g. unopt,dyncta,dynmg,dynmg+BMA")
-		parallel   = flag.Int("parallel", 0, "concurrent policy cells (0 = GOMAXPROCS)")
-		verbose    = flag.Bool("v", false, "stream per-cell progress to stderr")
-		dumptrace  = flag.String("dumptrace", "", "write the first step's composed multi-stream trace to this file")
-		stepcache  = flag.String("stepcache", "on", "token-step fast path: on, nomemo or off (the naive reference)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
-	)
+	var o cliOpts
+	flag.IntVar(&o.streams, "streams", 8, "number of decode requests in the scenario")
+	flag.IntVar(&o.batch, "batch", 4, "continuous-batching capacity (concurrent streams)")
+	flag.StringVar(&o.model, "model", "70b", "request model mix: 70b, 405b or mix")
+	flag.IntVar(&o.seqmin, "seqmin", 0, "min prompt length (0 = 512/scale)")
+	flag.IntVar(&o.seqmax, "seqmax", 0, "max prompt length (0 = 2048/scale)")
+	flag.IntVar(&o.tokmin, "tokmin", 4, "min tokens decoded per request")
+	flag.IntVar(&o.tokmax, "tokmax", 8, "max tokens decoded per request")
+	flag.Float64Var(&o.rate, "rate", 30000, "mean inter-arrival gap in cycles (0 = all arrive at cycle 0)")
+	flag.Uint64Var(&o.seed, "seed", 1, "arrival-process seed")
+	flag.BoolVar(&o.av, "av", false, "append the AV operator to every token step")
+	flag.IntVar(&o.scale, "scale", 8, "divide default prompt lengths and the L2 size by this factor")
+	flag.StringVar(&o.sched, "sched", "decode-only", "prefill scheduler: decode-only, prefill-first or chunked")
+	flag.IntVar(&o.chunk, "chunk", 32, "prefill chunk size in tokens (chunked scheduler only)")
+	flag.Int64Var(&o.kvcap, "kvcap", 0, "KV-cache capacity in tokens, gating admission (0 = unlimited)")
+	flag.StringVar(&o.policies, "policies", "unopt,dynmg+BMA", "comma-separated policy list, e.g. unopt,dyncta,dynmg,dynmg+BMA")
+	flag.IntVar(&o.parallel, "parallel", 0, "concurrent policy cells (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.verbose, "v", false, "stream per-cell progress to stderr")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON metrics instead of the table")
+	flag.StringVar(&o.dumptrace, "dumptrace", "", "write the first step's composed multi-stream trace to this file")
+	flag.StringVar(&o.stepcache, "stepcache", "on", "token-step fast path: on, nomemo or off (the naive reference)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
@@ -68,8 +98,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	err = run(*streams, *batch, *model, *seqmin, *seqmax, *tokmin, *tokmax,
-		*rate, *seed, *av, *scale, *policies, *parallel, *verbose, *dumptrace, *stepcache)
+	err = run(o)
 
 	// Flush the profiles before the error exit below: os.Exit skips
 	// defers, which would truncate them.
@@ -81,6 +110,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+}
+
+// chunkFlagSet reports whether -chunk was passed explicitly, so a
+// contradictory -sched/-chunk combination errors instead of silently
+// ignoring the chunk size.
+func chunkFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "chunk" {
+			set = true
+		}
+	})
+	return set
 }
 
 func modelMix(name string) ([]workload.ModelConfig, error) {
@@ -95,64 +137,78 @@ func modelMix(name string) ([]workload.ModelConfig, error) {
 	return nil, fmt.Errorf("unknown model mix %q", name)
 }
 
-func run(streams, batch int, model string, seqmin, seqmax, tokmin, tokmax int,
-	rate float64, seed uint64, av bool, scale int, policyList string,
-	parallel int, verbose bool, dumptrace, stepcache string) error {
-	mode, err := serving.ParseStepCacheMode(stepcache)
+func run(o cliOpts) error {
+	mode, err := serving.ParseStepCacheMode(o.stepcache)
+	if err != nil {
+		return err
+	}
+	schedPol, err := serving.ParseSchedPolicy(o.sched)
 	if err != nil {
 		return err
 	}
 	// Validate the workload shape up front with flag-level messages
 	// instead of letting a deep generator or engine error report it.
 	switch {
-	case streams <= 0:
-		return fmt.Errorf("-streams must be positive, got %d", streams)
-	case batch <= 0:
-		return fmt.Errorf("-batch must be positive, got %d", batch)
-	case tokmin <= 0 || tokmax < tokmin:
-		return fmt.Errorf("decode range [-tokmin %d, -tokmax %d] invalid", tokmin, tokmax)
-	case rate < 0:
-		return fmt.Errorf("-rate must be non-negative, got %v", rate)
+	case o.streams <= 0:
+		return fmt.Errorf("-streams must be positive, got %d", o.streams)
+	case o.batch <= 0:
+		return fmt.Errorf("-batch must be positive, got %d", o.batch)
+	case o.tokmin <= 0 || o.tokmax < o.tokmin:
+		return fmt.Errorf("decode range [-tokmin %d, -tokmax %d] invalid", o.tokmin, o.tokmax)
+	case o.rate < 0:
+		return fmt.Errorf("-rate must be non-negative, got %v", o.rate)
+	case o.kvcap < 0:
+		return fmt.Errorf("-kvcap must be non-negative, got %d", o.kvcap)
 	}
-	if scale <= 0 {
-		scale = 1
+	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap}
+	if schedPol == serving.SchedChunked {
+		sched.ChunkTokens = o.chunk
+	} else if chunkFlagSet() {
+		return fmt.Errorf("-chunk only applies to -sched chunked (got -sched %s)", schedPol)
 	}
-	models, err := modelMix(model)
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+	if o.scale <= 0 {
+		o.scale = 1
+	}
+	models, err := modelMix(o.model)
 	if err != nil {
 		return err
 	}
 	// Computed defaults clamp to the mapping floor like
 	// serving.DefaultScenario, so any -scale works; explicitly passed
 	// values are validated as given.
-	if seqmin == 0 {
-		if seqmin = 512 / scale; seqmin < 16 {
-			seqmin = 16
+	if o.seqmin == 0 {
+		if o.seqmin = 512 / o.scale; o.seqmin < 16 {
+			o.seqmin = 16
 		}
 	}
-	if seqmax == 0 {
-		if seqmax = 2048 / scale; seqmax < seqmin {
-			seqmax = seqmin
+	if o.seqmax == 0 {
+		if o.seqmax = 2048 / o.scale; o.seqmax < o.seqmin {
+			o.seqmax = o.seqmin
 		}
 	}
 	scn, err := serving.NewScenario(serving.ScenarioConfig{
-		Name:             fmt.Sprintf("%s/%dreq/seed%d", model, streams, seed),
-		Seed:             seed,
-		NumRequests:      streams,
+		Name:             fmt.Sprintf("%s/%dreq/seed%d", o.model, o.streams, o.seed),
+		Seed:             o.seed,
+		NumRequests:      o.streams,
 		Models:           models,
-		MinPromptLen:     seqmin,
-		MaxPromptLen:     seqmax,
-		MinDecode:        tokmin,
-		MaxDecode:        tokmax,
-		MeanInterArrival: rate,
-		MaxBatch:         batch,
-		IncludeAV:        av,
+		MinPromptLen:     o.seqmin,
+		MaxPromptLen:     o.seqmax,
+		MinDecode:        o.tokmin,
+		MaxDecode:        o.tokmax,
+		MeanInterArrival: o.rate,
+		MaxBatch:         o.batch,
+		IncludeAV:        o.av,
+		Sched:            sched,
 	})
 	if err != nil {
 		return err
 	}
 
 	var pols []experiments.Policy
-	for _, s := range strings.Split(policyList, ",") {
+	for _, s := range strings.Split(o.policies, ",") {
 		s = strings.TrimSpace(s)
 		if s == "" {
 			continue
@@ -169,24 +225,59 @@ func run(streams, batch int, model string, seqmin, seqmax, tokmin, tokmax int,
 
 	base := sim.DefaultConfig()
 
-	if dumptrace != "" {
-		if err := writeFirstStep(scn, base, dumptrace); err != nil {
+	if o.dumptrace != "" {
+		if err := writeFirstStep(scn, base, o.dumptrace); err != nil {
 			return err
 		}
 	}
 
 	// Scale is applied by the grid runner (L2 size / scale), matching
 	// the figure harnesses.
-	opts := experiments.Options{Base: &base, Scale: scale, Parallel: parallel, StepCache: mode}
-	if verbose {
+	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode}
+	if o.verbose {
 		opts.Log = os.Stderr
 	}
 	grid, err := experiments.ServeGrid(scn, pols, opts)
 	if err != nil {
 		return err
 	}
+	if o.jsonOut {
+		return writeJSON(grid, sched, o.scale)
+	}
 	fmt.Print(grid.Render())
 	return nil
+}
+
+// jsonCell is one policy cell of the -json document.
+type jsonCell struct {
+	Policy  string           `json:"policy"`
+	Metrics *serving.Metrics `json:"metrics"`
+}
+
+// jsonDoc is the -json report: the scenario identity plus every
+// policy cell's full serving metrics (TTFT percentiles included).
+type jsonDoc struct {
+	Scenario  string     `json:"scenario"`
+	Requests  int        `json:"requests"`
+	Scale     int        `json:"scale"`
+	Scheduler string     `json:"scheduler"`
+	Cells     []jsonCell `json:"cells"`
+}
+
+// writeJSON emits the grid as an indented JSON document on stdout.
+func writeJSON(grid *experiments.ServeGridResult, sched serving.SchedulerConfig, scale int) error {
+	doc := jsonDoc{
+		Scenario:  grid.Scenario.Name,
+		Requests:  len(grid.Scenario.Requests),
+		Scale:     scale,
+		Scheduler: experiments.SchedLabel(sched),
+	}
+	for i, p := range grid.Policies {
+		doc.Cells = append(doc.Cells, jsonCell{Policy: p.Label, Metrics: grid.Metrics[i]})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // writeFirstStep composes the scenario's first token step (the batch

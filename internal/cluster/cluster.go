@@ -84,6 +84,12 @@ type Metrics struct {
 	// E2ELatency summarises per-request end-to-end latency (arrival at
 	// the router to final token), in request-ID order.
 	E2ELatency serving.Percentiles
+	// TTFT summarises per-request time to first token: arrival at the
+	// router to the completion of the step producing the request's
+	// first decode token — router queueing, node queueing and any
+	// on-node prefill included (requests carry their global arrival
+	// cycle onto their node).
+	TTFT serving.Percentiles
 	// QueueDelay summarises per-request admission delay — arrival at
 	// the router until a batch slot on the assigned node — i.e. router
 	// plus node queueing, in request-ID order.
@@ -124,7 +130,7 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	if err != nil {
 		return nil, err
 	}
-	ropts := serving.RunOptions{StepCache: opts.StepCache, Memo: opts.Memo}
+	ropts := serving.RunOptions{StepCache: opts.StepCache, Memo: opts.Memo, Sched: scn.Sched}
 	engines := make([]*serving.Engine, nodes)
 	// Prealloc a doubled per-node share of the population (capped at
 	// the whole scenario): a balanced router lands near 1/N per node,
@@ -154,6 +160,7 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		rt          = newRouter(pol, nodes)
 		par         = opts.parallel(nodes)
 		outstanding = make([]int64, nodes)
+		backlog     = make([]int64, nodes)   // un-prefilled prompt tokens per node
 		loadAcc     = make([]float64, nodes) // outstanding-token integrals
 		sessionOf   = make([]int, len(reqs)) // by request ID (a permutation of [0, n))
 		horizon     int64                    // the fleet has already advanced to this cycle
@@ -175,7 +182,14 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		for i, e := range engines {
 			outstanding[i] = e.OutstandingTokens()
 		}
-		target := rt.pick(r, outstanding)
+		if pol.Kind == LeastTTFTPressure {
+			// Backlog has no other consumer; skip the second per-node
+			// scan for the four policies that ignore it.
+			for i, e := range engines {
+				backlog[i] = e.PrefillBacklog()
+			}
+		}
+		target := rt.pick(r, outstanding, backlog)
 		if err := engines[target].Submit(r.Request); err != nil {
 			return nil, err
 		}
@@ -235,12 +249,15 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	}
 	e2e := make([]float64, len(reqs))
 	qd := make([]float64, len(reqs))
+	ttft := make([]float64, len(reqs))
 	for i, rs := range m.PerRequest {
 		e2e[i] = float64(rs.E2ELatency)
 		qd[i] = float64(rs.QueueDelay)
+		ttft[i] = float64(rs.TTFT)
 	}
 	m.E2ELatency = serving.Summarise(e2e)
 	m.QueueDelay = serving.Summarise(qd)
+	m.TTFT = serving.Summarise(ttft)
 	m.LoadImbalance = imbalance(loadAcc)
 	return m, nil
 }
@@ -295,6 +312,8 @@ func (m *Metrics) String() string {
 	fmt.Fprintf(&b, "load imbalance    %.3f (max/mean outstanding tokens)\n", m.LoadImbalance)
 	fmt.Fprintf(&b, "e2e latency       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
 		m.E2ELatency.P50, m.E2ELatency.P95, m.E2ELatency.P99, m.E2ELatency.Max)
+	fmt.Fprintf(&b, "TTFT              p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
+		m.TTFT.P50, m.TTFT.P95, m.TTFT.P99, m.TTFT.Max)
 	fmt.Fprintf(&b, "queue delay       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
 		m.QueueDelay.P50, m.QueueDelay.P95, m.QueueDelay.P99, m.QueueDelay.Max)
 	fmt.Fprintf(&b, "step cache        memo %d/%d  optrace %d/%d  sim resets %d\n",

@@ -160,15 +160,16 @@ func TestRouterPolicies(t *testing.T) {
 	t.Run("round-robin", func(t *testing.T) {
 		rt := newRouter(Policy{Kind: RoundRobin}, 3)
 		load := []int64{100, 0, 0} // ignored by design
+		zeros := make([]int64, 3)
 		for k := 0; k < 7; k++ {
-			if got := rt.pick(req(k, 0), load); got != k%3 {
+			if got := rt.pick(req(k, 0), load, zeros); got != k%3 {
 				t.Fatalf("dispatch %d went to node %d, want %d", k, got, k%3)
 			}
 		}
 	})
 	t.Run("least-outstanding", func(t *testing.T) {
 		rt := newRouter(Policy{Kind: LeastOutstanding}, 4)
-		if got := rt.pick(req(0, 0), []int64{5, 3, 9, 3}); got != 1 {
+		if got := rt.pick(req(0, 0), []int64{5, 3, 9, 3}, make([]int64, 4)); got != 1 {
 			t.Fatalf("picked node %d, want the first minimum 1", got)
 		}
 	})
@@ -176,20 +177,38 @@ func TestRouterPolicies(t *testing.T) {
 		a := newRouter(Policy{Kind: PowerOfTwo, Seed: 9}, 4)
 		b := newRouter(Policy{Kind: PowerOfTwo, Seed: 9}, 4)
 		load := []int64{4, 1, 3, 2}
+		zeros := make([]int64, 4)
 		for k := 0; k < 32; k++ {
-			x, y := a.pick(req(k, 0), load), b.pick(req(k, 0), load)
+			x, y := a.pick(req(k, 0), load, zeros), b.pick(req(k, 0), load, zeros)
 			if x != y {
 				t.Fatalf("same seed diverged at dispatch %d: %d vs %d", k, x, y)
 			}
 		}
 	})
+	t.Run("ttft-pressure", func(t *testing.T) {
+		rt := newRouter(Policy{Kind: LeastTTFTPressure}, 4)
+		// Node 1 has the lowest decode load but a deep prefill backlog;
+		// the pressure policy must look past it to node 2, while a pure
+		// least-outstanding pick would take node 1.
+		load := []int64{5, 1, 3, 6}
+		backlog := []int64{0, 90, 0, 0}
+		if got := rt.pick(req(0, 0), load, backlog); got != 2 {
+			t.Fatalf("picked node %d, want the least-pressure node 2", got)
+		}
+		// Zero backlog everywhere (decode-only fleet): degenerates to
+		// least-outstanding, ties to the lowest index.
+		if got := rt.pick(req(1, 0), []int64{4, 2, 2, 9}, make([]int64, 4)); got != 1 {
+			t.Fatalf("picked node %d, want least-outstanding tie-break 1", got)
+		}
+	})
 	t.Run("affinity", func(t *testing.T) {
 		rt := newRouter(Policy{Kind: SessionAffinity}, 4)
 		load := []int64{0, 0, 0, 0}
+		zeros := make([]int64, 4)
 		homes := map[int]int{}
 		for k := 0; k < 40; k++ {
 			session := k % 5
-			got := rt.pick(req(k, session), load)
+			got := rt.pick(req(k, session), load, zeros)
 			if home, seen := homes[session]; seen && got != home {
 				t.Fatalf("session %d moved from node %d to %d", session, home, got)
 			}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/serving"
+	"repro/internal/sim"
+)
+
+// fleetScenario draws the fixed fleet population of the golden and
+// prefill cluster tests.
+func fleetScenario(t *testing.T, sched serving.SchedulerConfig) Scenario {
+	t.Helper()
+	scn, err := NewScenario(ScenarioConfig{
+		ScenarioConfig: serving.ScenarioConfig{
+			Name: "golden/fleet", Seed: 7, NumRequests: 10,
+			MinPromptLen: 16, MaxPromptLen: 48,
+			MinDecode: 2, MaxDecode: 4,
+			MeanInterArrival: 4000, MaxBatch: 2,
+			Sched: sched,
+		},
+		NumSessions: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+func bmaConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.L2SizeBytes /= 32
+	cfg.Throttle = "dynmg"
+	cfg.Arbiter = arbiter.BMA
+	return cfg
+}
+
+// TestClusterDecodeOnlyGolden pins the acceptance criterion at the
+// fleet level: the decode-only scheduler reproduces the pre-prefill
+// ServeCluster metrics bit for bit. The golden numbers were captured
+// by running cluster.Run on this exact (scenario, config) at the
+// commit BEFORE the prefill subsystem was introduced, for every
+// pre-existing router policy.
+func TestClusterDecodeOnlyGolden(t *testing.T) {
+	golden := []struct {
+		pol      Policy
+		makespan int64
+		tokens   int64
+		e2eP50   float64
+		e2eP99   float64
+		qP99     float64
+		imb      float64
+	}{
+		{Policy{Kind: RoundRobin}, 70566, 29, 28747.5, 40415.58, 16716.77, 1.0526315789473684},
+		{Policy{Kind: LeastOutstanding}, 76536, 29, 26315.5, 45848.28, 25643.870000000003, 1.0526315789473684},
+		{Policy{Kind: PowerOfTwo}, 69926, 29, 22294.5, 45841.21, 26800.910000000003, 1.2307692307692308},
+		{Policy{Kind: SessionAffinity}, 77752, 29, 30643, 57938.25, 39004.99, 1.7173913043478262},
+	}
+	for _, g := range golden {
+		m, err := Run(bmaConfig(), fleetScenario(t, serving.SchedulerConfig{}), 2, g.pol, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Makespan != g.makespan || m.Tokens != g.tokens {
+			t.Errorf("%s: makespan/tokens %d/%d, golden %d/%d", g.pol, m.Makespan, m.Tokens, g.makespan, g.tokens)
+		}
+		if m.E2ELatency.P50 != g.e2eP50 || m.E2ELatency.P99 != g.e2eP99 {
+			t.Errorf("%s: e2e p50/p99 %v/%v, golden %v/%v", g.pol, m.E2ELatency.P50, m.E2ELatency.P99, g.e2eP50, g.e2eP99)
+		}
+		if m.QueueDelay.P99 != g.qP99 {
+			t.Errorf("%s: queue p99 %v, golden %v", g.pol, m.QueueDelay.P99, g.qP99)
+		}
+		if m.LoadImbalance != g.imb {
+			t.Errorf("%s: imbalance %v, golden %v", g.pol, m.LoadImbalance, g.imb)
+		}
+	}
+}
+
+// TestTTFTPressureDegeneratesDecodeOnly: with a decode-only fleet the
+// prefill backlog is zero everywhere, so the ttft-pressure router is
+// decision-for-decision identical to least-outstanding.
+func TestTTFTPressureDegeneratesDecodeOnly(t *testing.T) {
+	scn := fleetScenario(t, serving.SchedulerConfig{})
+	lot, err := Run(bmaConfig(), scn, 3, Policy{Kind: LeastOutstanding}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltp, err := Run(bmaConfig(), scn, 3, Policy{Kind: LeastTTFTPressure}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lot.PerRequest {
+		if lot.PerRequest[i].Node != ltp.PerRequest[i].Node {
+			t.Fatalf("request %d routed to %d by least-outstanding but %d by ttft-pressure",
+				i, lot.PerRequest[i].Node, ltp.PerRequest[i].Node)
+		}
+	}
+	lot.StripStepCache()
+	ltp.StripStepCache()
+	if lot.Makespan != ltp.Makespan || lot.E2ELatency != ltp.E2ELatency {
+		t.Error("decode-only fleets diverged between least-outstanding and ttft-pressure")
+	}
+}
+
+// TestClusterPrefillParallelDeterminism runs prefill-scheduled fleets
+// (chunked and prefill-first) under every router at node-fan-out
+// widths 1 and GOMAXPROCS: metrics must be bit-identical — the
+// chunked-vs-prefill-first comparison cannot depend on -parallel.
+func TestClusterPrefillParallelDeterminism(t *testing.T) {
+	scheds := []serving.SchedulerConfig{
+		{Policy: serving.SchedChunked, ChunkTokens: 16, KVCapTokens: 128},
+		{Policy: serving.SchedPrefillFirst},
+	}
+	for _, sched := range scheds {
+		scn := fleetScenario(t, sched)
+		for _, pol := range Policies() {
+			serial, err := Run(bmaConfig(), scn, 3, pol, Options{Parallel: 1, Memo: serving.NewStepMemo()})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", sched.Policy, pol, err)
+			}
+			wide, err := Run(bmaConfig(), scn, 3, pol, Options{Parallel: runtime.GOMAXPROCS(0), Memo: serving.NewStepMemo()})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", sched.Policy, pol, err)
+			}
+			serial.StripStepCache()
+			wide.StripStepCache()
+			if !reflect.DeepEqual(serial, wide) {
+				t.Errorf("%v/%s: fleet metrics differ between widths 1 and %d",
+					sched.Policy, pol, runtime.GOMAXPROCS(0))
+			}
+		}
+	}
+}
+
+// TestClusterPrefillTTFT: a prefill-scheduled fleet reports finite,
+// internally consistent TTFT percentiles, every request prefills its
+// whole prompt on its node, and the ttft-pressure router observes
+// backlog (it runs without error and keeps every node's prefill total
+// equal to the prompts routed there).
+func TestClusterPrefillTTFT(t *testing.T) {
+	scn := fleetScenario(t, serving.SchedulerConfig{Policy: serving.SchedChunked, ChunkTokens: 16})
+	m, err := Run(bmaConfig(), scn, 2, Policy{Kind: LeastTTFTPressure}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.TTFT.P50 > 0 && m.TTFT.P95 >= m.TTFT.P50 && m.TTFT.P99 >= m.TTFT.P95 && m.TTFT.Max >= m.TTFT.P99) {
+		t.Errorf("TTFT percentiles inconsistent: %+v", m.TTFT)
+	}
+	var wantPrefill [2]int64
+	for _, rs := range m.PerRequest {
+		if rs.TTFT <= 0 || rs.TTFT > rs.E2ELatency {
+			t.Errorf("request %d: TTFT %d outside (0, e2e %d]", rs.ID, rs.TTFT, rs.E2ELatency)
+		}
+		wantPrefill[rs.Node] += int64(rs.FinalKVLen - rs.Tokens)
+	}
+	for i, nm := range m.PerNode {
+		if nm.PrefillTokens != wantPrefill[i] {
+			t.Errorf("node %d prefilled %d tokens, want %d (sum of routed prompts)", i, nm.PrefillTokens, wantPrefill[i])
+		}
+	}
+}

@@ -31,6 +31,15 @@ const (
 	// requests of one session land on the same node — modelling
 	// KV/prefix-cache locality at the cost of load imbalance.
 	SessionAffinity
+	// LeastTTFTPressure dispatches to the node with the least
+	// time-to-first-token pressure: outstanding decode tokens PLUS the
+	// prefill backlog (un-prefilled prompt tokens the node still owes).
+	// Under a prefill scheduler a node buried in prompt work delays
+	// every new request's first token even when its decode load is
+	// light; this policy sees that, LeastOutstanding does not. With the
+	// decode-only scheduler the backlog is zero everywhere and the
+	// policy degenerates to LeastOutstanding.
+	LeastTTFTPressure
 )
 
 // String returns the canonical policy name ParsePolicy accepts.
@@ -44,6 +53,8 @@ func (k Kind) String() string {
 		return "p2c"
 	case SessionAffinity:
 		return "affinity"
+	case LeastTTFTPressure:
+		return "ttft-pressure"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -66,7 +77,7 @@ func (p Policy) String() string {
 
 // ParsePolicy reads a router policy name: "round-robin" (or "rr"),
 // "least-outstanding" (or "lot"), "p2c" (or "power-of-two"),
-// "affinity" (or "session-affinity").
+// "affinity" (or "session-affinity"), "ttft-pressure" (or "ltp").
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "round-robin", "rr":
@@ -77,17 +88,20 @@ func ParsePolicy(s string) (Policy, error) {
 		return Policy{Kind: PowerOfTwo}, nil
 	case "affinity", "session-affinity":
 		return Policy{Kind: SessionAffinity}, nil
+	case "ttft-pressure", "ltp", "least-ttft-pressure":
+		return Policy{Kind: LeastTTFTPressure}, nil
 	}
-	return Policy{}, fmt.Errorf("cluster: unknown router policy %q (want round-robin, least-outstanding, p2c or affinity)", s)
+	return Policy{}, fmt.Errorf("cluster: unknown router policy %q (want round-robin, least-outstanding, p2c, affinity or ttft-pressure)", s)
 }
 
-// Policies returns the four stock router policies in stable order.
+// Policies returns the five stock router policies in stable order.
 func Policies() []Policy {
 	return []Policy{
 		{Kind: RoundRobin},
 		{Kind: LeastOutstanding},
 		{Kind: PowerOfTwo},
 		{Kind: SessionAffinity},
+		{Kind: LeastTTFTPressure},
 	}
 }
 
@@ -104,8 +118,10 @@ func newRouter(pol Policy, nodes int) *router {
 }
 
 // pick chooses the node for one arriving request. outstanding[i] is
-// node i's outstanding decode tokens at the request's arrival cycle.
-func (r *router) pick(req Request, outstanding []int64) int {
+// node i's outstanding decode tokens at the request's arrival cycle;
+// backlog[i] is its prefill backlog (un-prefilled prompt tokens, zero
+// under the decode-only scheduler).
+func (r *router) pick(req Request, outstanding, backlog []int64) int {
 	switch r.pol.Kind {
 	case RoundRobin:
 		n := r.rr % r.nodes
@@ -128,6 +144,14 @@ func (r *router) pick(req Request, outstanding []int64) int {
 		return a
 	case SessionAffinity:
 		return sessionNode(req.Session, r.nodes)
+	case LeastTTFTPressure:
+		best := 0
+		for i := 1; i < r.nodes; i++ {
+			if outstanding[i]+backlog[i] < outstanding[best]+backlog[best] {
+				best = i
+			}
+		}
+		return best
 	}
 	return 0
 }

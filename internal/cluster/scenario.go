@@ -38,6 +38,10 @@ type Scenario struct {
 	// IncludeAV appends the attention-value operator to every stream's
 	// per-token work on every node.
 	IncludeAV bool
+	// Sched is every node's prefill/decode scheduler configuration
+	// (zero value: decode-only, unlimited KV — the pre-prefill fleet
+	// behaviour).
+	Sched serving.SchedulerConfig
 }
 
 // Validate checks the scenario. Request IDs must form a permutation
@@ -50,9 +54,15 @@ func (s Scenario) Validate() error {
 	if s.MaxBatch <= 0 {
 		return fmt.Errorf("cluster: MaxBatch must be positive, got %d", s.MaxBatch)
 	}
+	if err := s.Sched.Validate(); err != nil {
+		return err
+	}
 	seen := make([]bool, len(s.Requests))
 	for _, r := range s.Requests {
 		if err := r.Request.Validate(); err != nil {
+			return err
+		}
+		if err := s.Sched.CheckAdmissible(r.Request); err != nil {
 			return err
 		}
 		if r.Session < 0 {
@@ -83,6 +93,7 @@ func (s Scenario) ServingScenario() serving.Scenario {
 		Requests:  reqs,
 		MaxBatch:  s.MaxBatch,
 		IncludeAV: s.IncludeAV,
+		Sched:     s.Sched,
 	}
 }
 
@@ -133,6 +144,7 @@ func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 		Requests:  reqs,
 		MaxBatch:  base.MaxBatch,
 		IncludeAV: base.IncludeAV,
+		Sched:     base.Sched,
 	}, nil
 }
 

@@ -138,15 +138,15 @@ func (g *ClusterGridResult) Render() string {
 	fmt.Fprintf(&b, "scenario %s: %d requests, %d tokens, batch %d/node, cache policy %s\n\n",
 		g.Scenario.Name, len(g.Scenario.Requests), g.Scenario.TotalTokens(),
 		g.Scenario.MaxBatch, g.Pol.Label)
-	fmt.Fprintf(&b, "%-6s %-18s %12s %10s %10s %10s %10s %10s %10s\n",
-		"nodes", "router", "tok/kcycle", "makespan", "e2e-p50", "e2e-p95", "e2e-p99", "queue-p99", "imbalance")
+	fmt.Fprintf(&b, "%-6s %-18s %12s %10s %10s %10s %10s %10s %10s %10s\n",
+		"nodes", "router", "tok/kcycle", "makespan", "e2e-p50", "e2e-p95", "e2e-p99", "ttft-p95", "queue-p99", "imbalance")
 	for i, n := range g.NodeCounts {
 		for j, r := range g.Routers {
 			m := g.Metrics[i][j]
-			fmt.Fprintf(&b, "%-6d %-18s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.3f\n",
+			fmt.Fprintf(&b, "%-6d %-18s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.0f %10.3f\n",
 				n, r.String(), m.FleetTokensPerKCycle, m.Makespan,
 				m.E2ELatency.P50, m.E2ELatency.P95, m.E2ELatency.P99,
-				m.QueueDelay.P99, m.LoadImbalance)
+				m.TTFT.P95, m.QueueDelay.P99, m.LoadImbalance)
 		}
 	}
 	return b.String()

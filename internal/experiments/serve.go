@@ -107,14 +107,14 @@ func (g *ServeGridResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario %s: %d requests, %d tokens, batch %d\n\n",
 		g.Scenario.Name, len(g.Scenario.Requests), g.Scenario.TotalTokens(), g.Scenario.MaxBatch)
-	fmt.Fprintf(&b, "%-14s %12s %10s %10s %10s %10s %10s %10s\n",
-		"policy", "tok/kcycle", "makespan", "lat-p50", "lat-p95", "lat-p99", "queue-p99", "occupancy")
+	fmt.Fprintf(&b, "%-14s %12s %10s %10s %10s %10s %10s %10s %10s\n",
+		"policy", "tok/kcycle", "makespan", "lat-p50", "lat-p95", "lat-p99", "ttft-p95", "queue-p99", "occupancy")
 	for i, p := range g.Policies {
 		m := g.Metrics[i]
-		fmt.Fprintf(&b, "%-14s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.2f\n",
+		fmt.Fprintf(&b, "%-14s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.0f %10.2f\n",
 			p.Label, m.TokensPerKCycle, m.Makespan,
 			m.TokenLatency.P50, m.TokenLatency.P95, m.TokenLatency.P99,
-			m.QueueDelay.P99, m.MeanBatchOccupancy)
+			m.TTFT.P95, m.QueueDelay.P99, m.MeanBatchOccupancy)
 	}
 	return b.String()
 }

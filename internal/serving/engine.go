@@ -17,12 +17,16 @@ import (
 
 // stream is one occupied batch slot.
 type stream struct {
-	req    Request
-	slot   int
-	kvLen  int
-	left   int
-	admit  int64
-	tokens int
+	req   Request
+	slot  int
+	kvLen int
+	left  int
+	// prefillLeft is the prompt tokens still to prefill on-node; 0
+	// means the stream is in its decode phase (decode-only streams are
+	// born with 0 — the prompt is assumed prefilled elsewhere).
+	prefillLeft int
+	admit       int64
+	tokens      int
 }
 
 // Engine is one continuous-batching server advanced incrementally on
@@ -38,22 +42,27 @@ type Engine struct {
 	maxBatch  int
 	includeAV bool
 	stride    uint64
+	sched     SchedulerConfig
 
 	slots   []*stream
 	queue   []Request // arrival reached, waiting for a slot (FCFS)
 	pending []Request // submitted, arrival still ahead of the local clock
 	now     int64
+	kvUsed  int64 // KV tokens reserved by live streams (capacity gate)
 
-	steps      int64
-	cycles     int64
-	tokens     int64
-	counters   stats.Counters
-	tokenLats  []float64
-	queueLats  []float64
-	stats      []RequestStats // submit order
-	statIdx    map[int]int    // request ID -> index into stats
-	unfinished int
-	running    []StreamState // per-step scratch
+	steps         int64
+	cycles        int64
+	tokens        int64
+	prefillTokens int64 // prompt tokens prefilled on-node
+	prefillSteps  int64 // steps that carried a prefill pass
+	counters      stats.Counters
+	tokenLats     []float64
+	queueLats     []float64
+	ttfts         []float64
+	stats         []RequestStats // submit order
+	statIdx       map[int]int    // request ID -> index into stats
+	unfinished    int
+	running       []StreamState // per-step scratch
 
 	// Token-step fast path (see stepcache.go). mode selects the path;
 	// memo is the shared signature memo; simEng is the persistent
@@ -96,14 +105,18 @@ func NewEngineWith(cfg sim.Config, maxBatch int, includeAV bool, stride uint64, 
 	if stride == 0 || stride%streamAlign != 0 {
 		return nil, fmt.Errorf("serving: stride %d is not a positive multiple of the %d-byte stream alignment", stride, streamAlign)
 	}
+	if err := opts.Sched.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		cfg:       cfg,
 		maxBatch:  maxBatch,
 		includeAV: includeAV,
 		stride:    stride,
+		sched:     opts.Sched,
 		slots:     make([]*stream, maxBatch),
 		statIdx:   make(map[int]int),
-		running:   make([]StreamState, 0, maxBatch),
+		running:   make([]StreamState, 0, maxBatch+1),
 		mode:      opts.StepCache,
 		memo:      opts.Memo,
 	}
@@ -130,6 +143,9 @@ func (e *Engine) Prealloc(requests int, tokens int64) {
 	if cap(e.queueLats) < requests {
 		e.queueLats = append(make([]float64, 0, requests), e.queueLats...)
 	}
+	if cap(e.ttfts) < requests {
+		e.ttfts = append(make([]float64, 0, requests), e.ttfts...)
+	}
 	if cap(e.stats) < requests {
 		e.stats = append(make([]RequestStats, 0, requests), e.stats...)
 	}
@@ -154,6 +170,9 @@ func (e *Engine) Submit(req Request) error {
 	if _, dup := e.statIdx[req.ID]; dup {
 		return fmt.Errorf("serving: duplicate request ID %d submitted", req.ID)
 	}
+	if err := e.sched.CheckAdmissible(req); err != nil {
+		return err
+	}
 	if n := len(e.pending); n > 0 && req.ArrivalCycle < e.pending[n-1].ArrivalCycle {
 		return fmt.Errorf("serving: request %d submitted out of arrival order (%d after %d)",
 			req.ID, req.ArrivalCycle, e.pending[n-1].ArrivalCycle)
@@ -171,7 +190,11 @@ func (e *Engine) Submit(req Request) error {
 
 // admit moves pending arrivals up to the local clock into the FCFS
 // queue, then fills free batch slots lowest-index first — the
-// iteration-boundary admission of continuous batching.
+// iteration-boundary admission of continuous batching. When a KV
+// capacity is configured, the queue head is admitted only while its
+// maximum KV footprint fits the remaining capacity; admission stays
+// strict FCFS, so a too-large head blocks the queue until running
+// streams retire and release their reservations.
 func (e *Engine) admit() {
 	for len(e.pending) > 0 && e.pending[0].ArrivalCycle <= e.now {
 		e.queue = append(e.queue, e.pending[0])
@@ -189,14 +212,26 @@ func (e *Engine) admit() {
 			break
 		}
 		req := e.queue[0]
+		need := kvReserve(req)
+		if e.sched.KVCapTokens > 0 && e.kvUsed+need > e.sched.KVCapTokens {
+			break
+		}
 		e.queue = e.queue[1:]
-		e.slots[slot] = &stream{
+		e.kvUsed += need
+		s := &stream{
 			req:   req,
 			slot:  slot,
 			kvLen: req.PromptLen,
 			left:  req.DecodeTokens,
 			admit: e.now,
 		}
+		if e.sched.Policy != SchedDecodeOnly {
+			// The node runs the prompt's prefill itself: the KV cache
+			// starts empty and fills as chunks complete.
+			s.kvLen = 0
+			s.prefillLeft = req.PromptLen
+		}
+		e.slots[slot] = s
 		e.queueLats = append(e.queueLats, float64(e.now-req.ArrivalCycle))
 		st := &e.stats[e.statIdx[req.ID]]
 		st.AdmitCycle = e.now
@@ -213,27 +248,18 @@ func (e *Engine) runnable() bool {
 	return false
 }
 
-// stepOnce executes one continuous-batching iteration: every running
-// stream decodes one token over the composed multi-stream trace. Under
-// the default fast path a memoized signature replays the recorded
-// (cycles, counters) without composing or simulating anything; a miss
-// composes into the engine's arena and rewinds the persistent
-// simulator. StepCacheOff is the naive reference: a fresh trace and a
-// fresh simulator per step. All paths are bit-identical — the step
-// cache equivalence tests assert it. The caller guarantees at least
-// one slot is occupied.
+// stepOnce executes one continuous-batching iteration over the
+// scheduler-selected running set: every decode-phase participant
+// decodes one token, a prefill participant advances one pass, all over
+// one composed multi-stream trace. Under the default fast path a
+// memoized signature replays the recorded (cycles, counters) without
+// composing or simulating anything; a miss composes into the engine's
+// arena and rewinds the persistent simulator. StepCacheOff is the
+// naive reference: a fresh trace and a fresh simulator per step. All
+// paths are bit-identical — the step cache equivalence tests assert
+// it. The caller guarantees at least one slot is occupied.
 func (e *Engine) stepOnce() error {
-	e.running = e.running[:0]
-	for _, s := range e.slots {
-		if s != nil {
-			e.running = append(e.running, StreamState{
-				Slot:  s.slot,
-				Base:  uint64(s.slot) * e.stride,
-				Model: s.req.Model,
-				KVLen: s.kvLen,
-			})
-		}
-	}
+	e.selectStep()
 
 	if e.mode == StepCacheOff {
 		tr, groupSize, err := ComposeStep(e.running, e.includeAV, e.cfg.LineBytes)
@@ -289,17 +315,69 @@ func (e *Engine) stepOnce() error {
 	return nil
 }
 
-// applyStep folds one executed (or replayed) token step into the
-// engine: clock, aggregate counters, per-token latencies and stream
-// retirement.
+// selectStep builds the step's running set into e.running per the
+// scheduler policy. Decode-only: every occupied slot decodes (the
+// pre-prefill behaviour, entry for entry). Prefill-first: while any
+// stream owes prefill, the step is that stream's monolithic prefill
+// pass alone (oldest admission first, ties to the lowest slot) and
+// decodes stall. Chunked: every decode-phase stream decodes and the
+// oldest prefilling stream advances one chunk in the same step.
+func (e *Engine) selectStep() {
+	e.running = e.running[:0]
+	var pre *stream
+	for _, s := range e.slots {
+		if s == nil {
+			continue
+		}
+		if s.prefillLeft > 0 {
+			if pre == nil || s.admit < pre.admit || (s.admit == pre.admit && s.slot < pre.slot) {
+				pre = s
+			}
+			continue
+		}
+		e.running = append(e.running, StreamState{
+			Slot:  s.slot,
+			Base:  uint64(s.slot) * e.stride,
+			Model: s.req.Model,
+			KVLen: s.kvLen,
+		})
+	}
+	if pre == nil {
+		return
+	}
+	adv := e.sched.prefillTarget(pre.prefillLeft)
+	st := StreamState{
+		Slot:     pre.slot,
+		Base:     uint64(pre.slot) * e.stride,
+		Model:    pre.req.Model,
+		KVLen:    pre.kvLen + adv,
+		ChunkLen: adv,
+	}
+	if e.sched.Policy == SchedPrefillFirst {
+		// Monolithic prefill preempts every decode stream.
+		e.running = append(e.running[:0], st)
+		return
+	}
+	e.running = append(e.running, st)
+}
+
+// applyStep folds one executed (or replayed) step into the engine:
+// clock, aggregate counters, per-token latencies, prefill progress,
+// first-token timestamps and stream retirement. Participants are the
+// entries of e.running (built by selectStep for this step).
 func (e *Engine) applyStep(stepCycles int64, ctr *stats.Counters) {
 	e.now += stepCycles
 	e.steps++
 	e.cycles += stepCycles
 	e.counters.Add(ctr)
 
-	for i, s := range e.slots {
-		if s == nil {
+	for _, rs := range e.running {
+		s := e.slots[rs.Slot]
+		if rs.ChunkLen > 0 {
+			s.kvLen += rs.ChunkLen
+			s.prefillLeft -= rs.ChunkLen
+			e.prefillTokens += int64(rs.ChunkLen)
+			e.prefillSteps++
 			continue
 		}
 		s.kvLen++
@@ -307,12 +385,19 @@ func (e *Engine) applyStep(stepCycles int64, ctr *stats.Counters) {
 		s.tokens++
 		e.tokens++
 		e.tokenLats = append(e.tokenLats, float64(stepCycles))
+		if s.tokens == 1 {
+			st := &e.stats[e.statIdx[s.req.ID]]
+			st.FirstTokenCycle = e.now
+			st.TTFT = e.now - s.req.ArrivalCycle
+			e.ttfts = append(e.ttfts, float64(st.TTFT))
+		}
 		if s.left == 0 {
 			st := &e.stats[e.statIdx[s.req.ID]]
 			st.FinishCycle = e.now
 			st.Tokens = s.tokens
 			st.FinalKVLen = s.kvLen
-			e.slots[i] = nil
+			e.slots[rs.Slot] = nil
+			e.kvUsed -= kvReserve(s.req)
 			e.unfinished--
 		}
 	}
@@ -386,17 +471,44 @@ func (e *Engine) OutstandingTokens() int64 {
 	return n
 }
 
+// PrefillBacklog is the router's time-to-first-token pressure signal:
+// the prompt tokens the node still has to prefill before its requests
+// emit their first token — the un-prefilled remainder of running
+// streams plus the whole prompts of queued and not-yet-arrived
+// submitted requests. Zero under the decode-only scheduler (the
+// prompt is prefilled elsewhere, the node owes none of it).
+func (e *Engine) PrefillBacklog() int64 {
+	if e.sched.Policy == SchedDecodeOnly {
+		return 0
+	}
+	var n int64
+	for _, s := range e.slots {
+		if s != nil {
+			n += int64(s.prefillLeft)
+		}
+	}
+	for _, r := range e.queue {
+		n += int64(r.PromptLen)
+	}
+	for _, r := range e.pending {
+		n += int64(r.PromptLen)
+	}
+	return n
+}
+
 // Metrics finalises the statistics accumulated so far. PerRequest is
 // ordered by request ID. Calling it mid-run reports the work done so
 // far (unfinished requests keep zero Finish fields).
 func (e *Engine) Metrics() *Metrics {
 	m := &Metrics{
-		Requests: len(e.stats),
-		Tokens:   e.tokens,
-		Steps:    e.steps,
-		Cycles:   e.cycles,
-		Makespan: e.now,
-		Counters: e.counters,
+		Requests:      len(e.stats),
+		Tokens:        e.tokens,
+		Steps:         e.steps,
+		PrefillTokens: e.prefillTokens,
+		PrefillSteps:  e.prefillSteps,
+		Cycles:        e.cycles,
+		Makespan:      e.now,
+		Counters:      e.counters,
 	}
 	if m.Makespan > 0 {
 		m.TokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)
@@ -406,6 +518,7 @@ func (e *Engine) Metrics() *Metrics {
 	}
 	m.TokenLatency = Summarise(e.tokenLats)
 	m.QueueDelay = Summarise(e.queueLats)
+	m.TTFT = Summarise(e.ttfts)
 	m.StepCache = e.cacheStats
 	m.Sim = e.counters.Derive(e.cfg.FreqGHz, e.cfg.LineBytes, e.cfg.NumCores)
 	m.PerRequest = append([]RequestStats(nil), e.stats...)

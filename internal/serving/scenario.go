@@ -20,14 +20,17 @@ import (
 // dataflow.Mapping.Validate.
 const minKVLen = 16
 
-// Request is one decode request of a serving scenario: a model, the
-// KV-cache length at admission (the prompt has already been prefilled
-// elsewhere), the number of tokens to generate, and the cycle at
-// which it arrives at the server.
+// Request is one request of a serving scenario: a model, the prompt
+// length, the number of tokens to generate, and the cycle at which it
+// arrives at the server. What PromptLen means operationally depends on
+// the scenario's scheduler: under the decode-only policy the prompt is
+// assumed prefilled elsewhere and PromptLen is the KV-cache length
+// when decoding starts; under the prefill policies the engine runs the
+// PromptLen-token prefill itself before the first decode step.
 type Request struct {
 	ID           int
 	Model        workload.ModelConfig
-	PromptLen    int   // KV-cache length (tokens) when decoding starts
+	PromptLen    int   // prompt length in tokens (KV length when decode starts)
 	DecodeTokens int   // tokens to generate before retiring
 	ArrivalCycle int64 // arrival time in core cycles
 }
@@ -61,6 +64,10 @@ type Scenario struct {
 	// every stream's per-token work, so a token step exercises both
 	// KV-cache-bound kernels of the decode stage.
 	IncludeAV bool
+	// Sched selects the prefill/decode co-scheduling policy and the
+	// KV-capacity admission bound. The zero value is decode-only with
+	// unlimited KV — the pre-prefill engine behaviour, bit-identical.
+	Sched SchedulerConfig
 }
 
 // Validate checks the scenario. Request IDs must form a permutation
@@ -73,9 +80,15 @@ func (s Scenario) Validate() error {
 	if s.MaxBatch <= 0 {
 		return fmt.Errorf("serving: MaxBatch must be positive, got %d", s.MaxBatch)
 	}
+	if err := s.Sched.Validate(); err != nil {
+		return err
+	}
 	seen := make([]bool, len(s.Requests))
 	for _, r := range s.Requests {
 		if err := r.Validate(); err != nil {
+			return err
+		}
+		if err := s.Sched.CheckAdmissible(r); err != nil {
 			return err
 		}
 		if r.ID < 0 || r.ID >= len(s.Requests) {
@@ -136,6 +149,9 @@ type ScenarioConfig struct {
 	MaxBatch int
 	// IncludeAV adds the AV operator to every token step.
 	IncludeAV bool
+	// Sched is the prefill/decode scheduler configuration (zero value:
+	// decode-only, unlimited KV).
+	Sched SchedulerConfig
 }
 
 // NewScenario draws a Scenario from the config deterministically:
@@ -168,11 +184,16 @@ func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 		}
 	}
 
+	if err := cfg.Sched.Validate(); err != nil {
+		return Scenario{}, err
+	}
+
 	r := Rand{State: cfg.Seed}
 	scn := Scenario{
 		Name:      cfg.Name,
 		MaxBatch:  cfg.MaxBatch,
 		IncludeAV: cfg.IncludeAV,
+		Sched:     cfg.Sched,
 		Requests:  make([]Request, 0, cfg.NumRequests),
 	}
 	var clock float64

@@ -1,0 +1,137 @@
+// The batch scheduler: how a continuous-batching engine co-schedules
+// the compute-bound prefill phase with the memory-bound decode phase,
+// and how KV-cache capacity constrains admission.
+//
+// Three pluggable policies:
+//
+//   - SchedDecodeOnly (the zero value, today's behaviour): the prompt
+//     is assumed prefilled elsewhere; admitted requests decode
+//     immediately from a PromptLen-token KV cache. Bit-identical to
+//     the pre-prefill engine.
+//   - SchedPrefillFirst: an admitted request first runs its whole
+//     prompt as one monolithic prefill pass; while ANY stream still
+//     owes prefill, steps are prefill-only (one stream per step,
+//     oldest first) and running decodes stall — the vLLM-default
+//     "prefill prioritised" schedule that minimises a single request's
+//     prefill latency at the cost of decode interference.
+//   - SchedChunked: the prompt is split into fixed ChunkTokens-token
+//     chunks; each step co-schedules every running decode stream's
+//     token with at most one prefill chunk (oldest prefilling stream
+//     first), Sarathi-Serve-style, so prefill work rides along with
+//     decode steps instead of stalling them.
+//
+// KV-capacity admission is orthogonal to the policy: when KVCapTokens
+// is set, a queued request is admitted only while the node's reserved
+// KV tokens (Σ PromptLen+DecodeTokens of live streams) plus its own
+// maximum footprint fit the capacity. Admission stays strict FCFS —
+// the head of the queue blocks until it fits, so ordering never
+// depends on request sizes.
+
+package serving
+
+import "fmt"
+
+// SchedPolicy selects the prefill/decode co-scheduling policy.
+type SchedPolicy uint8
+
+// The scheduler policies. The zero value is decode-only — the
+// pre-prefill engine behaviour.
+const (
+	SchedDecodeOnly SchedPolicy = iota
+	SchedPrefillFirst
+	SchedChunked
+)
+
+// String returns the canonical policy name ParseSchedPolicy accepts.
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedDecodeOnly:
+		return "decode-only"
+	case SchedPrefillFirst:
+		return "prefill-first"
+	case SchedChunked:
+		return "chunked"
+	}
+	return fmt.Sprintf("SchedPolicy(%d)", uint8(p))
+}
+
+// ParseSchedPolicy reads a -sched flag value: "decode-only" (or ""),
+// "prefill-first" or "chunked".
+func ParseSchedPolicy(s string) (SchedPolicy, error) {
+	switch s {
+	case "decode-only", "":
+		return SchedDecodeOnly, nil
+	case "prefill-first":
+		return SchedPrefillFirst, nil
+	case "chunked":
+		return SchedChunked, nil
+	}
+	return 0, fmt.Errorf("serving: unknown scheduler policy %q (want decode-only, prefill-first or chunked)", s)
+}
+
+// SchedulerConfig is the batch-scheduling configuration of a scenario:
+// the prefill/decode policy, the chunk size (chunked only) and the
+// KV-cache capacity. The zero value is decode-only with unlimited KV —
+// exactly the pre-prefill engine.
+type SchedulerConfig struct {
+	Policy SchedPolicy
+	// ChunkTokens is the fixed prefill chunk length in tokens (chunked
+	// policy only; the other policies require it zero). Must be at
+	// least 16, the KV mapping floor — the first chunk's pass attends
+	// over exactly ChunkTokens keys.
+	ChunkTokens int
+	// KVCapTokens bounds the KV-cache tokens reservable by live
+	// streams; 0 means unlimited. A request reserves its maximum
+	// footprint (PromptLen + DecodeTokens) at admission and releases it
+	// at retirement.
+	KVCapTokens int64
+}
+
+// Validate checks the scheduler configuration.
+func (s SchedulerConfig) Validate() error {
+	switch s.Policy {
+	case SchedDecodeOnly, SchedPrefillFirst:
+		if s.ChunkTokens != 0 {
+			return fmt.Errorf("serving: ChunkTokens %d set but scheduler is %v (chunked only)", s.ChunkTokens, s.Policy)
+		}
+	case SchedChunked:
+		if s.ChunkTokens < minKVLen {
+			return fmt.Errorf("serving: chunked scheduler needs ChunkTokens >= %d (the KV mapping floor), got %d",
+				minKVLen, s.ChunkTokens)
+		}
+	default:
+		return fmt.Errorf("serving: unknown scheduler policy %v", s.Policy)
+	}
+	if s.KVCapTokens < 0 {
+		return fmt.Errorf("serving: KVCapTokens must be non-negative, got %d", s.KVCapTokens)
+	}
+	return nil
+}
+
+// kvReserve returns the KV tokens a request reserves for its lifetime:
+// the maximum cache length it reaches.
+func kvReserve(r Request) int64 {
+	return int64(r.PromptLen) + int64(r.DecodeTokens)
+}
+
+// CheckAdmissible reports whether a request can EVER be admitted under
+// the configuration: its maximum KV footprint must fit the capacity
+// outright, or the FCFS queue would deadlock behind it. Scenario
+// validation (serving and cluster) rejects such populations up front.
+func (s SchedulerConfig) CheckAdmissible(r Request) error {
+	if s.KVCapTokens > 0 && kvReserve(r) > s.KVCapTokens {
+		return fmt.Errorf("serving: request %d needs %d KV tokens, above the %d-token capacity — it can never be admitted",
+			r.ID, kvReserve(r), s.KVCapTokens)
+	}
+	return nil
+}
+
+// prefillTarget returns how many prompt tokens one prefill pass of a
+// stream advances: the whole remaining prompt under prefill-first, one
+// chunk under chunked.
+func (s SchedulerConfig) prefillTarget(prefillLeft int) int {
+	if s.Policy == SchedChunked && s.ChunkTokens < prefillLeft {
+		return s.ChunkTokens
+	}
+	return prefillLeft
+}

@@ -42,8 +42,14 @@ type RequestStats struct {
 	AdmitCycle   int64
 	FinishCycle  int64
 	QueueDelay   int64 // AdmitCycle - ArrivalCycle
-	Tokens       int   // tokens generated
-	FinalKVLen   int   // KV-cache length at retirement
+	// FirstTokenCycle is when the request's first decode token
+	// completed; TTFT (time to first token) is FirstTokenCycle -
+	// ArrivalCycle: queueing, any on-node prefill, and the first decode
+	// step. Zero while the request has not produced a token.
+	FirstTokenCycle int64
+	TTFT            int64
+	Tokens          int // tokens generated
+	FinalKVLen      int // KV-cache length at retirement
 }
 
 // Percentiles summarises a latency sample in cycles.
@@ -79,6 +85,12 @@ type Metrics struct {
 	Requests int
 	Tokens   int64
 	Steps    int64 // continuous-batching iterations executed
+	// PrefillTokens is the prompt tokens prefilled on-node (zero under
+	// the decode-only scheduler); PrefillSteps counts the steps that
+	// carried a prefill pass (a chunked step carrying both decode
+	// tokens and a chunk counts once in Steps and once here).
+	PrefillTokens int64
+	PrefillSteps  int64
 	// Cycles is the busy time: the sum of every step's simulated
 	// cycles. Makespan additionally includes the idle gaps when the
 	// server was empty and waiting for arrivals.
@@ -97,6 +109,10 @@ type Metrics struct {
 	TokenLatency Percentiles
 	// QueueDelay summarises per-request admission delay in cycles.
 	QueueDelay Percentiles
+	// TTFT summarises per-request time to first token: arrival to the
+	// completion of the step that produced the request's first decode
+	// token — queueing plus on-node prefill plus the first decode step.
+	TTFT Percentiles
 	// Sim aggregates the cycle-level counters of every step and the
 	// hardware metrics derived from them (hit rates, bandwidth, t_cs)
 	// over the whole serving run.
@@ -128,6 +144,13 @@ type RunOptions struct {
 	// Memo overrides the step memo (nil = SharedStepMemo()). Ignored
 	// unless StepCache is StepCacheOn.
 	Memo *StepMemo
+	// Sched is the prefill/decode scheduler the engine runs (zero
+	// value: decode-only, unlimited KV). The scenario's Sched field is
+	// authoritative: RunWith rejects a non-zero Sched here that
+	// disagrees with the scenario's. Set it directly only when
+	// constructing an Engine via NewEngineWith (the cluster layer
+	// does, copying its scenario's scheduler).
+	Sched SchedulerConfig
 }
 
 // Run executes a serving scenario on the configured system. The
@@ -152,6 +175,11 @@ func RunWith(cfg sim.Config, scn Scenario, opts RunOptions) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Sched != (SchedulerConfig{}) && opts.Sched != scn.Sched {
+		return nil, fmt.Errorf("serving: RunOptions.Sched %+v contradicts the scenario's scheduler %+v (the scenario is authoritative)",
+			opts.Sched, scn.Sched)
+	}
+	opts.Sched = scn.Sched
 	eng, err := NewEngineWith(cfg, scn.MaxBatch, scn.IncludeAV, stride, opts)
 	if err != nil {
 		return nil, err
@@ -179,17 +207,21 @@ func (m *Metrics) String() string {
 		"requests          %d\n"+
 			"tokens            %d\n"+
 			"steps             %d\n"+
+			"prefill           %d tokens in %d steps\n"+
 			"makespan          %d cycles\n"+
 			"throughput        %.4f tokens/kcycle\n"+
 			"batch occupancy   %.2f\n"+
 			"token latency     p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n"+
+			"TTFT              p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n"+
 			"queue delay       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n"+
 			"L2 hit rate       %.4f\n"+
 			"DRAM bandwidth    %.2f GB/s\n"+
 			"step cache        memo %d/%d  optrace %d/%d  sim resets %d\n",
-		m.Requests, m.Tokens, m.Steps, m.Makespan,
+		m.Requests, m.Tokens, m.Steps,
+		m.PrefillTokens, m.PrefillSteps, m.Makespan,
 		m.TokensPerKCycle, m.MeanBatchOccupancy,
 		m.TokenLatency.P50, m.TokenLatency.P95, m.TokenLatency.P99, m.TokenLatency.Max,
+		m.TTFT.P50, m.TTFT.P95, m.TTFT.P99, m.TTFT.Max,
 		m.QueueDelay.P50, m.QueueDelay.P95, m.QueueDelay.P99, m.QueueDelay.Max,
 		m.Sim.L2HitRate, m.Sim.DRAMBandwidthGB,
 		m.StepCache.MemoHits, m.StepCache.MemoHits+m.StepCache.MemoMisses,

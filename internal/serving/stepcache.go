@@ -247,16 +247,24 @@ func configSignature(cfg sim.Config, includeAV bool, stride uint64) string {
 
 // appendStepSignature appends the canonical running-set signature to
 // buf: the prefix followed by the (slot, model, kvLen, base) tuples in
-// ascending slot order. The input order of streams is irrelevant —
-// scratch receives a sorted copy — so any presentation of the same
-// running set produces the same key. Returns the grown buffers for
-// reuse.
+// ascending slot order, each prefill pass additionally carrying a
+// "p<chunk>" phase component. Decode-only running sets render exactly
+// the pre-prefill byte sequence, so the step memo keys of decode-only
+// scenarios are unchanged across the prefill subsystem's introduction.
+// The input order of streams is irrelevant — scratch receives a sorted
+// copy — so any presentation of the same running set produces the same
+// key. Returns the grown buffers for reuse.
 func appendStepSignature(buf []byte, prefix string, streams []StreamState, scratch []StreamState) ([]byte, []StreamState) {
 	scratch = append(scratch[:0], streams...)
 	sort.Slice(scratch, func(a, b int) bool { return scratch[a].Slot < scratch[b].Slot })
 	buf = append(buf[:0], prefix...)
 	for _, st := range scratch {
 		buf = append(buf, '|')
+		if st.ChunkLen > 0 {
+			buf = append(buf, 'p')
+			buf = strconv.AppendInt(buf, int64(st.ChunkLen), 10)
+			buf = append(buf, '~')
+		}
 		buf = strconv.AppendInt(buf, int64(st.Slot), 10)
 		buf = append(buf, ':')
 		buf = append(buf, st.Model.Name...)
@@ -287,11 +295,14 @@ func StepSignature(prefix string, streams []StreamState) string {
 	return string(buf)
 }
 
-// opKey identifies one stream's per-token operator trace: everything
-// trace generation depends on.
+// opKey identifies one stream's per-step operator trace: everything
+// trace generation depends on. chunk == 0 is a decode step; chunk > 0
+// is a prefill pass of that many prompt tokens (the phase component of
+// the cache key).
 type opKey struct {
 	model     workload.ModelConfig
 	kvLen     int
+	chunk     int
 	slot      int
 	base      uint64
 	av        bool
@@ -311,8 +322,8 @@ var opCache = struct {
 // generating and publishing them on first use.
 func (e *Engine) opBlocks(st StreamState) ([]*memtrace.ThreadBlock, error) {
 	key := opKey{
-		model: st.Model, kvLen: st.KVLen, slot: st.Slot, base: st.Base,
-		av: e.includeAV, lineBytes: e.cfg.LineBytes,
+		model: st.Model, kvLen: st.KVLen, chunk: st.ChunkLen, slot: st.Slot,
+		base: st.Base, av: e.includeAV, lineBytes: e.cfg.LineBytes,
 	}
 	opCache.mu.RLock()
 	blocks, ok := opCache.m[key]

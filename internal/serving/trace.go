@@ -21,20 +21,27 @@ import (
 // address-interleaving functions.
 const streamAlign = 4 << 20
 
-// StreamState is one running decode stream at a token-step boundary:
-// which batch slot it occupies (and therefore where its KV cache
-// lives), which model it runs, and how long its KV cache currently
-// is.
+// StreamState is one running stream at a step boundary: which batch
+// slot it occupies (and therefore where its KV cache lives), which
+// model it runs, how long its KV cache is, and — for a prefill pass —
+// how many prompt tokens the pass advances.
+//
+// ChunkLen == 0 is a decode stream: one new token scored against a
+// KVLen-token cache. ChunkLen > 0 is a prefill pass: the last ChunkLen
+// tokens of a KVLen-token prompt prefix scored against the whole
+// prefix (KVLen is the cache length AFTER the pass).
 type StreamState struct {
-	Slot  int
-	Base  uint64 // address-space base of the stream's tensor region
-	Model workload.ModelConfig
-	KVLen int
+	Slot     int
+	Base     uint64 // address-space base of the stream's tensor region
+	Model    workload.ModelConfig
+	KVLen    int
+	ChunkLen int // 0 = decode step; >0 = prefill pass of that many tokens
 }
 
 // StreamStride returns the per-slot address-space stride for a
 // scenario: the largest tensor footprint any request reaches (Logit
-// tensors, plus the AV tensors when enabled), aligned up to the 4 MiB
+// tensors, plus the AV tensors when enabled, plus — under a prefill
+// scheduler — the largest prefill pass), aligned up to the 4 MiB
 // stream region alignment. Slot i's region starts at i×stride; a
 // retired request's slot — and therefore its KV-cache region — is
 // reused by the next admitted request, the slot-reuse behaviour of a
@@ -56,6 +63,22 @@ func StreamStride(scn Scenario) (uint64, error) {
 			}
 			limit = avmap.Limit
 		}
+		if scn.Sched.Policy != SchedDecodeOnly {
+			// Upper bound over every prefill pass of the request: the
+			// full prefix with the largest chunk the policy can issue.
+			chunk := r.PromptLen
+			if scn.Sched.Policy == SchedChunked && scn.Sched.ChunkTokens < chunk {
+				chunk = scn.Sched.ChunkTokens
+			}
+			pop := workload.PrefillOp{Model: r.Model, KVLen: r.PromptLen, ChunkLen: chunk}
+			pmap, err := workload.NewPrefillAddressMap(pop, 0)
+			if err != nil {
+				return 0, err
+			}
+			if pmap.Limit > limit {
+				limit = pmap.Limit
+			}
+		}
 		if limit > stride {
 			stride = limit
 		}
@@ -63,10 +86,14 @@ func StreamStride(scn Scenario) (uint64, error) {
 	return (stride + streamAlign - 1) / streamAlign * streamAlign, nil
 }
 
-// FirstStep returns the stream states of the scenario's first token
-// step: the FCFS batch admitted at the earliest arrival boundary, up
-// to the batch capacity, each stream at its slot's address base. It
-// lives next to the engine so the admission logic cannot drift from
+// FirstStep returns the stream states of the scenario's first step:
+// under the decode-only scheduler, the FCFS batch admitted at the
+// earliest arrival boundary (up to the batch capacity), each stream at
+// its slot's address base; under a prefill scheduler, the first
+// prefill pass of the FCFS-first request (whole prompt for
+// prefill-first, one chunk for chunked) — every admitted stream still
+// owes its prompt at the first boundary, so no decode rides along yet.
+// It lives next to the engine so the admission logic cannot drift from
 // Run's first iteration; cmd/serve uses it to dump the first composed
 // step trace.
 func FirstStep(scn Scenario) ([]StreamState, error) {
@@ -80,6 +107,17 @@ func FirstStep(scn Scenario) ([]StreamState, error) {
 	reqs := make([]Request, len(scn.Requests))
 	copy(reqs, scn.Requests)
 	sortRequests(reqs)
+	if scn.Sched.Policy != SchedDecodeOnly {
+		r := reqs[0]
+		adv := scn.Sched.prefillTarget(r.PromptLen)
+		return []StreamState{{
+			Slot:     0,
+			Base:     0,
+			Model:    r.Model,
+			KVLen:    adv,
+			ChunkLen: adv,
+		}}, nil
+	}
 	first := reqs[0].ArrivalCycle
 	var states []StreamState
 	for _, r := range reqs {
@@ -151,14 +189,19 @@ func ComposeStep(streams []StreamState, includeAV bool, lineBytes int) (*memtrac
 	return out, groupSize, nil
 }
 
-// streamBlocks generates one stream's per-token thread blocks — the
-// Logit operator (plus AV when enabled) at the stream's address base,
-// every block stamped with the stream's slot. Both composition paths
-// share it: ComposeStep interleaves freshly generated blocks (the
-// naive reference), the step cache publishes them as immutable masters
-// keyed by (model, kvLen, slot, base, av, lineBytes). The returned
-// name is the Logit trace's name (used by ComposeStep's trace label).
+// streamBlocks generates one stream's per-step thread blocks — the
+// decode-step Logit operator (plus AV when enabled) or, when the
+// state is a prefill pass (ChunkLen > 0), the prefill operator — at
+// the stream's address base, every block stamped with the stream's
+// slot. Both composition paths share it: ComposeStep interleaves
+// freshly generated blocks (the naive reference), the step cache
+// publishes them as immutable masters keyed by (model, kvLen, chunk,
+// slot, base, av, lineBytes). The returned name is the operator
+// trace's name (used by ComposeStep's trace label).
 func streamBlocks(st StreamState, includeAV bool, lineBytes int) ([]*memtrace.ThreadBlock, string, error) {
+	if st.ChunkLen > 0 {
+		return prefillBlocks(st, lineBytes)
+	}
 	op := workload.LogitOp{Model: st.Model, SeqLen: st.KVLen}
 	amap, err := workload.NewAddressMap(op, st.Base)
 	if err != nil {
@@ -189,4 +232,30 @@ func streamBlocks(st StreamState, includeAV bool, lineBytes int) ([]*memtrace.Th
 		tb.Meta.Stream = st.Slot
 	}
 	return blocks, tr.Name, nil
+}
+
+// prefillBlocks generates the thread blocks of one prefill pass: the
+// last ChunkLen prompt tokens of the stream scored against its whole
+// KVLen-token prefix, at the stream's address base (the K region
+// coincides with the decode phase's K region, so the pass warms the
+// same KV-cache lines later decode steps read). The AV operator does
+// not apply to prefill passes — IncludeAV shapes decode steps only.
+func prefillBlocks(st StreamState, lineBytes int) ([]*memtrace.ThreadBlock, string, error) {
+	op := workload.PrefillOp{Model: st.Model, KVLen: st.KVLen, ChunkLen: st.ChunkLen}
+	amap, err := workload.NewPrefillAddressMap(op, st.Base)
+	if err != nil {
+		return nil, "", err
+	}
+	mapping, _, err := dataflow.FindPrefillMapping(op, lineBytes)
+	if err != nil {
+		return nil, "", err
+	}
+	tr, err := dataflow.GeneratePrefill(op, amap, mapping, lineBytes)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, tb := range tr.Blocks {
+		tb.Meta.Stream = st.Slot
+	}
+	return tr.Blocks, tr.Name, nil
 }

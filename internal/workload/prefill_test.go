@@ -1,0 +1,103 @@
+package workload
+
+import "testing"
+
+func TestPrefillOpValidate(t *testing.T) {
+	ok := PrefillOp{Model: Llama3_70B, KVLen: 64, ChunkLen: 16}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid op rejected: %v", err)
+	}
+	cases := []PrefillOp{
+		{Model: Llama3_70B, KVLen: 0, ChunkLen: 16},
+		{Model: Llama3_70B, KVLen: 64, ChunkLen: 0},
+		{Model: Llama3_70B, KVLen: 16, ChunkLen: 32}, // chunk beyond prefix
+	}
+	for _, op := range cases {
+		if err := op.Validate(); err == nil {
+			t.Errorf("op %+v accepted, want error", op)
+		}
+	}
+}
+
+func TestPrefillSizes(t *testing.T) {
+	op := PrefillOp{Model: Llama3_70B, KVLen: 128, ChunkLen: 32}
+	m := op.Model
+	wantK := int64(m.H) * 128 * int64(m.D) * int64(m.ElemBytes)
+	if got := op.KBytes(); got != wantK {
+		t.Errorf("KBytes = %d, want %d", got, wantK)
+	}
+	// K is identical in shape to the Logit operator over the same
+	// prefix — the shared-KV-cache property.
+	logit := LogitOp{Model: m, SeqLen: 128}
+	if op.KBytes() != logit.KBytes() {
+		t.Errorf("prefill KBytes %d != logit KBytes %d", op.KBytes(), logit.KBytes())
+	}
+	wantQ := int64(32) * int64(m.H) * int64(m.G) * int64(m.D) * int64(m.ElemBytes)
+	if got := op.QBytes(); got != wantQ {
+		t.Errorf("QBytes = %d, want %d", got, wantQ)
+	}
+	wantOut := int64(m.H) * int64(m.G) * 32 * 128 * int64(m.OutBytes)
+	if got := op.OutBytes(); got != wantOut {
+		t.Errorf("OutBytes = %d, want %d", got, wantOut)
+	}
+	if got, want := op.TotalKReadBytes(), wantK*int64(m.G)*32; got != want {
+		t.Errorf("TotalKReadBytes = %d, want %d", got, want)
+	}
+}
+
+func TestPrefillAddressMap(t *testing.T) {
+	op := PrefillOp{Model: Llama3_70B, KVLen: 64, ChunkLen: 16}
+	m, err := NewPrefillAddressMap(op, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.KBase%regionAlign != 0 || m.QBase%regionAlign != 0 || m.OutBase%regionAlign != 0 {
+		t.Errorf("region bases not %d-aligned: %d %d %d", regionAlign, m.KBase, m.QBase, m.OutBase)
+	}
+	if m.KBase < 12345 {
+		t.Errorf("KBase %d below requested base", m.KBase)
+	}
+	// Regions are disjoint and classified correctly.
+	if got := m.Region(m.KAddr(0, 0, 0)); got != "K" {
+		t.Errorf("K[0][0][0] classified as %q", got)
+	}
+	if got := m.Region(m.QAddr(0, 0, 0, 0)); got != "Q" {
+		t.Errorf("Q[0][0][0][0] classified as %q", got)
+	}
+	if got := m.Region(m.OutAddr(0, 0, 0, 0)); got != "Out" {
+		t.Errorf("Out[0][0][0][0] classified as %q", got)
+	}
+	// Last elements stay in their regions.
+	mdl := op.Model
+	if got := m.Region(m.KAddr(mdl.H-1, op.KVLen-1, mdl.D-1)); got != "K" {
+		t.Errorf("last K element classified as %q", got)
+	}
+	if got := m.Region(m.OutAddr(mdl.H-1, mdl.G-1, op.ChunkLen-1, op.KVLen-1)); got != "Out" {
+		t.Errorf("last Out element classified as %q", got)
+	}
+	if m.Limit <= m.OutBase {
+		t.Errorf("Limit %d not past OutBase %d", m.Limit, m.OutBase)
+	}
+}
+
+// TestPrefillKMatchesLogitK pins the cross-phase KV-cache sharing
+// property: for the same base and prefix length, every K address of
+// the prefill map equals the corresponding Logit-map K address.
+func TestPrefillKMatchesLogitK(t *testing.T) {
+	pre := PrefillOp{Model: Llama3_70B, KVLen: 48, ChunkLen: 48}
+	dec := LogitOp{Model: Llama3_70B, SeqLen: 48}
+	pm, err := NewPrefillAddressMap(pre, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := NewAddressMap(dec, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hld := range [][3]int{{0, 0, 0}, {3, 17, 64}, {7, 47, 127}} {
+		h, l, d := hld[0], hld[1], hld[2]
+		if pa, da := pm.KAddr(h, l, d), dm.KAddr(h, l, d); pa != da {
+			t.Errorf("K[%d][%d][%d]: prefill %#x != logit %#x", h, l, d, pa, da)
+		}
+	}
+}

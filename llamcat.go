@@ -118,6 +118,41 @@ func RunAV(cfg Config, op AVWorkload, pol Policy) (Result, error) {
 	return RunTrace(cfg, tr, op.Model.G, pol)
 }
 
+// PrefillWorkload is the prefill operator: a chunk of prompt tokens
+// scored against the prompt prefix that ends with the chunk — the
+// compute-bound phase preceding decode (see internal/workload).
+type PrefillWorkload = workload.PrefillOp
+
+// Prefill builds the prefill pass of chunkLen query tokens over a
+// kvLen-token prompt prefix. A monolithic prefill of a P-token prompt
+// is Prefill(model, P, P).
+func Prefill(model Model, kvLen, chunkLen int) PrefillWorkload {
+	return PrefillWorkload{Model: model, KVLen: kvLen, ChunkLen: chunkLen}
+}
+
+// TracePrefill generates the memory trace for one prefill pass under
+// the automatically selected dataflow mapping.
+func TracePrefill(op PrefillWorkload) (*memtrace.Trace, error) {
+	amap, err := workload.NewPrefillAddressMap(op, 0)
+	if err != nil {
+		return nil, err
+	}
+	mapping, _, err := dataflow.FindPrefillMapping(op, 64)
+	if err != nil {
+		return nil, err
+	}
+	return dataflow.GeneratePrefill(op, amap, mapping, 64)
+}
+
+// RunPrefill simulates one prefill pass like Run does for Logit.
+func RunPrefill(cfg Config, op PrefillWorkload, pol Policy) (Result, error) {
+	tr, err := TracePrefill(op)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunTrace(cfg, tr, op.Model.G, pol)
+}
+
 // Policy selects the (throttling, arbitration) pair to simulate.
 type Policy struct {
 	// Throttle is one of "none", "dyncta", "lcs", "dynmg" or
@@ -272,6 +307,33 @@ func DefaultServeScenario(scale int) (ServeScenario, error) {
 	return serving.DefaultScenario(scale)
 }
 
+// SchedulerConfig re-exports the batch-scheduler configuration of a
+// serving scenario: the prefill/decode co-scheduling policy, the
+// prefill chunk size and the KV-cache capacity bound. The zero value
+// is decode-only with unlimited KV — the prompt assumed prefilled
+// elsewhere, exactly the pre-prefill engine.
+type SchedulerConfig = serving.SchedulerConfig
+
+// SchedPolicy re-exports the prefill/decode co-scheduling policy
+// selector.
+type SchedPolicy = serving.SchedPolicy
+
+// The scheduler policies: decode-only (prompt prefilled elsewhere),
+// prefill-first (monolithic prompt passes that stall decode), and
+// chunked (fixed-size prompt chunks co-scheduled with decode steps,
+// Sarathi-Serve style).
+const (
+	SchedDecodeOnly   = serving.SchedDecodeOnly
+	SchedPrefillFirst = serving.SchedPrefillFirst
+	SchedChunked      = serving.SchedChunked
+)
+
+// ParseSchedPolicy reads a scheduler policy name: "decode-only",
+// "prefill-first" or "chunked".
+func ParseSchedPolicy(s string) (SchedPolicy, error) {
+	return serving.ParseSchedPolicy(s)
+}
+
 // Serve runs a continuous-batching serving scenario under the given
 // policy: token step by token step, every running stream's per-token
 // operator trace composed into one interleaved multi-stream trace
@@ -338,17 +400,20 @@ type ClusterMetrics = cluster.Metrics
 // node runs).
 type RouterPolicy = cluster.Policy
 
-// The stock router policies.
+// The stock router policies. RouterLeastTTFTPressure balances on
+// outstanding decode tokens PLUS each node's prefill backlog, the
+// time-to-first-token pressure signal of prefill-scheduled fleets.
 var (
-	RouterRoundRobin       = RouterPolicy{Kind: cluster.RoundRobin}
-	RouterLeastOutstanding = RouterPolicy{Kind: cluster.LeastOutstanding}
-	RouterPowerOfTwo       = RouterPolicy{Kind: cluster.PowerOfTwo}
-	RouterSessionAffinity  = RouterPolicy{Kind: cluster.SessionAffinity}
+	RouterRoundRobin        = RouterPolicy{Kind: cluster.RoundRobin}
+	RouterLeastOutstanding  = RouterPolicy{Kind: cluster.LeastOutstanding}
+	RouterPowerOfTwo        = RouterPolicy{Kind: cluster.PowerOfTwo}
+	RouterSessionAffinity   = RouterPolicy{Kind: cluster.SessionAffinity}
+	RouterLeastTTFTPressure = RouterPolicy{Kind: cluster.LeastTTFTPressure}
 )
 
 // ParseRouterPolicy reads a router policy name: "round-robin" ("rr"),
-// "least-outstanding" ("lot"), "p2c" ("power-of-two") or "affinity"
-// ("session-affinity").
+// "least-outstanding" ("lot"), "p2c" ("power-of-two"), "affinity"
+// ("session-affinity") or "ttft-pressure" ("ltp").
 func ParseRouterPolicy(s string) (RouterPolicy, error) {
 	return cluster.ParsePolicy(s)
 }

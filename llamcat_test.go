@@ -93,3 +93,45 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatalf("completed %d of %d blocks", base.Raw.TBCompleted, base.TraceBlocks)
 	}
 }
+
+// TestPrefillFacade exercises the prefill exports end to end: the
+// operator builder, trace generation, a standalone pass simulation,
+// and a chunked serving scenario through Serve.
+func TestPrefillFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes = 1 << 20
+	op := Prefill(Llama3_70B, 64, 32)
+	tr, err := TracePrefill(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks) == 0 {
+		t.Fatal("empty prefill trace")
+	}
+	res, err := RunPrefill(cfg, op, PolicyDynMGBMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("bad prefill result: %+v", res)
+	}
+	if _, err := ParseSchedPolicy("chunked"); err != nil {
+		t.Fatal(err)
+	}
+	scn, err := NewServeScenario(ServeScenarioConfig{
+		Name: "facade-chunked", Seed: 4, NumRequests: 3,
+		MinPromptLen: 16, MaxPromptLen: 32,
+		MinDecode: 2, MaxDecode: 2, MaxBatch: 2,
+		Sched: SchedulerConfig{Policy: SchedChunked, ChunkTokens: 16, KVCapTokens: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Serve(cfg, scn, PolicyDynMGBMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PrefillTokens == 0 || m.TTFT.P50 <= 0 {
+		t.Fatalf("chunked serve reported no prefill work or TTFT: prefill=%d ttft=%+v", m.PrefillTokens, m.TTFT)
+	}
+}

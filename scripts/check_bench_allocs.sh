@@ -9,13 +9,17 @@
 # BenchmarkCluster_Smoke around 21k; the ceilings carry ~2x headroom
 # and still sit an order of magnitude below the pre-cache values
 # (87k / 255k), so losing the fast path fails loudly.
+# BenchmarkServe_Chunked (ISSUE 5) runs the chunked-prefill scheduler
+# through the same arena/memo pipeline at around 20k allocs/op; its
+# ceiling guards the prefill path's participation in the step cache.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SERVE_CEILING=25000
 CLUSTER_CEILING=45000
+CHUNKED_CEILING=40000
 
-out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkCluster_Smoke$' -benchtime=1x -benchmem)"
+out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkServe_Chunked$|BenchmarkCluster_Smoke$' -benchtime=1x -benchmem)"
 echo "$out"
 
 fail=0
@@ -37,6 +41,7 @@ check() {
 }
 
 check BenchmarkServe_Default "$SERVE_CEILING"
+check BenchmarkServe_Chunked "$CHUNKED_CEILING"
 check BenchmarkCluster_Smoke "$CLUSTER_CEILING"
 
 if [ "$fail" -ne 0 ]; then
