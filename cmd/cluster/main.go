@@ -12,14 +12,26 @@
 //	cluster -streams 32 -sessions 8 -rate 8000
 //	cluster -policy dynmg+BMA -model mix -av  # cache policy / workload knobs
 //	cluster -sched chunked -chunk 32 -routers ttft-pressure,least-outstanding
+//	cluster -arrival burst:40000:0.25:6 -shed 400:3:20000:forward
+//	cluster -rates 1,2,4 -nodes 2 -routers least-outstanding -shed 400 -slo-ttft 2000000
 //	cluster -json                             # machine-readable fleet metrics
 //
 // Workload flags (-streams, -sessions, -seqmin/-seqmax,
-// -tokmin/-tokmax, -rate, -seed) shape the fixed-seed request
-// population; scheduler flags (-sched, -chunk, -kvcap) select every
-// node's prefill/decode co-scheduling policy, prefill chunk size and
-// KV-capacity admission bound (the ttft-pressure router balances on
-// the prefill backlog these schedulers create); -nodes and -routers
+// -tokmin/-tokmax, -rate, -seed, -arrival) shape the fixed-seed
+// request population and its arrival-rate shape (bursty, ramping,
+// diurnal or trace-replayed modulation of the Poisson process);
+// scheduler flags (-sched, -chunk, -kvcap, -preempt) select every
+// node's prefill/decode co-scheduling policy, prefill chunk size,
+// KV-capacity admission bound and recompute-on-preempt victim policy
+// (the ttft-pressure router balances on the prefill backlog these
+// schedulers create); -shed configures router-level overload control
+// (per-node saturation threshold, retry cap, exponential backoff,
+// optional least-loaded forwarding); SLO flags (-slo-ttft, -slo-tbt)
+// set per-request deadlines and add goodput-under-SLO reports;
+// -rates switches to the overload-grid mode — the workload is
+// regenerated at each arrival-rate multiplier and swept against the
+// overload combos built from -preempt/-shed, producing the
+// goodput-vs-load curves; -nodes and -routers
 // shape the evaluation matrix; -policy selects the cache-level
 // (throttle+arbiter) policy every node runs; -scale divides the
 // prompt-length range and the L2 size together, like every other
@@ -51,7 +63,11 @@ import (
 	"repro/internal/workload"
 )
 
-// cliOpts carries the parsed flag set into run.
+// cliOpts carries the parsed flag set into run. The *Set booleans
+// record which optional flags were passed explicitly (main fills them
+// via flag.Visit) so run can reject explicit zeroes without treating
+// the defaults as errors — and stays unit-testable without a flag
+// set.
 type cliOpts struct {
 	streams, sessions, batch       int
 	nodes, routers, policy, model  string
@@ -63,6 +79,10 @@ type cliOpts struct {
 	sched                          string
 	chunk                          int
 	kvcap                          int64
+	arrival, preempt, shed, rates  string
+	sloTTFT                        int64
+	sloTBT                         float64
+	sloTTFTSet, sloTBTSet          bool
 	parallel                       int
 	verbose, jsonOut               bool
 	stepcache                      string
@@ -88,6 +108,12 @@ func main() {
 	flag.StringVar(&o.sched, "sched", "decode-only", "prefill scheduler every node runs: decode-only, prefill-first or chunked")
 	flag.IntVar(&o.chunk, "chunk", 32, "prefill chunk size in tokens (chunked scheduler only)")
 	flag.Int64Var(&o.kvcap, "kvcap", 0, "per-node KV-cache capacity in tokens, gating admission (0 = unlimited)")
+	flag.StringVar(&o.arrival, "arrival", "poisson", "arrival shape: poisson, burst:PERIOD:DUTY:FACTOR, ramp:PERIOD:FACTOR, diurnal:PERIOD:FACTOR or trace:PERIOD:M1,M2,...")
+	flag.StringVar(&o.preempt, "preempt", "off", "per-node KV preemption victim policy: off, newest or fewest-tokens (needs a prefill -sched and -kvcap)")
+	flag.StringVar(&o.shed, "shed", "off", "router overload control: off or SAT[:RETRIES[:BACKOFF[:forward]]] (saturation tokens, retry cap, backoff cycles)")
+	flag.Int64Var(&o.sloTTFT, "slo-ttft", 0, "TTFT SLO deadline in cycles (0 = no TTFT deadline)")
+	flag.Float64Var(&o.sloTBT, "slo-tbt", 0, "mean time-between-tokens SLO deadline in cycles (0 = no TBT deadline)")
+	flag.StringVar(&o.rates, "rates", "", "overload-grid mode: comma-separated arrival-rate multipliers (e.g. 1,2,4) swept against the -preempt/-shed combos")
 	flag.IntVar(&o.parallel, "parallel", 0, "concurrent cells / node engines (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.verbose, "v", false, "stream per-cell progress to stderr")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON metrics instead of the table")
@@ -95,6 +121,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+	o.sloTTFTSet = flagSet("slo-ttft")
+	o.sloTBTSet = flagSet("slo-tbt")
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {
@@ -116,13 +144,14 @@ func main() {
 	}
 }
 
-// chunkFlagSet reports whether -chunk was passed explicitly, so a
-// contradictory -sched/-chunk combination errors instead of silently
-// ignoring the chunk size.
-func chunkFlagSet() bool {
+// flagSet reports whether the named flag was passed explicitly, so a
+// contradictory combination (-chunk without -sched chunked) or an
+// explicit zero (-slo-ttft 0) errors instead of being silently
+// treated as the default.
+func flagSet(name string) bool {
 	set := false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "chunk" {
+		if f.Name == name {
 			set = true
 		}
 	})
@@ -188,6 +217,30 @@ func parseRouters(list string) ([]cluster.Policy, error) {
 	return out, nil
 }
 
+// parseRates reads the -rates multiplier list of the overload-grid
+// mode, rejecting non-positive multipliers up front.
+func parseRates(list string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -rates entry %q: %v", s, err)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("-rates entries must be positive, got %v", r)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -rates list")
+	}
+	return out, nil
+}
+
 func run(o cliOpts) error {
 	mode, err := serving.ParseStepCacheMode(o.stepcache)
 	if err != nil {
@@ -197,9 +250,23 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
+	preemptPol, err := serving.ParsePreemptPolicy(o.preempt)
+	if err != nil {
+		return err
+	}
+	arrival, err := serving.ParseArrival(o.arrival)
+	if err != nil {
+		return err
+	}
+	overload, err := cluster.ParseOverload(o.shed)
+	if err != nil {
+		return err
+	}
 	// Validate the workload shape up front with flag-level messages
 	// instead of letting a deep generator or engine error (or hang)
-	// report it.
+	// report it. An SLO deadline flag passed explicitly must be
+	// positive — an explicit zero is a contradiction (asking for a
+	// deadline and disabling it at once), not a disabled deadline.
 	switch {
 	case o.streams <= 0:
 		return fmt.Errorf("-streams must be positive, got %d", o.streams)
@@ -213,11 +280,16 @@ func run(o cliOpts) error {
 		return fmt.Errorf("-rate must be non-negative, got %v", o.rate)
 	case o.kvcap < 0:
 		return fmt.Errorf("-kvcap must be non-negative, got %d", o.kvcap)
+	case o.sloTTFT < 0 || (o.sloTTFTSet && o.sloTTFT == 0):
+		return fmt.Errorf("-slo-ttft must be a positive cycle deadline, got %d", o.sloTTFT)
+	case o.sloTBT < 0 || (o.sloTBTSet && o.sloTBT == 0):
+		return fmt.Errorf("-slo-tbt must be a positive cycle deadline, got %v", o.sloTBT)
 	}
-	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap}
+	slo := serving.SLO{TTFTCycles: o.sloTTFT, TBTCycles: o.sloTBT}
+	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap, Preempt: preemptPol}
 	if schedPol == serving.SchedChunked {
 		sched.ChunkTokens = o.chunk
-	} else if chunkFlagSet() {
+	} else if flagSet("chunk") {
 		return fmt.Errorf("-chunk only applies to -sched chunked (got -sched %s)", schedPol)
 	}
 	if err := sched.Validate(); err != nil {
@@ -254,7 +326,7 @@ func run(o cliOpts) error {
 			o.seqmax = o.seqmin
 		}
 	}
-	scn, err := cluster.NewScenario(cluster.ScenarioConfig{
+	ccfg := cluster.ScenarioConfig{
 		ScenarioConfig: serving.ScenarioConfig{
 			Name:             fmt.Sprintf("%s/%dreq/seed%d", o.model, o.streams, o.seed),
 			Seed:             o.seed,
@@ -265,28 +337,84 @@ func run(o cliOpts) error {
 			MinDecode:        o.tokmin,
 			MaxDecode:        o.tokmax,
 			MeanInterArrival: o.rate,
+			Arrival:          arrival,
 			MaxBatch:         o.batch,
 			IncludeAV:        o.av,
 			Sched:            sched,
 		},
 		NumSessions: o.sessions,
-	})
-	if err != nil {
-		return err
 	}
 
 	base := sim.DefaultConfig()
+	cachePol := experiments.Policy{Label: o.policy, Throttle: pol.Throttle, Arbiter: pol.Arbiter}
 	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode}
 	if o.verbose {
 		opts.Log = os.Stderr
 	}
-	grid, err := experiments.ClusterGrid(scn, nodeCounts, routerPols,
-		experiments.Policy{Label: o.policy, Throttle: pol.Throttle, Arbiter: pol.Arbiter}, opts)
+
+	if o.rates != "" {
+		return runOverloadGrid(o, ccfg, nodeCounts, routerPols, cachePol, preemptPol, overload, slo, opts)
+	}
+
+	scn, err := cluster.NewScenario(ccfg)
+	if err != nil {
+		return err
+	}
+	grid, err := experiments.ClusterGridWith(scn, nodeCounts, routerPols, cachePol, overload, opts)
 	if err != nil {
 		return err
 	}
 	if o.jsonOut {
-		return writeJSON(grid, sched, o.scale)
+		return writeJSON(grid, sched, o.scale, slo)
+	}
+	fmt.Print(grid.Render())
+	if slo.Enabled() {
+		for i, n := range grid.NodeCounts {
+			for j, r := range grid.Routers {
+				fmt.Printf("\ngoodput under SLO [nodes=%d %s]\n%s", n, r, grid.Metrics[i][j].Goodput(slo))
+			}
+		}
+	}
+	return nil
+}
+
+// runOverloadGrid is the -rates mode: one fleet shape swept across
+// arrival-rate multipliers × overload-control combos, reporting the
+// goodput-vs-load curves. The combo ladder is built from the flags:
+// the uncontrolled baseline, plus preemption (-preempt), shedding
+// (-shed) and their combination when both are set.
+func runOverloadGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, routerPols []cluster.Policy,
+	cachePol experiments.Policy, preemptPol serving.PreemptPolicy, overload cluster.OverloadConfig,
+	slo serving.SLO, opts experiments.Options) error {
+	rates, err := parseRates(o.rates)
+	if err != nil {
+		return err
+	}
+	if len(nodeCounts) != 1 {
+		return fmt.Errorf("-rates (overload-grid mode) takes a single -nodes count, got %v", nodeCounts)
+	}
+	if len(routerPols) != 1 {
+		return fmt.Errorf("-rates (overload-grid mode) takes a single -routers policy, got %d", len(routerPols))
+	}
+	combos := []experiments.OverloadCombo{{Label: "none"}}
+	if preemptPol != serving.PreemptOff {
+		combos = append(combos, experiments.OverloadCombo{Label: "preempt:" + preemptPol.String(), Preempt: preemptPol})
+	}
+	if overload.Enabled() {
+		combos = append(combos, experiments.OverloadCombo{Label: "shed:" + overload.String(), Shed: overload})
+		if preemptPol != serving.PreemptOff {
+			combos = append(combos, experiments.OverloadCombo{Label: "preempt+shed", Preempt: preemptPol, Shed: overload})
+		}
+	}
+	if len(combos) == 1 {
+		return fmt.Errorf("-rates (overload-grid mode) needs -preempt and/or -shed to compare against the uncontrolled baseline")
+	}
+	grid, err := experiments.OverloadGrid(ccfg, rates, combos, nodeCounts[0], routerPols[0], cachePol, slo, opts)
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		return writeOverloadJSON(grid, o.scale)
 	}
 	fmt.Print(grid.Render())
 	return nil
@@ -297,6 +425,8 @@ type jsonCell struct {
 	Nodes   int              `json:"nodes"`
 	Router  string           `json:"router"`
 	Metrics *cluster.Metrics `json:"metrics"`
+	// Goodput is present when an SLO deadline was set.
+	Goodput *serving.SLOReport `json:"goodput,omitempty"`
 }
 
 // jsonDoc is the -json report: the scenario identity plus every
@@ -311,7 +441,7 @@ type jsonDoc struct {
 }
 
 // writeJSON emits the grid as an indented JSON document on stdout.
-func writeJSON(grid *experiments.ClusterGridResult, sched serving.SchedulerConfig, scale int) error {
+func writeJSON(grid *experiments.ClusterGridResult, sched serving.SchedulerConfig, scale int, slo serving.SLO) error {
 	doc := jsonDoc{
 		Scenario:  grid.Scenario.Name,
 		Requests:  len(grid.Scenario.Requests),
@@ -321,7 +451,57 @@ func writeJSON(grid *experiments.ClusterGridResult, sched serving.SchedulerConfi
 	}
 	for i, n := range grid.NodeCounts {
 		for j, r := range grid.Routers {
-			doc.Cells = append(doc.Cells, jsonCell{Nodes: n, Router: r.String(), Metrics: grid.Metrics[i][j]})
+			cell := jsonCell{Nodes: n, Router: r.String(), Metrics: grid.Metrics[i][j]}
+			if slo.Enabled() {
+				rep := grid.Metrics[i][j].Goodput(slo)
+				cell.Goodput = &rep
+			}
+			doc.Cells = append(doc.Cells, cell)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// overloadJSONCell is one (rate, combo) cell of the overload-grid
+// -json document.
+type overloadJSONCell struct {
+	Rate    float64            `json:"rate"`
+	Combo   string             `json:"combo"`
+	Metrics *cluster.Metrics   `json:"metrics"`
+	Goodput *serving.SLOReport `json:"goodput"`
+}
+
+// overloadJSONDoc is the overload-grid -json report.
+type overloadJSONDoc struct {
+	Workload string             `json:"workload"`
+	Nodes    int                `json:"nodes"`
+	Router   string             `json:"router"`
+	Policy   string             `json:"policy"`
+	Scale    int                `json:"scale"`
+	SLO      serving.SLO        `json:"slo"`
+	Cells    []overloadJSONCell `json:"cells"`
+}
+
+// writeOverloadJSON emits the overload grid as an indented JSON
+// document on stdout.
+func writeOverloadJSON(grid *experiments.OverloadGridResult, scale int) error {
+	doc := overloadJSONDoc{
+		Workload: grid.Config.Name,
+		Nodes:    grid.Nodes,
+		Router:   grid.Router.String(),
+		Policy:   grid.Pol.Label,
+		Scale:    scale,
+		SLO:      grid.SLO,
+	}
+	for i, rate := range grid.Rates {
+		for j, combo := range grid.Combos {
+			cell := grid.Cells[i][j]
+			rep := cell.Goodput
+			doc.Cells = append(doc.Cells, overloadJSONCell{
+				Rate: rate, Combo: combo.Label, Metrics: cell.Metrics, Goodput: &rep,
+			})
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

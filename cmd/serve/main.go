@@ -13,13 +13,20 @@
 //	serve -model mix -av                   # mixed 70B/405B, Logit+AV per token
 //	serve -sched chunked -chunk 32         # on-node chunked prefill before decode
 //	serve -sched prefill-first -kvcap 4096 # monolithic prefill, bounded KV cache
+//	serve -arrival burst:40000:0.25:6 -sched chunked -chunk 32 -kvcap 256 -preempt newest
+//	serve -slo-ttft 200000 -slo-tbt 30000  # per-request deadlines, goodput report
 //	serve -json                            # machine-readable metrics incl. TTFT
 //	serve -dumptrace step0.trace           # write the first composed step trace
 //
 // Workload flags (-streams, -seqmin/-seqmax, -tokmin/-tokmax, -rate,
-// -seed) shape the fixed-seed request population; scheduler flags
-// (-sched, -chunk, -kvcap) select the prefill/decode co-scheduling
-// policy, the prefill chunk size and the KV-capacity admission bound;
+// -seed, -arrival) shape the fixed-seed request population and its
+// arrival-rate shape (bursty, ramping, diurnal or trace-replayed
+// modulation of the Poisson process); scheduler flags (-sched,
+// -chunk, -kvcap, -preempt) select the prefill/decode co-scheduling
+// policy, the prefill chunk size, the KV-capacity admission bound and
+// the recompute-on-preempt victim policy under KV pressure; SLO flags
+// (-slo-ttft, -slo-tbt) set per-request deadlines and add
+// goodput-under-SLO reports to the output;
 // trace flags (-av, -dumptrace) control per-step trace composition;
 // -scale divides the prompt-length range and the L2 size together,
 // preserving the working-set-to-cache ratio exactly like the figure
@@ -48,7 +55,11 @@ import (
 	"repro/internal/workload"
 )
 
-// cliOpts carries the parsed flag set into run.
+// cliOpts carries the parsed flag set into run. The *Set booleans
+// record which optional flags were passed explicitly (main fills them
+// via flag.Visit) so run can reject explicit zeroes without treating
+// the defaults as errors — and stays unit-testable without a flag
+// set.
 type cliOpts struct {
 	streams, batch                 int
 	model                          string
@@ -60,6 +71,10 @@ type cliOpts struct {
 	sched                          string
 	chunk                          int
 	kvcap                          int64
+	arrival, preempt               string
+	sloTTFT                        int64
+	sloTBT                         float64
+	sloTTFTSet, sloTBTSet          bool
 	policies                       string
 	parallel                       int
 	verbose, jsonOut               bool
@@ -82,6 +97,10 @@ func main() {
 	flag.StringVar(&o.sched, "sched", "decode-only", "prefill scheduler: decode-only, prefill-first or chunked")
 	flag.IntVar(&o.chunk, "chunk", 32, "prefill chunk size in tokens (chunked scheduler only)")
 	flag.Int64Var(&o.kvcap, "kvcap", 0, "KV-cache capacity in tokens, gating admission (0 = unlimited)")
+	flag.StringVar(&o.arrival, "arrival", "poisson", "arrival shape: poisson, burst:PERIOD:DUTY:FACTOR, ramp:PERIOD:FACTOR, diurnal:PERIOD:FACTOR or trace:PERIOD:M1,M2,...")
+	flag.StringVar(&o.preempt, "preempt", "off", "KV preemption victim policy: off, newest or fewest-tokens (needs a prefill -sched and -kvcap)")
+	flag.Int64Var(&o.sloTTFT, "slo-ttft", 0, "TTFT SLO deadline in cycles (0 = no TTFT deadline)")
+	flag.Float64Var(&o.sloTBT, "slo-tbt", 0, "mean time-between-tokens SLO deadline in cycles (0 = no TBT deadline)")
 	flag.StringVar(&o.policies, "policies", "unopt,dynmg+BMA", "comma-separated policy list, e.g. unopt,dyncta,dynmg,dynmg+BMA")
 	flag.IntVar(&o.parallel, "parallel", 0, "concurrent policy cells (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.verbose, "v", false, "stream per-cell progress to stderr")
@@ -91,6 +110,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+	o.sloTTFTSet = flagSet("slo-ttft")
+	o.sloTBTSet = flagSet("slo-tbt")
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {
@@ -112,13 +133,14 @@ func main() {
 	}
 }
 
-// chunkFlagSet reports whether -chunk was passed explicitly, so a
-// contradictory -sched/-chunk combination errors instead of silently
-// ignoring the chunk size.
-func chunkFlagSet() bool {
+// flagSet reports whether the named flag was passed explicitly, so a
+// contradictory combination (-chunk without -sched chunked) or an
+// explicit zero (-slo-ttft 0) errors instead of being silently
+// treated as the default.
+func flagSet(name string) bool {
 	set := false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "chunk" {
+		if f.Name == name {
 			set = true
 		}
 	})
@@ -146,8 +168,19 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
+	preemptPol, err := serving.ParsePreemptPolicy(o.preempt)
+	if err != nil {
+		return err
+	}
+	arrival, err := serving.ParseArrival(o.arrival)
+	if err != nil {
+		return err
+	}
 	// Validate the workload shape up front with flag-level messages
 	// instead of letting a deep generator or engine error report it.
+	// An SLO deadline flag passed explicitly must be positive — an
+	// explicit zero is a contradiction (asking for a deadline and
+	// disabling it at once), not a disabled deadline.
 	switch {
 	case o.streams <= 0:
 		return fmt.Errorf("-streams must be positive, got %d", o.streams)
@@ -159,11 +192,16 @@ func run(o cliOpts) error {
 		return fmt.Errorf("-rate must be non-negative, got %v", o.rate)
 	case o.kvcap < 0:
 		return fmt.Errorf("-kvcap must be non-negative, got %d", o.kvcap)
+	case o.sloTTFT < 0 || (o.sloTTFTSet && o.sloTTFT == 0):
+		return fmt.Errorf("-slo-ttft must be a positive cycle deadline, got %d", o.sloTTFT)
+	case o.sloTBT < 0 || (o.sloTBTSet && o.sloTBT == 0):
+		return fmt.Errorf("-slo-tbt must be a positive cycle deadline, got %v", o.sloTBT)
 	}
-	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap}
+	slo := serving.SLO{TTFTCycles: o.sloTTFT, TBTCycles: o.sloTBT}
+	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap, Preempt: preemptPol}
 	if schedPol == serving.SchedChunked {
 		sched.ChunkTokens = o.chunk
-	} else if chunkFlagSet() {
+	} else if flagSet("chunk") {
 		return fmt.Errorf("-chunk only applies to -sched chunked (got -sched %s)", schedPol)
 	}
 	if err := sched.Validate(); err != nil {
@@ -199,6 +237,7 @@ func run(o cliOpts) error {
 		MinDecode:        o.tokmin,
 		MaxDecode:        o.tokmax,
 		MeanInterArrival: o.rate,
+		Arrival:          arrival,
 		MaxBatch:         o.batch,
 		IncludeAV:        o.av,
 		Sched:            sched,
@@ -242,9 +281,14 @@ func run(o cliOpts) error {
 		return err
 	}
 	if o.jsonOut {
-		return writeJSON(grid, sched, o.scale)
+		return writeJSON(grid, sched, o.scale, slo)
 	}
 	fmt.Print(grid.Render())
+	if slo.Enabled() {
+		for i, p := range grid.Policies {
+			fmt.Printf("\ngoodput under SLO [%s]\n%s", p.Label, serving.Goodput(grid.Metrics[i], slo))
+		}
+	}
 	return nil
 }
 
@@ -252,6 +296,8 @@ func run(o cliOpts) error {
 type jsonCell struct {
 	Policy  string           `json:"policy"`
 	Metrics *serving.Metrics `json:"metrics"`
+	// Goodput is present when an SLO deadline was set.
+	Goodput *serving.SLOReport `json:"goodput,omitempty"`
 }
 
 // jsonDoc is the -json report: the scenario identity plus every
@@ -265,7 +311,7 @@ type jsonDoc struct {
 }
 
 // writeJSON emits the grid as an indented JSON document on stdout.
-func writeJSON(grid *experiments.ServeGridResult, sched serving.SchedulerConfig, scale int) error {
+func writeJSON(grid *experiments.ServeGridResult, sched serving.SchedulerConfig, scale int, slo serving.SLO) error {
 	doc := jsonDoc{
 		Scenario:  grid.Scenario.Name,
 		Requests:  len(grid.Scenario.Requests),
@@ -273,7 +319,12 @@ func writeJSON(grid *experiments.ServeGridResult, sched serving.SchedulerConfig,
 		Scheduler: experiments.SchedLabel(sched),
 	}
 	for i, p := range grid.Policies {
-		doc.Cells = append(doc.Cells, jsonCell{Policy: p.Label, Metrics: grid.Metrics[i]})
+		cell := jsonCell{Policy: p.Label, Metrics: grid.Metrics[i]}
+		if slo.Enabled() {
+			rep := serving.Goodput(grid.Metrics[i], slo)
+			cell.Goodput = &rep
+		}
+		doc.Cells = append(doc.Cells, cell)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

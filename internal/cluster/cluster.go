@@ -46,6 +46,12 @@ type Options struct {
 	// nodes execute heavily overlapping step signatures, so sharing is
 	// where the cluster fast path earns its speedup.
 	Memo *serving.StepMemo
+	// Overload is the router's overload-control configuration:
+	// saturation shedding, retry/backoff and forwarding (see
+	// OverloadConfig). Unlike the fields above it changes simulated
+	// results — the zero value disables it and is bit-identical to the
+	// pre-overload router.
+	Overload OverloadConfig
 }
 
 func (o Options) parallel(nodes int) int {
@@ -59,11 +65,21 @@ func (o Options) parallel(nodes int) int {
 // outcome plus where it ran and its end-to-end latency.
 type RequestStats struct {
 	serving.RequestStats
+	// Node is the node that served the request, or -1 if it was
+	// dropped by overload control before ever being dispatched.
 	Node    int
 	Session int
-	// E2ELatency is FinishCycle - ArrivalCycle: router queueing, node
-	// queueing and every decode step the request lived through.
+	// E2ELatency is FinishCycle - ArrivalCycle: router queueing,
+	// backoff waits, node queueing and every decode step the request
+	// lived through. ArrivalCycle, TTFT and QueueDelay always measure
+	// from the ORIGINAL arrival at the router — shedding retries never
+	// reset them.
 	E2ELatency int64
+	// Retries is how many times overload control shed the request
+	// before it was dispatched (or dropped); Dropped marks a request
+	// whose retry budget ran out — it generated no tokens.
+	Retries int
+	Dropped bool
 }
 
 // Metrics is the outcome of one cluster run.
@@ -99,6 +115,18 @@ type Metrics struct {
 	// samples: 1.0 is a perfectly balanced fleet, N means one node
 	// carried everything.
 	LoadImbalance float64
+	// Overload is the overload-control configuration the run used;
+	// the counters below stay zero when it is disabled. Shed counts
+	// saturation rejections (each retry that bounces counts again),
+	// Forwarded counts dispatches redirected to a less-loaded peer,
+	// Retries counts scheduled backoff re-entries, and Dropped counts
+	// requests whose retry budget ran out (they generated no tokens
+	// and are excluded from the latency percentiles).
+	Overload  OverloadConfig
+	Shed      int64
+	Forwarded int64
+	Retries   int64
+	Dropped   int64
 	// StepCache aggregates the per-node token-step fast-path
 	// diagnostics. Like serving.Metrics.StepCache it sits outside the
 	// bit-identity guarantees: concurrently advancing nodes race to
@@ -152,24 +180,45 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		engines[i].Prealloc(reqShare, tokShare)
 	}
 
+	ov := opts.Overload
+	if err := ov.Validate(); err != nil {
+		return nil, err
+	}
+
 	reqs := make([]Request, len(scn.Requests))
 	copy(reqs, scn.Requests)
 	sortRequests(reqs)
 
 	var (
-		rt          = newRouter(pol, nodes)
-		par         = opts.parallel(nodes)
-		outstanding = make([]int64, nodes)
-		backlog     = make([]int64, nodes)   // un-prefilled prompt tokens per node
-		loadAcc     = make([]float64, nodes) // outstanding-token integrals
-		sessionOf   = make([]int, len(reqs)) // by request ID (a permutation of [0, n))
-		horizon     int64                    // the fleet has already advanced to this cycle
+		rt                                 = newRouter(pol, nodes)
+		par                                = opts.parallel(nodes)
+		outstanding                        = make([]int64, nodes)
+		backlog                            = make([]int64, nodes)   // un-prefilled prompt tokens per node
+		loadAcc                            = make([]float64, nodes) // outstanding-token integrals
+		sessionOf                          = make([]int, len(reqs)) // by request ID (a permutation of [0, n))
+		origArrival                        = make([]int64, len(reqs))
+		retriesOf                          = make([]int, len(reqs))
+		droppedReq                         = make([]bool, len(reqs))
+		horizon                            int64 // the fleet has already advanced to this cycle
+		shed, forwarded, retried, droppedN int64
+		needBacklog                        = pol.Kind == LeastTTFTPressure || ov.Enabled()
 	)
+	// The dispatch loop is event-driven: fresh arrivals and backoff
+	// re-entries share one (cycle, ID)-ordered queue. The sorted
+	// request slice is already a valid min-heap; with overload control
+	// disabled no retry event is ever pushed, so events pop in exactly
+	// the pre-overload iteration order.
+	evq := make(eventQueue, 0, len(reqs))
 	for _, r := range reqs {
-		t := r.ArrivalCycle
-		// Fleet fan-out: every node progresses to the arrival horizon
+		origArrival[r.ID] = r.ArrivalCycle
+		evq = append(evq, event{at: r.ArrivalCycle, id: r.ID, req: r})
+	}
+	for len(evq) > 0 {
+		ev := evq.pop()
+		t := ev.at
+		// Fleet fan-out: every node progresses to the event horizon
 		// concurrently; each engine is touched only by its own index.
-		// Simultaneous arrivals share one fan-out — re-advancing to the
+		// Simultaneous events share one fan-out — re-advancing to the
 		// same horizon is a no-op on every node (engines start at cycle
 		// 0, matching the initial horizon).
 		if t != horizon {
@@ -182,18 +231,63 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		for i, e := range engines {
 			outstanding[i] = e.OutstandingTokens()
 		}
-		if pol.Kind == LeastTTFTPressure {
-			// Backlog has no other consumer; skip the second per-node
-			// scan for the four policies that ignore it.
+		if needBacklog {
+			// Backlog has no consumer beyond the ttft-pressure policy
+			// and the saturation signal; skip the second per-node scan
+			// otherwise.
 			for i, e := range engines {
 				backlog[i] = e.PrefillBacklog()
 			}
 		}
+		r := ev.req
 		target := rt.pick(r, outstanding, backlog)
-		if err := engines[target].Submit(r.Request); err != nil {
+		if ov.Enabled() && outstanding[target]+backlog[target] >= ov.SaturationTokens {
+			// The picked node is saturated. Forward to the least-loaded
+			// peer if allowed and one has headroom; otherwise shed —
+			// re-enter after deterministic exponential backoff, or drop
+			// once the retry budget is spent.
+			alt := -1
+			if ov.Forward {
+				best := 0
+				for i := 1; i < nodes; i++ {
+					if outstanding[i]+backlog[i] < outstanding[best]+backlog[best] {
+						best = i
+					}
+				}
+				if outstanding[best]+backlog[best] < ov.SaturationTokens {
+					alt = best
+				}
+			}
+			if alt < 0 {
+				shed++
+				sessionOf[r.ID] = r.Session
+				retriesOf[r.ID] = ev.attempts
+				if ev.attempts >= ov.MaxRetries {
+					droppedN++
+					droppedReq[r.ID] = true
+					continue
+				}
+				retried++
+				evq.push(event{at: t + ov.backoff(ev.attempts+1), id: r.ID, req: r, attempts: ev.attempts + 1})
+				continue
+			}
+			if alt != target {
+				forwarded++
+			}
+			target = alt
+		}
+		// Dispatch. The submitted copy carries the DISPATCH cycle as its
+		// arrival so per-node submission order stays nondecreasing even
+		// for backoff re-entries (for a never-shed request the two
+		// cycles coincide); fleet-level metrics are re-based onto the
+		// original arrival during assembly below.
+		sub := r.Request
+		sub.ArrivalCycle = t
+		if err := engines[target].Submit(sub); err != nil {
 			return nil, err
 		}
 		sessionOf[r.ID] = r.Session
+		retriesOf[r.ID] = ev.attempts
 		// Post-dispatch load sample: the routed request counts against
 		// its node, so a policy that piles work up is visibly imbalanced
 		// even on an otherwise idle fleet.
@@ -211,10 +305,15 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	}
 
 	m := &Metrics{
-		Nodes:    nodes,
-		Policy:   pol.String(),
-		Requests: len(reqs),
-		PerNode:  make([]*serving.Metrics, nodes),
+		Nodes:     nodes,
+		Policy:    pol.String(),
+		Requests:  len(reqs),
+		Overload:  ov,
+		Shed:      shed,
+		Forwarded: forwarded,
+		Retries:   retried,
+		Dropped:   droppedN,
+		PerNode:   make([]*serving.Metrics, nodes),
 	}
 	var steps int64
 	for i, e := range engines {
@@ -235,31 +334,74 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	}
 
 	// Fleet-level per-request stats in request-ID order; IDs are a
-	// permutation of [0, n), so indexing by ID is total.
+	// permutation of [0, n), so indexing by ID is total. Node-side
+	// stats are re-based from the dispatch cycle back onto the
+	// ORIGINAL router arrival: the backoff wait a shed request
+	// accumulated before dispatch is added to its queue delay and TTFT
+	// (zero delta for never-shed requests, so the disabled-overload
+	// path is bit-identical).
 	m.PerRequest = make([]RequestStats, len(reqs))
 	for i, nm := range m.PerNode {
 		for _, rs := range nm.PerRequest {
+			delta := rs.ArrivalCycle - origArrival[rs.ID]
+			rs.ArrivalCycle = origArrival[rs.ID]
+			rs.QueueDelay += delta
+			rs.TTFT += delta
 			m.PerRequest[rs.ID] = RequestStats{
 				RequestStats: rs,
 				Node:         i,
 				Session:      sessionOf[rs.ID],
 				E2ELatency:   rs.FinishCycle - rs.ArrivalCycle,
+				Retries:      retriesOf[rs.ID],
 			}
 		}
 	}
-	e2e := make([]float64, len(reqs))
-	qd := make([]float64, len(reqs))
-	ttft := make([]float64, len(reqs))
-	for i, rs := range m.PerRequest {
-		e2e[i] = float64(rs.E2ELatency)
-		qd[i] = float64(rs.QueueDelay)
-		ttft[i] = float64(rs.TTFT)
+	for id, d := range droppedReq {
+		if !d {
+			continue
+		}
+		m.PerRequest[id] = RequestStats{
+			RequestStats: serving.RequestStats{
+				ID:           id,
+				ArrivalCycle: origArrival[id],
+			},
+			Node:    -1,
+			Session: sessionOf[id],
+			Retries: retriesOf[id],
+			Dropped: true,
+		}
+	}
+	served := len(reqs) - int(droppedN)
+	e2e := make([]float64, 0, served)
+	qd := make([]float64, 0, served)
+	ttft := make([]float64, 0, served)
+	for _, rs := range m.PerRequest {
+		if rs.Dropped {
+			continue
+		}
+		e2e = append(e2e, float64(rs.E2ELatency))
+		qd = append(qd, float64(rs.QueueDelay))
+		ttft = append(ttft, float64(rs.TTFT))
 	}
 	m.E2ELatency = serving.Summarise(e2e)
 	m.QueueDelay = serving.Summarise(qd)
 	m.TTFT = serving.Summarise(ttft)
 	m.LoadImbalance = imbalance(loadAcc)
 	return m, nil
+}
+
+// Goodput computes the fleet goodput-under-SLO report: the serving
+// SLO applied to every request's fleet-level outcome (TTFT from the
+// original router arrival, backoff waits included) against the fleet
+// makespan. Dropped requests count as unfinished — shedding pays for
+// itself only if the goodput it preserves exceeds the tokens it
+// refuses.
+func (m *Metrics) Goodput(slo serving.SLO) serving.SLOReport {
+	reqs := make([]serving.RequestStats, len(m.PerRequest))
+	for i, r := range m.PerRequest {
+		reqs[i] = r.RequestStats
+	}
+	return slo.GoodputOver(reqs, m.Makespan)
 }
 
 // StripStepCache zeroes the fleet-level and per-node step-cache
@@ -310,6 +452,10 @@ func (m *Metrics) String() string {
 	fmt.Fprintf(&b, "fleet throughput  %.4f tokens/kcycle\n", m.FleetTokensPerKCycle)
 	fmt.Fprintf(&b, "batch occupancy   %.2f\n", m.MeanBatchOccupancy)
 	fmt.Fprintf(&b, "load imbalance    %.3f (max/mean outstanding tokens)\n", m.LoadImbalance)
+	if m.Overload.Enabled() {
+		fmt.Fprintf(&b, "overload          %s: shed %d  forwarded %d  retries %d  dropped %d\n",
+			m.Overload, m.Shed, m.Forwarded, m.Retries, m.Dropped)
+	}
 	fmt.Fprintf(&b, "e2e latency       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
 		m.E2ELatency.P50, m.E2ELatency.P95, m.E2ELatency.P99, m.E2ELatency.Max)
 	fmt.Fprintf(&b, "TTFT              p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// TestParseOverload covers the -shed flag grammar: defaults filled,
+// every field overridable, malformed specs rejected.
+func TestParseOverload(t *testing.T) {
+	cases := []struct {
+		spec string
+		want OverloadConfig
+	}{
+		{"", OverloadConfig{}},
+		{"off", OverloadConfig{}},
+		{"2000", OverloadConfig{SaturationTokens: 2000, MaxRetries: DefaultMaxRetries, BackoffBase: DefaultBackoffBase}},
+		{"2000:5", OverloadConfig{SaturationTokens: 2000, MaxRetries: 5, BackoffBase: DefaultBackoffBase}},
+		{"2000:0:500", OverloadConfig{SaturationTokens: 2000, MaxRetries: 0, BackoffBase: 500}},
+		{"2000:3:20000:forward", OverloadConfig{SaturationTokens: 2000, MaxRetries: 3, BackoffBase: 20000, Forward: true}},
+	}
+	for _, c := range cases {
+		got, err := ParseOverload(c.spec)
+		if err != nil {
+			t.Errorf("spec %q: %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("spec %q parsed to %+v, want %+v", c.spec, got, c.want)
+		}
+		// The canonical rendering round-trips.
+		if rt, err := ParseOverload(got.String()); err != nil || rt != got {
+			t.Errorf("spec %q rendering %q did not round-trip: %+v (%v)", c.spec, got, rt, err)
+		}
+	}
+	for _, spec := range []string{
+		"0", "-5", "x", "2000:x", "2000:-1", "2000:3:x", "2000:3:-7",
+		"2000:3:500:bogus", "2000:3:500:forward:extra",
+	} {
+		if _, err := ParseOverload(spec); err == nil {
+			t.Errorf("spec %q parsed, want error", spec)
+		}
+	}
+}
+
+// TestOverloadValidationAndBackoff: configuration rules and the
+// deterministic doubling schedule.
+func TestOverloadValidationAndBackoff(t *testing.T) {
+	bad := []OverloadConfig{
+		{SaturationTokens: -1},
+		{SaturationTokens: 100, MaxRetries: -1},
+		{SaturationTokens: 100, BackoffBase: -1},
+		{MaxRetries: 3},    // params without a threshold
+		{BackoffBase: 100}, // params without a threshold
+		{Forward: true},    // forward without a threshold
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("config %+v accepted, want error", o)
+		}
+	}
+	if err := (OverloadConfig{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	o := OverloadConfig{SaturationTokens: 100, MaxRetries: 4, BackoffBase: 1000}
+	for k, want := range map[int]int64{1: 1000, 2: 2000, 3: 4000, 4: 8000} {
+		if got := o.backoff(k); got != want {
+			t.Errorf("backoff(%d) = %d, want %d (no jitter, exact doubling)", k, got, want)
+		}
+	}
+}
+
+// TestOverloadNeverTriggeredBitIdentity: overload control that is
+// enabled but whose threshold is never reached produces bit-identical
+// fleet metrics to the disabled router — the event-loop machinery
+// itself never perturbs a run.
+func TestOverloadNeverTriggeredBitIdentity(t *testing.T) {
+	scn := testScenario(t)
+	cfg := testConfig()
+	off, err := Run(cfg, scn, 3, Policy{Kind: LeastOutstanding}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(cfg, scn, 3, Policy{Kind: LeastOutstanding},
+		Options{Overload: OverloadConfig{SaturationTokens: 1 << 40, MaxRetries: 3, BackoffBase: 10000, Forward: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Shed != 0 || on.Forwarded != 0 || on.Retries != 0 || on.Dropped != 0 {
+		t.Fatalf("unreachable threshold still acted: %+v", on)
+	}
+	off.StripStepCache()
+	on.StripStepCache()
+	// The recorded configuration legitimately differs; everything else
+	// must not.
+	on.Overload = off.Overload
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("never-triggered overload control changed the run:\n%v\n%v", off, on)
+	}
+}
+
+// overloadFleetScenario is the committed overloaded fleet workload of
+// the shedding tests: a bursty 16-request population against two
+// KV-tight chunked-prefill nodes.
+func overloadFleetScenario(t *testing.T) Scenario {
+	t.Helper()
+	scn, err := NewScenario(ScenarioConfig{
+		ScenarioConfig: serving.ScenarioConfig{
+			Name: "overload/fleet", Seed: 9, NumRequests: 16,
+			Models:       []workload.ModelConfig{workload.Llama3_70B},
+			MinPromptLen: 16, MaxPromptLen: 48,
+			MinDecode: 2, MaxDecode: 5,
+			MeanInterArrival: 15000, MaxBatch: 2,
+			Arrival: serving.ArrivalConfig{Kind: serving.ArrivalBurst, Period: 80000, Duty: 0.4, Factor: 8},
+			Sched:   serving.SchedulerConfig{Policy: serving.SchedChunked, ChunkTokens: 16, KVCapTokens: 120},
+		},
+		NumSessions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+// shedConfig is the committed shedding configuration of the overload
+// acceptance tests.
+func shedConfig() OverloadConfig {
+	return OverloadConfig{SaturationTokens: 60, MaxRetries: 3, BackoffBase: 20000, Forward: true}
+}
+
+// TestOverloadShedRetryDropAccounting runs the committed overloaded
+// fleet under shedding and checks the bookkeeping invariants: every
+// shed event either schedules a retry or drops, dropped requests are
+// tombstoned out of the served population, retried-but-served requests
+// keep deadlines measured from their original arrival, and the whole
+// thing replays bit-identically.
+func TestOverloadShedRetryDropAccounting(t *testing.T) {
+	scn := overloadFleetScenario(t)
+	cfg := testConfig()
+	ov := shedConfig()
+	m, err := Run(cfg, scn, 2, Policy{Kind: LeastOutstanding}, Options{Overload: ov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shed == 0 || m.Retries == 0 || m.Dropped == 0 {
+		t.Fatalf("committed scenario not overloaded enough: shed=%d retries=%d dropped=%d", m.Shed, m.Retries, m.Dropped)
+	}
+	// Every saturation rejection either scheduled a retry or dropped.
+	if m.Shed != m.Retries+m.Dropped {
+		t.Errorf("shed %d != retries %d + dropped %d", m.Shed, m.Retries, m.Dropped)
+	}
+	var droppedTokens int64
+	var dropped, retriedServed int
+	for _, rs := range m.PerRequest {
+		if rs.Dropped {
+			dropped++
+			droppedTokens += int64(scn.Requests[rs.ID].DecodeTokens)
+			if rs.Node != -1 || rs.Tokens != 0 || rs.FinishCycle != 0 {
+				t.Errorf("dropped request %d has served-looking stats: %+v", rs.ID, rs)
+			}
+			if rs.Retries != ov.MaxRetries {
+				t.Errorf("dropped request %d retried %d times, want the full budget %d", rs.ID, rs.Retries, ov.MaxRetries)
+			}
+			continue
+		}
+		if rs.Retries > 0 {
+			retriedServed++
+			if rs.Retries > ov.MaxRetries {
+				t.Errorf("request %d retried %d times, budget is %d", rs.ID, rs.Retries, ov.MaxRetries)
+			}
+		}
+		// Deadlines are measured from the ORIGINAL router arrival: the
+		// backoff wait is inside TTFT, never excused from it.
+		if rs.ArrivalCycle != scn.Requests[rs.ID].ArrivalCycle {
+			t.Errorf("request %d arrival rebased wrong: %d vs %d", rs.ID, rs.ArrivalCycle, scn.Requests[rs.ID].ArrivalCycle)
+		}
+		if rs.TTFT != rs.FirstTokenCycle-rs.ArrivalCycle {
+			t.Errorf("request %d TTFT %d != first %d - arrival %d", rs.ID, rs.TTFT, rs.FirstTokenCycle, rs.ArrivalCycle)
+		}
+		if rs.E2ELatency != rs.FinishCycle-rs.ArrivalCycle {
+			t.Errorf("request %d e2e %d != finish %d - arrival %d", rs.ID, rs.E2ELatency, rs.FinishCycle, rs.ArrivalCycle)
+		}
+	}
+	if int64(dropped) != m.Dropped {
+		t.Errorf("per-request dropped %d != counter %d", dropped, m.Dropped)
+	}
+	if retriedServed == 0 {
+		t.Error("no request was shed, backed off and then served — retry path not exercised")
+	}
+	// The fleet serves exactly the un-dropped decode budget.
+	if m.Tokens != scn.TotalTokens()-droppedTokens {
+		t.Errorf("fleet tokens %d != total %d - dropped %d", m.Tokens, scn.TotalTokens(), droppedTokens)
+	}
+	// Bit-identical replay, including at a different worker width.
+	again, err := Run(cfg, scn, 2, Policy{Kind: LeastOutstanding}, Options{Overload: ov, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StripStepCache()
+	again.StripStepCache()
+	if !reflect.DeepEqual(m, again) {
+		t.Error("overloaded run not reproducible across worker widths")
+	}
+}
+
+// TestOverloadForwardingRescue: a single-session population under the
+// affinity router saturates its home node; forwarding hands the
+// overflow to the idle peer instead of dropping it. Without
+// forwarding the same scenario sheds more and drops a request.
+func TestOverloadForwardingRescue(t *testing.T) {
+	scn, err := NewScenario(ScenarioConfig{
+		ScenarioConfig: serving.ScenarioConfig{
+			Name: "fwd/one-session", Seed: 3, NumRequests: 8,
+			Models:       []workload.ModelConfig{workload.Llama3_70B},
+			MinPromptLen: 16, MaxPromptLen: 32,
+			MinDecode: 2, MaxDecode: 4,
+			MeanInterArrival: 4000, MaxBatch: 2,
+		},
+		NumSessions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	run := func(forward bool) *Metrics {
+		m, err := Run(cfg, scn, 2, Policy{Kind: SessionAffinity},
+			Options{Overload: OverloadConfig{SaturationTokens: 5, MaxRetries: 1, BackoffBase: 20000, Forward: forward}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	noFwd := run(false)
+	if noFwd.Forwarded != 0 || noFwd.Dropped == 0 {
+		t.Fatalf("forwardless run: forwarded=%d dropped=%d, want 0/>0", noFwd.Forwarded, noFwd.Dropped)
+	}
+	fwd := run(true)
+	if fwd.Forwarded == 0 {
+		t.Fatal("forwarding enabled but nothing forwarded")
+	}
+	if fwd.Dropped != 0 || fwd.Tokens != scn.TotalTokens() {
+		t.Fatalf("forwarding still dropped work: dropped=%d tokens=%d/%d", fwd.Dropped, fwd.Tokens, scn.TotalTokens())
+	}
+	// The overflow really ran on the non-home peer.
+	busy := 0
+	for _, nm := range fwd.PerNode {
+		if nm.Requests > 0 {
+			busy++
+		}
+	}
+	if busy != 2 {
+		t.Fatalf("forwarded fleet used %d nodes, want both", busy)
+	}
+}
+
+// TestShedBeatsNeverShedOnGoodput is the cluster-side overload
+// acceptance criterion: on the committed overloaded fleet, admission
+// shedding with retry/backoff strictly beats the never-shed router on
+// fleet goodput-under-SLO. Never-shed buries both nodes — every
+// late request blows its first-token deadline while still consuming
+// capacity; shedding keeps the nodes inside their KV budget and
+// serves what it admits on time.
+func TestShedBeatsNeverShedOnGoodput(t *testing.T) {
+	scn := overloadFleetScenario(t)
+	cfg := testConfig()
+	slo := serving.SLO{TTFTCycles: 400000}
+	never, err := Run(cfg, scn, 2, Policy{Kind: LeastOutstanding}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, err := Run(cfg, scn, 2, Policy{Kind: LeastOutstanding}, Options{Overload: shedConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gNever, gShed := never.Goodput(slo), shed.Goodput(slo)
+	// The deadline must bite under never-shed, and shedding must pay
+	// for its refused tokens with a strict goodput win.
+	if gNever.TTFTViolations == 0 {
+		t.Error("never-shed run met every deadline — scenario not overloaded")
+	}
+	if shed.Dropped == 0 || shed.Retries == 0 {
+		t.Fatalf("shed run exercised no overload control: %+v", shed.Overload)
+	}
+	if !(gShed.GoodputPerKCycle > gNever.GoodputPerKCycle) {
+		t.Errorf("shed goodput %v not strictly above never-shed %v",
+			gShed.GoodputPerKCycle, gNever.GoodputPerKCycle)
+	}
+	// Dropped requests are honestly counted against the shed run.
+	if gShed.Unfinished != int(shed.Dropped) {
+		t.Errorf("goodput unfinished %d != dropped %d", gShed.Unfinished, shed.Dropped)
+	}
+	if gNever.Unfinished != 0 {
+		t.Errorf("never-shed run left %d requests unfinished", gNever.Unfinished)
+	}
+}

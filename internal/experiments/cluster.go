@@ -29,6 +29,9 @@ type ClusterCellSpec struct {
 	// Pol is the cache-level (throttle, arbiter) policy every node
 	// runs.
 	Pol Policy
+	// Overload is the router's overload-control configuration (zero
+	// value: disabled — the pre-overload router).
+	Overload cluster.OverloadConfig
 	// Base optionally overrides the grid's base configuration for this
 	// cell (hardware sweeps under fleet load).
 	Base *sim.Config
@@ -62,7 +65,7 @@ func RunClusterCells(cells []ClusterCellSpec, opts Options) ([]*cluster.Metrics,
 		cfg.Throttle = c.Pol.Throttle
 		cfg.Arbiter = c.Pol.Arbiter
 		m, err := cluster.Run(cfg, c.Scenario, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Overload})
 		if err != nil {
 			return fmt.Errorf("cluster cell %s nodes=%d %s %s: %w",
 				c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
@@ -100,6 +103,9 @@ type ClusterGridResult struct {
 	NodeCounts []int
 	Routers    []cluster.Policy
 	Pol        Policy
+	// Overload is the router overload-control configuration every
+	// cell ran (zero value: disabled).
+	Overload cluster.OverloadConfig
 	// Metrics[i][j] is NodeCounts[i] under Routers[j].
 	Metrics [][]*cluster.Metrics
 }
@@ -110,20 +116,28 @@ type ClusterGridResult struct {
 // Options.Parallel; Options.Scale divides the L2 size (see
 // RunClusterCells).
 func ClusterGrid(scn cluster.Scenario, nodeCounts []int, routers []cluster.Policy, pol Policy, opts Options) (*ClusterGridResult, error) {
+	return ClusterGridWith(scn, nodeCounts, routers, pol, cluster.OverloadConfig{}, opts)
+}
+
+// ClusterGridWith is ClusterGrid with router-level overload control
+// (saturation shedding, retry/backoff, forwarding) applied to every
+// cell.
+func ClusterGridWith(scn cluster.Scenario, nodeCounts []int, routers []cluster.Policy, pol Policy,
+	ov cluster.OverloadConfig, opts Options) (*ClusterGridResult, error) {
 	if len(nodeCounts) == 0 || len(routers) == 0 {
 		return nil, fmt.Errorf("cluster grid: empty node-count or router list")
 	}
 	cells := make([]ClusterCellSpec, 0, len(nodeCounts)*len(routers))
 	for _, n := range nodeCounts {
 		for _, r := range routers {
-			cells = append(cells, ClusterCellSpec{Scenario: scn, Nodes: n, Router: r, Pol: pol})
+			cells = append(cells, ClusterCellSpec{Scenario: scn, Nodes: n, Router: r, Pol: pol, Overload: ov})
 		}
 	}
 	metrics, err := RunClusterCells(cells, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := &ClusterGridResult{Scenario: scn, NodeCounts: nodeCounts, Routers: routers, Pol: pol}
+	out := &ClusterGridResult{Scenario: scn, NodeCounts: nodeCounts, Routers: routers, Pol: pol, Overload: ov}
 	out.Metrics = make([][]*cluster.Metrics, len(nodeCounts))
 	for i := range nodeCounts {
 		out.Metrics[i] = metrics[i*len(routers) : (i+1)*len(routers)]

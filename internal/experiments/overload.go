@@ -1,0 +1,226 @@
+// The overload grid: goodput-vs-load curves for the overload-control
+// study. One fleet workload family is regenerated at a sweep of
+// arrival-rate multipliers (the x-axis of a goodput curve) and run
+// under a matrix of overload-control combos — preemption policy on
+// every node × shedding/retry/forwarding at the router — with
+// goodput-under-SLO as the headline metric. As load climbs past
+// saturation, raw throughput plateaus while goodput collapses; the
+// grid shows how much of the collapse each combo recovers.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/pool"
+	"repro/internal/serving"
+	"repro/internal/sim"
+)
+
+// OverloadCombo is one overload-control configuration under test:
+// the per-node preemption policy plus the router's shedding
+// configuration. The zero value is uncontrolled — head-of-line
+// blocking on the nodes, never-shed at the router.
+type OverloadCombo struct {
+	Label   string
+	Preempt serving.PreemptPolicy
+	Shed    cluster.OverloadConfig
+}
+
+// DefaultOverloadCombos returns the stock combo ladder: uncontrolled,
+// preemption alone, shedding alone, shedding with forwarding, and
+// both together. sat is the per-node saturation threshold the
+// shedding combos use.
+func DefaultOverloadCombos(sat int64) []OverloadCombo {
+	shed := cluster.OverloadConfig{
+		SaturationTokens: sat,
+		MaxRetries:       cluster.DefaultMaxRetries,
+		BackoffBase:      cluster.DefaultBackoffBase,
+	}
+	fwd := shed
+	fwd.Forward = true
+	return []OverloadCombo{
+		{Label: "none"},
+		{Label: "preempt", Preempt: serving.PreemptNewest},
+		{Label: "shed", Shed: shed},
+		{Label: "shed+fwd", Shed: fwd},
+		{Label: "preempt+shed+fwd", Preempt: serving.PreemptNewest, Shed: fwd},
+	}
+}
+
+// OverloadCellSpec names one overload simulation: the base workload
+// generator configuration, an arrival-rate multiplier that divides
+// its MeanInterArrival, a fleet shape, an overload combo, a cache
+// policy and the SLO the goodput is judged against.
+type OverloadCellSpec struct {
+	// Config is the base fleet workload generator configuration; the
+	// cell regenerates the scenario with MeanInterArrival / Rate, so
+	// the same seed explores the same request population under denser
+	// arrivals. Its Sched must already satisfy the combo's preemption
+	// requirements (a prefill scheduler and a finite KV capacity).
+	Config cluster.ScenarioConfig
+	// Rate is the arrival-rate multiplier (> 0; 1 = the base rate).
+	Rate   float64
+	Nodes  int
+	Router cluster.Policy
+	Combo  OverloadCombo
+	// Pol is the cache-level (throttle, arbiter) policy every node
+	// runs.
+	Pol Policy
+	// SLO is the per-request deadline pair goodput is measured under.
+	SLO serving.SLO
+	// Base optionally overrides the grid's base configuration.
+	Base *sim.Config
+}
+
+// OverloadCellResult is one cell's outcome: the full fleet metrics
+// plus the goodput-under-SLO report.
+type OverloadCellResult struct {
+	Metrics *cluster.Metrics
+	Goodput serving.SLOReport
+}
+
+// RunOverloadCells executes every overload cell across the bounded
+// worker pool and returns results in input order. The parallelism
+// split and determinism guarantees match RunClusterCells: cells fan
+// out on the outer pool, node engines inside each cell, and results
+// are bit-identical at any Options.Parallel.
+func RunOverloadCells(cells []OverloadCellSpec, opts Options) ([]OverloadCellResult, error) {
+	outer := opts.parallel()
+	if outer > len(cells) {
+		outer = len(cells)
+	}
+	inner := 1
+	if outer > 0 && opts.parallel()/outer > 1 {
+		inner = opts.parallel() / outer
+	}
+	results := make([]OverloadCellResult, len(cells))
+	err := pool.ForEach(len(cells), outer, func(i int) error {
+		c := &cells[i]
+		if c.Rate <= 0 {
+			return fmt.Errorf("overload cell %d: rate multiplier must be positive, got %g", i, c.Rate)
+		}
+		scfg := c.Config
+		scfg.MeanInterArrival /= c.Rate
+		scfg.Sched.Preempt = c.Combo.Preempt
+		scfg.Name = fmt.Sprintf("%s/x%g", c.Config.Name, c.Rate)
+		scn, err := cluster.NewScenario(scfg)
+		if err != nil {
+			return fmt.Errorf("overload cell %s %s: %w", scfg.Name, c.Combo.Label, err)
+		}
+		cfg := opts.base()
+		if c.Base != nil {
+			cfg = *c.Base
+		}
+		cfg.L2SizeBytes /= opts.scale()
+		cfg.Throttle = c.Pol.Throttle
+		cfg.Arbiter = c.Pol.Arbiter
+		m, err := cluster.Run(cfg, scn, c.Nodes, c.Router,
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Combo.Shed})
+		if err != nil {
+			return fmt.Errorf("overload cell %s nodes=%d %s %s: %w",
+				scfg.Name, c.Nodes, c.Router, c.Combo.Label, err)
+		}
+		results[i] = OverloadCellResult{Metrics: m, Goodput: m.Goodput(c.SLO)}
+		if opts.Log != nil {
+			logOverloadCell(opts, c, &results[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+var overloadLogMu sync.Mutex
+
+func logOverloadCell(opts Options, c *OverloadCellSpec, r *OverloadCellResult) {
+	overloadLogMu.Lock()
+	defer overloadLogMu.Unlock()
+	m := r.Metrics
+	var preempts int64
+	for _, nm := range m.PerNode {
+		preempts += nm.Preemptions
+	}
+	fmt.Fprintf(opts.Log,
+		"%-20s x%-5g %-18s goodput=%.4f tok/kcyc=%.4f met=%d/%d dropped=%d preempts=%d\n",
+		c.Config.Name, c.Rate, c.Combo.Label,
+		r.Goodput.GoodputPerKCycle, m.FleetTokensPerKCycle,
+		r.Goodput.MetSLO, m.Requests, m.Dropped, preempts)
+}
+
+// OverloadGridResult is one workload family evaluated across an
+// arrival-rate × overload-combo matrix.
+type OverloadGridResult struct {
+	Config cluster.ScenarioConfig
+	Rates  []float64
+	Combos []OverloadCombo
+	Nodes  int
+	Router cluster.Policy
+	Pol    Policy
+	SLO    serving.SLO
+	// Cells[i][j] is Rates[i] under Combos[j].
+	Cells [][]OverloadCellResult
+}
+
+// OverloadGrid sweeps arrival rate × overload-control combo for one
+// fleet workload family and collects fleet metrics plus goodput in
+// matrix order — the goodput-vs-load curves of the overload study.
+// Deterministic at any Options.Parallel.
+func OverloadGrid(cfg cluster.ScenarioConfig, rates []float64, combos []OverloadCombo,
+	nodes int, router cluster.Policy, pol Policy, slo serving.SLO, opts Options) (*OverloadGridResult, error) {
+	if len(rates) == 0 || len(combos) == 0 {
+		return nil, fmt.Errorf("overload grid: empty rate or combo list")
+	}
+	cells := make([]OverloadCellSpec, 0, len(rates)*len(combos))
+	for _, rate := range rates {
+		for _, combo := range combos {
+			cells = append(cells, OverloadCellSpec{
+				Config: cfg, Rate: rate, Nodes: nodes, Router: router,
+				Combo: combo, Pol: pol, SLO: slo,
+			})
+		}
+	}
+	results, err := RunOverloadCells(cells, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &OverloadGridResult{
+		Config: cfg, Rates: rates, Combos: combos,
+		Nodes: nodes, Router: router, Pol: pol, SLO: slo,
+	}
+	out.Cells = make([][]OverloadCellResult, len(rates))
+	for i := range rates {
+		out.Cells[i] = results[i*len(combos) : (i+1)*len(combos)]
+	}
+	return out, nil
+}
+
+// Render formats the grid as an aligned per-cell table of the
+// goodput-vs-load curves.
+func (g *OverloadGridResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s: %d requests, %d nodes, router %s, cache policy %s, SLO ttft<=%d tbt<=%.0f\n\n",
+		g.Config.Name, g.Config.NumRequests, g.Nodes, g.Router, g.Pol.Label,
+		g.SLO.TTFTCycles, g.SLO.TBTCycles)
+	fmt.Fprintf(&b, "%-6s %-18s %12s %12s %8s %8s %8s %8s %10s\n",
+		"rate", "combo", "goodput", "tok/kcycle", "met-slo", "dropped", "shed", "preempt", "e2e-p99")
+	for i, rate := range g.Rates {
+		for j, combo := range g.Combos {
+			r := g.Cells[i][j]
+			m := r.Metrics
+			var preempts int64
+			for _, nm := range m.PerNode {
+				preempts += nm.Preemptions
+			}
+			fmt.Fprintf(&b, "%-6g %-18s %12.4f %12.4f %8d %8d %8d %8d %10.0f\n",
+				rate, combo.Label, r.Goodput.GoodputPerKCycle, m.FleetTokensPerKCycle,
+				r.Goodput.MetSLO, m.Dropped, m.Shed, preempts, m.E2ELatency.P99)
+		}
+	}
+	return b.String()
+}

@@ -50,6 +50,16 @@ type Engine struct {
 	now     int64
 	kvUsed  int64 // KV tokens reserved by live streams (capacity gate)
 
+	// Preemption state (Sched.Preempt != PreemptOff): resume maps a
+	// preempted request's ID to the decode tokens it had generated when
+	// evicted, so re-admission recomputes the KV prefix (prompt plus
+	// generated tokens) as prefill and decode continues where it
+	// stopped instead of double-counting tokens. preemptions counts
+	// eviction events; victims is per-admit scratch.
+	resume      map[int]int
+	preemptions int64
+	victims     []*stream
+
 	steps         int64
 	cycles        int64
 	tokens        int64
@@ -194,7 +204,9 @@ func (e *Engine) Submit(req Request) error {
 // capacity is configured, the queue head is admitted only while its
 // maximum KV footprint fits the remaining capacity; admission stays
 // strict FCFS, so a too-large head blocks the queue until running
-// streams retire and release their reservations.
+// streams retire and release their reservations — unless a preemption
+// policy is set, in which case the blocked head may evict victims
+// (tryPreempt) and claim their reservations.
 func (e *Engine) admit() {
 	for len(e.pending) > 0 && e.pending[0].ArrivalCycle <= e.now {
 		e.queue = append(e.queue, e.pending[0])
@@ -214,7 +226,12 @@ func (e *Engine) admit() {
 		req := e.queue[0]
 		need := kvReserve(req)
 		if e.sched.KVCapTokens > 0 && e.kvUsed+need > e.sched.KVCapTokens {
-			break
+			if !e.tryPreempt(req, need) {
+				break
+			}
+			// Eviction may have freed a lower slot than the one found
+			// above; restart the pass so slots fill lowest-index first.
+			continue
 		}
 		e.queue = e.queue[1:]
 		e.kvUsed += need
@@ -231,12 +248,83 @@ func (e *Engine) admit() {
 			s.kvLen = 0
 			s.prefillLeft = req.PromptLen
 		}
+		if res, resumed := e.resume[req.ID]; resumed {
+			// Re-admission after preemption: the dropped KV prefix —
+			// the prompt plus every token generated before eviction —
+			// is recomputed as prefill, then decode resumes where it
+			// stopped. Tokens are never generated twice.
+			delete(e.resume, req.ID)
+			s.tokens = res
+			s.left = req.DecodeTokens - res
+			s.kvLen = 0
+			s.prefillLeft = req.PromptLen + res
+			e.slots[slot] = s
+			continue
+		}
 		e.slots[slot] = s
 		e.queueLats = append(e.queueLats, float64(e.now-req.ArrivalCycle))
 		st := &e.stats[e.statIdx[req.ID]]
 		st.AdmitCycle = e.now
 		st.QueueDelay = e.now - req.ArrivalCycle
 	}
+}
+
+// tryPreempt frees KV capacity for a blocked admission head by
+// evicting running streams under the configured victim policy. The
+// eviction is all-or-nothing: victims are taken in policy order until
+// the head fits, and nothing is evicted if even evicting every running
+// stream would not make it fit. Only a head that has itself never been
+// preempted may trigger eviction — a preempted request waits out
+// head-of-line blocking like before — which bounds eviction events at
+// requests × batch slots and rules out livelock. Victims drop their
+// reservation and requeue behind the current FCFS queue; their decode
+// progress is remembered in e.resume for recompute on re-admission.
+func (e *Engine) tryPreempt(head Request, need int64) bool {
+	if e.sched.Preempt == PreemptOff {
+		return false
+	}
+	if e.stats[e.statIdx[head.ID]].Preemptions > 0 {
+		return false
+	}
+	e.victims = e.victims[:0]
+	for _, s := range e.slots {
+		if s != nil {
+			e.victims = append(e.victims, s)
+		}
+	}
+	if len(e.victims) == 0 {
+		return false
+	}
+	sort.Slice(e.victims, func(a, b int) bool {
+		va, vb := e.victims[a], e.victims[b]
+		if e.sched.Preempt == PreemptFewestTokens && va.tokens != vb.tokens {
+			return va.tokens < vb.tokens
+		}
+		if va.admit != vb.admit {
+			return va.admit > vb.admit
+		}
+		return va.slot > vb.slot
+	})
+	freed, take := int64(0), 0
+	for take < len(e.victims) && e.kvUsed-freed+need > e.sched.KVCapTokens {
+		freed += kvReserve(e.victims[take].req)
+		take++
+	}
+	if e.kvUsed-freed+need > e.sched.KVCapTokens {
+		return false
+	}
+	for _, v := range e.victims[:take] {
+		e.slots[v.slot] = nil
+		e.kvUsed -= kvReserve(v.req)
+		if e.resume == nil {
+			e.resume = make(map[int]int)
+		}
+		e.resume[v.req.ID] = v.tokens
+		e.queue = append(e.queue, v.req)
+		e.preemptions++
+		e.stats[e.statIdx[v.req.ID]].Preemptions++
+	}
+	return true
 }
 
 func (e *Engine) runnable() bool {
@@ -506,6 +594,7 @@ func (e *Engine) Metrics() *Metrics {
 		Steps:         e.steps,
 		PrefillTokens: e.prefillTokens,
 		PrefillSteps:  e.prefillSteps,
+		Preemptions:   e.preemptions,
 		Cycles:        e.cycles,
 		Makespan:      e.now,
 		Counters:      e.counters,

@@ -145,6 +145,11 @@ type ScenarioConfig struct {
 	// gap in cycles. Zero means every request arrives at cycle 0 (a
 	// closed-batch scenario).
 	MeanInterArrival float64
+	// Arrival shapes the arrival process around the base Poisson rate
+	// (burst, ramp, diurnal, rate trace — see ArrivalConfig). The zero
+	// value is plain Poisson, bit-identical to the pre-overload
+	// generator. Ignored when MeanInterArrival is zero.
+	Arrival ArrivalConfig
 	// MaxBatch is the continuous-batching capacity.
 	MaxBatch int
 	// IncludeAV adds the AV operator to every token step.
@@ -187,6 +192,9 @@ func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 	if err := cfg.Sched.Validate(); err != nil {
 		return Scenario{}, err
 	}
+	if err := cfg.Arrival.Validate(); err != nil {
+		return Scenario{}, err
+	}
 
 	r := Rand{State: cfg.Seed}
 	scn := Scenario{
@@ -199,7 +207,15 @@ func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 	var clock float64
 	for i := 0; i < cfg.NumRequests; i++ {
 		if cfg.MeanInterArrival > 0 {
-			clock += r.ExpFloat64() * cfg.MeanInterArrival
+			gap := r.ExpFloat64() * cfg.MeanInterArrival
+			// Nonhomogeneous modulation rescales the SAME exponential
+			// draw by the instantaneous rate multiplier, so every
+			// arrival shape consumes the RNG identically and the
+			// poisson path (rate ≡ 1) is bit-identical to before.
+			if scale := cfg.Arrival.rate(clock); scale != 1 {
+				gap /= scale
+			}
+			clock += gap
 		}
 		scn.Requests = append(scn.Requests, Request{
 			ID:           i,

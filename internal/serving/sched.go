@@ -69,10 +69,58 @@ func ParseSchedPolicy(s string) (SchedPolicy, error) {
 	return 0, fmt.Errorf("serving: unknown scheduler policy %q (want decode-only, prefill-first or chunked)", s)
 }
 
+// PreemptPolicy selects the victim-ordering rule of
+// recompute-on-preempt eviction. The zero value disables preemption —
+// KV-blocked admission stays strict head-of-line blocking, the
+// pre-overload behaviour.
+type PreemptPolicy uint8
+
+// The preemption policies.
+const (
+	// PreemptOff (the zero value): an admitted stream is never evicted.
+	PreemptOff PreemptPolicy = iota
+	// PreemptNewest evicts the most recently admitted stream first
+	// (ties to the highest slot) — the vLLM-style LIFO recompute rule
+	// that protects the progress of old streams.
+	PreemptNewest
+	// PreemptFewestTokens evicts the stream with the fewest generated
+	// tokens first (ties to the newest admission, then the highest
+	// slot) — minimising the decode progress thrown away.
+	PreemptFewestTokens
+)
+
+// String returns the canonical policy name ParsePreemptPolicy accepts.
+func (p PreemptPolicy) String() string {
+	switch p {
+	case PreemptOff:
+		return "off"
+	case PreemptNewest:
+		return "newest"
+	case PreemptFewestTokens:
+		return "fewest-tokens"
+	}
+	return fmt.Sprintf("PreemptPolicy(%d)", uint8(p))
+}
+
+// ParsePreemptPolicy reads a -preempt flag value: "off" (or ""),
+// "newest" or "fewest-tokens".
+func ParsePreemptPolicy(s string) (PreemptPolicy, error) {
+	switch s {
+	case "off", "":
+		return PreemptOff, nil
+	case "newest":
+		return PreemptNewest, nil
+	case "fewest-tokens":
+		return PreemptFewestTokens, nil
+	}
+	return 0, fmt.Errorf("serving: unknown preemption policy %q (want off, newest or fewest-tokens)", s)
+}
+
 // SchedulerConfig is the batch-scheduling configuration of a scenario:
-// the prefill/decode policy, the chunk size (chunked only) and the
-// KV-cache capacity. The zero value is decode-only with unlimited KV —
-// exactly the pre-prefill engine.
+// the prefill/decode policy, the chunk size (chunked only), the
+// KV-cache capacity and the preemption policy. The zero value is
+// decode-only with unlimited KV and no preemption — exactly the
+// pre-prefill engine.
 type SchedulerConfig struct {
 	Policy SchedPolicy
 	// ChunkTokens is the fixed prefill chunk length in tokens (chunked
@@ -85,6 +133,13 @@ type SchedulerConfig struct {
 	// footprint (PromptLen + DecodeTokens) at admission and releases it
 	// at retirement.
 	KVCapTokens int64
+	// Preempt enables recompute-on-preempt eviction: when KV pressure
+	// blocks the admission head, victims selected by this policy drop
+	// their reservation, requeue, and recompute their KV (prompt plus
+	// already-generated tokens) as prefill on re-admission. Requires a
+	// prefill scheduler (the recompute cost must be payable on-node)
+	// and a finite KVCapTokens.
+	Preempt PreemptPolicy
 }
 
 // Validate checks the scheduler configuration.
@@ -104,6 +159,19 @@ func (s SchedulerConfig) Validate() error {
 	}
 	if s.KVCapTokens < 0 {
 		return fmt.Errorf("serving: KVCapTokens must be non-negative, got %d", s.KVCapTokens)
+	}
+	switch s.Preempt {
+	case PreemptOff:
+	case PreemptNewest, PreemptFewestTokens:
+		if s.Policy == SchedDecodeOnly {
+			return fmt.Errorf("serving: preemption policy %v needs a prefill scheduler (recompute-on-preempt re-prefills the victim on-node), got %v",
+				s.Preempt, s.Policy)
+		}
+		if s.KVCapTokens == 0 {
+			return fmt.Errorf("serving: preemption policy %v needs a finite KVCapTokens (eviction only fires under KV pressure)", s.Preempt)
+		}
+	default:
+		return fmt.Errorf("serving: unknown preemption policy %v", s.Preempt)
 	}
 	return nil
 }

@@ -50,6 +50,11 @@ type RequestStats struct {
 	TTFT            int64
 	Tokens          int // tokens generated
 	FinalKVLen      int // KV-cache length at retirement
+	// Preemptions counts how many times the request's stream was
+	// evicted under KV pressure (recompute-on-preempt). TTFT and
+	// QueueDelay always measure from the ORIGINAL arrival and first
+	// admission — re-admissions after preemption never reset them.
+	Preemptions int
 }
 
 // Percentiles summarises a latency sample in cycles.
@@ -91,6 +96,11 @@ type Metrics struct {
 	// tokens and a chunk counts once in Steps and once here).
 	PrefillTokens int64
 	PrefillSteps  int64
+	// Preemptions is the total recompute-on-preempt eviction events
+	// (zero unless SchedulerConfig.Preempt is set). Every eviction
+	// later costs a re-prefill of the victim's whole KV prefix, which
+	// shows up in PrefillTokens.
+	Preemptions int64
 	// Cycles is the busy time: the sum of every step's simulated
 	// cycles. Makespan additionally includes the idle gaps when the
 	// server was empty and waiting for arrivals.
@@ -208,6 +218,7 @@ func (m *Metrics) String() string {
 			"tokens            %d\n"+
 			"steps             %d\n"+
 			"prefill           %d tokens in %d steps\n"+
+			"preemptions       %d\n"+
 			"makespan          %d cycles\n"+
 			"throughput        %.4f tokens/kcycle\n"+
 			"batch occupancy   %.2f\n"+
@@ -218,7 +229,7 @@ func (m *Metrics) String() string {
 			"DRAM bandwidth    %.2f GB/s\n"+
 			"step cache        memo %d/%d  optrace %d/%d  sim resets %d\n",
 		m.Requests, m.Tokens, m.Steps,
-		m.PrefillTokens, m.PrefillSteps, m.Makespan,
+		m.PrefillTokens, m.PrefillSteps, m.Preemptions, m.Makespan,
 		m.TokensPerKCycle, m.MeanBatchOccupancy,
 		m.TokenLatency.P50, m.TokenLatency.P95, m.TokenLatency.P99, m.TokenLatency.Max,
 		m.TTFT.P50, m.TTFT.P95, m.TTFT.P99, m.TTFT.Max,

@@ -1,0 +1,134 @@
+// SLO accounting: goodput-under-SLO turns the engine's per-request
+// outcomes into the serving-paper headline metric — only the tokens of
+// requests that met their latency deadlines count. Under overload,
+// raw throughput barely moves (the hardware stays busy) while goodput
+// collapses; the overload-control policies (preemption, shedding,
+// retry) are judged on how much goodput they preserve.
+//
+// Two deadlines, both optional:
+//
+//   - TTFT: the request's first token must complete within TTFTCycles
+//     of its ORIGINAL arrival (re-admissions after preemption and
+//     retries after shedding do not reset the clock).
+//   - TBT: the request's mean time between tokens — the decode span
+//     (FinishCycle − FirstTokenCycle) over the Tokens−1 gaps — must
+//     not exceed TBTCycles. Preemption gaps land inside the decode
+//     span, so an evicted request honestly pays its recompute stall
+//     here.
+//
+// Goodput is pure post-processing over Metrics.PerRequest: it never
+// touches the engine, so enabling SLO accounting cannot perturb the
+// bit-identical simulation results.
+
+package serving
+
+import "fmt"
+
+// SLO is a pair of per-request latency deadlines in cycles. A zero
+// field disables that deadline; the zero value accepts every finished
+// request.
+type SLO struct {
+	// TTFTCycles bounds time to first token (0 = no bound).
+	TTFTCycles int64
+	// TBTCycles bounds the mean time between tokens across the
+	// request's decode span (0 = no bound).
+	TBTCycles float64
+}
+
+// Validate checks the deadlines.
+func (s SLO) Validate() error {
+	if s.TTFTCycles < 0 {
+		return fmt.Errorf("serving: SLO TTFTCycles must be non-negative, got %d", s.TTFTCycles)
+	}
+	if s.TBTCycles < 0 {
+		return fmt.Errorf("serving: SLO TBTCycles must be non-negative, got %g", s.TBTCycles)
+	}
+	return nil
+}
+
+// Enabled reports whether any deadline is set.
+func (s SLO) Enabled() bool { return s.TTFTCycles > 0 || s.TBTCycles > 0 }
+
+// SLOReport is the goodput-under-SLO summary of one run.
+type SLOReport struct {
+	SLO SLO
+	// Finished counts requests that retired (generated their full
+	// decode budget); Unfinished counts the rest — still in flight at
+	// measurement time, or dropped by cluster-level shedding.
+	Finished   int
+	Unfinished int
+	// MetSLO counts finished requests inside every enabled deadline;
+	// TTFTViolations/TBTViolations break the misses down (a request can
+	// violate both).
+	MetSLO         int
+	TTFTViolations int
+	TBTViolations  int
+	// GoodTokens is the decode tokens of SLO-compliant requests;
+	// GoodputPerKCycle is 1000 × GoodTokens / makespan — the
+	// goodput-vs-load curve's y-axis.
+	GoodTokens       int64
+	GoodputPerKCycle float64
+}
+
+// meetsSLO classifies one finished request against the deadlines.
+func (s SLO) meetsSLO(r RequestStats) (ttftOK, tbtOK bool) {
+	ttftOK = s.TTFTCycles <= 0 || r.TTFT <= s.TTFTCycles
+	tbtOK = true
+	if s.TBTCycles > 0 && r.Tokens > 1 {
+		tbt := float64(r.FinishCycle-r.FirstTokenCycle) / float64(r.Tokens-1)
+		tbtOK = tbt <= s.TBTCycles
+	}
+	return ttftOK, tbtOK
+}
+
+// goodputOver folds a per-request slice into an SLOReport against the
+// given makespan; the serving and cluster layers share it.
+func (s SLO) goodputOver(reqs []RequestStats, makespan int64) SLOReport {
+	rep := SLOReport{SLO: s}
+	for _, r := range reqs {
+		if r.FinishCycle == 0 {
+			rep.Unfinished++
+			continue
+		}
+		rep.Finished++
+		ttftOK, tbtOK := s.meetsSLO(r)
+		if !ttftOK {
+			rep.TTFTViolations++
+		}
+		if !tbtOK {
+			rep.TBTViolations++
+		}
+		if ttftOK && tbtOK {
+			rep.MetSLO++
+			rep.GoodTokens += int64(r.Tokens)
+		}
+	}
+	if makespan > 0 {
+		rep.GoodputPerKCycle = 1000 * float64(rep.GoodTokens) / float64(makespan)
+	}
+	return rep
+}
+
+// GoodputOver is the exported form of goodputOver for sibling layers
+// (the cluster fleet report aggregates its own request slice).
+func (s SLO) GoodputOver(reqs []RequestStats, makespan int64) SLOReport {
+	return s.goodputOver(reqs, makespan)
+}
+
+// Goodput computes the goodput-under-SLO report of one serving run.
+func Goodput(m *Metrics, slo SLO) SLOReport {
+	return slo.goodputOver(m.PerRequest, m.Makespan)
+}
+
+// String renders the report as an aligned block.
+func (r SLOReport) String() string {
+	return fmt.Sprintf(
+		"SLO               ttft<=%d tbt<=%.0f cycles\n"+
+			"finished          %d (unfinished/dropped %d)\n"+
+			"met SLO           %d (ttft misses %d, tbt misses %d)\n"+
+			"goodput           %d tokens, %.4f tokens/kcycle\n",
+		r.SLO.TTFTCycles, r.SLO.TBTCycles,
+		r.Finished, r.Unfinished,
+		r.MetSLO, r.TTFTViolations, r.TBTViolations,
+		r.GoodTokens, r.GoodputPerKCycle)
+}

@@ -1,0 +1,91 @@
+package serving
+
+import "testing"
+
+// TestSLOValidation: negative deadlines are rejected, zero disables.
+func TestSLOValidation(t *testing.T) {
+	if err := (SLO{TTFTCycles: -1}).Validate(); err == nil {
+		t.Error("negative TTFT deadline accepted")
+	}
+	if err := (SLO{TBTCycles: -0.5}).Validate(); err == nil {
+		t.Error("negative TBT deadline accepted")
+	}
+	if err := (SLO{}).Validate(); err != nil {
+		t.Errorf("zero SLO rejected: %v", err)
+	}
+	if (SLO{}).Enabled() {
+		t.Error("zero SLO reports enabled")
+	}
+	if !(SLO{TTFTCycles: 1}).Enabled() || !(SLO{TBTCycles: 1}).Enabled() {
+		t.Error("single-deadline SLO reports disabled")
+	}
+}
+
+// TestGoodputClassification folds a hand-built per-request slice
+// through the classifier: every violation class, the single-token
+// TBT exemption, and the unfinished bucket.
+func TestGoodputClassification(t *testing.T) {
+	m := &Metrics{
+		Makespan: 1000,
+		PerRequest: []RequestStats{
+			// Meets both: TTFT 100 <= 200, TBT (500-100)/(5-1) = 100 <= 150.
+			{ID: 0, TTFT: 100, FirstTokenCycle: 100, FinishCycle: 500, Tokens: 5},
+			// TTFT violation only.
+			{ID: 1, TTFT: 300, FirstTokenCycle: 300, FinishCycle: 600, Tokens: 5},
+			// TBT violation only: (900-100)/(5-1) = 200 > 150.
+			{ID: 2, TTFT: 100, FirstTokenCycle: 100, FinishCycle: 900, Tokens: 5},
+			// Violates both.
+			{ID: 3, TTFT: 300, FirstTokenCycle: 300, FinishCycle: 950, Tokens: 3},
+			// Single token: no inter-token gap, TBT exempt, meets TTFT.
+			{ID: 4, TTFT: 150, FirstTokenCycle: 150, FinishCycle: 150, Tokens: 1},
+			// Unfinished (dropped or still in flight): zero Finish.
+			{ID: 5, TTFT: 50, FirstTokenCycle: 50, Tokens: 2},
+		},
+	}
+	slo := SLO{TTFTCycles: 200, TBTCycles: 150}
+	rep := Goodput(m, slo)
+	if rep.Finished != 5 || rep.Unfinished != 1 {
+		t.Errorf("finished/unfinished %d/%d, want 5/1", rep.Finished, rep.Unfinished)
+	}
+	if rep.MetSLO != 2 {
+		t.Errorf("met SLO %d, want 2 (requests 0 and 4)", rep.MetSLO)
+	}
+	if rep.TTFTViolations != 2 || rep.TBTViolations != 2 {
+		t.Errorf("violations ttft=%d tbt=%d, want 2/2", rep.TTFTViolations, rep.TBTViolations)
+	}
+	if rep.GoodTokens != 6 {
+		t.Errorf("good tokens %d, want 6 (5 + 1)", rep.GoodTokens)
+	}
+	if rep.GoodputPerKCycle != 6 {
+		t.Errorf("goodput %v, want 6 tokens/kcycle (6 tokens over 1000 cycles)", rep.GoodputPerKCycle)
+	}
+
+	// The zero SLO counts every finished request as good.
+	all := Goodput(m, SLO{})
+	if all.MetSLO != 5 || all.GoodTokens != 19 {
+		t.Errorf("zero SLO met=%d tokens=%d, want 5/19", all.MetSLO, all.GoodTokens)
+	}
+
+	// A TBT-only SLO ignores first-token latency: requests 0, 1 and 4
+	// pass.
+	tbt := Goodput(m, SLO{TBTCycles: 150})
+	if tbt.MetSLO != 3 || tbt.TTFTViolations != 0 {
+		t.Errorf("tbt-only met=%d ttft-violations=%d, want 3/0", tbt.MetSLO, tbt.TTFTViolations)
+	}
+}
+
+// TestGoodputNeverPerturbsRun: computing goodput is pure
+// post-processing — the metrics object is unchanged and a run judged
+// under two different SLOs is the same run.
+func TestGoodputNeverPerturbsRun(t *testing.T) {
+	m := &Metrics{
+		Makespan:   100,
+		PerRequest: []RequestStats{{ID: 0, TTFT: 10, FirstTokenCycle: 10, FinishCycle: 40, Tokens: 2}},
+	}
+	before := *m
+	Goodput(m, SLO{TTFTCycles: 5})
+	Goodput(m, SLO{TBTCycles: 1})
+	if m.Makespan != before.Makespan || len(m.PerRequest) != 1 || m.PerRequest[0] != before.PerRequest[0] {
+		t.Error("goodput computation mutated the metrics")
+	}
+}

@@ -373,6 +373,57 @@ func ServeWith(cfg Config, scn ServeScenario, pol Policy, opts ServeOptions) (*S
 	return serving.RunWith(cfg, scn, opts)
 }
 
+// PreemptPolicy re-exports the KV preemption victim policy of a
+// serving scenario's scheduler: which running stream is evicted
+// (recompute-on-preempt) when the queue head cannot reserve its KV
+// footprint. The zero value disables preemption.
+type PreemptPolicy = serving.PreemptPolicy
+
+// The preemption policies: off (queue head waits, the pre-overload
+// behaviour), newest (latest admission evicted first — least sunk
+// cost), and fewest-tokens (least decode progress lost).
+const (
+	PreemptOff          = serving.PreemptOff
+	PreemptNewest       = serving.PreemptNewest
+	PreemptFewestTokens = serving.PreemptFewestTokens
+)
+
+// ParsePreemptPolicy reads a preemption policy name: "off", "newest"
+// or "fewest-tokens".
+func ParsePreemptPolicy(s string) (PreemptPolicy, error) {
+	return serving.ParsePreemptPolicy(s)
+}
+
+// ArrivalConfig re-exports the arrival-rate shape of a scenario's
+// request stream: a deterministic modulation (burst, ramp, diurnal or
+// trace replay) of the Poisson arrival process. The zero value is
+// plain Poisson.
+type ArrivalConfig = serving.ArrivalConfig
+
+// ParseArrival reads an arrival-shape spec: "poisson",
+// "burst:PERIOD:DUTY:FACTOR", "ramp:PERIOD:FACTOR",
+// "diurnal:PERIOD:FACTOR" or "trace:PERIOD:M1,M2,...".
+func ParseArrival(s string) (ArrivalConfig, error) {
+	return serving.ParseArrival(s)
+}
+
+// SLO re-exports the per-request service-level objective: a TTFT
+// deadline and/or a mean time-between-tokens deadline, in cycles.
+// Zero deadlines disable each check.
+type SLO = serving.SLO
+
+// SLOReport re-exports the goodput-under-SLO summary: met/violated/
+// unfinished counts and goodput (tokens of SLO-meeting requests per
+// kilocycle).
+type SLOReport = serving.SLOReport
+
+// Goodput classifies a finished serving run against the SLO — pure
+// post-processing, the run is never perturbed. Fleet-level runs use
+// ClusterMetrics.Goodput instead.
+func Goodput(m *ServeMetrics, slo SLO) SLOReport {
+	return serving.Goodput(m, slo)
+}
+
 // FlushStepCaches drops every entry of the process-wide step memo and
 // operator-trace cache, releasing their memory. Long-lived embeddings
 // that cycle through many unrelated scenarios call it between phases;
@@ -453,4 +504,17 @@ func ServeClusterWith(cfg Config, scn ClusterScenario, nodes int, router RouterP
 	cfg.Throttle = pol.Throttle
 	cfg.Arbiter = pol.Arbiter
 	return cluster.Run(cfg, scn, nodes, router, opts)
+}
+
+// OverloadConfig re-exports the router-level overload control of a
+// fleet run (ClusterOptions.Overload): per-node saturation shedding,
+// deterministic retry/backoff and optional least-loaded forwarding.
+// The zero value disables it and is bit-identical to the pre-overload
+// router.
+type OverloadConfig = cluster.OverloadConfig
+
+// ParseOverload reads a shed spec: "off" or
+// "SAT[:RETRIES[:BACKOFF[:forward]]]".
+func ParseOverload(s string) (OverloadConfig, error) {
+	return cluster.ParseOverload(s)
 }

@@ -12,14 +12,18 @@
 # BenchmarkServe_Chunked (ISSUE 5) runs the chunked-prefill scheduler
 # through the same arena/memo pipeline at around 20k allocs/op; its
 # ceiling guards the prefill path's participation in the step cache.
+# BenchmarkCluster_Overload (ISSUE 6) runs the overload stack (bursty
+# arrivals, preemption, shedding) at around 25k allocs/op; its
+# ceiling guards the overload paths' participation in the fast path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SERVE_CEILING=25000
 CLUSTER_CEILING=45000
 CHUNKED_CEILING=40000
+OVERLOAD_CEILING=50000
 
-out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkServe_Chunked$|BenchmarkCluster_Smoke$' -benchtime=1x -benchmem)"
+out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkServe_Chunked$|BenchmarkCluster_Smoke$|BenchmarkCluster_Overload$' -benchtime=1x -benchmem)"
 echo "$out"
 
 fail=0
@@ -43,6 +47,7 @@ check() {
 check BenchmarkServe_Default "$SERVE_CEILING"
 check BenchmarkServe_Chunked "$CHUNKED_CEILING"
 check BenchmarkCluster_Smoke "$CLUSTER_CEILING"
+check BenchmarkCluster_Overload "$OVERLOAD_CEILING"
 
 if [ "$fail" -ne 0 ]; then
   echo "bench allocs check failed" >&2
