@@ -566,6 +566,58 @@ func BenchmarkCluster_Overload(b *testing.B) {
 	}
 }
 
+// BenchmarkCluster_Prefix runs a session-heavy conversational fleet —
+// depth-3 sessions whose follow-up turns extend a shared prompt
+// prefix — through the prefix-cache stack: per-node LRU prefix
+// retention, suffix-only admission, and session-affinity routing to
+// the home node holding the prefix. Prefix hits, prefill tokens saved
+// and TTFT ride along as custom metrics, keeping the KV-reuse win
+// visible in the performance trajectory.
+func BenchmarkCluster_Prefix(b *testing.B) {
+	defer record(b)()
+	scale := benchScale()
+	minP := 512 / scale
+	if minP < 16 {
+		minP = 16
+	}
+	maxP := 2048 / scale
+	if maxP < minP {
+		maxP = minP
+	}
+	scn, err := NewClusterScenario(ClusterScenarioConfig{
+		ScenarioConfig: ServeScenarioConfig{
+			Name: "bench/prefix", Seed: 13, NumRequests: 24,
+			MinPromptLen: minP, MaxPromptLen: maxP,
+			MinDecode: 2, MaxDecode: 4,
+			MeanInterArrival: 60000, MaxBatch: 4,
+			SessionDepth: 3,
+			Sched: SchedulerConfig{
+				Policy:      SchedChunked,
+				ChunkTokens: 16,
+				// Room for a handful of whole conversations per node so
+				// retained prefixes survive until the follow-up turns.
+				PrefixCacheTokens: 16 * int64(maxP),
+			},
+		},
+		NumSessions: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		m, err := ServeCluster(cfg, scn, 2, RouterSessionAffinity, PolicyDynMGBMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.FleetTokensPerKCycle, "tok/kcyc")
+		b.ReportMetric(m.TTFT.P50, "ttft-p50")
+		b.ReportMetric(float64(m.PrefixHits), "pfx-hits")
+		b.ReportMetric(float64(m.PrefillTokensSaved), "pfx-saved")
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator speed (simulated
 // cycles per second) — a property of the framework itself rather than
 // a paper figure, useful for regression tracking.

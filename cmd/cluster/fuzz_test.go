@@ -1,0 +1,35 @@
+// Native fuzz target for the -rates multiplier-list parser: no input
+// panics and every accepted list contains only positive finite
+// multipliers — strconv.ParseFloat happily reads "NaN" and "Inf",
+// which a plain r <= 0 check does not reject (all NaN comparisons are
+// false), so the parser must filter non-finite values explicitly.
+
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzParseRates(f *testing.F) {
+	for _, s := range []string{
+		"1", "1,2,4", "0.5, 2", "1,,2", "", ",", "x", "-1", "0",
+		"NaN", "Inf", "-Inf", "1,NaN", "1e400", "1e-300", "2,inf",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rates, err := parseRates(s)
+		if err != nil {
+			return
+		}
+		if len(rates) == 0 {
+			t.Fatalf("parseRates(%q) accepted an empty list", s)
+		}
+		for _, r := range rates {
+			if !(r > 0) || math.IsInf(r, 0) || math.IsNaN(r) {
+				t.Fatalf("parseRates(%q) accepted non-positive or non-finite multiplier %v", s, r)
+			}
+		}
+	})
+}

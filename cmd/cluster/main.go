@@ -14,6 +14,8 @@
 //	cluster -sched chunked -chunk 32 -routers ttft-pressure,least-outstanding
 //	cluster -arrival burst:40000:0.25:6 -shed 400:3:20000:forward
 //	cluster -rates 1,2,4 -nodes 2 -routers least-outstanding -shed 400 -slo-ttft 2000000
+//	cluster -sched chunked -session-depth 3 -prefix-cache 4096 -routers affinity,prefix-affinity
+//	cluster -sched chunked -session-depth 3 -prefix-caches 0,4096 -session-sweep 4,8 -nodes 2
 //	cluster -json                             # machine-readable fleet metrics
 //
 // Workload flags (-streams, -sessions, -seqmin/-seqmax,
@@ -31,7 +33,15 @@
 // -rates switches to the overload-grid mode — the workload is
 // regenerated at each arrival-rate multiplier and swept against the
 // overload combos built from -preempt/-shed, producing the
-// goodput-vs-load curves; -nodes and -routers
+// goodput-vs-load curves; session flags (-session-depth,
+// -prefix-cache) chain each session's requests into multi-turn
+// conversations and give every node a capacity-bounded prefix cache so
+// follow-up turns routed to the node holding their context skip
+// re-prefilling it (the affinity and prefix-affinity routers exploit
+// this); -prefix-caches switches to the prefix-grid mode — the
+// workload is regenerated at each -session-sweep locality point and
+// swept across cache capacities × -routers, producing the
+// TTFT-vs-router curves of the prefix-reuse study; -nodes and -routers
 // shape the evaluation matrix; -policy selects the cache-level
 // (throttle+arbiter) policy every node runs; -scale divides the
 // prompt-length range and the L2 size together, like every other
@@ -50,6 +60,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -70,6 +81,9 @@ import (
 // set.
 type cliOpts struct {
 	streams, sessions, batch       int
+	sessionDepth                   int
+	prefixCache                    int64
+	prefixCaches, sessionSweep     string
 	nodes, routers, policy, model  string
 	seqmin, seqmax, tokmin, tokmax int
 	rate                           float64
@@ -92,9 +106,13 @@ func main() {
 	var o cliOpts
 	flag.IntVar(&o.streams, "streams", 16, "number of decode requests in the fleet scenario")
 	flag.IntVar(&o.sessions, "sessions", 4, "distinct sessions the requests are drawn from (0 = one per request)")
+	flag.IntVar(&o.sessionDepth, "session-depth", 1, "turns per conversation: >1 chains session requests so follow-ups extend the previous turn's context")
+	flag.Int64Var(&o.prefixCache, "prefix-cache", 0, "per-node session prefix-cache capacity in KV tokens (0 = off; needs a prefill -sched)")
+	flag.StringVar(&o.prefixCaches, "prefix-caches", "", "prefix-grid mode: comma-separated per-node cache capacities (e.g. 0,4096) swept against -session-sweep and -routers")
+	flag.StringVar(&o.sessionSweep, "session-sweep", "", "prefix-grid mode: comma-separated session counts (default: just -sessions)")
 	flag.IntVar(&o.batch, "batch", 4, "per-node continuous-batching capacity")
 	flag.StringVar(&o.nodes, "nodes", "1,2,4", "comma-separated node counts to evaluate")
-	flag.StringVar(&o.routers, "routers", "all", "comma-separated router policies (round-robin, least-outstanding, p2c, affinity, ttft-pressure) or 'all'")
+	flag.StringVar(&o.routers, "routers", "all", "comma-separated router policies (round-robin, least-outstanding, p2c, affinity, prefix-affinity, ttft-pressure) or 'all'")
 	flag.StringVar(&o.policy, "policy", "dynmg+BMA", "cache policy every node runs (throttle+arbiter)")
 	flag.StringVar(&o.model, "model", "70b", "request model mix: 70b, 405b or mix")
 	flag.IntVar(&o.seqmin, "seqmin", 0, "min prompt length (0 = 512/scale)")
@@ -230,13 +248,65 @@ func parseRates(list string) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("invalid -rates entry %q: %v", s, err)
 		}
-		if r <= 0 {
-			return nil, fmt.Errorf("-rates entries must be positive, got %v", r)
+		// ParseFloat accepts "NaN" and "Inf"; a NaN multiplier would slip
+		// past a plain r <= 0 check (NaN comparisons are all false) and an
+		// infinite one would zero every inter-arrival gap downstream.
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			return nil, fmt.Errorf("-rates entries must be positive and finite, got %v", r)
 		}
 		out = append(out, r)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty -rates list")
+	}
+	return out, nil
+}
+
+// parseCaches reads the -prefix-caches capacity list of the
+// prefix-grid mode. Zero entries are allowed — they are the cache-off
+// baseline column — but negatives are rejected up front.
+func parseCaches(list string) ([]int64, error) {
+	var out []int64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		c, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -prefix-caches entry %q: %v", s, err)
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("-prefix-caches entries must be non-negative, got %d", c)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -prefix-caches list")
+	}
+	return out, nil
+}
+
+// parseSessionSweep reads the -session-sweep session-count list of the
+// prefix-grid mode.
+func parseSessionSweep(list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -session-sweep entry %q: %v", s, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("-session-sweep entries must be positive, got %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -session-sweep list")
 	}
 	return out, nil
 }
@@ -274,6 +344,10 @@ func run(o cliOpts) error {
 		return fmt.Errorf("-batch must be positive, got %d", o.batch)
 	case o.sessions < 0:
 		return fmt.Errorf("-sessions must be non-negative, got %d", o.sessions)
+	case o.sessionDepth < 0:
+		return fmt.Errorf("-session-depth must be non-negative, got %d", o.sessionDepth)
+	case o.prefixCache < 0:
+		return fmt.Errorf("-prefix-cache must be non-negative, got %d", o.prefixCache)
 	case o.tokmin <= 0 || o.tokmax < o.tokmin:
 		return fmt.Errorf("decode range [-tokmin %d, -tokmax %d] invalid", o.tokmin, o.tokmax)
 	case o.rate < 0:
@@ -286,7 +360,8 @@ func run(o cliOpts) error {
 		return fmt.Errorf("-slo-tbt must be a positive cycle deadline, got %v", o.sloTBT)
 	}
 	slo := serving.SLO{TTFTCycles: o.sloTTFT, TBTCycles: o.sloTBT}
-	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap, Preempt: preemptPol}
+	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap, Preempt: preemptPol,
+		PrefixCacheTokens: o.prefixCache}
 	if schedPol == serving.SchedChunked {
 		sched.ChunkTokens = o.chunk
 	} else if flagSet("chunk") {
@@ -340,6 +415,7 @@ func run(o cliOpts) error {
 			Arrival:          arrival,
 			MaxBatch:         o.batch,
 			IncludeAV:        o.av,
+			SessionDepth:     o.sessionDepth,
 			Sched:            sched,
 		},
 		NumSessions: o.sessions,
@@ -352,8 +428,17 @@ func run(o cliOpts) error {
 		opts.Log = os.Stderr
 	}
 
+	if o.rates != "" && o.prefixCaches != "" {
+		return fmt.Errorf("-rates (overload grid) and -prefix-caches (prefix grid) select different modes, pick one")
+	}
+	if o.sessionSweep != "" && o.prefixCaches == "" {
+		return fmt.Errorf("-session-sweep only applies to the -prefix-caches grid mode")
+	}
 	if o.rates != "" {
 		return runOverloadGrid(o, ccfg, nodeCounts, routerPols, cachePol, preemptPol, overload, slo, opts)
+	}
+	if o.prefixCaches != "" {
+		return runPrefixGrid(o, ccfg, nodeCounts, routerPols, cachePol, opts)
 	}
 
 	scn, err := cluster.NewScenario(ccfg)
@@ -420,6 +505,38 @@ func runOverloadGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, r
 	return nil
 }
 
+// runPrefixGrid is the -prefix-caches mode: one fleet shape swept
+// across session locality (-session-sweep, defaulting to the single
+// -sessions count) × per-node prefix-cache capacity × router,
+// reporting the TTFT-vs-router curves of the prefix-reuse study. Each
+// cell regenerates the workload at its session count, so the same seed
+// explores the same population at every locality point.
+func runPrefixGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, routerPols []cluster.Policy,
+	cachePol experiments.Policy, opts experiments.Options) error {
+	caches, err := parseCaches(o.prefixCaches)
+	if err != nil {
+		return err
+	}
+	sessions := []int{o.sessions}
+	if o.sessionSweep != "" {
+		if sessions, err = parseSessionSweep(o.sessionSweep); err != nil {
+			return err
+		}
+	}
+	if len(nodeCounts) != 1 {
+		return fmt.Errorf("-prefix-caches (prefix-grid mode) takes a single -nodes count, got %v", nodeCounts)
+	}
+	grid, err := experiments.PrefixGrid(ccfg, sessions, caches, routerPols, nodeCounts[0], cachePol, opts)
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		return writePrefixJSON(grid, o.scale)
+	}
+	fmt.Print(grid.Render())
+	return nil
+}
+
 // jsonCell is one (node count, router) cell of the -json document.
 type jsonCell struct {
 	Nodes   int              `json:"nodes"`
@@ -457,6 +574,50 @@ func writeJSON(grid *experiments.ClusterGridResult, sched serving.SchedulerConfi
 				cell.Goodput = &rep
 			}
 			doc.Cells = append(doc.Cells, cell)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// prefixJSONCell is one (sessions, cache, router) cell of the
+// prefix-grid -json document.
+type prefixJSONCell struct {
+	Sessions int              `json:"sessions"`
+	Cache    int64            `json:"cache_tokens"`
+	Router   string           `json:"router"`
+	Metrics  *cluster.Metrics `json:"metrics"`
+}
+
+// prefixJSONDoc is the prefix-grid -json report.
+type prefixJSONDoc struct {
+	Workload     string           `json:"workload"`
+	Nodes        int              `json:"nodes"`
+	SessionDepth int              `json:"session_depth"`
+	Policy       string           `json:"policy"`
+	Scale        int              `json:"scale"`
+	Cells        []prefixJSONCell `json:"cells"`
+}
+
+// writePrefixJSON emits the prefix grid as an indented JSON document
+// on stdout.
+func writePrefixJSON(grid *experiments.PrefixGridResult, scale int) error {
+	doc := prefixJSONDoc{
+		Workload:     grid.Config.Name,
+		Nodes:        grid.Nodes,
+		SessionDepth: grid.Config.SessionDepth,
+		Policy:       grid.Pol.Label,
+		Scale:        scale,
+	}
+	for i, s := range grid.Sessions {
+		for j, c := range grid.Caches {
+			for k, rt := range grid.Routers {
+				doc.Cells = append(doc.Cells, prefixJSONCell{
+					Sessions: s, Cache: c, Router: rt.String(),
+					Metrics: grid.Cells[i][j][k].Metrics,
+				})
+			}
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -14,6 +14,7 @@
 //	serve -sched chunked -chunk 32         # on-node chunked prefill before decode
 //	serve -sched prefill-first -kvcap 4096 # monolithic prefill, bounded KV cache
 //	serve -arrival burst:40000:0.25:6 -sched chunked -chunk 32 -kvcap 256 -preempt newest
+//	serve -sessions 2 -session-depth 3 -sched chunked -prefix-cache 4096
 //	serve -slo-ttft 200000 -slo-tbt 30000  # per-request deadlines, goodput report
 //	serve -json                            # machine-readable metrics incl. TTFT
 //	serve -dumptrace step0.trace           # write the first composed step trace
@@ -21,10 +22,14 @@
 // Workload flags (-streams, -seqmin/-seqmax, -tokmin/-tokmax, -rate,
 // -seed, -arrival) shape the fixed-seed request population and its
 // arrival-rate shape (bursty, ramping, diurnal or trace-replayed
-// modulation of the Poisson process); scheduler flags (-sched,
-// -chunk, -kvcap, -preempt) select the prefill/decode co-scheduling
-// policy, the prefill chunk size, the KV-capacity admission bound and
-// the recompute-on-preempt victim policy under KV pressure; SLO flags
+// modulation of the Poisson process); session flags (-sessions,
+// -session-depth) group requests into multi-turn conversations whose
+// follow-up turns extend the previous turn's context; scheduler flags
+// (-sched, -chunk, -kvcap, -preempt, -prefix-cache) select the
+// prefill/decode co-scheduling policy, the prefill chunk size, the
+// KV-capacity admission bound, the recompute-on-preempt victim policy
+// under KV pressure, and the session prefix-cache capacity that lets
+// follow-up turns skip re-prefilling their shared context; SLO flags
 // (-slo-ttft, -slo-tbt) set per-request deadlines and add
 // goodput-under-SLO reports to the output;
 // trace flags (-av, -dumptrace) control per-step trace composition;
@@ -62,6 +67,8 @@ import (
 // set.
 type cliOpts struct {
 	streams, batch                 int
+	sessions, sessionDepth         int
+	prefixCache                    int64
 	model                          string
 	seqmin, seqmax, tokmin, tokmax int
 	rate                           float64
@@ -85,6 +92,9 @@ func main() {
 	var o cliOpts
 	flag.IntVar(&o.streams, "streams", 8, "number of decode requests in the scenario")
 	flag.IntVar(&o.batch, "batch", 4, "continuous-batching capacity (concurrent streams)")
+	flag.IntVar(&o.sessions, "sessions", 0, "distinct sessions the requests are drawn from (0 = one per request)")
+	flag.IntVar(&o.sessionDepth, "session-depth", 1, "turns per conversation: >1 chains session requests so follow-ups extend the previous turn's context")
+	flag.Int64Var(&o.prefixCache, "prefix-cache", 0, "session prefix-cache capacity in KV tokens (0 = off; needs a prefill -sched)")
 	flag.StringVar(&o.model, "model", "70b", "request model mix: 70b, 405b or mix")
 	flag.IntVar(&o.seqmin, "seqmin", 0, "min prompt length (0 = 512/scale)")
 	flag.IntVar(&o.seqmax, "seqmax", 0, "max prompt length (0 = 2048/scale)")
@@ -186,6 +196,12 @@ func run(o cliOpts) error {
 		return fmt.Errorf("-streams must be positive, got %d", o.streams)
 	case o.batch <= 0:
 		return fmt.Errorf("-batch must be positive, got %d", o.batch)
+	case o.sessions < 0:
+		return fmt.Errorf("-sessions must be non-negative, got %d", o.sessions)
+	case o.sessionDepth < 0:
+		return fmt.Errorf("-session-depth must be non-negative, got %d", o.sessionDepth)
+	case o.prefixCache < 0:
+		return fmt.Errorf("-prefix-cache must be non-negative, got %d", o.prefixCache)
 	case o.tokmin <= 0 || o.tokmax < o.tokmin:
 		return fmt.Errorf("decode range [-tokmin %d, -tokmax %d] invalid", o.tokmin, o.tokmax)
 	case o.rate < 0:
@@ -198,7 +214,8 @@ func run(o cliOpts) error {
 		return fmt.Errorf("-slo-tbt must be a positive cycle deadline, got %v", o.sloTBT)
 	}
 	slo := serving.SLO{TTFTCycles: o.sloTTFT, TBTCycles: o.sloTBT}
-	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap, Preempt: preemptPol}
+	sched := serving.SchedulerConfig{Policy: schedPol, KVCapTokens: o.kvcap, Preempt: preemptPol,
+		PrefixCacheTokens: o.prefixCache}
 	if schedPol == serving.SchedChunked {
 		sched.ChunkTokens = o.chunk
 	} else if flagSet("chunk") {
@@ -240,6 +257,8 @@ func run(o cliOpts) error {
 		Arrival:          arrival,
 		MaxBatch:         o.batch,
 		IncludeAV:        o.av,
+		NumSessions:      o.sessions,
+		SessionDepth:     o.sessionDepth,
 		Sched:            sched,
 	})
 	if err != nil {

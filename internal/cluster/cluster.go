@@ -110,6 +110,15 @@ type Metrics struct {
 	// the router until a batch slot on the assigned node — i.e. router
 	// plus node queueing, in request-ID order.
 	QueueDelay serving.Percentiles
+	// PrefixHits / PrefixMisses / PrefillTokensSaved aggregate the
+	// per-node session prefix-cache outcomes (see
+	// serving.Metrics.PrefixHits); PrefixHitRate is the fleet-wide
+	// hits / (hits + misses), 0 when the cache is off or no request
+	// carried a prefix. All zero with Sched.PrefixCacheTokens == 0.
+	PrefixHits         int64
+	PrefixMisses       int64
+	PrefillTokensSaved int64
+	PrefixHitRate      float64
 	// LoadImbalance is max over nodes / mean over nodes of the
 	// outstanding-token load accumulated across all routing-decision
 	// samples: 1.0 is a perfectly balanced fleet, N means one node
@@ -202,7 +211,11 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		horizon                            int64 // the fleet has already advanced to this cycle
 		shed, forwarded, retried, droppedN int64
 		needBacklog                        = pol.Kind == LeastTTFTPressure || ov.Enabled()
+		cachedPrefix                       []int64 // per-node cached KV for the arriving session
 	)
+	if pol.Kind == PrefixAffinity {
+		cachedPrefix = make([]int64, nodes)
+	}
 	// The dispatch loop is event-driven: fresh arrivals and backoff
 	// re-entries share one (cycle, ID)-ordered queue. The sorted
 	// request slice is already a valid min-heap; with overload control
@@ -240,7 +253,16 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 			}
 		}
 		r := ev.req
-		target := rt.pick(r, outstanding, backlog)
+		if cachedPrefix != nil {
+			// The prefix-affinity observation: how much of this session's
+			// KV each node's prefix cache retains right now. Read at the
+			// routing decision, sequentially between fan-outs, like the
+			// load signals above.
+			for i, e := range engines {
+				cachedPrefix[i] = e.CachedPrefix(r.Session)
+			}
+		}
+		target := rt.pick(r, outstanding, backlog, cachedPrefix)
 		if ov.Enabled() && outstanding[target]+backlog[target] >= ov.SaturationTokens {
 			// The picked node is saturated. Forward to the least-loaded
 			// peer if allowed and one has headroom; otherwise shed —
@@ -283,6 +305,10 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		// original arrival during assembly below.
 		sub := r.Request
 		sub.ArrivalCycle = t
+		// The fleet-level Session is authoritative: hand-built scenarios
+		// may set only the outer field, and the node's prefix cache keys
+		// on what the engine sees.
+		sub.Session = r.Session
 		if err := engines[target].Submit(sub); err != nil {
 			return nil, err
 		}
@@ -321,10 +347,16 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		m.PerNode[i] = nm
 		m.Tokens += nm.Tokens
 		steps += nm.Steps
+		m.PrefixHits += nm.PrefixHits
+		m.PrefixMisses += nm.PrefixMisses
+		m.PrefillTokensSaved += nm.PrefillTokensSaved
 		m.StepCache.Add(nm.StepCache)
 		if nm.Makespan > m.Makespan {
 			m.Makespan = nm.Makespan
 		}
+	}
+	if lookups := m.PrefixHits + m.PrefixMisses; lookups > 0 {
+		m.PrefixHitRate = float64(m.PrefixHits) / float64(lookups)
 	}
 	if m.Makespan > 0 {
 		m.FleetTokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)
@@ -452,6 +484,10 @@ func (m *Metrics) String() string {
 	fmt.Fprintf(&b, "fleet throughput  %.4f tokens/kcycle\n", m.FleetTokensPerKCycle)
 	fmt.Fprintf(&b, "batch occupancy   %.2f\n", m.MeanBatchOccupancy)
 	fmt.Fprintf(&b, "load imbalance    %.3f (max/mean outstanding tokens)\n", m.LoadImbalance)
+	if m.PrefixHits+m.PrefixMisses > 0 {
+		fmt.Fprintf(&b, "prefix cache      %d hits, %d misses, %d tokens saved (rate %.2f)\n",
+			m.PrefixHits, m.PrefixMisses, m.PrefillTokensSaved, m.PrefixHitRate)
+	}
 	if m.Overload.Enabled() {
 		fmt.Fprintf(&b, "overload          %s: shed %d  forwarded %d  retries %d  dropped %d\n",
 			m.Overload, m.Shed, m.Forwarded, m.Retries, m.Dropped)

@@ -1,0 +1,54 @@
+// Native fuzz targets for the cluster flag-value parsers: no input
+// panics, every accepted shed spec passes Validate and round-trips
+// through its canonical String rendering, and every accepted router
+// name round-trips through the canonical policy name. Run as smokes
+// via scripts/fuzz_smoke.sh.
+
+package cluster
+
+import "testing"
+
+func FuzzParseOverload(f *testing.F) {
+	for _, s := range []string{
+		"", "off", "2000", "2000:3", "2000:3:20000", "2000:3:20000:forward",
+		"400:3:20000:forward", "0", "-5", "2000:-1", "2000:3:-1",
+		"2000:3:20000:backward", "2000:3:20000:forward:x", "x", ":",
+		"9223372036854775807", "2000::", "2000:3:",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseOverload(s)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseOverload(%q) accepted an invalid config %+v: %v", s, cfg, verr)
+		}
+		back, err := ParseOverload(cfg.String())
+		if err != nil || back != cfg {
+			t.Fatalf("ParseOverload(%q) = %+v, whose canonical form %q does not round-trip: %+v, %v",
+				s, cfg, cfg.String(), back, err)
+		}
+	})
+}
+
+func FuzzParsePolicy(f *testing.F) {
+	for _, s := range []string{
+		"round-robin", "rr", "least-outstanding", "lot", "p2c", "power-of-two",
+		"affinity", "session-affinity", "prefix-affinity", "pfx",
+		"ttft-pressure", "ltp", "", "all", "Affinity", "least-outstanding ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("ParsePolicy(%q) = %v, which does not round-trip: %v, %v", s, p, back, err)
+		}
+	})
+}

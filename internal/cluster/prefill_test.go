@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/arbiter"
+	"repro/internal/goldentest"
 	"repro/internal/serving"
 	"repro/internal/sim"
 )
@@ -38,45 +39,46 @@ func bmaConfig() sim.Config {
 	return cfg
 }
 
+// fleetGoldenRow is the pinned slice of a decode-only fleet run: the
+// fields the golden file commits, byte-exact (see internal/goldentest).
+type fleetGoldenRow struct {
+	Router    string  `json:"router"`
+	Makespan  int64   `json:"makespan"`
+	Tokens    int64   `json:"tokens"`
+	E2EP50    float64 `json:"e2e_latency_p50"`
+	E2EP99    float64 `json:"e2e_latency_p99"`
+	QueueP99  float64 `json:"queue_delay_p99"`
+	Imbalance float64 `json:"load_imbalance"`
+}
+
 // TestClusterDecodeOnlyGolden pins the acceptance criterion at the
 // fleet level: the decode-only scheduler reproduces the pre-prefill
-// ServeCluster metrics bit for bit. The golden numbers were captured
-// by running cluster.Run on this exact (scenario, config) at the
+// ServeCluster metrics bit for bit. The golden rows in testdata were
+// captured from cluster.Run on this exact (scenario, config) at the
 // commit BEFORE the prefill subsystem was introduced, for every
-// pre-existing router policy.
+// pre-existing router policy (the original literal values are
+// preserved verbatim in the JSON).
 func TestClusterDecodeOnlyGolden(t *testing.T) {
-	golden := []struct {
-		pol      Policy
-		makespan int64
-		tokens   int64
-		e2eP50   float64
-		e2eP99   float64
-		qP99     float64
-		imb      float64
-	}{
-		{Policy{Kind: RoundRobin}, 70566, 29, 28747.5, 40415.58, 16716.77, 1.0526315789473684},
-		{Policy{Kind: LeastOutstanding}, 76536, 29, 26315.5, 45848.28, 25643.870000000003, 1.0526315789473684},
-		{Policy{Kind: PowerOfTwo}, 69926, 29, 22294.5, 45841.21, 26800.910000000003, 1.2307692307692308},
-		{Policy{Kind: SessionAffinity}, 77752, 29, 30643, 57938.25, 39004.99, 1.7173913043478262},
+	pols := []Policy{
+		{Kind: RoundRobin},
+		{Kind: LeastOutstanding},
+		{Kind: PowerOfTwo},
+		{Kind: SessionAffinity},
 	}
-	for _, g := range golden {
-		m, err := Run(bmaConfig(), fleetScenario(t, serving.SchedulerConfig{}), 2, g.pol, Options{})
+	var rows []fleetGoldenRow
+	for _, pol := range pols {
+		m, err := Run(bmaConfig(), fleetScenario(t, serving.SchedulerConfig{}), 2, pol, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if m.Makespan != g.makespan || m.Tokens != g.tokens {
-			t.Errorf("%s: makespan/tokens %d/%d, golden %d/%d", g.pol, m.Makespan, m.Tokens, g.makespan, g.tokens)
-		}
-		if m.E2ELatency.P50 != g.e2eP50 || m.E2ELatency.P99 != g.e2eP99 {
-			t.Errorf("%s: e2e p50/p99 %v/%v, golden %v/%v", g.pol, m.E2ELatency.P50, m.E2ELatency.P99, g.e2eP50, g.e2eP99)
-		}
-		if m.QueueDelay.P99 != g.qP99 {
-			t.Errorf("%s: queue p99 %v, golden %v", g.pol, m.QueueDelay.P99, g.qP99)
-		}
-		if m.LoadImbalance != g.imb {
-			t.Errorf("%s: imbalance %v, golden %v", g.pol, m.LoadImbalance, g.imb)
-		}
+		rows = append(rows, fleetGoldenRow{
+			Router:   pol.String(),
+			Makespan: m.Makespan, Tokens: m.Tokens,
+			E2EP50: m.E2ELatency.P50, E2EP99: m.E2ELatency.P99,
+			QueueP99: m.QueueDelay.P99, Imbalance: m.LoadImbalance,
+		})
 	}
+	goldentest.Compare(t, "testdata/fleet_decode_only.golden.json", rows)
 }
 
 // TestTTFTPressureDegeneratesDecodeOnly: with a decode-only fleet the

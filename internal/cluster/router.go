@@ -40,6 +40,14 @@ const (
 	// decode-only scheduler the backlog is zero everywhere and the
 	// policy degenerates to LeastOutstanding.
 	LeastTTFTPressure
+	// PrefixAffinity dispatches to the node whose session prefix cache
+	// retains the most KV for the request's session (ties to the lowest
+	// node index), falling back to the SessionAffinity home-node hash
+	// when no node holds anything — so a session's first turn lands on
+	// its home node and later turns find the prefix there. With the
+	// prefix cache off every observation is zero and the policy
+	// degenerates to SessionAffinity exactly.
+	PrefixAffinity
 )
 
 // String returns the canonical policy name ParsePolicy accepts.
@@ -55,6 +63,8 @@ func (k Kind) String() string {
 		return "affinity"
 	case LeastTTFTPressure:
 		return "ttft-pressure"
+	case PrefixAffinity:
+		return "prefix-affinity"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -77,7 +87,8 @@ func (p Policy) String() string {
 
 // ParsePolicy reads a router policy name: "round-robin" (or "rr"),
 // "least-outstanding" (or "lot"), "p2c" (or "power-of-two"),
-// "affinity" (or "session-affinity"), "ttft-pressure" (or "ltp").
+// "affinity" (or "session-affinity"), "ttft-pressure" (or "ltp"),
+// "prefix-affinity" (or "pfx").
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "round-robin", "rr":
@@ -90,11 +101,13 @@ func ParsePolicy(s string) (Policy, error) {
 		return Policy{Kind: SessionAffinity}, nil
 	case "ttft-pressure", "ltp", "least-ttft-pressure":
 		return Policy{Kind: LeastTTFTPressure}, nil
+	case "prefix-affinity", "pfx":
+		return Policy{Kind: PrefixAffinity}, nil
 	}
-	return Policy{}, fmt.Errorf("cluster: unknown router policy %q (want round-robin, least-outstanding, p2c, affinity or ttft-pressure)", s)
+	return Policy{}, fmt.Errorf("cluster: unknown router policy %q (want round-robin, least-outstanding, p2c, affinity, ttft-pressure or prefix-affinity)", s)
 }
 
-// Policies returns the five stock router policies in stable order.
+// Policies returns the six stock router policies in stable order.
 func Policies() []Policy {
 	return []Policy{
 		{Kind: RoundRobin},
@@ -102,6 +115,7 @@ func Policies() []Policy {
 		{Kind: PowerOfTwo},
 		{Kind: SessionAffinity},
 		{Kind: LeastTTFTPressure},
+		{Kind: PrefixAffinity},
 	}
 }
 
@@ -120,8 +134,10 @@ func newRouter(pol Policy, nodes int) *router {
 // pick chooses the node for one arriving request. outstanding[i] is
 // node i's outstanding decode tokens at the request's arrival cycle;
 // backlog[i] is its prefill backlog (un-prefilled prompt tokens, zero
-// under the decode-only scheduler).
-func (r *router) pick(req Request, outstanding, backlog []int64) int {
+// under the decode-only scheduler); cached[i] is the KV tokens node
+// i's prefix cache retains for the request's session (nil unless the
+// policy is PrefixAffinity — no other policy observes it).
+func (r *router) pick(req Request, outstanding, backlog, cached []int64) int {
 	switch r.pol.Kind {
 	case RoundRobin:
 		n := r.rr % r.nodes
@@ -152,6 +168,17 @@ func (r *router) pick(req Request, outstanding, backlog []int64) int {
 			}
 		}
 		return best
+	case PrefixAffinity:
+		best, bestTok := -1, int64(0)
+		for i, c := range cached {
+			if c > bestTok {
+				best, bestTok = i, c
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		return sessionNode(req.Session, r.nodes)
 	}
 	return 0
 }

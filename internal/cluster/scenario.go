@@ -15,10 +15,6 @@ import (
 	"repro/internal/workload"
 )
 
-// sessionSeedMix decorrelates the session-assignment stream from the
-// request-population stream drawn from the same user seed.
-const sessionSeedMix = 0x5e5510aded5eed
-
 // Request is one decode request arriving at the cluster router: the
 // serving request plus the session it belongs to. Requests of the
 // same session share prompt-prefix state, so routing them to the same
@@ -80,9 +76,10 @@ func (s Scenario) Validate() error {
 }
 
 // ServingScenario strips the cluster scenario down to the equivalent
-// single-node serving scenario (sessions dropped): the population a
-// 1-node cluster serves, and the address-space sizing input for every
-// node's StreamStride.
+// single-node serving scenario (the embedded serving requests, which
+// carry the same Session/PrefixLen fields): the population a 1-node
+// cluster serves, and the address-space sizing input for every node's
+// StreamStride.
 func (s Scenario) ServingScenario() serving.Scenario {
 	reqs := make([]serving.Request, len(s.Requests))
 	for i, r := range s.Requests {
@@ -120,24 +117,32 @@ type ScenarioConfig struct {
 // NewScenario draws a cluster workload deterministically: the request
 // population comes from the serving generator (same splitmix64 stream,
 // so the same seed yields the same requests a single-node scenario
-// would see) and sessions are assigned from a second stream derived
-// from the seed.
+// would see) and sessions are assigned by the serving generator's
+// second stream derived from the seed — the cluster-level NumSessions
+// is forwarded into the embedded config, so the fleet-level Session
+// and the serving Request.Session the node engines key their prefix
+// caches on are one assignment. SessionDepth in the embedded config
+// turns the sessions into multi-turn conversations carrying PrefixLen
+// (see serving.ScenarioConfig).
 func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 	if cfg.NumSessions < 0 {
 		return Scenario{}, fmt.Errorf("cluster: NumSessions must be non-negative, got %d", cfg.NumSessions)
 	}
-	base, err := serving.NewScenario(cfg.ScenarioConfig)
+	inner := cfg.ScenarioConfig
+	if cfg.NumSessions > 0 {
+		if inner.NumSessions != 0 && inner.NumSessions != cfg.NumSessions {
+			return Scenario{}, fmt.Errorf("cluster: NumSessions %d contradicts the embedded serving NumSessions %d (set one)",
+				cfg.NumSessions, inner.NumSessions)
+		}
+		inner.NumSessions = cfg.NumSessions
+	}
+	base, err := serving.NewScenario(inner)
 	if err != nil {
 		return Scenario{}, err
 	}
-	r := serving.Rand{State: cfg.Seed ^ sessionSeedMix}
 	reqs := make([]Request, len(base.Requests))
 	for i, br := range base.Requests {
-		session := br.ID // NumSessions == 0: one session per request
-		if cfg.NumSessions > 0 {
-			session = r.Intn(cfg.NumSessions)
-		}
-		reqs[i] = Request{Request: br, Session: session}
+		reqs[i] = Request{Request: br, Session: br.Session}
 	}
 	return Scenario{
 		Name:      base.Name,

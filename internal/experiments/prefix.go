@@ -1,0 +1,190 @@
+// The prefix grid: TTFT-vs-router curves for the session prefix-cache
+// study. One fleet workload family is regenerated at a sweep of
+// session locality (how many distinct conversations share the request
+// population) × per-node prefix-cache capacity, and each workload is
+// run under every router under test. Affinity routers keep a session
+// on the node that retains its prefix, so follow-up turns skip most of
+// their prefill; load-balancing routers migrate sessions and re-prefill
+// their whole context. The grid quantifies that trade as TTFT
+// percentiles against prefix-hit statistics.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/pool"
+	"repro/internal/sim"
+)
+
+// PrefixCellSpec names one prefix-study simulation: the base fleet
+// workload generator configuration with the session count and per-node
+// prefix-cache capacity overridden, a fleet shape, and a router.
+type PrefixCellSpec struct {
+	// Config is the base fleet workload generator configuration. The
+	// cell regenerates the scenario with NumSessions = Sessions and
+	// Sched.PrefixCacheTokens = CacheTokens, so the same seed explores
+	// the same request population at every locality/capacity point. Its
+	// Sched must already run a prefill scheduler when any cell enables
+	// the cache.
+	Config cluster.ScenarioConfig
+	// Sessions is the number of distinct sessions the population is
+	// drawn from (0 keeps the base config's session structure).
+	Sessions int
+	// CacheTokens is the per-node prefix-cache capacity in KV tokens
+	// (0 = cache off, the bit-identical baseline path).
+	CacheTokens int64
+	Nodes       int
+	Router      cluster.Policy
+	// Pol is the cache-level (throttle, arbiter) policy every node runs.
+	Pol Policy
+	// Base optionally overrides the grid's base configuration.
+	Base *sim.Config
+}
+
+// PrefixCellResult is one cell's outcome: the full fleet metrics (the
+// TTFT distribution and the fleet prefix-cache counters are the
+// headline columns).
+type PrefixCellResult struct {
+	Metrics *cluster.Metrics
+}
+
+// RunPrefixCells executes every prefix cell across the bounded worker
+// pool and returns results in input order. The parallelism split and
+// determinism guarantees match RunClusterCells: cells fan out on the
+// outer pool, node engines inside each cell, and results are
+// bit-identical at any Options.Parallel.
+func RunPrefixCells(cells []PrefixCellSpec, opts Options) ([]PrefixCellResult, error) {
+	outer := opts.parallel()
+	if outer > len(cells) {
+		outer = len(cells)
+	}
+	inner := 1
+	if outer > 0 && opts.parallel()/outer > 1 {
+		inner = opts.parallel() / outer
+	}
+	results := make([]PrefixCellResult, len(cells))
+	err := pool.ForEach(len(cells), outer, func(i int) error {
+		c := &cells[i]
+		scfg := c.Config
+		if c.Sessions > 0 {
+			scfg.NumSessions = c.Sessions
+			scfg.ScenarioConfig.NumSessions = 0 // the cluster layer forwards it
+		}
+		scfg.Sched.PrefixCacheTokens = c.CacheTokens
+		scfg.Name = fmt.Sprintf("%s/s%d-c%d", c.Config.Name, scfg.NumSessions, c.CacheTokens)
+		scn, err := cluster.NewScenario(scfg)
+		if err != nil {
+			return fmt.Errorf("prefix cell %s: %w", scfg.Name, err)
+		}
+		cfg := opts.base()
+		if c.Base != nil {
+			cfg = *c.Base
+		}
+		cfg.L2SizeBytes /= opts.scale()
+		cfg.Throttle = c.Pol.Throttle
+		cfg.Arbiter = c.Pol.Arbiter
+		m, err := cluster.Run(cfg, scn, c.Nodes, c.Router,
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache})
+		if err != nil {
+			return fmt.Errorf("prefix cell %s nodes=%d %s: %w", scfg.Name, c.Nodes, c.Router, err)
+		}
+		results[i] = PrefixCellResult{Metrics: m}
+		if opts.Log != nil {
+			logPrefixCell(opts, c, &results[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+var prefixLogMu sync.Mutex
+
+func logPrefixCell(opts Options, c *PrefixCellSpec, r *PrefixCellResult) {
+	prefixLogMu.Lock()
+	defer prefixLogMu.Unlock()
+	m := r.Metrics
+	fmt.Fprintf(opts.Log,
+		"%-20s s=%-3d cache=%-8d %-18s ttft-p50=%-9.0f ttft-p95=%-9.0f hits=%-4d rate=%.2f saved=%d\n",
+		c.Config.Name, c.Sessions, c.CacheTokens, c.Router, m.TTFT.P50, m.TTFT.P95,
+		m.PrefixHits, m.PrefixHitRate, m.PrefillTokensSaved)
+}
+
+// PrefixGridResult is one workload family evaluated across a session
+// locality × cache capacity × router matrix.
+type PrefixGridResult struct {
+	Config   cluster.ScenarioConfig
+	Sessions []int
+	Caches   []int64
+	Routers  []cluster.Policy
+	Nodes    int
+	Pol      Policy
+	// Cells[i][j][k] is Sessions[i] × Caches[j] under Routers[k].
+	Cells [][][]PrefixCellResult
+}
+
+// PrefixGrid sweeps session locality × prefix-cache capacity × router
+// for one fleet workload family and collects fleet metrics in matrix
+// order — the TTFT-vs-router curves of the prefix-reuse study.
+// Deterministic at any Options.Parallel.
+func PrefixGrid(cfg cluster.ScenarioConfig, sessions []int, caches []int64,
+	routers []cluster.Policy, nodes int, pol Policy, opts Options) (*PrefixGridResult, error) {
+	if len(sessions) == 0 || len(caches) == 0 || len(routers) == 0 {
+		return nil, fmt.Errorf("prefix grid: empty session, cache or router list")
+	}
+	cells := make([]PrefixCellSpec, 0, len(sessions)*len(caches)*len(routers))
+	for _, s := range sessions {
+		for _, c := range caches {
+			for _, rt := range routers {
+				cells = append(cells, PrefixCellSpec{
+					Config: cfg, Sessions: s, CacheTokens: c,
+					Nodes: nodes, Router: rt, Pol: pol,
+				})
+			}
+		}
+	}
+	results, err := RunPrefixCells(cells, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &PrefixGridResult{
+		Config: cfg, Sessions: sessions, Caches: caches, Routers: routers,
+		Nodes: nodes, Pol: pol,
+	}
+	out.Cells = make([][][]PrefixCellResult, len(sessions))
+	for i := range sessions {
+		out.Cells[i] = make([][]PrefixCellResult, len(caches))
+		for j := range caches {
+			base := (i*len(caches) + j) * len(routers)
+			out.Cells[i][j] = results[base : base+len(routers)]
+		}
+	}
+	return out, nil
+}
+
+// Render formats the grid as an aligned per-cell table of the
+// TTFT-vs-router curves.
+func (g *PrefixGridResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s: %d requests, depth-%d sessions, %d nodes, cache policy %s\n\n",
+		g.Config.Name, g.Config.NumRequests, g.Config.SessionDepth, g.Nodes, g.Pol.Label)
+	fmt.Fprintf(&b, "%-9s %-10s %-18s %10s %10s %10s %6s %6s %8s %12s\n",
+		"sessions", "cache", "router", "ttft-p50", "ttft-p95", "e2e-p95", "hits", "rate", "saved", "tok/kcycle")
+	for i, s := range g.Sessions {
+		for j, c := range g.Caches {
+			for k, rt := range g.Routers {
+				m := g.Cells[i][j][k].Metrics
+				fmt.Fprintf(&b, "%-9d %-10d %-18s %10.0f %10.0f %10.0f %6d %6.2f %8d %12.4f\n",
+					s, c, rt, m.TTFT.P50, m.TTFT.P95, m.E2ELatency.P95,
+					m.PrefixHits, m.PrefixHitRate, m.PrefillTokensSaved, m.FleetTokensPerKCycle)
+			}
+		}
+	}
+	return b.String()
+}

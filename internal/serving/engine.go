@@ -27,6 +27,10 @@ type stream struct {
 	prefillLeft int
 	admit       int64
 	tokens      int
+	// reserved is the KV tokens this stream holds against the capacity
+	// gate: kvReserve(req) minus any prefix-cache hit at admission.
+	// Released exactly once, at retirement or preemption.
+	reserved int64
 }
 
 // Engine is one continuous-batching server advanced incrementally on
@@ -59,6 +63,14 @@ type Engine struct {
 	resume      map[int]int
 	preemptions int64
 	victims     []*stream
+
+	// Session prefix cache (Sched.PrefixCacheTokens > 0; nil otherwise,
+	// leaving every admission on the exact pre-prefix-cache path). See
+	// prefixcache.go for the retention/lookup contract.
+	pfx          *prefixCache
+	prefixHits   int64
+	prefixMisses int64
+	prefillSaved int64 // prompt tokens skipped via prefix hits
 
 	steps         int64
 	cycles        int64
@@ -129,6 +141,9 @@ func NewEngineWith(cfg sim.Config, maxBatch int, includeAV bool, stride uint64, 
 		running:   make([]StreamState, 0, maxBatch+1),
 		mode:      opts.StepCache,
 		memo:      opts.Memo,
+	}
+	if opts.Sched.PrefixCacheTokens > 0 {
+		e.pfx = newPrefixCache(opts.Sched.PrefixCacheTokens)
 	}
 	if e.mode == StepCacheOn {
 		if e.memo == nil {
@@ -225,6 +240,16 @@ func (e *Engine) admit() {
 		}
 		req := e.queue[0]
 		need := kvReserve(req)
+		prefix := 0
+		if e.pfx != nil {
+			// A usable cached prefix shrinks both the reservation and
+			// the prefill debt. The lookup is read-only; notePrefix
+			// applies the LRU refresh once the admission happens, so a
+			// blocked head re-evaluates fresh on every pass (including
+			// re-admission after preemption — re-validation, not trust).
+			prefix = e.pfx.lookup(req.Session, req.PrefixLen)
+			need -= int64(prefix)
+		}
 		if e.sched.KVCapTokens > 0 && e.kvUsed+need > e.sched.KVCapTokens {
 			if !e.tryPreempt(req, need) {
 				break
@@ -235,29 +260,33 @@ func (e *Engine) admit() {
 		}
 		e.queue = e.queue[1:]
 		e.kvUsed += need
+		e.notePrefix(req, prefix)
 		s := &stream{
-			req:   req,
-			slot:  slot,
-			kvLen: req.PromptLen,
-			left:  req.DecodeTokens,
-			admit: e.now,
+			req:      req,
+			slot:     slot,
+			kvLen:    req.PromptLen,
+			left:     req.DecodeTokens,
+			admit:    e.now,
+			reserved: need,
 		}
 		if e.sched.Policy != SchedDecodeOnly {
 			// The node runs the prompt's prefill itself: the KV cache
-			// starts empty and fills as chunks complete.
-			s.kvLen = 0
-			s.prefillLeft = req.PromptLen
+			// starts with the cached prefix (0 on a miss or with the
+			// cache off) and fills as chunks complete.
+			s.kvLen = prefix
+			s.prefillLeft = req.PromptLen - prefix
 		}
 		if res, resumed := e.resume[req.ID]; resumed {
 			// Re-admission after preemption: the dropped KV prefix —
 			// the prompt plus every token generated before eviction —
-			// is recomputed as prefill, then decode resumes where it
-			// stopped. Tokens are never generated twice.
+			// is recomputed as prefill (minus any still-cached session
+			// prefix), then decode resumes where it stopped. Tokens are
+			// never generated twice.
 			delete(e.resume, req.ID)
 			s.tokens = res
 			s.left = req.DecodeTokens - res
-			s.kvLen = 0
-			s.prefillLeft = req.PromptLen + res
+			s.kvLen = prefix
+			s.prefillLeft = req.PromptLen + res - prefix
 			e.slots[slot] = s
 			continue
 		}
@@ -266,6 +295,26 @@ func (e *Engine) admit() {
 		st := &e.stats[e.statIdx[req.ID]]
 		st.AdmitCycle = e.now
 		st.QueueDelay = e.now - req.ArrivalCycle
+	}
+}
+
+// notePrefix folds one admission's prefix-cache outcome into the
+// engine: a hit refreshes the entry's LRU position and is counted
+// (with its skipped tokens) in the engine and per-request stats; a
+// request that carried a prefix but found none usable counts as a
+// miss. Re-admissions after preemption pass through here again — each
+// re-validation is a lookup of its own.
+func (e *Engine) notePrefix(req Request, prefix int) {
+	if e.pfx == nil || req.PrefixLen == 0 {
+		return
+	}
+	if prefix > 0 {
+		e.pfx.commit(req.Session)
+		e.prefixHits++
+		e.prefillSaved += int64(prefix)
+		e.stats[e.statIdx[req.ID]].PrefixTokens += prefix
+	} else {
+		e.prefixMisses++
 	}
 }
 
@@ -307,7 +356,7 @@ func (e *Engine) tryPreempt(head Request, need int64) bool {
 	})
 	freed, take := int64(0), 0
 	for take < len(e.victims) && e.kvUsed-freed+need > e.sched.KVCapTokens {
-		freed += kvReserve(e.victims[take].req)
+		freed += e.victims[take].reserved
 		take++
 	}
 	if e.kvUsed-freed+need > e.sched.KVCapTokens {
@@ -315,7 +364,7 @@ func (e *Engine) tryPreempt(head Request, need int64) bool {
 	}
 	for _, v := range e.victims[:take] {
 		e.slots[v.slot] = nil
-		e.kvUsed -= kvReserve(v.req)
+		e.kvUsed -= v.reserved
 		if e.resume == nil {
 			e.resume = make(map[int]int)
 		}
@@ -485,7 +534,12 @@ func (e *Engine) applyStep(stepCycles int64, ctr *stats.Counters) {
 			st.Tokens = s.tokens
 			st.FinalKVLen = s.kvLen
 			e.slots[rs.Slot] = nil
-			e.kvUsed -= kvReserve(s.req)
+			e.kvUsed -= s.reserved
+			if e.pfx != nil {
+				// Retain the retired stream's final KV under its session
+				// so follow-up turns can skip the shared prefix.
+				e.pfx.insert(s.req.Session, int64(s.kvLen))
+			}
 			e.unfinished--
 		}
 	}
@@ -584,20 +638,38 @@ func (e *Engine) PrefillBacklog() int64 {
 	return n
 }
 
+// CachedPrefix returns the KV tokens the engine's session prefix
+// cache currently retains for a session — 0 with the cache off or the
+// session absent. This is the router's per-node prefix-locality
+// observation (the prefix-affinity policy routes to the node holding
+// the most of a session's context).
+func (e *Engine) CachedPrefix(session int) int64 {
+	if e.pfx == nil {
+		return 0
+	}
+	return e.pfx.cached(session)
+}
+
 // Metrics finalises the statistics accumulated so far. PerRequest is
 // ordered by request ID. Calling it mid-run reports the work done so
 // far (unfinished requests keep zero Finish fields).
 func (e *Engine) Metrics() *Metrics {
 	m := &Metrics{
-		Requests:      len(e.stats),
-		Tokens:        e.tokens,
-		Steps:         e.steps,
-		PrefillTokens: e.prefillTokens,
-		PrefillSteps:  e.prefillSteps,
-		Preemptions:   e.preemptions,
-		Cycles:        e.cycles,
-		Makespan:      e.now,
-		Counters:      e.counters,
+		Requests:           len(e.stats),
+		Tokens:             e.tokens,
+		Steps:              e.steps,
+		PrefillTokens:      e.prefillTokens,
+		PrefillSteps:       e.prefillSteps,
+		Preemptions:        e.preemptions,
+		PrefixHits:         e.prefixHits,
+		PrefixMisses:       e.prefixMisses,
+		PrefillTokensSaved: e.prefillSaved,
+		Cycles:             e.cycles,
+		Makespan:           e.now,
+		Counters:           e.counters,
+	}
+	if lookups := e.prefixHits + e.prefixMisses; lookups > 0 {
+		m.PrefixHitRate = float64(e.prefixHits) / float64(lookups)
 	}
 	if m.Makespan > 0 {
 		m.TokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)

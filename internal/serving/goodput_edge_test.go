@@ -1,0 +1,75 @@
+package serving
+
+import "testing"
+
+// TestGoodputEdges pins the boundary behaviour of goodput-under-SLO
+// accounting: empty runs, all-unfinished runs (everything dropped or
+// in flight), the single-token TBT exemption (one token has no
+// inter-token gap to judge), and the violation breakdown.
+func TestGoodputEdges(t *testing.T) {
+	slo := SLO{TTFTCycles: 100, TBTCycles: 10}
+	finished := func(ttft, finish, firstTok int64, tokens int) RequestStats {
+		return RequestStats{TTFT: ttft, FinishCycle: finish, FirstTokenCycle: firstTok, Tokens: tokens}
+	}
+	cases := []struct {
+		name     string
+		reqs     []RequestStats
+		makespan int64
+		slo      SLO
+		want     SLOReport
+	}{
+		{
+			name: "empty run", reqs: nil, makespan: 1000, slo: slo,
+			want: SLOReport{SLO: slo},
+		},
+		{
+			name: "all unfinished", slo: slo, makespan: 1000,
+			reqs: []RequestStats{{}, {Tokens: 3}, {TTFT: 50}},
+			want: SLOReport{SLO: slo, Unfinished: 3},
+		},
+		{
+			name: "single token exempt from TBT", slo: slo, makespan: 1000,
+			// One token decoded: TTFT 50 meets the deadline and there is
+			// no inter-token gap, so an enormous FinishCycle cannot
+			// violate TBT.
+			reqs: []RequestStats{finished(50, 999999, 50, 1)},
+			want: SLOReport{SLO: slo, Finished: 1, MetSLO: 1, GoodTokens: 1, GoodputPerKCycle: 1},
+		},
+		{
+			name: "two tokens pay TBT", slo: slo, makespan: 1000,
+			// Same shape with a second token: the single 999949-cycle gap
+			// blows the 10-cycle TBT deadline.
+			reqs: []RequestStats{finished(50, 999999, 50, 2)},
+			want: SLOReport{SLO: slo, Finished: 1, TBTViolations: 1},
+		},
+		{
+			name: "ttft and tbt counted independently", slo: slo, makespan: 1000,
+			reqs: []RequestStats{
+				finished(200, 210, 200, 2),  // ttft miss, tbt ok (gap 10)
+				finished(50, 1050, 50, 2),   // ttft ok, tbt miss (gap 1000)
+				finished(200, 1200, 200, 2), // both miss
+				finished(50, 60, 50, 2),     // both ok
+			},
+			want: SLOReport{SLO: slo, Finished: 4, MetSLO: 1,
+				TTFTViolations: 2, TBTViolations: 2, GoodTokens: 2, GoodputPerKCycle: 2},
+		},
+		{
+			name: "zero makespan yields zero goodput rate", slo: slo, makespan: 0,
+			reqs: []RequestStats{finished(50, 60, 50, 2)},
+			want: SLOReport{SLO: slo, Finished: 1, MetSLO: 1, GoodTokens: 2},
+		},
+		{
+			name: "disabled SLO accepts every finished request", slo: SLO{}, makespan: 1000,
+			reqs: []RequestStats{finished(999, 99999, 999, 5), {}},
+			want: SLOReport{Finished: 1, Unfinished: 1, MetSLO: 1, GoodTokens: 5, GoodputPerKCycle: 5},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Metrics{PerRequest: tc.reqs, Makespan: tc.makespan}
+			if got := Goodput(m, tc.slo); got != tc.want {
+				t.Errorf("Goodput = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}

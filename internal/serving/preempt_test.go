@@ -142,11 +142,13 @@ func TestPreemptExactExhaustionBoundary(t *testing.T) {
 // slot under both — the deterministic tie-break.
 func TestPreemptVictimOrdering(t *testing.T) {
 	mk := func(id, slot, tokens int, admit int64) *stream {
+		req := Request{ID: id, Model: workload.Llama3_70B, PromptLen: 16, DecodeTokens: 8}
 		return &stream{
-			req:    Request{ID: id, Model: workload.Llama3_70B, PromptLen: 16, DecodeTokens: 8},
-			slot:   slot,
-			tokens: tokens,
-			admit:  admit,
+			req:      req,
+			slot:     slot,
+			tokens:   tokens,
+			admit:    admit,
+			reserved: kvReserve(req),
 		}
 	}
 	build := func(pol PreemptPolicy, victims ...*stream) *Engine {

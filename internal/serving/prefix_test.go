@@ -1,0 +1,281 @@
+// Session prefix-cache tests: white-box LRU retention semantics,
+// engine-level prefix reuse (hits shrink prefill work and TTFT, the
+// cache-off path is bit-identical to fields-zeroed runs), and the
+// preemption interaction (re-admission re-validates against the cache
+// instead of trusting the pre-eviction lookup).
+
+package serving
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPrefixCacheLRU white-box tests the retention structure: the
+// minKVLen usability floor, min(retained, PrefixLen) truncation,
+// LRU eviction order with commit refreshes, same-session replacement,
+// and the too-large-entry rule.
+func TestPrefixCacheLRU(t *testing.T) {
+	c := newPrefixCache(100)
+
+	// Below the mapping floor a retained prefix is unusable.
+	c.insert(1, 40)
+	if got := c.lookup(1, minKVLen-1); got != 0 {
+		t.Errorf("lookup below the mapping floor = %d, want 0", got)
+	}
+	if got := c.lookup(1, 30); got != 30 {
+		t.Errorf("lookup(1, 30) = %d, want the 30-token overlap", got)
+	}
+	if got := c.lookup(1, 64); got != 40 {
+		t.Errorf("lookup(1, 64) = %d, want the 40 retained tokens", got)
+	}
+	if got := c.lookup(2, 64); got != 0 {
+		t.Errorf("lookup of an absent session = %d, want 0", got)
+	}
+
+	// Same-session insert replaces (the conversation moved on).
+	c.insert(1, 60)
+	if got := c.cached(1); got != 60 {
+		t.Errorf("cached(1) after replacement = %d, want 60", got)
+	}
+	if c.used != 60 {
+		t.Errorf("used = %d after replacement, want 60", c.used)
+	}
+
+	// Filling past capacity evicts least-recently-used sessions.
+	c.insert(2, 30) // used 90: [2, 1]
+	c.insert(3, 20) // needs 110 > 100: evicts session 1 (LRU) → [3, 2]
+	if got := c.cached(1); got != 0 {
+		t.Errorf("session 1 survived eviction with %d tokens", got)
+	}
+	if c.cached(2) != 30 || c.cached(3) != 20 {
+		t.Errorf("post-eviction contents = {2:%d 3:%d}, want {2:30 3:20}", c.cached(2), c.cached(3))
+	}
+
+	// A commit refresh changes who is LRU.
+	c.commit(2) // [2, 3]
+	c.insert(4, 60)
+	if c.cached(3) != 0 || c.cached(2) != 30 {
+		t.Errorf("LRU refresh ignored: {2:%d 3:%d}, want session 3 evicted", c.cached(2), c.cached(3))
+	}
+
+	// An entry larger than the whole capacity is not retained, and
+	// drops the session's superseded entry.
+	c.insert(2, 500)
+	if got := c.cached(2); got != 0 {
+		t.Errorf("over-capacity insert retained %d tokens", got)
+	}
+	if c.used != 60 {
+		t.Errorf("used = %d, want only session 4's 60", c.used)
+	}
+}
+
+// sessionScenario draws the committed session-heavy serving workload:
+// two sessions of three-turn conversations under the chunked
+// scheduler, arrivals spaced so follow-up turns usually arrive after
+// the previous turn retired (the regime where a prefix cache can hit).
+func sessionScenario(t *testing.T, cacheTokens int64) Scenario {
+	t.Helper()
+	scn, err := NewScenario(ScenarioConfig{
+		Name: "sessions", Seed: 5, NumRequests: 12,
+		MinPromptLen: 32, MaxPromptLen: 96,
+		MinDecode: 4, MaxDecode: 8,
+		MeanInterArrival: 120000, MaxBatch: 4,
+		NumSessions: 2, SessionDepth: 3,
+		Sched: SchedulerConfig{Policy: SchedChunked, ChunkTokens: 16, PrefixCacheTokens: cacheTokens},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+// TestSessionChaining pins the generator's conversation structure:
+// follow-up turns extend the previous turn's full context (PrefixLen =
+// previous PromptLen + DecodeTokens), chains restart after depth
+// turns, and the session knobs leave the underlying population draw
+// (arrivals, decode budgets, per-turn suffixes) untouched.
+func TestSessionChaining(t *testing.T) {
+	chained := sessionScenario(t, 0)
+	flat, err := NewScenario(ScenarioConfig{
+		Name: "sessions", Seed: 5, NumRequests: 12,
+		MinPromptLen: 32, MaxPromptLen: 96,
+		MinDecode: 4, MaxDecode: 8,
+		MeanInterArrival: 120000, MaxBatch: 4,
+		NumSessions: 2,
+		Sched:       SchedulerConfig{Policy: SchedChunked, ChunkTokens: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type conv struct{ turns, kv int }
+	convs := map[int]conv{}
+	hadFollowUp := false
+	for i, r := range chained.Requests {
+		f := flat.Requests[i]
+		if r.ID != f.ID || r.Session != f.Session || r.ArrivalCycle != f.ArrivalCycle || r.DecodeTokens != f.DecodeTokens {
+			t.Fatalf("request %d: chaining changed non-prompt fields: %+v vs %+v", i, r, f)
+		}
+		c := convs[r.Session]
+		if c.turns == 0 {
+			if r.PrefixLen != 0 || r.PromptLen != f.PromptLen {
+				t.Fatalf("request %d: fresh turn carries prefix %d / prompt %d, want 0 / %d",
+					i, r.PrefixLen, r.PromptLen, f.PromptLen)
+			}
+		} else {
+			hadFollowUp = true
+			if r.PrefixLen != c.kv {
+				t.Fatalf("request %d: PrefixLen %d, want previous context %d", i, r.PrefixLen, c.kv)
+			}
+			if r.PromptLen != c.kv+f.PromptLen {
+				t.Fatalf("request %d: PromptLen %d, want context %d + suffix %d", i, r.PromptLen, c.kv, f.PromptLen)
+			}
+		}
+		c.turns++
+		c.kv = r.PromptLen + r.DecodeTokens
+		if c.turns >= 3 {
+			c = conv{}
+		}
+		convs[r.Session] = c
+	}
+	if !hadFollowUp {
+		t.Fatal("scenario generated no follow-up turns")
+	}
+}
+
+// TestPrefixReuseServing is the single-node acceptance test: with the
+// prefix cache on, hits skip prefill work (PrefillTokens shrinks by
+// exactly PrefillTokensSaved), decode output is unchanged, TTFT
+// improves, and the run is deterministic. With the cache off the
+// session fields are inert: zeroing Session/PrefixLen out of every
+// request leaves the metrics bit-identical.
+func TestPrefixReuseServing(t *testing.T) {
+	cfg := testConfig()
+	off, err := Run(cfg, sessionScenario(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(cfg, sessionScenario(t, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if on.PrefixHits == 0 || on.PrefillTokensSaved == 0 {
+		t.Fatalf("cache on: %d hits, %d tokens saved — the scenario exercised no reuse", on.PrefixHits, on.PrefillTokensSaved)
+	}
+	if on.PrefixHitRate <= 0 || on.PrefixHitRate > 1 {
+		t.Errorf("hit rate %v outside (0, 1]", on.PrefixHitRate)
+	}
+	if off.PrefixHits != 0 || off.PrefixMisses != 0 || off.PrefillTokensSaved != 0 || off.PrefixHitRate != 0 {
+		t.Errorf("cache off reported prefix activity: %+v", off)
+	}
+	if on.Tokens != off.Tokens || on.Requests != off.Requests {
+		t.Errorf("prefix reuse changed decode output: %d/%d tokens, %d/%d requests",
+			on.Tokens, off.Tokens, on.Requests, off.Requests)
+	}
+	if on.PrefillTokens != off.PrefillTokens-on.PrefillTokensSaved {
+		t.Errorf("prefill accounting: on %d != off %d - saved %d",
+			on.PrefillTokens, off.PrefillTokens, on.PrefillTokensSaved)
+	}
+	if on.TTFT.P50 >= off.TTFT.P50 {
+		t.Errorf("TTFT p50 did not improve: on %.0f vs off %.0f", on.TTFT.P50, off.TTFT.P50)
+	}
+	var savedPerReq int64
+	for _, rs := range on.PerRequest {
+		savedPerReq += int64(rs.PrefixTokens)
+	}
+	if savedPerReq != on.PrefillTokensSaved {
+		t.Errorf("per-request PrefixTokens sum %d != PrefillTokensSaved %d", savedPerReq, on.PrefillTokensSaved)
+	}
+
+	// Determinism: the cache-on run replays bit-identically.
+	again, err := Run(cfg, sessionScenario(t, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on2 := *on
+	again2 := *again
+	on2.StripStepCache()
+	again2.StripStepCache()
+	if !reflect.DeepEqual(&on2, &again2) {
+		t.Error("repeated cache-on runs disagree")
+	}
+
+	// Cache-off inertness: the session fields change nothing.
+	stripped := sessionScenario(t, 0)
+	stripped.Requests = append([]Request(nil), stripped.Requests...)
+	for i := range stripped.Requests {
+		stripped.Requests[i].Session = 0
+		stripped.Requests[i].PrefixLen = 0
+	}
+	plain, err := Run(cfg, stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2 := *off
+	plain2 := *plain
+	off2.StripStepCache()
+	plain2.StripStepCache()
+	// The per-request stats carry no session fields, so the comparison
+	// is total.
+	if !reflect.DeepEqual(&off2, &plain2) {
+		t.Error("cache-off metrics depend on Session/PrefixLen — the inert-fields guarantee is broken")
+	}
+}
+
+// TestPrefixPreemptRevalidation covers the preemption interaction. The
+// white-box half: an entry evicted while its stream was preempted is
+// simply gone at re-admission — the fresh lookup returns 0 and the
+// recompute pays full prefill (no stale reservation). The engine half:
+// a KV-tight preempting run with the cache on conserves every decode
+// token, stays deterministic, and still reuses prefixes.
+func TestPrefixPreemptRevalidation(t *testing.T) {
+	c := newPrefixCache(64)
+	c.insert(7, 48)
+	if got := c.lookup(7, 48); got != 48 {
+		t.Fatalf("pre-eviction lookup = %d, want 48", got)
+	}
+	c.insert(8, 40) // evicts session 7
+	if got := c.lookup(7, 48); got != 0 {
+		t.Fatalf("re-validation after eviction = %d, want 0 (entry gone)", got)
+	}
+
+	scn := sessionScenario(t, 4096)
+	scn.Sched.KVCapTokens = 400
+	scn.Sched.Preempt = PreemptNewest
+	// All arrivals at once so KV pressure actually preempts.
+	scn.Requests = append([]Request(nil), scn.Requests...)
+	for i := range scn.Requests {
+		scn.Requests[i].ArrivalCycle = 0
+	}
+	cfg := testConfig()
+	m, err := Run(cfg, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, r := range scn.Requests {
+		want += int64(r.DecodeTokens)
+	}
+	if m.Tokens != want {
+		t.Errorf("decoded %d tokens, want %d — preemption double-counted or lost tokens", m.Tokens, want)
+	}
+	if m.Preemptions == 0 || m.PrefixHits == 0 {
+		t.Fatalf("scenario exercised preemptions=%d prefix hits=%d — both must fire for this test to mean anything",
+			m.Preemptions, m.PrefixHits)
+	}
+	for _, rs := range m.PerRequest {
+		if rs.FinishCycle == 0 {
+			t.Errorf("request %d never finished", rs.ID)
+		}
+	}
+	again, err := Run(cfg, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StripStepCache()
+	again.StripStepCache()
+	if !reflect.DeepEqual(m, again) {
+		t.Error("preempting cache-on runs disagree")
+	}
+}

@@ -20,6 +20,10 @@ import (
 // dataflow.Mapping.Validate.
 const minKVLen = 16
 
+// sessionSeedMix decorrelates the session-assignment stream from the
+// request-population stream drawn from the same user seed.
+const sessionSeedMix = 0x5e5510aded5eed
+
 // Request is one request of a serving scenario: a model, the prompt
 // length, the number of tokens to generate, and the cycle at which it
 // arrives at the server. What PromptLen means operationally depends on
@@ -33,6 +37,17 @@ type Request struct {
 	PromptLen    int   // prompt length in tokens (KV length when decode starts)
 	DecodeTokens int   // tokens to generate before retiring
 	ArrivalCycle int64 // arrival time in core cycles
+	// Session identifies the conversation the request belongs to — the
+	// unit of KV/prefix-cache locality the session-affinity and
+	// prefix-affinity routers exploit. Requests of one session share
+	// prompt-prefix state.
+	Session int
+	// PrefixLen is how many leading prompt tokens are shared with the
+	// session's previous turn (0 = a fresh conversation). A prefix
+	// cache holding at least that much of the session's retained KV
+	// lets prefill skip the shared portion; with the cache off (or on
+	// a miss) the field is inert and the whole prompt prefills.
+	PrefixLen int
 }
 
 // Validate checks one request.
@@ -47,6 +62,10 @@ func (r Request) Validate() error {
 		return fmt.Errorf("serving: request %d: DecodeTokens must be positive, got %d", r.ID, r.DecodeTokens)
 	case r.ArrivalCycle < 0:
 		return fmt.Errorf("serving: request %d: ArrivalCycle must be non-negative, got %d", r.ID, r.ArrivalCycle)
+	case r.Session < 0:
+		return fmt.Errorf("serving: request %d: Session must be non-negative, got %d", r.ID, r.Session)
+	case r.PrefixLen < 0 || r.PrefixLen > r.PromptLen:
+		return fmt.Errorf("serving: request %d: PrefixLen %d outside [0, PromptLen %d]", r.ID, r.PrefixLen, r.PromptLen)
 	}
 	return nil
 }
@@ -157,6 +176,24 @@ type ScenarioConfig struct {
 	// Sched is the prefill/decode scheduler configuration (zero value:
 	// decode-only, unlimited KV).
 	Sched SchedulerConfig
+	// NumSessions is how many distinct sessions the population is drawn
+	// from; each request is assigned one uniformly from a second
+	// splitmix64 stream derived from Seed, so the population draw is
+	// unchanged by the session count. Zero means every request is its
+	// own session (no prefix locality to exploit).
+	NumSessions int
+	// SessionDepth turns sessions into multi-turn conversations: when
+	// at least 2, consecutive requests of one session form follow-up
+	// chains of up to SessionDepth turns, each turn's prompt extending
+	// the previous turn's full context (prompt plus generated tokens)
+	// with a fresh suffix drawn from the [MinPromptLen, MaxPromptLen]
+	// range. Follow-up turns carry PrefixLen = the shared context, so a
+	// prefix cache can skip re-prefilling it. 0 or 1 leaves every
+	// request a fresh single-turn prompt — bit-identical to the
+	// pre-session generator. Chaining consumes no RNG draws, so the
+	// arrival process and the per-turn suffix draws are identical at
+	// every depth.
+	SessionDepth int
 }
 
 // NewScenario draws a Scenario from the config deterministically:
@@ -178,6 +215,12 @@ func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 	}
 	if cfg.MaxBatch <= 0 {
 		return Scenario{}, fmt.Errorf("serving: MaxBatch must be positive, got %d", cfg.MaxBatch)
+	}
+	if cfg.NumSessions < 0 {
+		return Scenario{}, fmt.Errorf("serving: NumSessions must be non-negative, got %d", cfg.NumSessions)
+	}
+	if cfg.SessionDepth < 0 {
+		return Scenario{}, fmt.Errorf("serving: SessionDepth must be non-negative, got %d", cfg.SessionDepth)
 	}
 	models := cfg.Models
 	if len(models) == 0 {
@@ -229,7 +272,50 @@ func NewScenario(cfg ScenarioConfig) (Scenario, error) {
 	// the invariant explicit for hand-built populations run through
 	// the same engine.
 	sortRequests(scn.Requests)
+	// Session assignment comes from its own stream, drawn in arrival
+	// order, so the population above is untouched by the session knobs.
+	sr := Rand{State: cfg.Seed ^ sessionSeedMix}
+	for i := range scn.Requests {
+		if cfg.NumSessions > 0 {
+			scn.Requests[i].Session = sr.Intn(cfg.NumSessions)
+		} else {
+			// Every request its own session; no prefix locality.
+			scn.Requests[i].Session = scn.Requests[i].ID
+		}
+	}
+	if cfg.SessionDepth > 1 {
+		chainSessions(scn.Requests, cfg.SessionDepth)
+	}
 	return scn, nil
+}
+
+// chainSessions rewrites the population into multi-turn conversations:
+// within each session (in arrival order) turn t>0 extends turn t-1's
+// full context — the previous prompt plus its generated tokens — with
+// the turn's own drawn prompt as the fresh suffix, and records the
+// shared context as PrefixLen. After depth turns the chain restarts
+// from a fresh context (a new conversation under the same session
+// identity). Pure arithmetic on already-drawn fields: no RNG.
+func chainSessions(reqs []Request, depth int) {
+	type conv struct {
+		turns int
+		kv    int // previous turn's PromptLen + DecodeTokens
+	}
+	convs := make(map[int]conv)
+	for i := range reqs {
+		r := &reqs[i]
+		c := convs[r.Session]
+		if c.turns > 0 {
+			r.PrefixLen = c.kv
+			r.PromptLen = c.kv + r.PromptLen
+		}
+		c.turns++
+		c.kv = r.PromptLen + r.DecodeTokens
+		if c.turns >= depth {
+			c = conv{}
+		}
+		convs[r.Session] = c
+	}
 }
 
 // sortRequests orders requests by arrival cycle, ties by ID — the

@@ -140,6 +140,15 @@ type SchedulerConfig struct {
 	// prefill scheduler (the recompute cost must be payable on-node)
 	// and a finite KVCapTokens.
 	Preempt PreemptPolicy
+	// PrefixCacheTokens bounds the per-engine session prefix cache: KV
+	// tokens retained from retired requests, LRU over sessions, that
+	// let a follow-up request with a matching PrefixLen reserve only
+	// its suffix at admission and skip the shared prefix in prefill.
+	// 0 disables the cache entirely — the engine takes none of the
+	// prefix-cache code paths and stays bit-identical to the
+	// pre-prefix-cache engine. Requires a prefill scheduler (skipping
+	// prefill chunks is meaningless when the node runs no prefill).
+	PrefixCacheTokens int64
 }
 
 // Validate checks the scheduler configuration.
@@ -172,6 +181,13 @@ func (s SchedulerConfig) Validate() error {
 		}
 	default:
 		return fmt.Errorf("serving: unknown preemption policy %v", s.Preempt)
+	}
+	if s.PrefixCacheTokens < 0 {
+		return fmt.Errorf("serving: PrefixCacheTokens must be non-negative, got %d", s.PrefixCacheTokens)
+	}
+	if s.PrefixCacheTokens > 0 && s.Policy == SchedDecodeOnly {
+		return fmt.Errorf("serving: PrefixCacheTokens %d needs a prefill scheduler (a prefix hit skips prefill chunks the node would otherwise run), got %v",
+			s.PrefixCacheTokens, s.Policy)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/arbiter"
+	"repro/internal/goldentest"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -27,36 +28,47 @@ func schedTestScenario(t *testing.T, sched SchedulerConfig) Scenario {
 	return scn
 }
 
+// decodeGoldenRow is the pinned slice of a decode-only serving run:
+// the fields the golden file commits, byte-exact (see
+// internal/goldentest).
+type decodeGoldenRow struct {
+	Throttle  string  `json:"throttle"`
+	Arbiter   string  `json:"arbiter"`
+	Makespan  int64   `json:"makespan"`
+	Cycles    int64   `json:"cycles"`
+	Tokens    int64   `json:"tokens"`
+	Steps     int64   `json:"steps"`
+	LatP50    float64 `json:"token_latency_p50"`
+	LatP99    float64 `json:"token_latency_p99"`
+	QueueP99  float64 `json:"queue_delay_p99"`
+	L2Hits    int64   `json:"l2_hits"`
+	DRAMReads int64   `json:"dram_reads"`
+}
+
 // TestDecodeOnlyGoldenEquivalence pins the acceptance criterion that
 // the decode-only scheduler is bit-identical to the pre-prefill
-// serving engine: the golden numbers below were captured by running
+// serving engine: the golden rows in testdata were captured from
 // serving.Run on this exact scenario at the commit BEFORE the prefill
-// subsystem was introduced. Both the zero-value scheduler (what every
+// subsystem was introduced (the original literal values are preserved
+// verbatim in the JSON). Both the zero-value scheduler (what every
 // pre-existing caller passes) and an explicitly spelled decode-only
 // configuration must reproduce them, on the fast path and on the
 // naive reference path.
 func TestDecodeOnlyGoldenEquivalence(t *testing.T) {
-	golden := []struct {
-		throttle  string
-		arb       arbiter.Kind
-		makespan  int64
-		cycles    int64
-		tokens    int64
-		steps     int64
-		latP50    float64
-		latP99    float64
-		qP99      float64
-		l2Hits    int64
-		dramReads int64
+	configs := []struct {
+		throttle string
+		arb      arbiter.Kind
 	}{
-		{"none", arbiter.FCFS, 94758, 90048, 23, 9, 12224, 12672, 35472.78, 103067, 27956},
-		{"dynmg", arbiter.BMA, 95270, 90560, 23, 9, 12480, 13056, 35436.939999999995, 110916, 27956},
+		{"none", arbiter.FCFS},
+		{"dynmg", arbiter.BMA},
 	}
 	scheds := []SchedulerConfig{
 		{}, // the zero value every pre-existing caller passes
 		{Policy: SchedDecodeOnly},
 	}
-	for _, g := range golden {
+	var rows []decodeGoldenRow
+	for _, g := range configs {
+		var pinned *decodeGoldenRow
 		for _, sched := range scheds {
 			for _, mode := range []StepCacheMode{StepCacheOn, StepCacheOff} {
 				scn := schedTestScenario(t, sched)
@@ -69,26 +81,26 @@ func TestDecodeOnlyGoldenEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				id := g.throttle + "/" + sched.Policy.String() + "/" + mode.String()
-				if m.Makespan != g.makespan || m.Cycles != g.cycles {
-					t.Errorf("%s: makespan/cycles %d/%d, golden %d/%d", id, m.Makespan, m.Cycles, g.makespan, g.cycles)
+				row := decodeGoldenRow{
+					Throttle: g.throttle, Arbiter: g.arb.String(),
+					Makespan: m.Makespan, Cycles: m.Cycles,
+					Tokens: m.Tokens, Steps: m.Steps,
+					LatP50: m.TokenLatency.P50, LatP99: m.TokenLatency.P99,
+					QueueP99: m.QueueDelay.P99,
+					L2Hits:   m.Counters.L2Hits, DRAMReads: m.Counters.DRAMReads,
 				}
-				if m.Tokens != g.tokens || m.Steps != g.steps {
-					t.Errorf("%s: tokens/steps %d/%d, golden %d/%d", id, m.Tokens, m.Steps, g.tokens, g.steps)
-				}
-				if m.TokenLatency.P50 != g.latP50 || m.TokenLatency.P99 != g.latP99 {
-					t.Errorf("%s: latency p50/p99 %v/%v, golden %v/%v", id, m.TokenLatency.P50, m.TokenLatency.P99, g.latP50, g.latP99)
-				}
-				if m.QueueDelay.P99 != g.qP99 {
-					t.Errorf("%s: queue p99 %v, golden %v", id, m.QueueDelay.P99, g.qP99)
-				}
-				if m.Counters.L2Hits != g.l2Hits || m.Counters.DRAMReads != g.dramReads {
-					t.Errorf("%s: L2 hits/DRAM reads %d/%d, golden %d/%d", id, m.Counters.L2Hits, m.Counters.DRAMReads, g.l2Hits, g.dramReads)
+				// Every scheduler spelling and step-cache mode must agree
+				// bit for bit before the shared row is judged golden.
+				if pinned == nil {
+					pinned = &row
+				} else if *pinned != row {
+					t.Errorf("%s: diverges from the first variant:\n  first: %+v\n  got:   %+v", id, *pinned, row)
 				}
 				if m.PrefillTokens != 0 || m.PrefillSteps != 0 {
 					t.Errorf("%s: decode-only run reports prefill work %d/%d", id, m.PrefillTokens, m.PrefillSteps)
 				}
-				// TTFT is a new metric but fully determined: every request
-				// emits a first token, so the sample must be complete.
+				// TTFT is fully determined: every request emits a first
+				// token, so the sample must be complete.
 				if len(m.PerRequest) != 8 {
 					t.Fatalf("%s: %d per-request entries", id, len(m.PerRequest))
 				}
@@ -100,7 +112,9 @@ func TestDecodeOnlyGoldenEquivalence(t *testing.T) {
 				}
 			}
 		}
+		rows = append(rows, *pinned)
 	}
+	goldentest.Compare(t, "testdata/decode_only.golden.json", rows)
 }
 
 // saturatedScenario is the committed 8-stream saturation scenario of

@@ -55,6 +55,11 @@ type RequestStats struct {
 	// QueueDelay always measure from the ORIGINAL arrival and first
 	// admission — re-admissions after preemption never reset them.
 	Preemptions int
+	// PrefixTokens is the prompt tokens this request skipped via
+	// session prefix-cache hits, summed across admissions (a preempted
+	// request re-validates its prefix on re-admission). Zero with the
+	// cache off.
+	PrefixTokens int
 }
 
 // Percentiles summarises a latency sample in cycles.
@@ -101,6 +106,18 @@ type Metrics struct {
 	// later costs a re-prefill of the victim's whole KV prefix, which
 	// shows up in PrefillTokens.
 	Preemptions int64
+	// PrefixHits / PrefixMisses count prefix-cache lookups at
+	// admission: every admission of a request carrying PrefixLen > 0
+	// (including re-admissions after preemption, which re-validate)
+	// counts as a hit when a usable cached prefix was found, else a
+	// miss. PrefillTokensSaved is the prompt tokens those hits skipped
+	// — prefill work the engine never ran. PrefixHitRate is
+	// hits / (hits + misses), 0 when the cache is off or no request
+	// carried a prefix. All zero with PrefixCacheTokens == 0.
+	PrefixHits         int64
+	PrefixMisses       int64
+	PrefillTokensSaved int64
+	PrefixHitRate      float64
 	// Cycles is the busy time: the sum of every step's simulated
 	// cycles. Makespan additionally includes the idle gaps when the
 	// server was empty and waiting for arrivals.
@@ -219,6 +236,7 @@ func (m *Metrics) String() string {
 			"steps             %d\n"+
 			"prefill           %d tokens in %d steps\n"+
 			"preemptions       %d\n"+
+			"prefix cache      %d hits, %d misses, %d tokens saved (rate %.2f)\n"+
 			"makespan          %d cycles\n"+
 			"throughput        %.4f tokens/kcycle\n"+
 			"batch occupancy   %.2f\n"+
@@ -229,7 +247,8 @@ func (m *Metrics) String() string {
 			"DRAM bandwidth    %.2f GB/s\n"+
 			"step cache        memo %d/%d  optrace %d/%d  sim resets %d\n",
 		m.Requests, m.Tokens, m.Steps,
-		m.PrefillTokens, m.PrefillSteps, m.Preemptions, m.Makespan,
+		m.PrefillTokens, m.PrefillSteps, m.Preemptions,
+		m.PrefixHits, m.PrefixMisses, m.PrefillTokensSaved, m.PrefixHitRate, m.Makespan,
 		m.TokensPerKCycle, m.MeanBatchOccupancy,
 		m.TokenLatency.P50, m.TokenLatency.P95, m.TokenLatency.P99, m.TokenLatency.Max,
 		m.TTFT.P50, m.TTFT.P95, m.TTFT.P99, m.TTFT.Max,

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPercentileEdges pins the boundary behaviour of the percentile
+// definition the serving metrics contract depends on: empty input,
+// single sample, clamped p outside [0, 100], exact linear
+// interpolation, and input immutability.
+func TestPercentileEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty p0", []float64{}, 0, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"negative p clamps to min", []float64{3, 1, 2}, -10, 1},
+		{"p0 is min", []float64{3, 1, 2}, 0, 1},
+		{"p100 is max", []float64{3, 1, 2}, 100, 3},
+		{"p over 100 clamps to max", []float64{3, 1, 2}, 250, 3},
+		{"median of two interpolates", []float64{10, 20}, 50, 15},
+		{"p25 of five is exact rank", []float64{5, 1, 4, 2, 3}, 25, 2},
+		{"p90 of two interpolates", []float64{0, 10}, 90, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.xs, tc.p); got != tc.want {
+				t.Errorf("Percentile(%v, %g) = %g, want %g", tc.xs, tc.p, got, tc.want)
+			}
+		})
+	}
+
+	// The input is never sorted in place.
+	xs := []float64{9, 1, 5}
+	Percentile(xs, 99)
+	if !reflect.DeepEqual(xs, []float64{9, 1, 5}) {
+		t.Errorf("Percentile reordered its input: %v", xs)
+	}
+
+	// PercentileSet agrees with repeated Percentile calls.
+	got := PercentileSet(xs, 0, 50, 100)
+	want := []float64{Percentile(xs, 0), Percentile(xs, 50), Percentile(xs, 100)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PercentileSet = %v, want %v", got, want)
+	}
+	if got := PercentileSet(nil, 50, 99); !reflect.DeepEqual(got, []float64{0, 0}) {
+		t.Errorf("PercentileSet(nil) = %v, want zeros", got)
+	}
+}

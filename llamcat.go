@@ -454,17 +454,24 @@ type RouterPolicy = cluster.Policy
 // The stock router policies. RouterLeastTTFTPressure balances on
 // outstanding decode tokens PLUS each node's prefill backlog, the
 // time-to-first-token pressure signal of prefill-scheduled fleets.
+// RouterPrefixAffinity routes each session to the node whose prefix
+// cache retains the most of its context (falling back to the
+// session-affinity hash when nothing is cached), the router of the
+// prefix-reuse study — enable the cache with
+// SchedulerConfig.PrefixCacheTokens.
 var (
 	RouterRoundRobin        = RouterPolicy{Kind: cluster.RoundRobin}
 	RouterLeastOutstanding  = RouterPolicy{Kind: cluster.LeastOutstanding}
 	RouterPowerOfTwo        = RouterPolicy{Kind: cluster.PowerOfTwo}
 	RouterSessionAffinity   = RouterPolicy{Kind: cluster.SessionAffinity}
+	RouterPrefixAffinity    = RouterPolicy{Kind: cluster.PrefixAffinity}
 	RouterLeastTTFTPressure = RouterPolicy{Kind: cluster.LeastTTFTPressure}
 )
 
 // ParseRouterPolicy reads a router policy name: "round-robin" ("rr"),
 // "least-outstanding" ("lot"), "p2c" ("power-of-two"), "affinity"
-// ("session-affinity") or "ttft-pressure" ("ltp").
+// ("session-affinity"), "prefix-affinity" ("pfx") or "ttft-pressure"
+// ("ltp").
 func ParseRouterPolicy(s string) (RouterPolicy, error) {
 	return cluster.ParsePolicy(s)
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Enforce the per-package statement-coverage floors committed in
+# scripts/coverage_floors.txt (a ratchet: floors only move up). Run
+# from anywhere; exits non-zero if any listed package falls below its
+# floor, printing the measured value next to the floor.
+#
+# Usage: ./scripts/check_coverage.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floors="scripts/coverage_floors.txt"
+fail=0
+while read -r pkg floor; do
+  case "$pkg" in ''|'#'*) continue ;; esac
+  out="$(go test -cover -count=1 "$pkg" | tail -1)"
+  cov="$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"
+  if [ -z "$cov" ]; then
+    echo "FAIL $pkg: no coverage figure in: $out" >&2
+    fail=1
+    continue
+  fi
+  if awk -v c="$cov" -v f="$floor" 'BEGIN { exit !(c < f) }'; then
+    echo "FAIL $pkg: coverage ${cov}% below floor ${floor}%" >&2
+    fail=1
+  else
+    echo "ok   $pkg: coverage ${cov}% (floor ${floor}%)"
+  fi
+done < "$floors"
+exit "$fail"
