@@ -471,6 +471,38 @@ func BenchmarkServe_Chunked(b *testing.B) {
 	}
 }
 
+// BenchmarkServe_Traced is BenchmarkServe_Default with a telemetry
+// collector attached — the recorder-overhead entry in the performance
+// trajectory. Its allocs/op ceiling in scripts/check_bench_allocs.sh
+// pins what recording may cost; the disabled path needs no ceiling of
+// its own because it IS BenchmarkServe_Default (a nil recorder takes
+// the exact pre-telemetry branches).
+func BenchmarkServe_Traced(b *testing.B) {
+	defer record(b)()
+	scale := benchScale()
+	scn, err := DefaultServeScenario(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		col := NewTraceCollector(10000)
+		m, err := ServeWith(cfg, scn, PolicyDynMGBMA, ServeOptions{
+			Recorder: col.Node(0), SampleEvery: col.SampleEvery(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := col.Events()
+		if len(events) == 0 {
+			b.Fatal("traced run recorded no events")
+		}
+		b.ReportMetric(m.TokensPerKCycle, "tok/kcyc")
+		b.ReportMetric(float64(len(events)), "events")
+	}
+}
+
 // BenchmarkCluster_Smoke runs the stock fleet workload on a four-node
 // cluster under the balanced (power-of-two) and locality (affinity)
 // routers — the cluster layer's entry in the performance trajectory.

@@ -48,7 +48,18 @@
 // harness; -stepcache selects the token-step fast path (on =
 // signature memo shared across the fleet's nodes and the grid's
 // cells, nomemo = no memoized replay, off = the naive reference
-// pipeline); -json switches the report from the aligned table to a
+// pipeline); telemetry flags record the request lifecycle —
+// -trace-out writes a Chrome trace-event JSON trace per cell
+// (openable in Perfetto: router and nodes as processes, batch slots
+// as threads, requests as flow-linked spans), -events-out a JSONL
+// event log, -timeseries-out a CSV of per-node gauges sampled every
+// -sample-every cycles; with more than one cell the paths need a %
+// placeholder that expands to the cell label, and recording is
+// bit-inert — metrics are identical with the flags on or off, and
+// the files are byte-reproducible at any -parallel width (the
+// events' memo-hit annotation shares the step-cache caveat below;
+// -stepcache nomemo removes it);
+// -json switches the report from the aligned table to a
 // JSON document of the full per-cell fleet metrics (TTFT percentiles
 // included); -cpuprofile/-memprofile capture pprof profiles of the
 // run. Runs are deterministic for a fixed flag set at any -parallel
@@ -71,6 +82,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -100,6 +112,9 @@ type cliOpts struct {
 	parallel                       int
 	verbose, jsonOut               bool
 	stepcache                      string
+	traceOut, eventsOut            string
+	timeseriesOut                  string
+	sampleEvery                    int64
 }
 
 func main() {
@@ -136,6 +151,10 @@ func main() {
 	flag.BoolVar(&o.verbose, "v", false, "stream per-cell progress to stderr")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON metrics instead of the table")
 	flag.StringVar(&o.stepcache, "stepcache", "on", "token-step fast path: on, nomemo or off (the naive reference)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON (Perfetto) trace per cell; with >1 cell the path needs a % cell placeholder")
+	flag.StringVar(&o.eventsOut, "events-out", "", "write a JSONL lifecycle-event log per cell (same % placeholder rule)")
+	flag.StringVar(&o.timeseriesOut, "timeseries-out", "", "write a CSV gauge time series per cell (needs -sample-every; same % placeholder rule)")
+	flag.Int64Var(&o.sampleEvery, "sample-every", 0, "sample per-node telemetry gauges every N cycles (0 = off; needs an output path)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -423,7 +442,16 @@ func run(o cliOpts) error {
 
 	base := sim.DefaultConfig()
 	cachePol := experiments.Policy{Label: o.policy, Throttle: pol.Throttle, Arbiter: pol.Arbiter}
-	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode}
+	// Telemetry output paths are validated before any simulation —
+	// inside each mode, where the sweep's cell count (and so the %
+	// placeholder requirement) is known.
+	trace := &telemetry.Spec{
+		TraceOut:      o.traceOut,
+		EventsOut:     o.eventsOut,
+		TimeseriesOut: o.timeseriesOut,
+		SampleEvery:   o.sampleEvery,
+	}
+	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode, Trace: trace}
 	if o.verbose {
 		opts.Log = os.Stderr
 	}
@@ -441,6 +469,9 @@ func run(o cliOpts) error {
 		return runPrefixGrid(o, ccfg, nodeCounts, routerPols, cachePol, opts)
 	}
 
+	if err := trace.Validate(len(nodeCounts)*len(routerPols) > 1); err != nil {
+		return err
+	}
 	scn, err := cluster.NewScenario(ccfg)
 	if err != nil {
 		return err
@@ -494,6 +525,9 @@ func runOverloadGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, r
 	if len(combos) == 1 {
 		return fmt.Errorf("-rates (overload-grid mode) needs -preempt and/or -shed to compare against the uncontrolled baseline")
 	}
+	if err := opts.Trace.Validate(len(rates)*len(combos) > 1); err != nil {
+		return err
+	}
 	grid, err := experiments.OverloadGrid(ccfg, rates, combos, nodeCounts[0], routerPols[0], cachePol, slo, opts)
 	if err != nil {
 		return err
@@ -525,6 +559,9 @@ func runPrefixGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, rou
 	}
 	if len(nodeCounts) != 1 {
 		return fmt.Errorf("-prefix-caches (prefix-grid mode) takes a single -nodes count, got %v", nodeCounts)
+	}
+	if err := opts.Trace.Validate(len(sessions)*len(caches)*len(routerPols) > 1); err != nil {
+		return err
 	}
 	grid, err := experiments.PrefixGrid(ccfg, sessions, caches, routerPols, nodeCounts[0], cachePol, opts)
 	if err != nil {

@@ -71,6 +71,17 @@ func TestRunValidation(t *testing.T) {
 		{"negative slo-tbt", func(o *cliOpts) { o.sloTBT = -0.5 }, "-slo-tbt"},
 		{"explicit zero slo-tbt", func(o *cliOpts) { o.sloTBTSet = true }, "-slo-tbt"},
 		{"bad cache policy", func(o *cliOpts) { o.policy = "bogus" }, "bogus"},
+		{"negative sample-every", func(o *cliOpts) { o.sampleEvery = -1 }, "-sample-every"},
+		{"sample-every without output", func(o *cliOpts) { o.sampleEvery = 100 }, "no output path"},
+		{"timeseries without sample-every", func(o *cliOpts) { o.timeseriesOut = "ts-%.csv" }, "-sample-every"},
+		// The default 3 node counts × all routers sweep has many cells,
+		// so a literal path cannot name every artifact.
+		{"multi-cell trace without placeholder", func(o *cliOpts) { o.traceOut = "trace.json" }, "placeholder"},
+		{"unwritable trace dir", func(o *cliOpts) {
+			o.nodes = "1"
+			o.routers = "round-robin"
+			o.traceOut = "/nonexistent-telemetry-dir/t.json"
+		}, "not writable"},
 	}
 	for _, c := range cases {
 		o := defaultOpts()
@@ -112,6 +123,9 @@ func TestRunOverloadGridModeValidation(t *testing.T) {
 		{"multiple node counts", func(o *cliOpts) { o.nodes = "1,2" }, "single -nodes"},
 		{"multiple routers", func(o *cliOpts) { o.routers = "p2c,affinity" }, "single -routers"},
 		{"no overload control", func(o *cliOpts) { o.shed = "off" }, "-preempt and/or -shed"},
+		// rates × combos > 1, so the overload grid needs the placeholder
+		// too — validated after the combo ladder is built.
+		{"trace without placeholder", func(o *cliOpts) { o.traceOut = "t.json" }, "placeholder"},
 	}
 	for _, c := range cases {
 		err := grid(c.mut)
@@ -138,6 +152,45 @@ func TestParseRates(t *testing.T) {
 	for _, bad := range []string{"", " , ", "1,x", "0", "-2", "1,,0"} {
 		if _, err := parseRates(bad); err == nil {
 			t.Errorf("rates %q accepted", bad)
+		}
+	}
+}
+
+// TestRunTelemetryOutputs: a well-formed telemetry flag set passes
+// validation and a tiny 2-node fleet writes all three artifacts.
+func TestRunTelemetryOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full cluster grid")
+	}
+	dir := t.TempDir()
+	o := defaultOpts()
+	o.streams = 2
+	o.sessions = 1
+	o.scale = 64
+	o.nodes = "2"
+	o.routers = "round-robin"
+	o.tokmin, o.tokmax = 2, 2
+	o.traceOut = dir + "/trace.json"
+	o.eventsOut = dir + "/events.jsonl"
+	o.timeseriesOut = dir + "/ts.csv"
+	o.sampleEvery = 1000
+	old := swallowStdout(t)
+	err := run(o)
+	old()
+	if err != nil {
+		t.Fatalf("telemetry run failed: %v", err)
+	}
+	for path, prefix := range map[string]string{
+		o.traceOut:      `{"traceEvents":`,
+		o.eventsOut:     `{"kind":`,
+		o.timeseriesOut: "cycle,node,",
+	} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+		if !strings.HasPrefix(string(b), prefix) {
+			t.Errorf("%s starts %q, want prefix %q", path, b[:min(len(b), 40)], prefix)
 		}
 	}
 }

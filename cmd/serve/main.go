@@ -33,6 +33,11 @@
 // (-slo-ttft, -slo-tbt) set per-request deadlines and add
 // goodput-under-SLO reports to the output;
 // trace flags (-av, -dumptrace) control per-step trace composition;
+// telemetry flags (-trace-out, -events-out, -timeseries-out,
+// -sample-every) record the deterministic request-lifecycle event
+// stream per policy cell as a Perfetto-loadable Chrome trace, a JSONL
+// event log and a CSV gauge time series (with more than one policy the
+// paths need a % cell placeholder);
 // -scale divides the prompt-length range and the L2 size together,
 // preserving the working-set-to-cache ratio exactly like the figure
 // harnesses; -stepcache selects the token-step fast path (on =
@@ -57,6 +62,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -86,6 +92,9 @@ type cliOpts struct {
 	parallel                       int
 	verbose, jsonOut               bool
 	dumptrace, stepcache           string
+	traceOut, eventsOut            string
+	timeseriesOut                  string
+	sampleEvery                    int64
 }
 
 func main() {
@@ -117,6 +126,10 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON metrics instead of the table")
 	flag.StringVar(&o.dumptrace, "dumptrace", "", "write the first step's composed multi-stream trace to this file")
 	flag.StringVar(&o.stepcache, "stepcache", "on", "token-step fast path: on, nomemo or off (the naive reference)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON (Perfetto) trace per cell; with >1 policy the path needs a % cell placeholder")
+	flag.StringVar(&o.eventsOut, "events-out", "", "write a JSONL lifecycle-event log per cell (same % placeholder rule)")
+	flag.StringVar(&o.timeseriesOut, "timeseries-out", "", "write a CSV gauge time series per cell (needs -sample-every; same % placeholder rule)")
+	flag.Int64Var(&o.sampleEvery, "sample-every", 0, "sample telemetry gauges every N cycles (0 = off; needs an output path)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -281,6 +294,18 @@ func run(o cliOpts) error {
 		return fmt.Errorf("empty policy list")
 	}
 
+	// Telemetry output validation happens before any simulation: a
+	// typo'd directory or a missing % placeholder fails immediately.
+	trace := &telemetry.Spec{
+		TraceOut:      o.traceOut,
+		EventsOut:     o.eventsOut,
+		TimeseriesOut: o.timeseriesOut,
+		SampleEvery:   o.sampleEvery,
+	}
+	if err := trace.Validate(len(pols) > 1); err != nil {
+		return err
+	}
+
 	base := sim.DefaultConfig()
 
 	if o.dumptrace != "" {
@@ -291,7 +316,7 @@ func run(o cliOpts) error {
 
 	// Scale is applied by the grid runner (L2 size / scale), matching
 	// the figure harnesses.
-	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode}
+	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode, Trace: trace}
 	if o.verbose {
 		opts.Log = os.Stderr
 	}

@@ -64,6 +64,16 @@ func TestRunValidation(t *testing.T) {
 		{"explicit zero slo-tbt", func(o *cliOpts) { o.sloTBTSet = true }, "-slo-tbt"},
 		{"empty policy list", func(o *cliOpts) { o.policies = " , " }, "policy"},
 		{"bad policy", func(o *cliOpts) { o.policies = "unopt,bogus" }, "bogus"},
+		{"negative sample-every", func(o *cliOpts) { o.sampleEvery = -1 }, "-sample-every"},
+		{"sample-every without output", func(o *cliOpts) { o.sampleEvery = 100 }, "no output path"},
+		{"timeseries without sample-every", func(o *cliOpts) { o.timeseriesOut = "ts-%.csv" }, "-sample-every"},
+		// The default policy list has two cells, so a literal path
+		// cannot name both artifacts.
+		{"multi-cell trace without placeholder", func(o *cliOpts) { o.traceOut = "trace.json" }, "placeholder"},
+		{"unwritable trace dir", func(o *cliOpts) {
+			o.policies = "unopt"
+			o.traceOut = "/nonexistent-telemetry-dir/t.json"
+		}, "not writable"},
 	}
 	for _, c := range cases {
 		o := defaultOpts()
@@ -75,6 +85,44 @@ func TestRunValidation(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRunTelemetryOutputs: a well-formed telemetry flag set passes
+// validation and a tiny run writes all three artifacts — non-empty,
+// with the expected leading bytes.
+func TestRunTelemetryOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full serve grid")
+	}
+	dir := t.TempDir()
+	o := defaultOpts()
+	o.streams = 2
+	o.scale = 64
+	o.policies = "unopt"
+	o.tokmin, o.tokmax = 2, 2
+	o.traceOut = dir + "/trace.json"
+	o.eventsOut = dir + "/events.jsonl"
+	o.timeseriesOut = dir + "/ts.csv"
+	o.sampleEvery = 1000
+	old := swallowStdout(t)
+	err := run(o)
+	old()
+	if err != nil {
+		t.Fatalf("telemetry run failed: %v", err)
+	}
+	for path, prefix := range map[string]string{
+		o.traceOut:      `{"traceEvents":`,
+		o.eventsOut:     `{"kind":`,
+		o.timeseriesOut: "cycle,node,",
+	} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+		if !strings.HasPrefix(string(b), prefix) {
+			t.Errorf("%s starts %q, want prefix %q", path, b[:min(len(b), 40)], prefix)
 		}
 	}
 }

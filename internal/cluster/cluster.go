@@ -29,6 +29,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options controls cluster execution.
@@ -52,6 +53,18 @@ type Options struct {
 	// results — the zero value disables it and is bit-identical to the
 	// pre-overload router.
 	Overload OverloadConfig
+	// Telemetry attaches a lifecycle-event collector to the run: the
+	// router records its decisions (route/forward/shed/retry/drop)
+	// and every node engine records its lifecycle events and gauge
+	// samples into the collector's per-node buffers. nil — the
+	// default — disables recording; simulated metrics are
+	// bit-identical either way, and the merged event stream is
+	// byte-identical at any Parallel (each buffer is only appended to
+	// by the goroutine driving its node) modulo the MemoHit
+	// annotation, which — like the StepCache diagnostics — depends on
+	// fan-out timing under the shared step memo (see
+	// telemetry.StripMemoHits; StepCacheNoMemo removes the caveat).
+	Telemetry *telemetry.Collector
 }
 
 func (o Options) parallel(nodes int) int {
@@ -182,8 +195,20 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	if tokShare > total {
 		tokShare = total
 	}
+	// Node recorders are created here, sequentially, before any
+	// fan-out: after this loop the collector's buffer set is fixed and
+	// each buffer is touched only by its node's goroutine.
+	var rrec telemetry.Recorder
+	if opts.Telemetry != nil {
+		rrec = opts.Telemetry.Router()
+	}
 	for i := range engines {
-		if engines[i], err = serving.NewEngineWith(cfg, scn.MaxBatch, scn.IncludeAV, stride, ropts); err != nil {
+		eopts := ropts
+		if opts.Telemetry != nil {
+			eopts.Recorder = opts.Telemetry.Node(i)
+			eopts.SampleEvery = opts.Telemetry.SampleEvery()
+		}
+		if engines[i], err = serving.NewEngineWith(cfg, scn.MaxBatch, scn.IncludeAV, stride, eopts); err != nil {
 			return nil, err
 		}
 		engines[i].Prealloc(reqShare, tokShare)
@@ -263,6 +288,19 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 			}
 		}
 		target := rt.pick(r, outstanding, backlog, cachedPrefix)
+		if rrec != nil {
+			// The load snapshots alias the router's scratch slices; the
+			// buffer copies them on record.
+			rev := telemetry.Event{
+				Kind: telemetry.KindRoute, Cycle: t,
+				Req: r.ID, Session: r.Session, Slot: -1, Target: target,
+				Load: outstanding,
+			}
+			if needBacklog {
+				rev.Backlog = backlog
+			}
+			rrec.Record(rev)
+		}
 		if ov.Enabled() && outstanding[target]+backlog[target] >= ov.SaturationTokens {
 			// The picked node is saturated. Forward to the least-loaded
 			// peer if allowed and one has headroom; otherwise shed —
@@ -284,17 +322,45 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 				shed++
 				sessionOf[r.ID] = r.Session
 				retriesOf[r.ID] = ev.attempts
+				if rrec != nil {
+					rrec.Record(telemetry.Event{
+						Kind: telemetry.KindShed, Cycle: t,
+						Req: r.ID, Session: r.Session, Slot: -1, Target: -1,
+						Tokens: ev.attempts,
+					})
+				}
 				if ev.attempts >= ov.MaxRetries {
 					droppedN++
 					droppedReq[r.ID] = true
+					if rrec != nil {
+						rrec.Record(telemetry.Event{
+							Kind: telemetry.KindDrop, Cycle: t,
+							Req: r.ID, Session: r.Session, Slot: -1, Target: -1,
+							Tokens: ev.attempts,
+						})
+					}
 					continue
 				}
 				retried++
-				evq.push(event{at: t + ov.backoff(ev.attempts+1), id: r.ID, req: r, attempts: ev.attempts + 1})
+				backoff := ov.backoff(ev.attempts + 1)
+				if rrec != nil {
+					rrec.Record(telemetry.Event{
+						Kind: telemetry.KindRetry, Cycle: t, Dur: backoff,
+						Req: r.ID, Session: r.Session, Slot: -1, Target: -1,
+						Tokens: ev.attempts + 1,
+					})
+				}
+				evq.push(event{at: t + backoff, id: r.ID, req: r, attempts: ev.attempts + 1})
 				continue
 			}
 			if alt != target {
 				forwarded++
+				if rrec != nil {
+					rrec.Record(telemetry.Event{
+						Kind: telemetry.KindForward, Cycle: t,
+						Req: r.ID, Session: r.Session, Slot: -1, Target: alt,
+					})
+				}
 			}
 			target = alt
 		}

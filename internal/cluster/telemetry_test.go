@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/serving"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// telemetryFleetScenario is the committed 2-node acceptance workload:
+// the bursty overload population of the shedding tests with
+// preemption armed and a session prefix cache, so a single recorded
+// run exercises routing, shedding, retry/backoff, forwarding,
+// preemption, prefix hits and the full prefill/decode/retire chain.
+func telemetryFleetScenario(t *testing.T) Scenario {
+	t.Helper()
+	scn, err := NewScenario(ScenarioConfig{
+		ScenarioConfig: serving.ScenarioConfig{
+			Name: "telemetry/fleet", Seed: 9, NumRequests: 16,
+			Models:       []workload.ModelConfig{workload.Llama3_70B},
+			MinPromptLen: 16, MaxPromptLen: 48,
+			MinDecode: 2, MaxDecode: 5,
+			MeanInterArrival: 15000, MaxBatch: 3,
+			Arrival:      serving.ArrivalConfig{Kind: serving.ArrivalBurst, Period: 80000, Duty: 0.4, Factor: 8},
+			SessionDepth: 2,
+			Sched: serving.SchedulerConfig{Policy: serving.SchedChunked, ChunkTokens: 16,
+				KVCapTokens: 120, Preempt: serving.PreemptNewest, PrefixCacheTokens: 2048},
+		},
+		NumSessions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+// recordedFleetRun runs the committed scenario on 2 nodes under
+// shedding+forwarding with a collector attached and returns the
+// metrics plus the rendered Perfetto trace bytes. The nomemo step
+// cache keeps the MemoHit annotation out of the trace — the only
+// event field that depends on fan-out timing (see
+// telemetry.StripMemoHits) — so the bytes carry no determinism
+// caveat.
+func recordedFleetRun(t *testing.T, parallel int, mode serving.StepCacheMode) (*Metrics, []telemetry.Event, []byte) {
+	t.Helper()
+	col := telemetry.NewCollector(20000)
+	m, err := Run(testConfig(), telemetryFleetScenario(t), 2, Policy{Kind: PrefixAffinity},
+		Options{Parallel: parallel, StepCache: mode, Overload: shedConfig(), Telemetry: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := col.Events()
+	var buf bytes.Buffer
+	if err := telemetry.WritePerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	return m, events, buf.Bytes()
+}
+
+// TestClusterTelemetryAcceptance is the PR's headline scenario: the
+// committed 2-node overload run must show at least one preemption and
+// one shed/retry as named spans in the Perfetto trace, with every
+// event count reconciling exactly against the fleet metrics, and the
+// trace bytes identical at serial and full fan-out widths.
+func TestClusterTelemetryAcceptance(t *testing.T) {
+	m, events, trace := recordedFleetRun(t, 1, serving.StepCacheNoMemo)
+
+	var preempts, prefillSteps int64
+	for _, nm := range m.PerNode {
+		preempts += nm.Preemptions
+		prefillSteps += nm.PrefillSteps
+	}
+	if preempts == 0 || m.Shed == 0 || m.Retries == 0 {
+		t.Fatalf("committed scenario too tame: preempt=%d shed=%d retries=%d", preempts, m.Shed, m.Retries)
+	}
+	if m.PrefixHits == 0 {
+		t.Fatalf("committed scenario produced no prefix hits")
+	}
+
+	// The overload-control story must be visible as spans in the UI.
+	for _, span := range []string{`"preempt r`, `"shed r`, `"retry r`, `"forward r`} {
+		if !bytes.Contains(trace, []byte(span)) {
+			t.Errorf("perfetto trace has no %s… span", span)
+		}
+	}
+
+	// Exact reconciliation: the trace is an accounting document, not a
+	// best-effort log.
+	counts := map[telemetry.Kind]int64{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	for _, c := range []struct {
+		name string
+		kind telemetry.Kind
+		want int64
+	}{
+		{"shed", telemetry.KindShed, m.Shed},
+		{"retry", telemetry.KindRetry, m.Retries},
+		{"forward", telemetry.KindForward, m.Forwarded},
+		{"drop", telemetry.KindDrop, m.Dropped},
+		{"preempt", telemetry.KindPreempt, preempts},
+		{"decode", telemetry.KindDecode, m.Tokens},
+		{"prefill", telemetry.KindPrefill, prefillSteps},
+		{"prefix-hit", telemetry.KindPrefixHit, m.PrefixHits},
+		{"prefix-miss", telemetry.KindPrefixMiss, m.PrefixMisses},
+		{"retire", telemetry.KindRetire, int64(m.Requests) - m.Dropped},
+		// One route decision per dispatch attempt: every arrival plus
+		// every backoff re-entry.
+		{"route", telemetry.KindRoute, int64(m.Requests) + m.Retries},
+	} {
+		if counts[c.kind] != c.want {
+			t.Errorf("%s events: %d, want %d (metrics counter)", c.name, counts[c.kind], c.want)
+		}
+	}
+
+	// Byte-reproducibility: the full fan-out must render the very same
+	// trace, not merely equivalent metrics.
+	_, _, wide := recordedFleetRun(t, runtime.GOMAXPROCS(0), serving.StepCacheNoMemo)
+	if !bytes.Equal(trace, wide) {
+		t.Error("perfetto trace bytes differ between -parallel 1 and full fan-out")
+	}
+}
+
+// TestClusterTelemetryMemoHitException pins the scope of the one
+// determinism caveat: under the shared step memo, which steps replay
+// depends on fan-out timing, so the MemoHit annotation may differ
+// between widths — but after StripMemoHits the two event streams (and
+// hence the exported bytes) must be identical.
+func TestClusterTelemetryMemoHitException(t *testing.T) {
+	_, narrow, _ := recordedFleetRun(t, 1, serving.StepCacheOn)
+	_, wide, _ := recordedFleetRun(t, runtime.GOMAXPROCS(0), serving.StepCacheOn)
+	telemetry.StripMemoHits(narrow)
+	telemetry.StripMemoHits(wide)
+	render := func(events []telemetry.Event) []byte {
+		var buf bytes.Buffer
+		if err := telemetry.WritePerfetto(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(narrow), render(wide)) {
+		t.Error("memo-stripped traces differ between widths — nondeterminism beyond the MemoHit flag")
+	}
+}
+
+// TestClusterTelemetryBitInert: attaching a collector to a fleet run
+// must not change a single metric bit relative to the unrecorded run.
+func TestClusterTelemetryBitInert(t *testing.T) {
+	scn := telemetryFleetScenario(t)
+	cfg := testConfig()
+	opts := Options{Overload: shedConfig()}
+	plain, err := Run(cfg, scn, 2, Policy{Kind: PrefixAffinity}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Telemetry = telemetry.NewCollector(20000)
+	recorded, err := Run(cfg, scn, 2, Policy{Kind: PrefixAffinity}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.StripStepCache()
+	recorded.StripStepCache()
+	if !reflect.DeepEqual(plain, recorded) {
+		t.Error("recording changed the fleet metrics — the bit-inert contract is broken")
+	}
+}

@@ -64,11 +64,19 @@ func RunClusterCells(cells []ClusterCellSpec, opts Options) ([]*cluster.Metrics,
 		cfg.L2SizeBytes /= opts.scale()
 		cfg.Throttle = c.Pol.Throttle
 		cfg.Arbiter = c.Pol.Arbiter
+		col := opts.Trace.Collector()
 		m, err := cluster.Run(cfg, c.Scenario, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Overload})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Overload, Telemetry: col})
 		if err != nil {
 			return fmt.Errorf("cluster cell %s nodes=%d %s %s: %w",
 				c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
+		}
+		if col != nil {
+			label := fmt.Sprintf("%s-n%d-%s-%s", c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label)
+			if err := opts.Trace.Export(label, col); err != nil {
+				return fmt.Errorf("cluster cell %s nodes=%d %s %s: %w",
+					c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
+			}
 		}
 		if opts.Log != nil {
 			logClusterCell(opts, c, m)
@@ -87,10 +95,15 @@ var clusterLogMu sync.Mutex
 func logClusterCell(opts Options, c *ClusterCellSpec, m *cluster.Metrics) {
 	clusterLogMu.Lock()
 	defer clusterLogMu.Unlock()
+	var preempts int64
+	for _, nm := range m.PerNode {
+		preempts += nm.Preemptions
+	}
 	fmt.Fprintf(opts.Log,
-		"%-20s n=%-3d %-18s %-12s tok/kcyc=%.4f imb=%.3f e2e-p99=%.0f memo=%d/%d optrace=%d/%d resets=%d\n",
+		"%-20s n=%-3d %-18s %-12s tok/kcyc=%.4f imb=%.3f e2e-p99=%.0f preempt=%d shed=%d fwd=%d drop=%d pfx-rate=%.2f pfx-saved=%d memo=%d/%d optrace=%d/%d resets=%d\n",
 		c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label,
 		m.FleetTokensPerKCycle, m.LoadImbalance, m.E2ELatency.P99,
+		preempts, m.Shed, m.Forwarded, m.Dropped, m.PrefixHitRate, m.PrefillTokensSaved,
 		m.StepCache.MemoHits, m.StepCache.MemoHits+m.StepCache.MemoMisses,
 		m.StepCache.OpCacheHits, m.StepCache.OpCacheHits+m.StepCache.OpCacheMisses,
 		m.StepCache.SimResets)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -51,6 +52,14 @@ type Options struct {
 	// other's simulated steps. Simulated metrics are bit-identical at
 	// any setting.
 	StepCache serving.StepCacheMode
+	// Trace configures telemetry recording for the serving and cluster
+	// grids: each cell runs with its own collector and writes its own
+	// artifact files, `%` placeholders in the Spec paths expanded to
+	// the cell's label. nil (or a Spec with no output paths) disables
+	// recording — the cells run on the exact bit-inert unrecorded
+	// paths. The single-operator figure harnesses (RunCells) have no
+	// request lifecycle and ignore it.
+	Trace *telemetry.Spec
 }
 
 func (o Options) scale() int {

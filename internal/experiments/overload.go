@@ -118,11 +118,19 @@ func RunOverloadCells(cells []OverloadCellSpec, opts Options) ([]OverloadCellRes
 		cfg.L2SizeBytes /= opts.scale()
 		cfg.Throttle = c.Pol.Throttle
 		cfg.Arbiter = c.Pol.Arbiter
+		col := opts.Trace.Collector()
 		m, err := cluster.Run(cfg, scn, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Combo.Shed})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Combo.Shed, Telemetry: col})
 		if err != nil {
 			return fmt.Errorf("overload cell %s nodes=%d %s %s: %w",
 				scfg.Name, c.Nodes, c.Router, c.Combo.Label, err)
+		}
+		if col != nil {
+			// scfg.Name already carries the rate multiplier.
+			label := fmt.Sprintf("%s-n%d-%s", scfg.Name, c.Nodes, c.Combo.Label)
+			if err := opts.Trace.Export(label, col); err != nil {
+				return fmt.Errorf("overload cell %s %s: %w", scfg.Name, c.Combo.Label, err)
+			}
 		}
 		results[i] = OverloadCellResult{Metrics: m, Goodput: m.Goodput(c.SLO)}
 		if opts.Log != nil {
@@ -147,10 +155,11 @@ func logOverloadCell(opts Options, c *OverloadCellSpec, r *OverloadCellResult) {
 		preempts += nm.Preemptions
 	}
 	fmt.Fprintf(opts.Log,
-		"%-20s x%-5g %-18s goodput=%.4f tok/kcyc=%.4f met=%d/%d dropped=%d preempts=%d\n",
+		"%-20s x%-5g %-18s goodput=%.4f tok/kcyc=%.4f met=%d/%d shed=%d fwd=%d dropped=%d preempts=%d pfx-rate=%.2f pfx-saved=%d\n",
 		c.Config.Name, c.Rate, c.Combo.Label,
 		r.Goodput.GoodputPerKCycle, m.FleetTokensPerKCycle,
-		r.Goodput.MetSLO, m.Requests, m.Dropped, preempts)
+		r.Goodput.MetSLO, m.Requests, m.Shed, m.Forwarded, m.Dropped, preempts,
+		m.PrefixHitRate, m.PrefillTokensSaved)
 }
 
 // OverloadGridResult is one workload family evaluated across an

@@ -87,10 +87,18 @@ func RunPrefixCells(cells []PrefixCellSpec, opts Options) ([]PrefixCellResult, e
 		cfg.L2SizeBytes /= opts.scale()
 		cfg.Throttle = c.Pol.Throttle
 		cfg.Arbiter = c.Pol.Arbiter
+		col := opts.Trace.Collector()
 		m, err := cluster.Run(cfg, scn, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Telemetry: col})
 		if err != nil {
 			return fmt.Errorf("prefix cell %s nodes=%d %s: %w", scfg.Name, c.Nodes, c.Router, err)
+		}
+		if col != nil {
+			// scfg.Name already carries the session/cache point.
+			label := fmt.Sprintf("%s-n%d-%s", scfg.Name, c.Nodes, c.Router)
+			if err := opts.Trace.Export(label, col); err != nil {
+				return fmt.Errorf("prefix cell %s %s: %w", scfg.Name, c.Router, err)
+			}
 		}
 		results[i] = PrefixCellResult{Metrics: m}
 		if opts.Log != nil {

@@ -47,9 +47,22 @@ func RunServeCells(cells []ServeCellSpec, opts Options) ([]*serving.Metrics, err
 		cfg.L2SizeBytes /= opts.scale()
 		cfg.Throttle = c.Pol.Throttle
 		cfg.Arbiter = c.Pol.Arbiter
-		m, err := serving.RunWith(cfg, c.Scenario, serving.RunOptions{StepCache: opts.StepCache})
+		ropts := serving.RunOptions{StepCache: opts.StepCache}
+		col := opts.Trace.Collector()
+		if col != nil {
+			// A serving cell is a 1-node fleet for trace purposes.
+			ropts.Recorder = col.Node(0)
+			ropts.SampleEvery = col.SampleEvery()
+		}
+		m, err := serving.RunWith(cfg, c.Scenario, ropts)
 		if err != nil {
 			return fmt.Errorf("serve cell %s %s: %w", c.Scenario.Name, c.Pol.Label, err)
+		}
+		if col != nil {
+			label := c.Scenario.Name + "-" + c.Pol.Label
+			if err := opts.Trace.Export(label, col); err != nil {
+				return fmt.Errorf("serve cell %s %s: %w", c.Scenario.Name, c.Pol.Label, err)
+			}
 		}
 		if opts.Log != nil {
 			logServeCell(opts, c, m)
@@ -69,9 +82,10 @@ func logServeCell(opts Options, c *ServeCellSpec, m *serving.Metrics) {
 	serveLogMu.Lock()
 	defer serveLogMu.Unlock()
 	fmt.Fprintf(opts.Log,
-		"%-20s %-12s tokens=%-5d steps=%-4d makespan=%-10d tok/kcyc=%.4f p50=%.0f p99=%.0f memo=%d/%d optrace=%d/%d resets=%d\n",
+		"%-20s %-12s tokens=%-5d steps=%-4d makespan=%-10d tok/kcyc=%.4f p50=%.0f p99=%.0f preempt=%d pfx-rate=%.2f pfx-saved=%d memo=%d/%d optrace=%d/%d resets=%d\n",
 		c.Scenario.Name, c.Pol.Label, m.Tokens, m.Steps, m.Makespan,
 		m.TokensPerKCycle, m.TokenLatency.P50, m.TokenLatency.P99,
+		m.Preemptions, m.PrefixHitRate, m.PrefillTokensSaved,
 		m.StepCache.MemoHits, m.StepCache.MemoHits+m.StepCache.MemoMisses,
 		m.StepCache.OpCacheHits, m.StepCache.OpCacheHits+m.StepCache.OpCacheMisses,
 		m.StepCache.SimResets)

@@ -63,6 +63,33 @@ func Compare(t *testing.T, path string, got any) {
 	}
 }
 
+// CompareBytes checks a raw pre-rendered artifact (a Perfetto trace,
+// a JSONL event log, a CSV time series) against the golden file at
+// path, byte for byte. With -update the file is (re)written instead.
+// Use Compare for metric structs — this variant is for exporters whose
+// byte format is itself the contract.
+func CompareBytes(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("goldentest: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("goldentest: %v", err)
+		}
+		t.Logf("goldentest: wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("goldentest: %v (run scripts/update_goldens.sh, or go test -update this package, to create it)", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("golden mismatch against %s (rerun with -update after an INTENTIONAL format change):\n%s",
+			path, diff(want, got))
+	}
+}
+
 // diff renders a compact line-level got/want comparison: the full
 // payloads are small (pinned metric rows), so showing the first
 // diverging line with context beats shipping a diff dependency.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/memtrace"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // stream is one occupied batch slot.
@@ -71,6 +72,17 @@ type Engine struct {
 	prefixHits   int64
 	prefixMisses int64
 	prefillSaved int64 // prompt tokens skipped via prefix hits
+
+	// Telemetry (RunOptions.Recorder; nil = no recording, the exact
+	// pre-telemetry branch structure). rec receives lifecycle events;
+	// memoHit tags the current step's events as memo-replayed;
+	// sampleEvery/nextSample drive the K-cycle gauge sampler (samples
+	// are stamped on the shared k·sampleEvery boundaries so fleet
+	// rollups align across nodes).
+	rec         telemetry.Recorder
+	memoHit     bool
+	sampleEvery int64
+	nextSample  int64
 
 	steps         int64
 	cycles        int64
@@ -141,6 +153,13 @@ func NewEngineWith(cfg sim.Config, maxBatch int, includeAV bool, stride uint64, 
 		running:   make([]StreamState, 0, maxBatch+1),
 		mode:      opts.StepCache,
 		memo:      opts.Memo,
+		rec:       opts.Recorder,
+	}
+	if opts.Recorder != nil && opts.SampleEvery > 0 {
+		e.sampleEvery = opts.SampleEvery
+		// The first sample lands on the first boundary, not cycle 0:
+		// an all-zero gauge row per node carries no information.
+		e.nextSample = opts.SampleEvery
 	}
 	if opts.Sched.PrefixCacheTokens > 0 {
 		e.pfx = newPrefixCache(opts.Sched.PrefixCacheTokens)
@@ -210,6 +229,13 @@ func (e *Engine) Submit(req Request) error {
 	})
 	e.pending = append(e.pending, req)
 	e.unfinished++
+	if e.rec != nil {
+		e.rec.Record(telemetry.Event{
+			Kind: telemetry.KindArrive, Cycle: req.ArrivalCycle,
+			Req: req.ID, Session: req.Session, Slot: -1, Target: -1,
+			Tokens: req.PromptLen, KVLen: int(kvReserve(req)),
+		})
+	}
 	return nil
 }
 
@@ -288,6 +314,13 @@ func (e *Engine) admit() {
 			s.kvLen = prefix
 			s.prefillLeft = req.PromptLen + res - prefix
 			e.slots[slot] = s
+			if e.rec != nil {
+				e.rec.Record(telemetry.Event{
+					Kind: telemetry.KindAdmit, Cycle: e.now,
+					Req: req.ID, Session: req.Session, Slot: slot, Target: -1,
+					Tokens: res, KVLen: int(need),
+				})
+			}
 			continue
 		}
 		e.slots[slot] = s
@@ -295,6 +328,13 @@ func (e *Engine) admit() {
 		st := &e.stats[e.statIdx[req.ID]]
 		st.AdmitCycle = e.now
 		st.QueueDelay = e.now - req.ArrivalCycle
+		if e.rec != nil {
+			e.rec.Record(telemetry.Event{
+				Kind: telemetry.KindAdmit, Cycle: e.now,
+				Req: req.ID, Session: req.Session, Slot: slot, Target: -1,
+				KVLen: int(need),
+			})
+		}
 	}
 }
 
@@ -308,13 +348,22 @@ func (e *Engine) notePrefix(req Request, prefix int) {
 	if e.pfx == nil || req.PrefixLen == 0 {
 		return
 	}
+	kind := telemetry.KindPrefixMiss
 	if prefix > 0 {
 		e.pfx.commit(req.Session)
 		e.prefixHits++
 		e.prefillSaved += int64(prefix)
 		e.stats[e.statIdx[req.ID]].PrefixTokens += prefix
+		kind = telemetry.KindPrefixHit
 	} else {
 		e.prefixMisses++
+	}
+	if e.rec != nil {
+		e.rec.Record(telemetry.Event{
+			Kind: kind, Cycle: e.now,
+			Req: req.ID, Session: req.Session, Slot: -1, Target: -1,
+			Tokens: prefix,
+		})
 	}
 }
 
@@ -372,6 +421,13 @@ func (e *Engine) tryPreempt(head Request, need int64) bool {
 		e.queue = append(e.queue, v.req)
 		e.preemptions++
 		e.stats[e.statIdx[v.req.ID]].Preemptions++
+		if e.rec != nil {
+			e.rec.Record(telemetry.Event{
+				Kind: telemetry.KindPreempt, Cycle: e.now,
+				Req: v.req.ID, Session: v.req.Session, Slot: v.slot, Target: -1,
+				Tokens: v.tokens, KVLen: int(v.reserved),
+			})
+		}
 	}
 	return true
 }
@@ -397,6 +453,7 @@ func (e *Engine) runnable() bool {
 // it. The caller guarantees at least one slot is occupied.
 func (e *Engine) stepOnce() error {
 	e.selectStep()
+	e.memoHit = false
 
 	if e.mode == StepCacheOff {
 		tr, groupSize, err := ComposeStep(e.running, e.includeAV, e.cfg.LineBytes)
@@ -421,6 +478,10 @@ func (e *Engine) stepOnce() error {
 		key = string(e.sigBuf)
 		if r, ok := e.memo.lookup(key); ok {
 			e.cacheStats.MemoHits++
+			// Replayed steps still flow through applyStep, so telemetry
+			// events for memo hits are synthesized from the replayed
+			// (cycles, counters) with MemoHit set — never skipped.
+			e.memoHit = true
 			e.applyStep(r.cycles, &r.counters)
 			return nil
 		}
@@ -515,6 +576,13 @@ func (e *Engine) applyStep(stepCycles int64, ctr *stats.Counters) {
 			s.prefillLeft -= rs.ChunkLen
 			e.prefillTokens += int64(rs.ChunkLen)
 			e.prefillSteps++
+			if e.rec != nil {
+				e.rec.Record(telemetry.Event{
+					Kind: telemetry.KindPrefill, Cycle: e.now, Dur: stepCycles,
+					Req: s.req.ID, Session: s.req.Session, Slot: rs.Slot, Target: -1,
+					Tokens: rs.ChunkLen, MemoHit: e.memoHit,
+				})
+			}
 			continue
 		}
 		s.kvLen++
@@ -527,6 +595,13 @@ func (e *Engine) applyStep(stepCycles int64, ctr *stats.Counters) {
 			st.FirstTokenCycle = e.now
 			st.TTFT = e.now - s.req.ArrivalCycle
 			e.ttfts = append(e.ttfts, float64(st.TTFT))
+		}
+		if e.rec != nil {
+			e.rec.Record(telemetry.Event{
+				Kind: telemetry.KindDecode, Cycle: e.now, Dur: stepCycles,
+				Req: s.req.ID, Session: s.req.Session, Slot: rs.Slot, Target: -1,
+				Tokens: s.tokens, MemoHit: e.memoHit,
+			})
 		}
 		if s.left == 0 {
 			st := &e.stats[e.statIdx[s.req.ID]]
@@ -541,7 +616,52 @@ func (e *Engine) applyStep(stepCycles int64, ctr *stats.Counters) {
 				e.pfx.insert(s.req.Session, int64(s.kvLen))
 			}
 			e.unfinished--
+			if e.rec != nil {
+				e.rec.Record(telemetry.Event{
+					Kind: telemetry.KindRetire, Cycle: e.now,
+					Dur: e.now - s.req.ArrivalCycle,
+					Req: s.req.ID, Session: s.req.Session, Slot: rs.Slot, Target: -1,
+					Tokens: s.tokens, KVLen: s.kvLen,
+				})
+			}
 		}
+	}
+	e.sample()
+}
+
+// sample emits one KindSample gauge event per elapsed k·sampleEvery
+// boundary up to the local clock. Samples are stamped on the boundary
+// cycle itself — every node shares the same cycle grid, so fleet
+// rollups align — and carry the engine state at the first step
+// boundary at or after the sample boundary (engine state only changes
+// at step boundaries; a step is never split to observe it mid-flight).
+func (e *Engine) sample() {
+	if e.sampleEvery <= 0 {
+		return
+	}
+	for e.nextSample <= e.now {
+		running := 0
+		for _, s := range e.slots {
+			if s != nil {
+				running++
+			}
+		}
+		var fill int64
+		if e.pfx != nil {
+			fill = e.pfx.used
+		}
+		e.rec.Record(telemetry.Event{
+			Kind: telemetry.KindSample, Cycle: e.nextSample,
+			Req: -1, Session: -1, Slot: -1, Target: -1,
+			Gauges: telemetry.Gauges{
+				Outstanding: e.OutstandingTokens(),
+				Backlog:     e.PrefillBacklog(),
+				KVUsed:      e.kvUsed,
+				Running:     running,
+				PrefixFill:  fill,
+			},
+		})
+		e.nextSample += e.sampleEvery
 	}
 }
 
@@ -559,6 +679,7 @@ func (e *Engine) AdvanceTo(t int64) error {
 				return nil
 			}
 			e.now = e.pending[0].ArrivalCycle
+			e.sample()
 			continue
 		}
 		if err := e.stepOnce(); err != nil {
@@ -578,6 +699,7 @@ func (e *Engine) Drain() error {
 				return fmt.Errorf("serving: no runnable stream but %d requests unfinished", e.unfinished)
 			}
 			e.now = e.pending[0].ArrivalCycle
+			e.sample()
 			continue
 		}
 		if err := e.stepOnce(); err != nil {

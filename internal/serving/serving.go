@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -178,6 +179,18 @@ type RunOptions struct {
 	// constructing an Engine via NewEngineWith (the cluster layer
 	// does, copying its scenario's scheduler).
 	Sched SchedulerConfig
+	// Recorder receives the engine's lifecycle telemetry events (see
+	// internal/telemetry). nil — the default — disables recording
+	// entirely: every emission site is branch-guarded on it, so an
+	// unrecorded run takes the exact pre-telemetry paths and produces
+	// bit-identical Metrics. The engine calls the recorder only from
+	// the goroutine advancing it.
+	Recorder telemetry.Recorder
+	// SampleEvery emits a gauge sample (outstanding tokens, prefill
+	// backlog, KV reservation, slot occupancy, prefix-cache fill)
+	// every SampleEvery cycles on shared k·SampleEvery boundaries.
+	// 0 disables sampling; ignored when Recorder is nil.
+	SampleEvery int64
 }
 
 // Run executes a serving scenario on the configured system. The

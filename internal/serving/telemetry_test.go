@@ -1,0 +1,194 @@
+package serving
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// telemetryScenario is the committed workload the recording tests
+// run: session-chained conversations under the chunked scheduler with
+// a prefix cache AND a KV capacity tight enough to preempt — so one
+// run exercises arrival, admission, prefix hit/miss, prefill chunks,
+// decode, preemption and retirement.
+func telemetryScenario(t *testing.T) Scenario {
+	t.Helper()
+	scn, err := NewScenario(ScenarioConfig{
+		Name: "telemetry", Seed: 5, NumRequests: 12,
+		MinPromptLen: 32, MaxPromptLen: 96,
+		MinDecode: 4, MaxDecode: 8,
+		MeanInterArrival: 9000, MaxBatch: 4,
+		NumSessions: 2, SessionDepth: 3,
+		Sched: SchedulerConfig{Policy: SchedChunked, ChunkTokens: 16,
+			KVCapTokens: 360, Preempt: PreemptNewest, PrefixCacheTokens: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+// countKinds tallies the merged stream per event kind.
+func countKinds(events []telemetry.Event) map[telemetry.Kind]int64 {
+	counts := map[telemetry.Kind]int64{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	return counts
+}
+
+// TestTelemetryBitInert is the headline disabled-path contract:
+// attaching a recorder must not change a single metric bit. The same
+// scenario runs with and without recording and the full Metrics
+// structs (StepCache diagnostics stripped, as everywhere) must be
+// deeply equal.
+func TestTelemetryBitInert(t *testing.T) {
+	cfg := testConfig()
+	scn := telemetryScenario(t)
+	plain, err := Run(cfg, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector(5000)
+	recorded, err := RunWith(cfg, scn, RunOptions{
+		Recorder: col.Node(0), SampleEvery: col.SampleEvery(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := *plain, *recorded
+	a.StripStepCache()
+	b.StripStepCache()
+	if !reflect.DeepEqual(&a, &b) {
+		t.Error("recording changed the metrics — the bit-inert contract is broken")
+	}
+	if len(col.Events()) == 0 {
+		t.Error("recorded run produced no events")
+	}
+}
+
+// TestTelemetryCountReconciliation: the event stream is not a
+// best-effort log — every lifecycle counter in Metrics must equal the
+// count of its event kind exactly.
+func TestTelemetryCountReconciliation(t *testing.T) {
+	cfg := testConfig()
+	scn := telemetryScenario(t)
+	col := telemetry.NewCollector(0)
+	m, err := RunWith(cfg, scn, RunOptions{Recorder: col.Node(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture must actually exercise the interesting paths.
+	if m.Preemptions == 0 {
+		t.Fatal("fixture produced no preemptions — tighten KVCapTokens")
+	}
+	if m.PrefixHits == 0 {
+		t.Fatal("fixture produced no prefix hits")
+	}
+	counts := countKinds(col.Events())
+	for _, c := range []struct {
+		kind telemetry.Kind
+		want int64
+	}{
+		{telemetry.KindArrive, int64(m.Requests)},
+		{telemetry.KindRetire, int64(m.Requests)},
+		{telemetry.KindDecode, m.Tokens},
+		{telemetry.KindPrefill, m.PrefillSteps},
+		{telemetry.KindPreempt, m.Preemptions},
+		{telemetry.KindPrefixHit, m.PrefixHits},
+		{telemetry.KindPrefixMiss, m.PrefixMisses},
+	} {
+		if counts[c.kind] != c.want {
+			t.Errorf("%v events: %d, want %d (metrics counter)", c.kind, counts[c.kind], c.want)
+		}
+	}
+	// Admissions = retirements + preemptions: every preempted stream
+	// is re-admitted before it can retire.
+	if counts[telemetry.KindAdmit] != int64(m.Requests)+m.Preemptions {
+		t.Errorf("admit events: %d, want %d requests + %d preemptions",
+			counts[telemetry.KindAdmit], m.Requests, m.Preemptions)
+	}
+}
+
+// TestTelemetryMemoReplaySynthesis: steps replayed from the step memo
+// never re-run the analytical model, yet the trace must stay complete
+// and faithful — the same events in the same order with the same
+// payloads as an unmemoized run, differing only in the MemoHit flag.
+func TestTelemetryMemoReplaySynthesis(t *testing.T) {
+	cfg := testConfig()
+	scn := telemetryScenario(t)
+	run := func(mode StepCacheMode, memo *StepMemo) []telemetry.Event {
+		col := telemetry.NewCollector(0)
+		if _, err := RunWith(cfg, scn, RunOptions{
+			StepCache: mode, Memo: memo, Recorder: col.Node(0),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return col.Events()
+	}
+	reference := run(StepCacheNoMemo, nil)
+	// A private memo, primed by a first run so the second replays.
+	memo := NewStepMemo()
+	run(StepCacheOn, memo)
+	replayed := run(StepCacheOn, memo)
+
+	hits := 0
+	for _, ev := range replayed {
+		if ev.MemoHit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("primed rerun replayed nothing from the memo")
+	}
+	if len(reference) != len(replayed) {
+		t.Fatalf("memoized run emitted %d events, reference %d", len(replayed), len(reference))
+	}
+	for i := range reference {
+		a, b := reference[i], replayed[i]
+		b.MemoHit = a.MemoHit // the only licensed difference
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("event %d diverges under memo replay:\nreference: %+v\nreplayed:  %+v", i, reference[i], replayed[i])
+		}
+	}
+}
+
+// TestTelemetrySampleGrid: gauge samples land exactly on the
+// k·SampleEvery cycle grid, cover the run's whole span, and carry
+// internally consistent gauges.
+func TestTelemetrySampleGrid(t *testing.T) {
+	cfg := testConfig()
+	scn := telemetryScenario(t)
+	const every = 5000
+	col := telemetry.NewCollector(every)
+	m, err := RunWith(cfg, scn, RunOptions{Recorder: col.Node(0), SampleEvery: every})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples int
+	var last int64
+	for _, ev := range col.Events() {
+		if ev.Kind != telemetry.KindSample {
+			continue
+		}
+		samples++
+		if ev.Cycle%every != 0 {
+			t.Fatalf("sample at cycle %d is off the %d-cycle grid", ev.Cycle, every)
+		}
+		if ev.Cycle <= last {
+			t.Fatalf("samples not strictly increasing: %d after %d", ev.Cycle, last)
+		}
+		last = ev.Cycle
+		g := ev.Gauges
+		if g.Outstanding < 0 || g.Backlog < 0 || g.KVUsed < 0 || g.Running < 0 || g.PrefixFill < 0 {
+			t.Fatalf("negative gauge at cycle %d: %+v", ev.Cycle, g)
+		}
+		if g.Running > scn.MaxBatch {
+			t.Fatalf("running %d exceeds batch %d", g.Running, scn.MaxBatch)
+		}
+	}
+	if want := m.Makespan / every; int64(samples) != want {
+		t.Errorf("%d samples over makespan %d, want %d (one per full boundary)", samples, m.Makespan, want)
+	}
+}

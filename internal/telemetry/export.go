@@ -1,0 +1,117 @@
+// JSONL and CSV exporters. Both render a merged event stream (see
+// Collector.Events) into byte-deterministic artifacts: field order is
+// fixed by Go struct declaration order, numbers are integers, and the
+// input order is the collector's deterministic merge order.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonlEvent fixes the JSONL field order. ID fields are always
+// emitted (request ID 0 is valid, so omitempty would be lossy);
+// kind-specific payloads are omitted when absent.
+type jsonlEvent struct {
+	Kind    string  `json:"kind"`
+	Cycle   int64   `json:"cycle"`
+	Dur     int64   `json:"dur"`
+	Node    int     `json:"node"`
+	Req     int     `json:"req"`
+	Session int     `json:"session"`
+	Slot    int     `json:"slot"`
+	Tokens  int     `json:"tokens"`
+	KV      int     `json:"kv"`
+	Memo    bool    `json:"memo,omitempty"`
+	Target  int     `json:"target"`
+	Load    []int64 `json:"load,omitempty"`
+	Backlog []int64 `json:"backlog,omitempty"`
+	Gauges  *Gauges `json:"gauges,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per event, one event per line, in
+// the given order.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		ev := &events[i]
+		je := jsonlEvent{
+			Kind:    ev.Kind.String(),
+			Cycle:   ev.Cycle,
+			Dur:     ev.Dur,
+			Node:    ev.Node,
+			Req:     ev.Req,
+			Session: ev.Session,
+			Slot:    ev.Slot,
+			Tokens:  ev.Tokens,
+			KV:      ev.KVLen,
+			Memo:    ev.MemoHit,
+			Target:  ev.Target,
+			Load:    ev.Load,
+			Backlog: ev.Backlog,
+		}
+		if ev.Kind == KindSample {
+			g := ev.Gauges
+			je.Gauges = &g
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTimeseriesCSV renders the KindSample events of a merged stream
+// as CSV rows, one per (cycle, node) sample, followed by a "fleet"
+// rollup row per sample cycle summing the per-node gauges. Engines
+// stamp samples on shared K-cycle boundaries, so same-cycle samples
+// from different nodes are adjacent in the merged stream and roll up
+// exactly.
+func WriteTimeseriesCSV(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("cycle,node,outstanding,backlog,kv_used,running,prefix_fill\n"); err != nil {
+		return err
+	}
+	row := func(cycle int64, node string, g Gauges) {
+		bw.WriteString(strconv.FormatInt(cycle, 10))
+		bw.WriteByte(',')
+		bw.WriteString(node)
+		fmt.Fprintf(bw, ",%d,%d,%d,%d,%d\n",
+			g.Outstanding, g.Backlog, g.KVUsed, g.Running, g.PrefixFill)
+	}
+	var (
+		cur     int64
+		fleet   Gauges
+		pending bool
+	)
+	flush := func() {
+		if pending {
+			row(cur, "fleet", fleet)
+			fleet = Gauges{}
+			pending = false
+		}
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != KindSample {
+			continue
+		}
+		if pending && ev.Cycle != cur {
+			flush()
+		}
+		cur = ev.Cycle
+		row(ev.Cycle, strconv.Itoa(ev.Node), ev.Gauges)
+		fleet.Outstanding += ev.Gauges.Outstanding
+		fleet.Backlog += ev.Gauges.Backlog
+		fleet.KVUsed += ev.Gauges.KVUsed
+		fleet.Running += ev.Gauges.Running
+		fleet.PrefixFill += ev.Gauges.PrefixFill
+		pending = true
+	}
+	flush()
+	return bw.Flush()
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+// exportFixture builds a small hand-written event stream covering
+// every event kind across a router and two nodes — the byte-format
+// contract the exporter goldens pin.
+func exportFixture() []Event {
+	c := NewCollector(50)
+	router := c.Router()
+	n0 := c.Node(0)
+	n1 := c.Node(1)
+	router.Record(Event{Kind: KindRoute, Cycle: 0, Req: 0, Session: 0, Slot: -1, Target: 0,
+		Load: []int64{0, 0}, Backlog: []int64{0, 0}})
+	n0.Record(Event{Kind: KindArrive, Cycle: 0, Req: 0, Session: 0, Slot: -1, Tokens: 64, KVLen: 68, Target: -1})
+	n0.Record(Event{Kind: KindAdmit, Cycle: 0, Req: 0, Session: 0, Slot: 0, KVLen: 68, Target: -1})
+	n0.Record(Event{Kind: KindPrefixMiss, Cycle: 0, Req: 0, Session: 0, Slot: 0, Target: -1})
+	router.Record(Event{Kind: KindRoute, Cycle: 5, Req: 1, Session: 1, Slot: -1, Target: 1,
+		Load: []int64{68, 0}, Backlog: []int64{64, 0}})
+	router.Record(Event{Kind: KindShed, Cycle: 7, Req: 2, Session: 2, Slot: -1, Tokens: 1, Target: -1})
+	router.Record(Event{Kind: KindRetry, Cycle: 7, Req: 2, Session: 2, Slot: -1, Dur: 20, Tokens: 2, Target: -1})
+	router.Record(Event{Kind: KindForward, Cycle: 27, Req: 2, Session: 2, Slot: -1, Target: 1})
+	n1.Record(Event{Kind: KindArrive, Cycle: 5, Req: 1, Session: 1, Slot: -1, Tokens: 32, KVLen: 36, Target: -1})
+	n1.Record(Event{Kind: KindAdmit, Cycle: 5, Req: 1, Session: 1, Slot: 0, KVLen: 36, Target: -1})
+	n1.Record(Event{Kind: KindPrefixHit, Cycle: 5, Req: 1, Session: 1, Slot: 0, Tokens: 16, Target: -1})
+	n0.Record(Event{Kind: KindPrefill, Cycle: 30, Dur: 30, Req: 0, Session: 0, Slot: 0, Tokens: 32, Target: -1})
+	n0.Record(Event{Kind: KindPrefill, Cycle: 60, Dur: 30, Req: 0, Session: 0, Slot: 0, Tokens: 32, MemoHit: true, Target: -1})
+	n1.Record(Event{Kind: KindPreempt, Cycle: 40, Req: 1, Session: 1, Slot: 0, Tokens: 0, KVLen: 36, Target: -1})
+	n0.Record(Event{Kind: KindSample, Cycle: 50, Req: -1, Session: -1, Slot: -1, Target: -1,
+		Gauges: Gauges{Outstanding: 70, Backlog: 0, KVUsed: 68, Running: 1, PrefixFill: 16}})
+	n1.Record(Event{Kind: KindSample, Cycle: 50, Req: -1, Session: -1, Slot: -1, Target: -1,
+		Gauges: Gauges{Outstanding: 36, Backlog: 32, KVUsed: 0, Running: 0, PrefixFill: 16}})
+	n0.Record(Event{Kind: KindDecode, Cycle: 90, Dur: 30, Req: 0, Session: 0, Slot: 0, Tokens: 1, MemoHit: true, Target: -1})
+	n0.Record(Event{Kind: KindDecode, Cycle: 120, Dur: 30, Req: 0, Session: 0, Slot: 0, Tokens: 2, Target: -1})
+	n0.Record(Event{Kind: KindRetire, Cycle: 120, Dur: 120, Req: 0, Session: 0, Slot: 0, Tokens: 2, KVLen: 68, Target: -1})
+	n0.Record(Event{Kind: KindSample, Cycle: 100, Req: -1, Session: -1, Slot: -1, Target: -1,
+		Gauges: Gauges{Outstanding: 2, KVUsed: 68, Running: 1, PrefixFill: 16}})
+	router.Record(Event{Kind: KindDrop, Cycle: 130, Req: 2, Session: 2, Slot: -1, Tokens: 3, Target: -1})
+	return c.Events()
+}
+
+// TestWritePerfettoGolden pins the Chrome trace-event rendering byte
+// for byte: metadata records, slice/flow/counter shapes and the args
+// maps are all part of the contract Perfetto consumes.
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.CompareBytes(t, "testdata/export.perfetto.golden.json", buf.Bytes())
+}
+
+// TestWriteJSONLGolden pins the JSONL event-log rendering.
+func TestWriteJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.CompareBytes(t, "testdata/export.events.golden.jsonl", buf.Bytes())
+}
+
+// TestWriteTimeseriesCSVGolden pins the gauge time-series rendering,
+// including the per-cycle fleet rollup rows.
+func TestWriteTimeseriesCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeseriesCSV(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.CompareBytes(t, "testdata/export.timeseries.golden.csv", buf.Bytes())
+}
+
+// TestPerfettoAcceptanceSpans: the overload control path renders as
+// named spans — a trace of a preempting, shedding fleet must show
+// them, which is what makes the trace useful in the Perfetto UI.
+func TestPerfettoAcceptanceSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"preempt r1"`, `"shed r2"`, `"retry r2"`, `"forward r2"`,
+		`"process_name"`, `"router"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perfetto trace missing %s", want)
+		}
+	}
+}

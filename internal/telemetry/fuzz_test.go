@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCellPath: the placeholder expansion must always yield a path
+// with no % left, no path separators introduced by the label, and a
+// slug made only of the sanitiser's safe alphabet — for any pattern
+// and any label, including hostile ones ("../../x", "%%%", unicode).
+func FuzzCellPath(f *testing.F) {
+	f.Add("out/%.json", "mix/16req/seed1")
+	f.Add("trace-%.json", "Unopt Policy")
+	f.Add("fixed.json", "label")
+	f.Add("%%", "../../etc/passwd")
+	f.Add("a%b%c", "s\x00lug\n")
+	f.Fuzz(func(t *testing.T, pattern, label string) {
+		slug := SanitizeLabel(label)
+		for _, r := range slug {
+			safe := r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '.' || r == '_' || r == '-'
+			if !safe {
+				t.Fatalf("SanitizeLabel(%q) contains unsafe rune %q", label, r)
+			}
+		}
+		if strings.HasPrefix(slug, "-") || strings.HasSuffix(slug, "-") {
+			t.Fatalf("SanitizeLabel(%q) = %q keeps edge dashes", label, slug)
+		}
+		got := CellPath(pattern, label)
+		if strings.Contains(pattern, "%") {
+			if strings.Contains(got, "%") {
+				t.Fatalf("CellPath(%q, %q) = %q leaves a placeholder", pattern, label, got)
+			}
+			// The label must not smuggle separators or traversal into the
+			// expanded path: only the pattern's own separators survive.
+			if strings.Count(got, "/") != strings.Count(pattern, "/") {
+				t.Fatalf("CellPath(%q, %q) = %q changed the directory depth", pattern, label, got)
+			}
+		} else if got != pattern {
+			t.Fatalf("CellPath(%q, %q) = %q rewrote a placeholder-free pattern", pattern, label, got)
+		}
+	})
+}

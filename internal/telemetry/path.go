@@ -1,0 +1,159 @@
+// Output-path handling for the telemetry CLI flags: cell-label
+// expansion of `%` placeholders, label sanitisation, and the up-front
+// validation both CLIs run before starting a sweep (so a typo'd
+// directory fails in milliseconds, not after the simulation).
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Spec configures telemetry output for a run or sweep. Empty paths
+// disable the corresponding exporter; a nil *Spec (or one with no
+// paths) disables recording entirely.
+type Spec struct {
+	// TraceOut is the Chrome trace-event JSON (Perfetto) output
+	// path. In multi-cell sweeps it must contain a `%` placeholder,
+	// replaced per cell with the sanitised cell label.
+	TraceOut string
+	// EventsOut is the JSONL event-log output path (same `%` rule).
+	EventsOut string
+	// TimeseriesOut is the CSV gauge time-series output path (same
+	// `%` rule); requires SampleEvery > 0.
+	TimeseriesOut string
+	// SampleEvery is the gauge sampling period in cycles (0 = off).
+	SampleEvery int64
+}
+
+// Enabled reports whether any output is configured, i.e. whether the
+// run needs a Collector at all.
+func (s *Spec) Enabled() bool {
+	return s != nil && (s.TraceOut != "" || s.EventsOut != "" || s.TimeseriesOut != "")
+}
+
+// Validate checks the spec before any simulation runs: sampling
+// bounds, the sample/output pairing, `%` placeholders when the sweep
+// has more than one cell, and that each output directory is writable.
+func (s *Spec) Validate(multiCell bool) error {
+	if s == nil {
+		return nil
+	}
+	if s.SampleEvery < 0 {
+		return fmt.Errorf("-sample-every must be >= 0, got %d", s.SampleEvery)
+	}
+	if s.SampleEvery > 0 && !s.Enabled() {
+		return errors.New("-sample-every is set but no output path is configured (need -trace-out, -events-out or -timeseries-out)")
+	}
+	if s.TimeseriesOut != "" && s.SampleEvery == 0 {
+		return errors.New("-timeseries-out requires -sample-every > 0")
+	}
+	for _, p := range []struct{ flag, path string }{
+		{"-trace-out", s.TraceOut},
+		{"-events-out", s.EventsOut},
+		{"-timeseries-out", s.TimeseriesOut},
+	} {
+		if p.path == "" {
+			continue
+		}
+		if multiCell && !strings.Contains(p.path, "%") {
+			return fmt.Errorf("%s %q: sweep produces multiple cells; the path needs a %% placeholder (expanded to the cell label)", p.flag, p.path)
+		}
+		if err := checkWritableDir(p.flag, CellPath(p.path, "probe")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkWritableDir probes that path's directory exists and accepts
+// new files, without leaving anything behind.
+func checkWritableDir(flag, path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".telemetry-probe-*")
+	if err != nil {
+		return fmt.Errorf("%s: output directory %q is not writable: %v", flag, dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}
+
+// CellPath expands every `%` in pattern with the sanitised cell
+// label. Patterns without a placeholder are returned unchanged
+// (single-cell runs).
+func CellPath(pattern, label string) string {
+	if !strings.Contains(pattern, "%") {
+		return pattern
+	}
+	return strings.ReplaceAll(pattern, "%", SanitizeLabel(label))
+}
+
+// SanitizeLabel maps an arbitrary cell label to a filesystem-safe
+// slug: ASCII letters are lowercased, digits and `.`/`_`/`-` are
+// kept, every other rune becomes `-`, and leading/trailing dashes are
+// trimmed.
+func SanitizeLabel(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '.' || r == '_' || r == '-':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// Export writes every configured artifact for one cell, expanding
+// `%` placeholders with label. The collector's merged stream is
+// materialised once and shared by all exporters.
+func (s *Spec) Export(label string, col *Collector) error {
+	if !s.Enabled() {
+		return nil
+	}
+	events := col.Events()
+	write := func(path string, fn func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(CellPath(path, label))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(s.TraceOut, func(f *os.File) error { return WritePerfetto(f, events) }); err != nil {
+		return fmt.Errorf("telemetry: trace-out: %w", err)
+	}
+	if err := write(s.EventsOut, func(f *os.File) error { return WriteJSONL(f, events) }); err != nil {
+		return fmt.Errorf("telemetry: events-out: %w", err)
+	}
+	if err := write(s.TimeseriesOut, func(f *os.File) error { return WriteTimeseriesCSV(f, events) }); err != nil {
+		return fmt.Errorf("telemetry: timeseries-out: %w", err)
+	}
+	return nil
+}
+
+// Collector returns a collector sized for this spec's sampling
+// period, or nil when no output is configured — the nil flows through
+// as a nil Recorder, keeping the simulators on their unrecorded
+// (bit-inert) path.
+func (s *Spec) Collector() *Collector {
+	if !s.Enabled() {
+		return nil
+	}
+	return NewCollector(s.SampleEvery)
+}

@@ -1,0 +1,221 @@
+// Chrome trace-event JSON exporter: the merged event stream rendered
+// as a Perfetto/chrome://tracing-loadable trace. Nodes map to
+// processes (pid = node+1; the router is pid 0), batch slots to
+// threads (tid = slot+1; node-level events use tid 0), lifecycle
+// events to "X" complete slices (dur 0 for instants), gauge samples to
+// "C" counter tracks, and each request to a flow chain ("s"/"t"/"f"
+// with the request ID) linking its spans from arrival/route through
+// prefill, decode and preemption to retirement.
+//
+// The output is byte-deterministic: events arrive in the collector's
+// merge order, every JSON object is a struct with fixed field order,
+// and args maps are marshalled by encoding/json with sorted keys.
+// Timestamps are simulation cycles reported as microseconds.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func pidOf(node int) int { return node + 1 }
+
+func tidOf(slot int) int {
+	if slot < 0 {
+		return 0
+	}
+	return slot + 1
+}
+
+// WritePerfetto writes the event stream as Chrome trace-event JSON.
+func WritePerfetto(w io.Writer, events []Event) error {
+	out := make([]traceEvent, 0, 2*len(events)+16)
+
+	// Topology scan for process/thread metadata: which nodes and
+	// slots appear, and whether the router recorded anything.
+	router := false
+	slots := map[int]map[int]bool{} // node -> slots seen
+	maxNode := -1
+	for i := range events {
+		ev := &events[i]
+		if ev.Node < 0 {
+			router = true
+			continue
+		}
+		if ev.Node > maxNode {
+			maxNode = ev.Node
+		}
+		if slots[ev.Node] == nil {
+			slots[ev.Node] = map[int]bool{}
+		}
+		if ev.Slot >= 0 {
+			slots[ev.Node][ev.Slot] = true
+		}
+	}
+	meta := func(name string, pid, tid int, args map[string]any) {
+		out = append(out, traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args})
+	}
+	if router {
+		meta("process_name", pidOf(-1), 0, map[string]any{"name": "router"})
+		meta("process_sort_index", pidOf(-1), 0, map[string]any{"sort_index": 0})
+		meta("thread_name", pidOf(-1), 0, map[string]any{"name": "dispatch"})
+	}
+	for n := 0; n <= maxNode; n++ {
+		meta("process_name", pidOf(n), 0, map[string]any{"name": fmt.Sprintf("node %d", n)})
+		meta("process_sort_index", pidOf(n), 0, map[string]any{"sort_index": n + 1})
+		meta("thread_name", pidOf(n), 0, map[string]any{"name": "engine"})
+		ss := make([]int, 0, len(slots[n]))
+		for s := range slots[n] {
+			ss = append(ss, s)
+		}
+		sort.Ints(ss)
+		for _, s := range ss {
+			meta("thread_name", pidOf(n), tidOf(s), map[string]any{"name": fmt.Sprintf("slot %d", s)})
+		}
+	}
+
+	counter := func(ev *Event, name, series string, v int64) {
+		out = append(out, traceEvent{
+			Name: name, Ph: "C", Ts: ev.Cycle, Pid: pidOf(ev.Node),
+			Args: map[string]any{series: v},
+		})
+	}
+	started := map[int]bool{}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind == KindSample {
+			counter(ev, "outstanding tokens", "tokens", ev.Gauges.Outstanding)
+			counter(ev, "prefill backlog", "tokens", ev.Gauges.Backlog)
+			counter(ev, "kv reserved", "tokens", ev.Gauges.KVUsed)
+			counter(ev, "slots running", "slots", int64(ev.Gauges.Running))
+			counter(ev, "prefix cache fill", "tokens", ev.Gauges.PrefixFill)
+			continue
+		}
+		name := ev.Kind.String()
+		if ev.Req >= 0 {
+			name += " r" + strconv.Itoa(ev.Req)
+		}
+		switch ev.Kind {
+		case KindDecode:
+			name += " #" + strconv.Itoa(ev.Tokens)
+		case KindPrefill:
+			name += " +" + strconv.Itoa(ev.Tokens)
+		}
+		args := sliceArgs(ev)
+		// Events are stamped at their completion cycle, so a span starts
+		// Dur cycles earlier — except retries, which are stamped at the
+		// shed decision with the backoff window extending forward.
+		start := ev.Cycle - ev.Dur
+		if ev.Kind == KindRetry {
+			start = ev.Cycle
+		}
+		pid, tid := pidOf(ev.Node), tidOf(ev.Slot)
+		out = append(out, traceEvent{
+			Name: name, Ph: "X", Ts: start, Dur: ev.Dur,
+			Pid: pid, Tid: tid, Args: args,
+		})
+		if ev.Req < 0 {
+			continue
+		}
+		flow := traceEvent{
+			Name: "req", Ts: start, Pid: pid, Tid: tid,
+			ID: "r" + strconv.Itoa(ev.Req),
+		}
+		switch {
+		case !started[ev.Req]:
+			flow.Ph = "s"
+			started[ev.Req] = true
+		case ev.Kind == KindRetire || ev.Kind == KindDrop:
+			flow.Ph = "f"
+			flow.BP = "e"
+		default:
+			flow.Ph = "t"
+		}
+		out = append(out, flow)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i := range out {
+		data, err := json.Marshal(&out[i])
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		bw.Write(data)
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// sliceArgs renders the kind-specific payload of a lifecycle event as
+// Perfetto slice args. Keys are chosen per kind so the UI shows only
+// meaningful fields.
+func sliceArgs(ev *Event) map[string]any {
+	args := map[string]any{}
+	if ev.Session >= 0 {
+		args["session"] = ev.Session
+	}
+	switch ev.Kind {
+	case KindArrive:
+		args["prompt"] = ev.Tokens
+		args["kv_reserve"] = ev.KVLen
+	case KindRoute, KindForward:
+		args["target"] = ev.Target
+		if ev.Load != nil {
+			args["load"] = ev.Load
+		}
+		if ev.Backlog != nil {
+			args["backlog"] = ev.Backlog
+		}
+	case KindRetry:
+		args["attempt"] = ev.Tokens
+		args["backoff"] = ev.Dur
+	case KindShed:
+		args["attempt"] = ev.Tokens
+	case KindAdmit:
+		args["kv_reserve"] = ev.KVLen
+		if ev.Tokens > 0 {
+			args["resumed_tokens"] = ev.Tokens
+		}
+	case KindPrefixHit:
+		args["saved_tokens"] = ev.Tokens
+	case KindPrefill, KindDecode:
+		args["tokens"] = ev.Tokens
+		if ev.MemoHit {
+			args["memo_hit"] = true
+		}
+	case KindPreempt:
+		args["kept_tokens"] = ev.Tokens
+		args["kv_released"] = ev.KVLen
+	case KindRetire:
+		args["tokens"] = ev.Tokens
+		args["latency"] = ev.Dur
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}

@@ -45,6 +45,7 @@ package llamcat
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/arbiter"
 	"repro/internal/cluster"
@@ -53,6 +54,7 @@ import (
 	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -524,4 +526,58 @@ type OverloadConfig = cluster.OverloadConfig
 // "SAT[:RETRIES[:BACKOFF[:forward]]]".
 func ParseOverload(s string) (OverloadConfig, error) {
 	return cluster.ParseOverload(s)
+}
+
+// TraceEvent re-exports one telemetry lifecycle event: a typed record
+// (arrival, routing, admission, prefill chunk, decode step, prefix
+// hit, preemption, shed/retry, retirement or gauge sample) stamped
+// with the global cycle and request/session/node/slot identity.
+type TraceEvent = telemetry.Event
+
+// TraceEventKind re-exports the event-kind enum of TraceEvent.
+type TraceEventKind = telemetry.Kind
+
+// TraceRecorder re-exports the pluggable event sink. A nil recorder
+// (the default everywhere) keeps every simulator on its unrecorded
+// path, bit-identical to builds without telemetry.
+type TraceRecorder = telemetry.Recorder
+
+// TraceCollector re-exports the deterministic event collector: one
+// append-only buffer per node plus a router buffer, merged into a
+// single cycle-ordered stream whose bytes are identical at any
+// internal parallelism.
+type TraceCollector = telemetry.Collector
+
+// TraceSpec re-exports the output configuration of the telemetry CLI
+// flags (trace/events/timeseries paths plus the sampling period) with
+// its validation and per-cell export helpers.
+type TraceSpec = telemetry.Spec
+
+// NewTraceCollector returns a collector sampling per-node gauges
+// every sampleEvery cycles (0 disables sampling). Wire its Node(i)
+// recorders into ServeOptions.Recorder or pass the collector as
+// ClusterOptions.Telemetry.
+func NewTraceCollector(sampleEvery int64) *TraceCollector {
+	return telemetry.NewCollector(sampleEvery)
+}
+
+// WritePerfettoTrace writes the merged event stream as Chrome
+// trace-event JSON, openable at https://ui.perfetto.dev: the router
+// and each node render as processes, batch slots as threads, and each
+// request's lifecycle as a flow-linked chain of spans.
+func WritePerfettoTrace(w io.Writer, events []TraceEvent) error {
+	return telemetry.WritePerfetto(w, events)
+}
+
+// WriteTraceJSONL writes the merged event stream as one JSON object
+// per line, in deterministic order.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	return telemetry.WriteJSONL(w, events)
+}
+
+// WriteTraceTimeseriesCSV writes the gauge samples of the merged
+// event stream as a CSV time series: one row per (cycle, node) plus a
+// fleet rollup row per sampling boundary.
+func WriteTraceTimeseriesCSV(w io.Writer, events []TraceEvent) error {
+	return telemetry.WriteTimeseriesCSV(w, events)
 }

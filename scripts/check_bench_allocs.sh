@@ -15,6 +15,11 @@
 # BenchmarkCluster_Overload (ISSUE 6) runs the overload stack (bursty
 # arrivals, preemption, shedding) at around 25k allocs/op; its
 # ceiling guards the overload paths' participation in the fast path.
+# BenchmarkServe_Traced (ISSUE 8) is BenchmarkServe_Default with a
+# telemetry collector attached; its ceiling equals the default-path
+# ceiling, pinning the contract that recording may never cost more
+# allocations than an unrecorded run's budget (the disabled path needs
+# no ceiling of its own — a nil recorder IS BenchmarkServe_Default).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,8 +27,9 @@ SERVE_CEILING=25000
 CLUSTER_CEILING=45000
 CHUNKED_CEILING=40000
 OVERLOAD_CEILING=50000
+TRACED_CEILING=$SERVE_CEILING
 
-out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkServe_Chunked$|BenchmarkCluster_Smoke$|BenchmarkCluster_Overload$' -benchtime=1x -benchmem)"
+out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkServe_Chunked$|BenchmarkServe_Traced$|BenchmarkCluster_Smoke$|BenchmarkCluster_Overload$' -benchtime=1x -benchmem)"
 echo "$out"
 
 fail=0
@@ -46,6 +52,7 @@ check() {
 
 check BenchmarkServe_Default "$SERVE_CEILING"
 check BenchmarkServe_Chunked "$CHUNKED_CEILING"
+check BenchmarkServe_Traced "$TRACED_CEILING"
 check BenchmarkCluster_Smoke "$CLUSTER_CEILING"
 check BenchmarkCluster_Overload "$OVERLOAD_CEILING"
 

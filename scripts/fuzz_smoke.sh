@@ -21,4 +21,5 @@ run() { # run <package> <target>...
 
 run ./internal/serving FuzzParseArrival FuzzParseSchedPolicy FuzzParsePreemptPolicy
 run ./internal/cluster FuzzParseOverload FuzzParsePolicy
+run ./internal/telemetry FuzzCellPath
 run ./cmd/cluster FuzzParseRates
