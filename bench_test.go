@@ -598,6 +598,62 @@ func BenchmarkCluster_Overload(b *testing.B) {
 	}
 }
 
+// BenchmarkCluster_Faulty runs a fleet through the fault-tolerance
+// stack: a mid-run node crash with in-flight victims redispatched to
+// the survivors (re-prefilling their generated tokens), a straggler
+// window tripling another node's step costs, and health-aware routing
+// around the 5000-cycle detection blind spot. The recovery counters
+// ride along as custom metrics, keeping fault tolerance visible in
+// the performance trajectory.
+func BenchmarkCluster_Faulty(b *testing.B) {
+	defer record(b)()
+	scale := benchScale()
+	minP := 512 / scale
+	if minP < 16 {
+		minP = 16
+	}
+	maxP := 2048 / scale
+	if maxP < minP {
+		maxP = minP
+	}
+	scn, err := NewClusterScenario(ClusterScenarioConfig{
+		ScenarioConfig: ServeScenarioConfig{
+			Name: "bench/faulty", Seed: 11, NumRequests: 16,
+			MinPromptLen: minP, MaxPromptLen: maxP,
+			MinDecode: 2, MaxDecode: 5,
+			MeanInterArrival: 10000, MaxBatch: 2,
+			Sched: SchedulerConfig{Policy: SchedChunked, ChunkTokens: 16},
+		},
+		NumSessions: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The crash lands inside the arrival window at every LLAMCAT_SCALE
+	// (16 arrivals at a 10k-cycle mean span ~160k cycles), so victims
+	// are always in flight when node 0 dies.
+	faults := FaultConfig{
+		Crashes:       []NodeCrash{{Node: 0, At: 60000, Rejoin: 220000}},
+		Stragglers:    []NodeStraggler{{Node: 1, From: 100000, To: 300000, Factor: 3}},
+		DetectLatency: 5000,
+	}
+	cfg := DefaultConfig()
+	cfg.L2SizeBytes /= scale
+	for i := 0; i < b.N; i++ {
+		m, err := ServeClusterWith(cfg, scn, 2, RouterLeastOutstanding, PolicyDynMGBMA, ClusterOptions{Faults: faults})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Redispatched == 0 {
+			b.Fatal("committed crash recovered no in-flight requests")
+		}
+		b.ReportMetric(m.FleetTokensPerKCycle, "tok/kcyc")
+		b.ReportMetric(float64(m.Redispatched), "redispatched")
+		b.ReportMetric(float64(m.LostTokens), "lost-tok")
+		b.ReportMetric(float64(m.DowntimeCycles), "downtime")
+	}
+}
+
 // BenchmarkCluster_Prefix runs a session-heavy conversational fleet —
 // depth-3 sessions whose follow-up turns extend a shared prompt
 // prefix — through the prefix-cache stack: per-node LRU prefix

@@ -16,6 +16,8 @@
 //	cluster -rates 1,2,4 -nodes 2 -routers least-outstanding -shed 400 -slo-ttft 2000000
 //	cluster -sched chunked -session-depth 3 -prefix-cache 4096 -routers affinity,prefix-affinity
 //	cluster -sched chunked -session-depth 3 -prefix-caches 0,4096 -session-sweep 4,8 -nodes 2
+//	cluster -faults crash:0:50000:150000,detect:5000 -nodes 2 -routers lot -slo-ttft 600000
+//	cluster -fault-mtbfs 100000,300000 -fault-mttrs 50000 -fault-detect 5000 -nodes 4 -routers lot
 //	cluster -json                             # machine-readable fleet metrics
 //
 // Workload flags (-streams, -sessions, -seqmin/-seqmax,
@@ -41,8 +43,16 @@
 // this); -prefix-caches switches to the prefix-grid mode — the
 // workload is regenerated at each -session-sweep locality point and
 // swept across cache capacities × -routers, producing the
-// TTFT-vs-router curves of the prefix-reuse study; -nodes and -routers
-// shape the evaluation matrix; -policy selects the cache-level
+// TTFT-vs-router curves of the prefix-reuse study; -faults injects a
+// deterministic crash/straggler schedule into a single run (explicit
+// crash:/slow: clauses or a gen: splitmix64 generator, detect:
+// detection latency, redispatch/drop in-flight recovery, aware/blind
+// routing) and -fault-mtbfs x -fault-mttrs switches to the
+// fault-grid mode — each MTBF x MTTR regime is run twice, in-flight
+// redispatch vs drop-on-failure, on one generated crash schedule
+// (seeded by -seed, -fault-count crashes per node, -fault-detect
+// detection latency), producing goodput-per-failure-regime tables;
+// -nodes and -routers shape the evaluation matrix; -policy selects the cache-level
 // (throttle+arbiter) policy every node runs; -scale divides the
 // prompt-length range and the L2 size together, like every other
 // harness; -stepcache selects the token-step fast path (on =
@@ -106,9 +116,14 @@ type cliOpts struct {
 	chunk                          int
 	kvcap                          int64
 	arrival, preempt, shed, rates  string
+	faults                         string
+	faultMTBFs, faultMTTRs         string
+	faultDetect                    int64
+	faultCount                     int
 	sloTTFT                        int64
 	sloTBT                         float64
 	sloTTFTSet, sloTBTSet          bool
+	faultDetectSet, faultCountSet  bool
 	parallel                       int
 	verbose, jsonOut               bool
 	stepcache                      string
@@ -147,6 +162,11 @@ func main() {
 	flag.Int64Var(&o.sloTTFT, "slo-ttft", 0, "TTFT SLO deadline in cycles (0 = no TTFT deadline)")
 	flag.Float64Var(&o.sloTBT, "slo-tbt", 0, "mean time-between-tokens SLO deadline in cycles (0 = no TBT deadline)")
 	flag.StringVar(&o.rates, "rates", "", "overload-grid mode: comma-separated arrival-rate multipliers (e.g. 1,2,4) swept against the -preempt/-shed combos")
+	flag.StringVar(&o.faults, "faults", "off", "node-failure schedule: off or comma-joined clauses crash:NODE:AT[:REJOIN], slow:NODE:FROM:TO:FACTOR, gen:SEED:MTBF:MTTR:COUNT, detect:CYCLES, drop|redispatch, blind|aware")
+	flag.StringVar(&o.faultMTBFs, "fault-mtbfs", "", "fault-grid mode: comma-separated mean-time-between-failures values in cycles (needs -fault-mttrs)")
+	flag.StringVar(&o.faultMTTRs, "fault-mttrs", "", "fault-grid mode: comma-separated mean-time-to-repair values in cycles (needs -fault-mtbfs)")
+	flag.Int64Var(&o.faultDetect, "fault-detect", 0, "fault-grid mode: failure-detection latency in cycles (>= 0)")
+	flag.IntVar(&o.faultCount, "fault-count", 3, "fault-grid mode: crash incidents per generated schedule")
 	flag.IntVar(&o.parallel, "parallel", 0, "concurrent cells / node engines (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.verbose, "v", false, "stream per-cell progress to stderr")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON metrics instead of the table")
@@ -160,6 +180,8 @@ func main() {
 	flag.Parse()
 	o.sloTTFTSet = flagSet("slo-ttft")
 	o.sloTBTSet = flagSet("slo-tbt")
+	o.faultDetectSet = flagSet("fault-detect")
+	o.faultCountSet = flagSet("fault-count")
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {
@@ -351,6 +373,10 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
+	faults, err := cluster.ParseFaults(o.faults)
+	if err != nil {
+		return err
+	}
 	// Validate the workload shape up front with flag-level messages
 	// instead of letting a deep generator or engine error (or hang)
 	// report it. An SLO deadline flag passed explicitly must be
@@ -462,11 +488,38 @@ func run(o cliOpts) error {
 	if o.sessionSweep != "" && o.prefixCaches == "" {
 		return fmt.Errorf("-session-sweep only applies to the -prefix-caches grid mode")
 	}
+	// The fault flags: -fault-mtbfs/-fault-mttrs come as a pair and
+	// select the fault-grid mode; an explicit -faults schedule runs the
+	// standard matrix on a single node count. Neither composes with the
+	// other grid modes.
+	if (o.faultMTBFs != "") != (o.faultMTTRs != "") {
+		return fmt.Errorf("-fault-mtbfs and -fault-mttrs (fault-grid mode) come as a pair, got one without the other")
+	}
+	if (o.faultDetectSet || o.faultCountSet) && o.faultMTBFs == "" {
+		return fmt.Errorf("-fault-detect/-fault-count only apply to the -fault-mtbfs grid mode (a single run's detection latency goes in the -faults spec)")
+	}
+	if faults.Enabled() || o.faultMTBFs != "" {
+		what := "-faults"
+		if o.faultMTBFs != "" {
+			what = "-fault-mtbfs"
+		}
+		switch {
+		case faults.Enabled() && o.faultMTBFs != "":
+			return fmt.Errorf("-faults (explicit schedule) and -fault-mtbfs (fault grid) select different modes, pick one")
+		case o.rates != "" || o.prefixCaches != "":
+			return fmt.Errorf("%s does not compose with the -rates/-prefix-caches grid modes", what)
+		case len(nodeCounts) != 1:
+			return fmt.Errorf("%s names fleet-relative node indices and takes a single -nodes count, got %v", what, nodeCounts)
+		}
+	}
 	if o.rates != "" {
 		return runOverloadGrid(o, ccfg, nodeCounts, routerPols, cachePol, preemptPol, overload, slo, opts)
 	}
 	if o.prefixCaches != "" {
 		return runPrefixGrid(o, ccfg, nodeCounts, routerPols, cachePol, opts)
+	}
+	if o.faultMTBFs != "" {
+		return runFaultGrid(o, ccfg, nodeCounts, routerPols, cachePol, slo, opts)
 	}
 
 	if err := trace.Validate(len(nodeCounts)*len(routerPols) > 1); err != nil {
@@ -476,7 +529,7 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	grid, err := experiments.ClusterGridWith(scn, nodeCounts, routerPols, cachePol, overload, opts)
+	grid, err := experiments.ClusterGridFaulty(scn, nodeCounts, routerPols, cachePol, overload, faults, opts)
 	if err != nil {
 		return err
 	}
@@ -537,6 +590,71 @@ func runOverloadGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, r
 	}
 	fmt.Print(grid.Render())
 	return nil
+}
+
+// runFaultGrid is the -fault-mtbfs/-fault-mttrs mode: one fleet shape
+// swept across an MTBF × MTTR matrix of generated failure regimes,
+// each cell run under both recovery policies (redispatch and drop),
+// reporting goodput per regime. The crash schedules are generated from
+// -seed, with -fault-count incidents per schedule and -fault-detect
+// cycles of detection latency.
+func runFaultGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, routerPols []cluster.Policy,
+	cachePol experiments.Policy, slo serving.SLO, opts experiments.Options) error {
+	mtbfs, err := parseFaultTimes("-fault-mtbfs", o.faultMTBFs)
+	if err != nil {
+		return err
+	}
+	mttrs, err := parseFaultTimes("-fault-mttrs", o.faultMTTRs)
+	if err != nil {
+		return err
+	}
+	if o.faultDetect < 0 {
+		return fmt.Errorf("-fault-detect must be non-negative, got %d", o.faultDetect)
+	}
+	if o.faultCount <= 0 {
+		return fmt.Errorf("-fault-count must be positive, got %d", o.faultCount)
+	}
+	if len(routerPols) != 1 {
+		return fmt.Errorf("-fault-mtbfs (fault-grid mode) takes a single -routers policy, got %d", len(routerPols))
+	}
+	if err := opts.Trace.Validate(2*len(mtbfs)*len(mttrs) > 1); err != nil {
+		return err
+	}
+	grid, err := experiments.FaultGrid(ccfg, mtbfs, mttrs, o.seed, o.faultCount, o.faultDetect,
+		nodeCounts[0], routerPols[0], cachePol, slo, opts)
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		return writeFaultJSON(grid, o.scale)
+	}
+	fmt.Print(grid.Render())
+	return nil
+}
+
+// parseFaultTimes reads one of the fault-grid time axes, rejecting
+// non-positive and non-finite values up front (like parseRates, a NaN
+// would slip past a plain <= 0 check).
+func parseFaultTimes(name, list string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid %s entry %q: %v", name, s, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, fmt.Errorf("%s entries must be positive and finite, got %v", name, v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty %s list", name)
+	}
+	return out, nil
 }
 
 // runPrefixGrid is the -prefix-caches mode: one fleet shape swept
@@ -655,6 +773,58 @@ func writePrefixJSON(grid *experiments.PrefixGridResult, scale int) error {
 					Metrics: grid.Cells[i][j][k].Metrics,
 				})
 			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// faultJSONCell is one (mtbf, mttr, recovery) cell of the fault-grid
+// -json document.
+type faultJSONCell struct {
+	MTBF     float64            `json:"mtbf"`
+	MTTR     float64            `json:"mttr"`
+	Recovery string             `json:"recovery"`
+	Metrics  *cluster.Metrics   `json:"metrics"`
+	Goodput  *serving.SLOReport `json:"goodput"`
+}
+
+// faultJSONDoc is the fault-grid -json report.
+type faultJSONDoc struct {
+	Workload string          `json:"workload"`
+	Nodes    int             `json:"nodes"`
+	Router   string          `json:"router"`
+	Policy   string          `json:"policy"`
+	Scale    int             `json:"scale"`
+	Seed     uint64          `json:"seed"`
+	Count    int             `json:"fault_count"`
+	Detect   int64           `json:"detect_cycles"`
+	SLO      serving.SLO     `json:"slo"`
+	Cells    []faultJSONCell `json:"cells"`
+}
+
+// writeFaultJSON emits the fault grid as an indented JSON document on
+// stdout.
+func writeFaultJSON(grid *experiments.FaultGridResult, scale int) error {
+	doc := faultJSONDoc{
+		Workload: grid.Config.Name,
+		Nodes:    grid.Nodes,
+		Router:   grid.Router.String(),
+		Policy:   grid.Pol.Label,
+		Scale:    scale,
+		Seed:     grid.Seed,
+		Count:    grid.Count,
+		Detect:   grid.Detect,
+		SLO:      grid.SLO,
+	}
+	for i, mtbf := range grid.MTBFs {
+		for j, mttr := range grid.MTTRs {
+			cell := grid.Cells[i][j]
+			re, dr := cell.Redispatch.Goodput, cell.Drop.Goodput
+			doc.Cells = append(doc.Cells,
+				faultJSONCell{MTBF: mtbf, MTTR: mttr, Recovery: "redispatch", Metrics: cell.Redispatch.Metrics, Goodput: &re},
+				faultJSONCell{MTBF: mtbf, MTTR: mttr, Recovery: "drop", Metrics: cell.Drop.Metrics, Goodput: &dr})
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

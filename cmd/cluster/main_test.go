@@ -18,6 +18,7 @@ func defaultOpts() cliOpts {
 		seed: 1, scale: 8,
 		sched: "decode-only", chunk: 32,
 		arrival: "poisson", preempt: "off", shed: "off",
+		faults: "off", faultCount: 3,
 		stepcache: "on",
 	}
 }
@@ -71,6 +72,20 @@ func TestRunValidation(t *testing.T) {
 		{"negative slo-tbt", func(o *cliOpts) { o.sloTBT = -0.5 }, "-slo-tbt"},
 		{"explicit zero slo-tbt", func(o *cliOpts) { o.sloTBTSet = true }, "-slo-tbt"},
 		{"bad cache policy", func(o *cliOpts) { o.policy = "bogus" }, "bogus"},
+		{"bad faults spec", func(o *cliOpts) { o.faults = "crash:0" }, "fault spec"},
+		{"faults detector without schedule", func(o *cliOpts) { o.faults = "detect:5000" }, "detector/recovery"},
+		{"faults need single nodes", func(o *cliOpts) { o.faults = "crash:0:50000" }, "single -nodes"},
+		{"faults vs fault grid", func(o *cliOpts) {
+			o.nodes = "2"
+			o.routers = "least-outstanding"
+			o.faults = "crash:0:50000"
+			o.faultMTBFs = "100000"
+			o.faultMTTRs = "50000"
+		}, "pick one"},
+		{"mtbfs without mttrs", func(o *cliOpts) { o.faultMTBFs = "100000" }, "-fault-mttrs"},
+		{"mttrs without mtbfs", func(o *cliOpts) { o.faultMTTRs = "50000" }, "-fault-mtbfs"},
+		{"fault-detect outside grid mode", func(o *cliOpts) { o.faultDetectSet = true }, "-fault-detect"},
+		{"fault-count outside grid mode", func(o *cliOpts) { o.faultCountSet = true }, "-fault-count"},
 		{"negative sample-every", func(o *cliOpts) { o.sampleEvery = -1 }, "-sample-every"},
 		{"sample-every without output", func(o *cliOpts) { o.sampleEvery = 100 }, "no output path"},
 		{"timeseries without sample-every", func(o *cliOpts) { o.timeseriesOut = "ts-%.csv" }, "-sample-every"},
@@ -135,6 +150,69 @@ func TestRunOverloadGridModeValidation(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRunFaultGridModeValidation: the -fault-mtbfs/-fault-mttrs mode
+// has its own constraints — well-formed positive finite axes, exactly
+// one node count and router, and sane detector/count parameters.
+func TestRunFaultGridModeValidation(t *testing.T) {
+	grid := func(mut func(*cliOpts)) error {
+		o := defaultOpts()
+		// A minimal well-formed fault-grid flag set; each case breaks one
+		// piece of it.
+		o.faultMTBFs = "100000,400000"
+		o.faultMTTRs = "50000"
+		o.nodes = "2"
+		o.routers = "least-outstanding"
+		mut(&o)
+		return run(o)
+	}
+	cases := []struct {
+		name string
+		mut  func(*cliOpts)
+		want string
+	}{
+		{"bad mtbf entry", func(o *cliOpts) { o.faultMTBFs = "100000,x" }, "-fault-mtbfs"},
+		{"zero mtbf", func(o *cliOpts) { o.faultMTBFs = "0" }, "-fault-mtbfs"},
+		{"nan mttr", func(o *cliOpts) { o.faultMTTRs = "NaN" }, "-fault-mttrs"},
+		{"infinite mttr", func(o *cliOpts) { o.faultMTTRs = "Inf" }, "-fault-mttrs"},
+		{"multiple node counts", func(o *cliOpts) { o.nodes = "1,2" }, "single -nodes"},
+		{"multiple routers", func(o *cliOpts) { o.routers = "p2c,affinity" }, "single -routers"},
+		{"negative detect", func(o *cliOpts) { o.faultDetect = -1; o.faultDetectSet = true }, "-fault-detect"},
+		{"zero count", func(o *cliOpts) { o.faultCount = 0; o.faultCountSet = true }, "-fault-count"},
+		{"composed with rates", func(o *cliOpts) { o.rates = "1,2"; o.shed = "60" }, "-fault-mtbfs"},
+		{"composed with prefix grid", func(o *cliOpts) { o.prefixCaches = "0,64"; o.sched = "chunked" }, "-fault-mtbfs"},
+		// mtbfs × mttrs × 2 recovery policies > 1 cell, so telemetry paths
+		// need the placeholder here too.
+		{"trace without placeholder", func(o *cliOpts) { o.traceOut = "t.json" }, "placeholder"},
+	}
+	for _, c := range cases {
+		err := grid(c.mut)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestParseFaultTimes: the fault-grid axis grammar rejects
+// non-positive, non-finite and malformed entries.
+func TestParseFaultTimes(t *testing.T) {
+	got, err := parseFaultTimes("-fault-mtbfs", " 100000, 2.5e5 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{100000, 2.5e5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parsed %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", " , ", "1,x", "0", "-2", "NaN", "Inf", "1e400"} {
+		if _, err := parseFaultTimes("-fault-mtbfs", bad); err == nil {
+			t.Errorf("axis %q accepted", bad)
 		}
 	}
 }

@@ -53,6 +53,13 @@ type Options struct {
 	// results — the zero value disables it and is bit-identical to the
 	// pre-overload router.
 	Overload OverloadConfig
+	// Faults is the run's fault-injection and recovery configuration:
+	// a deterministic schedule of node crashes and straggler windows,
+	// the failure detector's blind window, and the recovery policy for
+	// in-flight requests lost with a crashed node (see FaultConfig).
+	// Like Overload it changes simulated results — the zero value
+	// disables it and is bit-identical to the immortal fleet.
+	Faults FaultConfig
 	// Telemetry attaches a lifecycle-event collector to the run: the
 	// router records its decisions (route/forward/shed/retry/drop)
 	// and every node engine records its lifecycle events and gauge
@@ -149,6 +156,21 @@ type Metrics struct {
 	Forwarded int64
 	Retries   int64
 	Dropped   int64
+	// Faults is the fault-injection configuration the run used; the
+	// counters below aggregate the per-node fault outcomes and stay
+	// zero when it is disabled. Failures counts node crash events,
+	// Redispatched the unfinished requests recovered off crashed nodes
+	// through the router, LostTokens the decode tokens whose KV died
+	// with a node (recomputed as prefill on redispatch), and
+	// DowntimeCycles the total node-cycles spent down. Requests lost
+	// to a crash under the drop-on-failure policy — and dispatches
+	// that exhausted their retry budget against dead nodes — count in
+	// Dropped/Retries above alongside the overload-control outcomes.
+	Faults         FaultConfig
+	Failures       int64
+	Redispatched   int64
+	LostTokens     int64
+	DowntimeCycles int64
 	// StepCache aggregates the per-node token-step fast-path
 	// diagnostics. Like serving.Metrics.StepCache it sits outside the
 	// bit-identity guarantees: concurrently advancing nodes race to
@@ -157,6 +179,9 @@ type Metrics struct {
 	StepCache serving.StepCacheStats
 	// PerNode holds every node's full serving metrics, node order.
 	PerNode []*serving.Metrics
+	// PerNodeFaults holds every node's fault outcome, node order; nil
+	// when fault injection is disabled.
+	PerNodeFaults []NodeFaultStats
 	// PerRequest holds one entry per request, in request-ID order.
 	PerRequest []RequestStats
 }
@@ -218,6 +243,16 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	if err := ov.Validate(); err != nil {
 		return nil, err
 	}
+	ft := opts.Faults
+	if err := ft.Validate(); err != nil {
+		return nil, err
+	}
+	var fplan []faultEvent
+	if ft.Enabled() {
+		if fplan, err = ft.plan(nodes); err != nil {
+			return nil, err
+		}
+	}
 
 	reqs := make([]Request, len(scn.Requests))
 	copy(reqs, scn.Requests)
@@ -241,6 +276,35 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	if pol.Kind == PrefixAffinity {
 		cachedPrefix = make([]int64, nodes)
 	}
+	// Fault-injection state. down is ground truth; excludedV is the
+	// failure detector's view, trailing reality by DetectLatency (nil
+	// when blind or when faults are off — the router then decides
+	// exactly as the immortal fleet). carried holds the timing stats a
+	// crashed node had accumulated for its victims, overlaid during
+	// assembly so TTFT/queue-delay keep measuring from the ORIGINAL
+	// arrival across a redispatch.
+	var (
+		down       []bool
+		downSince  []int64
+		excludedV  []bool
+		nodeFaults []NodeFaultStats
+		carried    map[int]serving.RequestStats
+	)
+	if ft.Enabled() {
+		down = make([]bool, nodes)
+		downSince = make([]int64, nodes)
+		nodeFaults = make([]NodeFaultStats, nodes)
+		carried = make(map[int]serving.RequestStats)
+		if !ft.Blind {
+			excludedV = make([]bool, nodes)
+		}
+	}
+	// Retry policy for dispatches lost to dead nodes: overload
+	// control's budget when enabled, the stock defaults otherwise.
+	rp := ov
+	if !ov.Enabled() {
+		rp = OverloadConfig{MaxRetries: DefaultMaxRetries, BackoffBase: DefaultBackoffBase}
+	}
 	// The dispatch loop is event-driven: fresh arrivals and backoff
 	// re-entries share one (cycle, ID)-ordered queue. The sorted
 	// request slice is already a valid min-heap; with overload control
@@ -251,20 +315,127 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		origArrival[r.ID] = r.ArrivalCycle
 		evq = append(evq, event{at: r.ArrivalCycle, id: r.ID, req: r})
 	}
-	for len(evq) > 0 {
-		ev := evq.pop()
-		t := ev.at
-		// Fleet fan-out: every node progresses to the event horizon
-		// concurrently; each engine is touched only by its own index.
-		// Simultaneous events share one fan-out — re-advancing to the
-		// same horizon is a no-op on every node (engines start at cycle
-		// 0, matching the initial horizon).
-		if t != horizon {
-			err := pool.ForEach(nodes, par, func(i int) error { return engines[i].AdvanceTo(t) })
-			if err != nil {
+	// Fleet fan-out: every node progresses to the event horizon
+	// concurrently; each engine is touched only by its own index.
+	// Simultaneous events share one fan-out — re-advancing to the
+	// same horizon is a no-op on every node (engines start at cycle
+	// 0, matching the initial horizon).
+	advance := func(t int64) error {
+		if t == horizon {
+			return nil
+		}
+		if err := pool.ForEach(nodes, par, func(i int) error { return engines[i].AdvanceTo(t) }); err != nil {
+			return err
+		}
+		horizon = t
+		return nil
+	}
+	fi := 0
+	for len(evq) > 0 || fi < len(fplan) {
+		// Fault transitions interleave with dispatches in global cycle
+		// order, faults first at equal cycles: a crash at cycle C takes
+		// down the node before a cycle-C dispatch can land on it, and a
+		// rejoin at C receives cycle-C work cold. Within one cycle the
+		// faultOp order applies (rejoin < slow-end < slow-start < crash
+		// < detect). All transitions run sequentially between fan-outs,
+		// so determinism at any Parallel is preserved.
+		if fi < len(fplan) && (len(evq) == 0 || fplan[fi].at <= evq[0].at) {
+			f := fplan[fi]
+			fi++
+			if err := advance(f.at); err != nil {
 				return nil, err
 			}
-			horizon = t
+			switch f.op {
+			case opCrash:
+				victims, lost := engines[f.node].Crash()
+				down[f.node] = true
+				downSince[f.node] = f.at
+				nodeFaults[f.node].Failures++
+				nodeFaults[f.node].LostTokens += lost
+				if rrec != nil {
+					rrec.Record(telemetry.Event{
+						Kind: telemetry.KindNodeDown, Cycle: f.at, Dur: ft.DetectLatency,
+						Req: -1, Session: -1, Slot: -1, Target: f.node,
+						Tokens: len(victims), KVLen: int(lost),
+					})
+				}
+				reAt := f.at + ft.DetectLatency
+				for _, v := range victims {
+					id := v.Req.ID
+					if prev, again := carried[id]; again {
+						// Crashed more than once: the earliest admission and
+						// first-token timestamps survive every hop.
+						if v.Stats.AdmitCycle == 0 {
+							v.Stats.AdmitCycle = prev.AdmitCycle
+						}
+						if v.Stats.FirstTokenCycle == 0 {
+							v.Stats.FirstTokenCycle = prev.FirstTokenCycle
+						}
+						v.Stats.Preemptions += prev.Preemptions
+					}
+					carried[id] = v.Stats
+					sessionOf[id] = v.Req.Session
+					if ft.Drop {
+						// Drop-on-failure: the victim dies with its node.
+						droppedN++
+						droppedReq[id] = true
+						if rrec != nil {
+							rrec.Record(telemetry.Event{
+								Kind: telemetry.KindDrop, Cycle: f.at,
+								Req: id, Session: v.Req.Session, Slot: -1, Target: -1,
+								Tokens: retriesOf[id],
+							})
+						}
+						continue
+					}
+					// Redispatch: the victim re-enters the arrival queue once
+					// the detector can have noticed the crash, carrying the
+					// decode tokens it had generated so the new node
+					// re-prefills them instead of re-emitting them.
+					nodeFaults[f.node].Redispatched++
+					if rrec != nil {
+						rrec.Record(telemetry.Event{
+							Kind: telemetry.KindRedispatch, Cycle: reAt,
+							Req: id, Session: v.Req.Session, Slot: -1, Target: -1,
+							Tokens: v.Tokens,
+						})
+					}
+					evq.push(event{
+						at: reAt, id: id,
+						req:      Request{Request: v.Req, Session: v.Req.Session},
+						attempts: retriesOf[id], resume: v.Tokens,
+					})
+				}
+			case opRejoin:
+				nodeFaults[f.node].DowntimeCycles += f.at - downSince[f.node]
+				if rrec != nil {
+					rrec.Record(telemetry.Event{
+						Kind: telemetry.KindNodeUp, Cycle: f.at, Dur: f.at - downSince[f.node],
+						Req: -1, Session: -1, Slot: -1, Target: f.node,
+					})
+				}
+				down[f.node] = false
+				if excludedV != nil {
+					excludedV[f.node] = false
+				}
+			case opDetect:
+				// The detection only lands if the node is still down from
+				// the SAME incident — a crash that rejoined within the blind
+				// window (or crashed again) must not be mis-marked.
+				if excludedV != nil && down[f.node] && downSince[f.node] == f.incident {
+					excludedV[f.node] = true
+				}
+			case opSlowStart:
+				engines[f.node].SetSlowdown(f.factor)
+			case opSlowEnd:
+				engines[f.node].SetSlowdown(1)
+			}
+			continue
+		}
+		ev := evq.pop()
+		t := ev.at
+		if err := advance(t); err != nil {
+			return nil, err
 		}
 		for i, e := range engines {
 			outstanding[i] = e.OutstandingTokens()
@@ -287,7 +458,7 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 				cachedPrefix[i] = e.CachedPrefix(r.Session)
 			}
 		}
-		target := rt.pick(r, outstanding, backlog, cachedPrefix)
+		target := rt.pick(r, outstanding, backlog, cachedPrefix, excludedV)
 		if rrec != nil {
 			// The load snapshots alias the router's scratch slices; the
 			// buffer copies them on record.
@@ -308,13 +479,17 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 			// once the retry budget is spent.
 			alt := -1
 			if ov.Forward {
-				best := 0
-				for i := 1; i < nodes; i++ {
-					if outstanding[i]+backlog[i] < outstanding[best]+backlog[best] {
+				best := -1
+				for i := 0; i < nodes; i++ {
+					if excludedV != nil && excludedV[i] {
+						// Never forward onto a node the detector knows is dead.
+						continue
+					}
+					if best < 0 || outstanding[i]+backlog[i] < outstanding[best]+backlog[best] {
 						best = i
 					}
 				}
-				if outstanding[best]+backlog[best] < ov.SaturationTokens {
+				if best >= 0 && outstanding[best]+backlog[best] < ov.SaturationTokens {
 					alt = best
 				}
 			}
@@ -364,6 +539,38 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 			}
 			target = alt
 		}
+		if down != nil && down[target] {
+			// The target is dead and the router could not know — the
+			// detector is still blind to this crash (or routing is blind
+			// by configuration). The dispatch is lost: the request
+			// re-enters through the deterministic backoff path and drops
+			// once its retry budget is spent.
+			sessionOf[r.ID] = r.Session
+			retriesOf[r.ID] = ev.attempts
+			if ev.attempts >= rp.MaxRetries {
+				droppedN++
+				droppedReq[r.ID] = true
+				if rrec != nil {
+					rrec.Record(telemetry.Event{
+						Kind: telemetry.KindDrop, Cycle: t,
+						Req: r.ID, Session: r.Session, Slot: -1, Target: -1,
+						Tokens: ev.attempts,
+					})
+				}
+				continue
+			}
+			retried++
+			backoff := rp.backoff(ev.attempts + 1)
+			if rrec != nil {
+				rrec.Record(telemetry.Event{
+					Kind: telemetry.KindRetry, Cycle: t, Dur: backoff,
+					Req: r.ID, Session: r.Session, Slot: -1, Target: -1,
+					Tokens: ev.attempts + 1,
+				})
+			}
+			evq.push(event{at: t + backoff, id: r.ID, req: r, attempts: ev.attempts + 1, resume: ev.resume})
+			continue
+		}
 		// Dispatch. The submitted copy carries the DISPATCH cycle as its
 		// arrival so per-node submission order stays nondecreasing even
 		// for backoff re-entries (for a never-shed request the two
@@ -375,7 +582,12 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		// may set only the outer field, and the node's prefix cache keys
 		// on what the engine sees.
 		sub.Session = r.Session
-		if err := engines[target].Submit(sub); err != nil {
+		if ev.resume > 0 {
+			err = engines[target].SubmitResume(sub, ev.resume)
+		} else {
+			err = engines[target].Submit(sub)
+		}
+		if err != nil {
 			return nil, err
 		}
 		sessionOf[r.ID] = r.Session
@@ -405,6 +617,7 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 		Forwarded: forwarded,
 		Retries:   retried,
 		Dropped:   droppedN,
+		Faults:    ft,
 		PerNode:   make([]*serving.Metrics, nodes),
 	}
 	var steps int64
@@ -427,6 +640,20 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	if m.Makespan > 0 {
 		m.FleetTokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)
 	}
+	if ft.Enabled() {
+		for i := range nodeFaults {
+			if down[i] && m.Makespan > downSince[i] {
+				// Permanently-down node: charge downtime up to the fleet
+				// makespan (no rejoin event ever closes the window).
+				nodeFaults[i].DowntimeCycles += m.Makespan - downSince[i]
+			}
+			m.Failures += nodeFaults[i].Failures
+			m.Redispatched += nodeFaults[i].Redispatched
+			m.LostTokens += nodeFaults[i].LostTokens
+			m.DowntimeCycles += nodeFaults[i].DowntimeCycles
+		}
+		m.PerNodeFaults = nodeFaults
+	}
 	if steps > 0 {
 		m.MeanBatchOccupancy = float64(m.Tokens) / float64(steps)
 	}
@@ -445,6 +672,23 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 			rs.ArrivalCycle = origArrival[rs.ID]
 			rs.QueueDelay += delta
 			rs.TTFT += delta
+			if c, ok := carried[rs.ID]; ok {
+				// Redispatched request: the finishing node resumed it
+				// mid-decode, so its row lacks the admission and
+				// first-token timestamps the crashed node recorded. The
+				// carried stats restore them against the ORIGINAL arrival
+				// — a recovered request's TTFT is when its stream truly
+				// started, not when it was re-prefilled.
+				if rs.AdmitCycle == 0 && c.AdmitCycle != 0 {
+					rs.AdmitCycle = c.AdmitCycle
+					rs.QueueDelay = c.AdmitCycle - origArrival[rs.ID]
+				}
+				if rs.FirstTokenCycle == 0 && c.FirstTokenCycle != 0 {
+					rs.FirstTokenCycle = c.FirstTokenCycle
+					rs.TTFT = c.FirstTokenCycle - origArrival[rs.ID]
+				}
+				rs.Preemptions += c.Preemptions
+			}
 			m.PerRequest[rs.ID] = RequestStats{
 				RequestStats: rs,
 				Node:         i,
@@ -557,6 +801,10 @@ func (m *Metrics) String() string {
 	if m.Overload.Enabled() {
 		fmt.Fprintf(&b, "overload          %s: shed %d  forwarded %d  retries %d  dropped %d\n",
 			m.Overload, m.Shed, m.Forwarded, m.Retries, m.Dropped)
+	}
+	if m.Faults.Enabled() {
+		fmt.Fprintf(&b, "faults            %s: failures %d  redispatched %d  lost tokens %d  downtime %d cycles\n",
+			m.Faults, m.Failures, m.Redispatched, m.LostTokens, m.DowntimeCycles)
 	}
 	fmt.Fprintf(&b, "e2e latency       p50 %.0f  p95 %.0f  p99 %.0f  max %.0f cycles\n",
 		m.E2ELatency.P50, m.E2ELatency.P95, m.E2ELatency.P99, m.E2ELatency.Max)

@@ -162,14 +162,14 @@ func TestRouterPolicies(t *testing.T) {
 		load := []int64{100, 0, 0} // ignored by design
 		zeros := make([]int64, 3)
 		for k := 0; k < 7; k++ {
-			if got := rt.pick(req(k, 0), load, zeros, nil); got != k%3 {
+			if got := rt.pick(req(k, 0), load, zeros, nil, nil); got != k%3 {
 				t.Fatalf("dispatch %d went to node %d, want %d", k, got, k%3)
 			}
 		}
 	})
 	t.Run("least-outstanding", func(t *testing.T) {
 		rt := newRouter(Policy{Kind: LeastOutstanding}, 4)
-		if got := rt.pick(req(0, 0), []int64{5, 3, 9, 3}, make([]int64, 4), nil); got != 1 {
+		if got := rt.pick(req(0, 0), []int64{5, 3, 9, 3}, make([]int64, 4), nil, nil); got != 1 {
 			t.Fatalf("picked node %d, want the first minimum 1", got)
 		}
 	})
@@ -179,7 +179,7 @@ func TestRouterPolicies(t *testing.T) {
 		load := []int64{4, 1, 3, 2}
 		zeros := make([]int64, 4)
 		for k := 0; k < 32; k++ {
-			x, y := a.pick(req(k, 0), load, zeros, nil), b.pick(req(k, 0), load, zeros, nil)
+			x, y := a.pick(req(k, 0), load, zeros, nil, nil), b.pick(req(k, 0), load, zeros, nil, nil)
 			if x != y {
 				t.Fatalf("same seed diverged at dispatch %d: %d vs %d", k, x, y)
 			}
@@ -192,12 +192,12 @@ func TestRouterPolicies(t *testing.T) {
 		// least-outstanding pick would take node 1.
 		load := []int64{5, 1, 3, 6}
 		backlog := []int64{0, 90, 0, 0}
-		if got := rt.pick(req(0, 0), load, backlog, nil); got != 2 {
+		if got := rt.pick(req(0, 0), load, backlog, nil, nil); got != 2 {
 			t.Fatalf("picked node %d, want the least-pressure node 2", got)
 		}
 		// Zero backlog everywhere (decode-only fleet): degenerates to
 		// least-outstanding, ties to the lowest index.
-		if got := rt.pick(req(1, 0), []int64{4, 2, 2, 9}, make([]int64, 4), nil); got != 1 {
+		if got := rt.pick(req(1, 0), []int64{4, 2, 2, 9}, make([]int64, 4), nil, nil); got != 1 {
 			t.Fatalf("picked node %d, want least-outstanding tie-break 1", got)
 		}
 	})
@@ -208,7 +208,7 @@ func TestRouterPolicies(t *testing.T) {
 		homes := map[int]int{}
 		for k := 0; k < 40; k++ {
 			session := k % 5
-			got := rt.pick(req(k, session), load, zeros, nil)
+			got := rt.pick(req(k, session), load, zeros, nil, nil)
 			if home, seen := homes[session]; seen && got != home {
 				t.Fatalf("session %d moved from node %d to %d", session, home, got)
 			}

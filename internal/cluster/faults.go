@@ -1,0 +1,409 @@
+// Deterministic node-fault injection: a fixed schedule of crashes
+// (all KV, prefix cache and in-flight streams lost, optional rejoin
+// after an MTTR) and straggler windows (a node's cycle progression
+// slowed by an integer factor), plus the recovery machinery the fleet
+// runs against it — a heartbeat-style failure detector with a
+// configurable blind window, health-aware router exclusion, and
+// in-flight request redispatch that re-prefills prompt+generated
+// tokens on a surviving node (the recompute-on-preempt path, one node
+// over). The schedule is either spelled out crash by crash or drawn
+// from the same splitmix64 stream every other generator uses
+// (MTBF/MTTR exponentials), so a fault run is exactly reproducible at
+// any -parallel width; with no faults configured every code path is
+// untouched and results are bit-identical to the fault-free router.
+
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/serving"
+)
+
+// Crash is one scheduled node failure: the node dies at cycle At —
+// losing its KV, session prefix cache and every in-flight, queued and
+// pending request — and rejoins cold at cycle Rejoin. Rejoin == 0
+// means the node never comes back (a permanent failure).
+type Crash struct {
+	Node   int
+	At     int64
+	Rejoin int64
+}
+
+// Straggler is one scheduled slow-node window: from cycle From until
+// cycle To every step node Node executes costs Factor times its
+// nominal cycles. Windows take effect at step boundaries (a step in
+// flight at a boundary keeps the factor it started under).
+type Straggler struct {
+	Node   int
+	From   int64
+	To     int64
+	Factor int64
+}
+
+// FaultGen is the generator mode of a fault plan: Count crash events
+// drawn from a splitmix64 stream seeded with Seed — inter-failure gaps
+// exponential with mean MTBF cycles, the crashed node uniform over the
+// fleet, downtime exponential with mean MTTR cycles. Draws that land
+// while their node is still down are skipped (a dead node cannot die
+// again), so the realised crash count may be lower than Count.
+type FaultGen struct {
+	Seed  uint64
+	MTBF  float64
+	MTTR  float64
+	Count int
+}
+
+// FaultConfig is a cluster run's fault-injection and recovery
+// configuration. The zero value disables fault injection entirely —
+// no schedule, no detector, bit-identical to the immortal fleet.
+type FaultConfig struct {
+	// Crashes and Stragglers are the explicit schedule; Gen adds
+	// generated crashes on top (usually one or the other).
+	Crashes    []Crash
+	Stragglers []Straggler
+	Gen        *FaultGen
+	// DetectLatency is the failure detector's blind window D in
+	// cycles: a crash at cycle C is detected at C+D, and only then is
+	// the node excluded from routing. During the blind window requests
+	// dispatched to the dead node are lost and retry via the overload
+	// backoff path; crash victims are redispatched at detection.
+	DetectLatency int64
+	// Drop selects the drop-on-failure recovery policy: requests lost
+	// with a crashed node are dropped (tombstoned like retry-exhausted
+	// requests) instead of redispatched through the router.
+	Drop bool
+	// Blind disables health-aware routing: the router never learns of
+	// detected failures and keeps dispatching to dead nodes for their
+	// whole downtime (each dispatch lost and retried). The baseline
+	// the health-aware exclusion is measured against.
+	Blind bool
+}
+
+// Enabled reports whether any fault is scheduled.
+func (f FaultConfig) Enabled() bool {
+	return len(f.Crashes) > 0 || len(f.Stragglers) > 0 || f.Gen != nil
+}
+
+// Validate checks the fault configuration (node indices are checked
+// against the fleet size later, by plan).
+func (f FaultConfig) Validate() error {
+	for _, c := range f.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("cluster: crash node must be non-negative, got %d", c.Node)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("cluster: crash cycle must be non-negative, got %d", c.At)
+		}
+		if c.Rejoin != 0 && c.Rejoin <= c.At {
+			return fmt.Errorf("cluster: crash rejoin cycle %d not after crash cycle %d", c.Rejoin, c.At)
+		}
+	}
+	for _, s := range f.Stragglers {
+		if s.Node < 0 {
+			return fmt.Errorf("cluster: straggler node must be non-negative, got %d", s.Node)
+		}
+		if s.From < 0 {
+			return fmt.Errorf("cluster: straggler window start must be non-negative, got %d", s.From)
+		}
+		if s.To <= s.From {
+			return fmt.Errorf("cluster: straggler window [%d, %d) is empty", s.From, s.To)
+		}
+		if s.Factor < 2 {
+			return fmt.Errorf("cluster: straggler factor must be at least 2, got %d", s.Factor)
+		}
+	}
+	if g := f.Gen; g != nil {
+		if !(g.MTBF > 0) || math.IsInf(g.MTBF, 0) {
+			return fmt.Errorf("cluster: generator MTBF must be positive and finite, got %g", g.MTBF)
+		}
+		if !(g.MTTR > 0) || math.IsInf(g.MTTR, 0) {
+			return fmt.Errorf("cluster: generator MTTR must be positive and finite, got %g", g.MTTR)
+		}
+		if g.Count <= 0 {
+			return fmt.Errorf("cluster: generator count must be positive, got %d", g.Count)
+		}
+	}
+	if f.DetectLatency < 0 {
+		return fmt.Errorf("cluster: DetectLatency must be non-negative, got %d", f.DetectLatency)
+	}
+	if !f.Enabled() && (f.DetectLatency != 0 || f.Drop || f.Blind) {
+		return fmt.Errorf("cluster: fault injection disabled (no crashes, stragglers or generator) but detector/recovery parameters set")
+	}
+	return nil
+}
+
+// String renders the canonical spec ParseFaults accepts.
+func (f FaultConfig) String() string {
+	if !f.Enabled() {
+		return "off"
+	}
+	var parts []string
+	for _, c := range f.Crashes {
+		if c.Rejoin == 0 {
+			parts = append(parts, fmt.Sprintf("crash:%d:%d", c.Node, c.At))
+		} else {
+			parts = append(parts, fmt.Sprintf("crash:%d:%d:%d", c.Node, c.At, c.Rejoin))
+		}
+	}
+	for _, s := range f.Stragglers {
+		parts = append(parts, fmt.Sprintf("slow:%d:%d:%d:%d", s.Node, s.From, s.To, s.Factor))
+	}
+	if g := f.Gen; g != nil {
+		parts = append(parts, fmt.Sprintf("gen:%d:%s:%s:%d", g.Seed,
+			strconv.FormatFloat(g.MTBF, 'g', -1, 64),
+			strconv.FormatFloat(g.MTTR, 'g', -1, 64), g.Count))
+	}
+	if f.DetectLatency > 0 {
+		parts = append(parts, fmt.Sprintf("detect:%d", f.DetectLatency))
+	}
+	if f.Drop {
+		parts = append(parts, "drop")
+	}
+	if f.Blind {
+		parts = append(parts, "blind")
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaults reads a -faults flag value: "off" (or ""), or a
+// comma-separated list of clauses:
+//
+//	crash:N:AT            node N dies at cycle AT, never rejoins
+//	crash:N:AT:REJOIN     ... and rejoins cold at cycle REJOIN
+//	slow:N:FROM:TO:K      node N runs K× slower on [FROM, TO)
+//	gen:SEED:MTBF:MTTR:C  C generated crashes (exponential MTBF/MTTR
+//	                      off the splitmix64 stream seeded SEED)
+//	detect:D              failure-detection latency in cycles
+//	drop                  drop-on-failure instead of redispatch
+//	redispatch            redispatch crash victims (the default)
+//	blind                 route blind to failures (no exclusion)
+//	aware                 health-aware routing (the default)
+//
+// Cycle and node fields are integers and must be non-negative; MTBF
+// and MTTR are cycles (floats accepted) and must be positive and
+// finite — NaN, Inf and negative values are rejected up front.
+func ParseFaults(s string) (FaultConfig, error) {
+	if s == "" || s == "off" {
+		return FaultConfig{}, nil
+	}
+	bad := func(clause, reason string) (FaultConfig, error) {
+		return FaultConfig{}, fmt.Errorf("cluster: bad fault spec clause %q: %s", clause, reason)
+	}
+	num := func(field string) (int64, bool) {
+		v, err := strconv.ParseInt(field, 10, 64)
+		return v, err == nil && v >= 0
+	}
+	var cfg FaultConfig
+	for _, clause := range strings.Split(s, ",") {
+		parts := strings.Split(clause, ":")
+		switch parts[0] {
+		case "crash":
+			if len(parts) != 3 && len(parts) != 4 {
+				return bad(clause, "want crash:NODE:AT or crash:NODE:AT:REJOIN")
+			}
+			node, ok1 := num(parts[1])
+			at, ok2 := num(parts[2])
+			if !ok1 || !ok2 {
+				return bad(clause, "node and cycles must be non-negative integers")
+			}
+			c := Crash{Node: int(node), At: at}
+			if len(parts) == 4 {
+				rejoin, ok := num(parts[3])
+				if !ok {
+					return bad(clause, "rejoin cycle must be a non-negative integer")
+				}
+				if rejoin <= at {
+					return bad(clause, "rejoin cycle must be after the crash cycle")
+				}
+				c.Rejoin = rejoin
+			}
+			cfg.Crashes = append(cfg.Crashes, c)
+		case "slow":
+			if len(parts) != 5 {
+				return bad(clause, "want slow:NODE:FROM:TO:FACTOR")
+			}
+			node, ok1 := num(parts[1])
+			from, ok2 := num(parts[2])
+			to, ok3 := num(parts[3])
+			factor, ok4 := num(parts[4])
+			if !ok1 || !ok2 || !ok3 || !ok4 {
+				return bad(clause, "node, cycles and factor must be non-negative integers")
+			}
+			if to <= from {
+				return bad(clause, "window end must be after window start")
+			}
+			if factor < 2 {
+				return bad(clause, "slowdown factor must be at least 2")
+			}
+			cfg.Stragglers = append(cfg.Stragglers, Straggler{Node: int(node), From: from, To: to, Factor: factor})
+		case "gen":
+			if len(parts) != 5 {
+				return bad(clause, "want gen:SEED:MTBF:MTTR:COUNT")
+			}
+			seed, err := strconv.ParseUint(parts[1], 10, 64)
+			if err != nil {
+				return bad(clause, "seed must be an unsigned integer")
+			}
+			mtbf, err1 := strconv.ParseFloat(parts[2], 64)
+			mttr, err2 := strconv.ParseFloat(parts[3], 64)
+			if err1 != nil || err2 != nil ||
+				math.IsNaN(mtbf) || math.IsInf(mtbf, 0) || mtbf <= 0 ||
+				math.IsNaN(mttr) || math.IsInf(mttr, 0) || mttr <= 0 {
+				return bad(clause, "MTBF and MTTR must be positive finite cycle counts")
+			}
+			count, ok := num(parts[4])
+			if !ok || count == 0 {
+				return bad(clause, "count must be a positive integer")
+			}
+			if cfg.Gen != nil {
+				return bad(clause, "at most one gen clause")
+			}
+			cfg.Gen = &FaultGen{Seed: seed, MTBF: mtbf, MTTR: mttr, Count: int(count)}
+		case "detect":
+			if len(parts) != 2 {
+				return bad(clause, "want detect:CYCLES")
+			}
+			d, ok := num(parts[1])
+			if !ok {
+				return bad(clause, "detection latency must be a non-negative integer")
+			}
+			cfg.DetectLatency = d
+		case "drop":
+			cfg.Drop = true
+		case "redispatch":
+			cfg.Drop = false
+		case "blind":
+			cfg.Blind = true
+		case "aware":
+			cfg.Blind = false
+		default:
+			return bad(clause, "unknown clause (want crash, slow, gen, detect, drop, redispatch, blind or aware)")
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return FaultConfig{}, err
+	}
+	return cfg, nil
+}
+
+// faultOp orders simultaneous fault transitions: a rejoin at cycle C
+// precedes a new crash at C (rejoin-then-immediate-crash is legal),
+// straggler boundaries sit between, and detection comes last so a
+// zero-latency detector observes the crash it detects and a detector
+// firing on the rejoin cycle observes the node already back.
+type faultOp int
+
+const (
+	opRejoin faultOp = iota
+	opSlowEnd
+	opSlowStart
+	opCrash
+	opDetect
+)
+
+// faultEvent is one compiled fault-plan transition.
+type faultEvent struct {
+	at       int64
+	op       faultOp
+	node     int
+	factor   int64 // opSlowStart only
+	incident int64 // the owning crash cycle (opDetect guard)
+}
+
+// plan compiles the configuration against a concrete fleet size:
+// generated crashes are materialised, node indices validated, per-node
+// crash overlap rejected and the transitions sorted into the global
+// processing order. The result feeds the cluster dispatch loop.
+func (f FaultConfig) plan(nodes int) ([]faultEvent, error) {
+	crashes := append([]Crash(nil), f.Crashes...)
+	if g := f.Gen; g != nil {
+		rnd := serving.Rand{State: g.Seed}
+		downUntil := make([]int64, nodes) // 0 = up; -1 = down forever
+		var t int64
+		for k := 0; k < g.Count; k++ {
+			gap := int64(rnd.ExpFloat64() * g.MTBF)
+			if gap < 1 {
+				gap = 1
+			}
+			t += gap
+			node := rnd.Intn(nodes)
+			mttr := int64(rnd.ExpFloat64() * g.MTTR)
+			if mttr < 1 {
+				mttr = 1
+			}
+			if downUntil[node] != 0 && t < downUntil[node] {
+				// The drawn node is still down: a dead node cannot die
+				// again. The draw is consumed (stream position is part of
+				// the schedule's identity) but produces no crash.
+				continue
+			}
+			crashes = append(crashes, Crash{Node: node, At: t, Rejoin: t + mttr})
+			downUntil[node] = t + mttr
+		}
+	}
+	perNode := make(map[int][]Crash, nodes)
+	for _, c := range crashes {
+		if c.Node >= nodes {
+			return nil, fmt.Errorf("cluster: crash names node %d but the fleet has %d nodes", c.Node, nodes)
+		}
+		perNode[c.Node] = append(perNode[c.Node], c)
+	}
+	for node, cs := range perNode {
+		sort.Slice(cs, func(a, b int) bool { return cs[a].At < cs[b].At })
+		for i := 1; i < len(cs); i++ {
+			prev := cs[i-1]
+			if prev.Rejoin == 0 || cs[i].At < prev.Rejoin {
+				return nil, fmt.Errorf("cluster: node %d crashes at cycle %d while already down since %d",
+					node, cs[i].At, prev.At)
+			}
+		}
+	}
+	var plan []faultEvent
+	for _, c := range crashes {
+		plan = append(plan, faultEvent{at: c.At, op: opCrash, node: c.Node, incident: c.At})
+		plan = append(plan, faultEvent{at: c.At + f.DetectLatency, op: opDetect, node: c.Node, incident: c.At})
+		if c.Rejoin != 0 {
+			plan = append(plan, faultEvent{at: c.Rejoin, op: opRejoin, node: c.Node, incident: c.At})
+		}
+	}
+	for _, s := range f.Stragglers {
+		if s.Node >= nodes {
+			return nil, fmt.Errorf("cluster: straggler names node %d but the fleet has %d nodes", s.Node, nodes)
+		}
+		plan = append(plan, faultEvent{at: s.From, op: opSlowStart, node: s.Node, factor: s.Factor})
+		plan = append(plan, faultEvent{at: s.To, op: opSlowEnd, node: s.Node})
+	}
+	sort.SliceStable(plan, func(a, b int) bool {
+		if plan[a].at != plan[b].at {
+			return plan[a].at < plan[b].at
+		}
+		if plan[a].op != plan[b].op {
+			return plan[a].op < plan[b].op
+		}
+		return plan[a].node < plan[b].node
+	})
+	return plan, nil
+}
+
+// NodeFaultStats is one node's fault-tolerance outcome.
+type NodeFaultStats struct {
+	// Failures counts the node's crash events.
+	Failures int64
+	// Redispatched counts the unfinished requests taken off this node
+	// by its crashes and re-entered through the router (0 under the
+	// drop-on-failure policy).
+	Redispatched int64
+	// LostTokens counts decode tokens whose KV died with this node —
+	// the recompute debt redispatch pays as prefill on the new node
+	// (the tokens themselves were already streamed out and are never
+	// generated twice).
+	LostTokens int64
+	// DowntimeCycles is the node's total time down; a node still down
+	// when the run ends is charged up to the fleet makespan.
+	DowntimeCycles int64
+}

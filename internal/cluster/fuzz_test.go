@@ -6,7 +6,10 @@
 
 package cluster
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func FuzzParseOverload(f *testing.F) {
 	for _, s := range []string{
@@ -49,6 +52,36 @@ func FuzzParsePolicy(f *testing.F) {
 		back, err := ParsePolicy(p.String())
 		if err != nil || back != p {
 			t.Fatalf("ParsePolicy(%q) = %v, which does not round-trip: %v, %v", s, p, back, err)
+		}
+	})
+}
+
+func FuzzParseFaults(f *testing.F) {
+	for _, s := range []string{
+		"", "off", "crash:0:50000", "crash:1:50000:90000",
+		"slow:2:10000:60000:3", "gen:9:250000:40000.5:3",
+		"crash:0:50000:90000,slow:1:0:20000:2,detect:5000,drop,blind",
+		"crash:0:100,redispatch,aware", "detect:5000", "drop", "blind",
+		"crash", "crash:0", "crash:x:5", "crash:0:-5", "crash:0:100:50",
+		"slow:0:0:100:1", "slow:0:100:50:2", "gen:1:NaN:100:2",
+		"gen:1:100:Inf:2", "gen:1:-100:100:2", "gen:1:1e400:100:2",
+		"gen:1:100:100:0", "detect:-1", "crash:0:9223372036854775807",
+		"crash:0:100,crash:0:100", ",", "crash:0:100,", ":",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseFaults(s)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseFaults(%q) accepted an invalid config %+v: %v", s, cfg, verr)
+		}
+		back, err := ParseFaults(cfg.String())
+		if err != nil || !reflect.DeepEqual(back, cfg) {
+			t.Fatalf("ParseFaults(%q) = %+v, whose canonical form %q does not round-trip: %+v, %v",
+				s, cfg, cfg.String(), back, err)
 		}
 	})
 }

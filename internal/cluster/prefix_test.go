@@ -120,10 +120,10 @@ func TestAffinityPrefixBeatsLeastOutstandingTTFT(t *testing.T) {
 func TestPrefixAffinityRouting(t *testing.T) {
 	rt := newRouter(Policy{Kind: PrefixAffinity}, 4)
 	req := Request{Session: 6}
-	if got := rt.pick(req, nil, nil, []int64{0, 120, 80, 120}); got != 1 {
+	if got := rt.pick(req, nil, nil, []int64{0, 120, 80, 120}, nil); got != 1 {
 		t.Errorf("pick with cached observations = node %d, want 1 (max cached, lowest index)", got)
 	}
-	if got, home := rt.pick(req, nil, nil, make([]int64, 4)), sessionNode(6, 4); got != home {
+	if got, home := rt.pick(req, nil, nil, make([]int64, 4), nil), sessionNode(6, 4); got != home {
 		t.Errorf("pick with nothing cached = node %d, want the session home %d", got, home)
 	}
 

@@ -125,6 +125,7 @@ type router struct {
 	nodes int
 	rr    int          // round-robin cursor
 	rnd   serving.Rand // power-of-two sampling stream
+	alive []int        // health-exclusion scratch (PowerOfTwo)
 }
 
 func newRouter(pol Policy, nodes int) *router {
@@ -137,21 +138,63 @@ func newRouter(pol Policy, nodes int) *router {
 // under the decode-only scheduler); cached[i] is the KV tokens node
 // i's prefix cache retains for the request's session (nil unless the
 // policy is PrefixAffinity — no other policy observes it).
-func (r *router) pick(req Request, outstanding, backlog, cached []int64) int {
+//
+// excluded is the failure detector's view: excluded[i] true means node
+// i is known dead and every policy must route around it. nil (faults
+// off, or blind routing) is the exact pre-fault decision procedure.
+// When every node is excluded the mask is ignored — the dispatch is
+// lost on arrival anyway and re-enters via the backoff path.
+func (r *router) pick(req Request, outstanding, backlog, cached []int64, excluded []bool) int {
+	if excluded != nil {
+		any := false
+		for _, x := range excluded {
+			if !x {
+				any = true
+				break
+			}
+		}
+		if !any {
+			excluded = nil
+		}
+	}
+	ok := func(i int) bool { return excluded == nil || !excluded[i] }
 	switch r.pol.Kind {
 	case RoundRobin:
-		n := r.rr % r.nodes
-		r.rr++
-		return n
+		for {
+			n := r.rr % r.nodes
+			r.rr++
+			if ok(n) {
+				return n
+			}
+		}
 	case LeastOutstanding:
-		best := 0
-		for i := 1; i < r.nodes; i++ {
-			if outstanding[i] < outstanding[best] {
+		best := -1
+		for i := 0; i < r.nodes; i++ {
+			if !ok(i) {
+				continue
+			}
+			if best < 0 || outstanding[i] < outstanding[best] {
 				best = i
 			}
 		}
 		return best
 	case PowerOfTwo:
+		if excluded != nil {
+			// Sample the two choices from the live subset (index order),
+			// so the stream keeps advancing two draws per decision.
+			r.alive = r.alive[:0]
+			for i := 0; i < r.nodes; i++ {
+				if ok(i) {
+					r.alive = append(r.alive, i)
+				}
+			}
+			a := r.alive[r.rnd.Intn(len(r.alive))]
+			b := r.alive[r.rnd.Intn(len(r.alive))]
+			if outstanding[b] < outstanding[a] || (outstanding[b] == outstanding[a] && b < a) {
+				return b
+			}
+			return a
+		}
 		a := r.rnd.Intn(r.nodes)
 		b := r.rnd.Intn(r.nodes)
 		if outstanding[b] < outstanding[a] || (outstanding[b] == outstanding[a] && b < a) {
@@ -159,11 +202,20 @@ func (r *router) pick(req Request, outstanding, backlog, cached []int64) int {
 		}
 		return a
 	case SessionAffinity:
-		return sessionNode(req.Session, r.nodes)
+		n := sessionNode(req.Session, r.nodes)
+		for !ok(n) {
+			// The home node is down: probe upward so the session lands on
+			// a stable fallback until the home rejoins.
+			n = (n + 1) % r.nodes
+		}
+		return n
 	case LeastTTFTPressure:
-		best := 0
-		for i := 1; i < r.nodes; i++ {
-			if outstanding[i]+backlog[i] < outstanding[best]+backlog[best] {
+		best := -1
+		for i := 0; i < r.nodes; i++ {
+			if !ok(i) {
+				continue
+			}
+			if best < 0 || outstanding[i]+backlog[i] < outstanding[best]+backlog[best] {
 				best = i
 			}
 		}
@@ -171,14 +223,18 @@ func (r *router) pick(req Request, outstanding, backlog, cached []int64) int {
 	case PrefixAffinity:
 		best, bestTok := -1, int64(0)
 		for i, c := range cached {
-			if c > bestTok {
+			if ok(i) && c > bestTok {
 				best, bestTok = i, c
 			}
 		}
 		if best >= 0 {
 			return best
 		}
-		return sessionNode(req.Session, r.nodes)
+		n := sessionNode(req.Session, r.nodes)
+		for !ok(n) {
+			n = (n + 1) % r.nodes
+		}
+		return n
 	}
 	return 0
 }

@@ -169,3 +169,65 @@ func TestClusterTelemetryBitInert(t *testing.T) {
 		t.Error("recording changed the fleet metrics — the bit-inert contract is broken")
 	}
 }
+
+// TestClusterTelemetryFaults: a recorded faulty run reconciles its
+// fault events exactly against the fleet metrics — one node-down span
+// per failure, one node-up per rejoin (failures minus the still-down
+// permanent crash), one redispatch per recovered victim — and the
+// trace bytes stay width-deterministic with faults in play.
+func TestClusterTelemetryFaults(t *testing.T) {
+	ft := FaultConfig{
+		Crashes: []Crash{
+			{Node: 1, At: 80000, Rejoin: 160000},
+			{Node: 2, At: 120000}, // permanent: down through the horizon
+		},
+		DetectLatency: 5000,
+	}
+	run := func(parallel int) (*Metrics, []telemetry.Event, []byte) {
+		col := telemetry.NewCollector(20000)
+		m, err := Run(testConfig(), faultFleetScenario(t), 4, Policy{Kind: LeastOutstanding},
+			Options{Parallel: parallel, StepCache: serving.StepCacheNoMemo, Faults: ft, Telemetry: col})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := col.Events()
+		var buf bytes.Buffer
+		if err := telemetry.WritePerfetto(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		return m, events, buf.Bytes()
+	}
+	m, events, trace := run(1)
+	if m.Failures != 2 || m.Redispatched == 0 {
+		t.Fatalf("committed fault scenario too tame: failures=%d redispatched=%d", m.Failures, m.Redispatched)
+	}
+	counts := map[telemetry.Kind]int64{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	stillDown := int64(1) // node 2 never rejoins
+	for _, c := range []struct {
+		name string
+		kind telemetry.Kind
+		want int64
+	}{
+		{"node-down", telemetry.KindNodeDown, m.Failures},
+		{"node-up", telemetry.KindNodeUp, m.Failures - stillDown},
+		{"redispatch", telemetry.KindRedispatch, m.Redispatched},
+		{"drop", telemetry.KindDrop, m.Dropped},
+		{"retire", telemetry.KindRetire, int64(m.Requests) - m.Dropped},
+	} {
+		if counts[c.kind] != c.want {
+			t.Errorf("%s events: %d, want %d (metrics counter)", c.name, counts[c.kind], c.want)
+		}
+	}
+	for _, span := range []string{`"node-down"`, `"node-up"`, `"redispatch r`} {
+		if !bytes.Contains(trace, []byte(span)) {
+			t.Errorf("perfetto trace has no %s… span", span)
+		}
+	}
+	_, _, wide := run(runtime.GOMAXPROCS(0))
+	if !bytes.Equal(trace, wide) {
+		t.Error("faulty perfetto trace bytes differ between -parallel 1 and full fan-out")
+	}
+}

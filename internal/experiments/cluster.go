@@ -32,6 +32,9 @@ type ClusterCellSpec struct {
 	// Overload is the router's overload-control configuration (zero
 	// value: disabled — the pre-overload router).
 	Overload cluster.OverloadConfig
+	// Faults is the cell's node-failure schedule (zero value: a
+	// fault-free fleet — the exact pre-fault simulation).
+	Faults cluster.FaultConfig
 	// Base optionally overrides the grid's base configuration for this
 	// cell (hardware sweeps under fleet load).
 	Base *sim.Config
@@ -66,7 +69,7 @@ func RunClusterCells(cells []ClusterCellSpec, opts Options) ([]*cluster.Metrics,
 		cfg.Arbiter = c.Pol.Arbiter
 		col := opts.Trace.Collector()
 		m, err := cluster.Run(cfg, c.Scenario, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Overload, Telemetry: col})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Overload, Faults: c.Faults, Telemetry: col})
 		if err != nil {
 			return fmt.Errorf("cluster cell %s nodes=%d %s %s: %w",
 				c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
@@ -119,6 +122,9 @@ type ClusterGridResult struct {
 	// Overload is the router overload-control configuration every
 	// cell ran (zero value: disabled).
 	Overload cluster.OverloadConfig
+	// Faults is the node-failure schedule every cell ran (zero value:
+	// fault-free).
+	Faults cluster.FaultConfig
 	// Metrics[i][j] is NodeCounts[i] under Routers[j].
 	Metrics [][]*cluster.Metrics
 }
@@ -137,20 +143,30 @@ func ClusterGrid(scn cluster.Scenario, nodeCounts []int, routers []cluster.Polic
 // cell.
 func ClusterGridWith(scn cluster.Scenario, nodeCounts []int, routers []cluster.Policy, pol Policy,
 	ov cluster.OverloadConfig, opts Options) (*ClusterGridResult, error) {
+	return ClusterGridFaulty(scn, nodeCounts, routers, pol, ov, cluster.FaultConfig{}, opts)
+}
+
+// ClusterGridFaulty is ClusterGridWith with a node-failure schedule
+// injected into every cell. Fault node indices are fleet-relative, so
+// the schedule must be valid for every count in nodeCounts (callers
+// sweeping a single count, as the CLI's -faults mode does, only need
+// it valid there).
+func ClusterGridFaulty(scn cluster.Scenario, nodeCounts []int, routers []cluster.Policy, pol Policy,
+	ov cluster.OverloadConfig, ft cluster.FaultConfig, opts Options) (*ClusterGridResult, error) {
 	if len(nodeCounts) == 0 || len(routers) == 0 {
 		return nil, fmt.Errorf("cluster grid: empty node-count or router list")
 	}
 	cells := make([]ClusterCellSpec, 0, len(nodeCounts)*len(routers))
 	for _, n := range nodeCounts {
 		for _, r := range routers {
-			cells = append(cells, ClusterCellSpec{Scenario: scn, Nodes: n, Router: r, Pol: pol, Overload: ov})
+			cells = append(cells, ClusterCellSpec{Scenario: scn, Nodes: n, Router: r, Pol: pol, Overload: ov, Faults: ft})
 		}
 	}
 	metrics, err := RunClusterCells(cells, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := &ClusterGridResult{Scenario: scn, NodeCounts: nodeCounts, Routers: routers, Pol: pol, Overload: ov}
+	out := &ClusterGridResult{Scenario: scn, NodeCounts: nodeCounts, Routers: routers, Pol: pol, Overload: ov, Faults: ft}
 	out.Metrics = make([][]*cluster.Metrics, len(nodeCounts))
 	for i := range nodeCounts {
 		out.Metrics[i] = metrics[i*len(routers) : (i+1)*len(routers)]

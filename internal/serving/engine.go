@@ -84,6 +84,11 @@ type Engine struct {
 	sampleEvery int64
 	nextSample  int64
 
+	// slow is the straggler multiplier on every executed (or replayed)
+	// step's cycle cost (see SetSlowdown); values <= 1 leave the step
+	// cost untouched — the exact pre-fault arithmetic.
+	slow int64
+
 	steps         int64
 	cycles        int64
 	tokens        int64
@@ -303,16 +308,23 @@ func (e *Engine) admit() {
 			s.prefillLeft = req.PromptLen - prefix
 		}
 		if res, resumed := e.resume[req.ID]; resumed {
-			// Re-admission after preemption: the dropped KV prefix —
-			// the prompt plus every token generated before eviction —
-			// is recomputed as prefill (minus any still-cached session
-			// prefix), then decode resumes where it stopped. Tokens are
-			// never generated twice.
+			// Re-admission after preemption (or redispatch after a node
+			// crash): the dropped KV prefix — the prompt plus every token
+			// generated before eviction — is recomputed as prefill (minus
+			// any still-cached session prefix), then decode resumes where
+			// it stopped. Tokens are never generated twice.
 			delete(e.resume, req.ID)
 			s.tokens = res
 			s.left = req.DecodeTokens - res
 			s.kvLen = prefix
 			s.prefillLeft = req.PromptLen + res - prefix
+			if e.sched.Policy == SchedDecodeOnly {
+				// Decode-only nodes assume prefill happens elsewhere;
+				// a crash-recovered stream's recomputation is likewise
+				// off-node — the KV prefix reappears whole.
+				s.kvLen = req.PromptLen + res
+				s.prefillLeft = 0
+			}
 			e.slots[slot] = s
 			if e.rec != nil {
 				e.rec.Record(telemetry.Event{
@@ -468,7 +480,7 @@ func (e *Engine) stepOnce() error {
 		if err != nil {
 			return fmt.Errorf("serving: step %d: %w", e.steps, err)
 		}
-		e.applyStep(res.Cycles, &res.Counters)
+		e.applyStep(e.stepCost(res.Cycles), &res.Counters)
 		return nil
 	}
 
@@ -482,7 +494,7 @@ func (e *Engine) stepOnce() error {
 			// events for memo hits are synthesized from the replayed
 			// (cycles, counters) with MemoHit set — never skipped.
 			e.memoHit = true
-			e.applyStep(r.cycles, &r.counters)
+			e.applyStep(e.stepCost(r.cycles), &r.counters)
 			return nil
 		}
 		e.cacheStats.MemoMisses++
@@ -509,8 +521,32 @@ func (e *Engine) stepOnce() error {
 	if e.mode == StepCacheOn {
 		e.memo.store(key, stepResult{cycles: res.Cycles, counters: res.Counters})
 	}
-	e.applyStep(res.Cycles, &res.Counters)
+	e.applyStep(e.stepCost(res.Cycles), &res.Counters)
 	return nil
+}
+
+// stepCost scales one step's cycle cost by the straggler multiplier.
+// The step memo always stores the unscaled cost — scaling happens on
+// the way out — so memo hits and misses agree whatever windows a node
+// passed through.
+func (e *Engine) stepCost(cycles int64) int64 {
+	if e.slow > 1 {
+		return cycles * e.slow
+	}
+	return cycles
+}
+
+// SetSlowdown sets the straggler multiplier: while factor > 1 every
+// step the engine executes (or replays) costs factor times its nominal
+// cycles, modelling a degraded node whose cycle progression lags the
+// fleet. factor <= 1 restores nominal speed. The cluster's fault plan
+// drives this at straggler-window boundaries; a step in flight at the
+// boundary keeps the factor it started under (steps are never split).
+func (e *Engine) SetSlowdown(factor int64) {
+	if factor < 1 {
+		factor = 1
+	}
+	e.slow = factor
 }
 
 // selectStep builds the step's running set into e.running per the
@@ -705,6 +741,100 @@ func (e *Engine) Drain() error {
 		if err := e.stepOnce(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// CrashVictim is one unfinished request lost to an Engine.Crash: the
+// original request, the decode tokens it had generated when the node
+// died (the resume point for redispatch — those tokens were already
+// streamed out and are never generated twice, but their KV must be
+// recomputed), and the partial statistics the node had recorded for it
+// (first-token timestamps survive the crash; the KV does not).
+type CrashVictim struct {
+	Req    Request
+	Tokens int
+	Stats  RequestStats
+}
+
+// Crash kills the node: every in-flight stream, queued request and
+// not-yet-arrived submission is evicted, the KV reservation ledger and
+// the session prefix cache are wiped (a rejoining node reintegrates
+// cold), and the victims are returned with their decode progress so a
+// fleet-level recovery policy can redispatch them elsewhere. lost is
+// the decode tokens whose KV died with the node — the recompute debt
+// redispatch pays as prefill. Victim statistics rows leave the engine
+// entirely: the node that finally serves a victim owns its stats, and
+// the victim may even be resubmitted here after a rejoin. Retired
+// requests, aggregate counters and the local clock are untouched —
+// work already delivered stays delivered.
+func (e *Engine) Crash() (victims []CrashVictim, lost int64) {
+	take := func(req Request, tokens int) {
+		victims = append(victims, CrashVictim{
+			Req: req, Tokens: tokens, Stats: e.stats[e.statIdx[req.ID]],
+		})
+		lost += int64(tokens)
+	}
+	for i, s := range e.slots {
+		if s == nil {
+			continue
+		}
+		take(s.req, s.tokens)
+		e.slots[i] = nil
+	}
+	for _, r := range e.queue {
+		take(r, e.resume[r.ID])
+	}
+	for _, r := range e.pending {
+		take(r, e.resume[r.ID])
+	}
+	e.queue = e.queue[:0]
+	e.pending = e.pending[:0]
+	e.kvUsed = 0
+	e.resume = nil
+	e.unfinished = 0
+	if e.pfx != nil {
+		e.pfx = newPrefixCache(e.sched.PrefixCacheTokens)
+	}
+	if len(victims) > 0 {
+		gone := make(map[int]bool, len(victims))
+		for _, v := range victims {
+			gone[v.Req.ID] = true
+		}
+		kept := e.stats[:0]
+		for _, st := range e.stats {
+			if !gone[st.ID] {
+				kept = append(kept, st)
+			}
+		}
+		e.stats = kept
+		e.statIdx = make(map[int]int, len(e.stats))
+		for i, st := range e.stats {
+			e.statIdx[st.ID] = i
+		}
+	}
+	return victims, lost
+}
+
+// SubmitResume is Submit for a request recovered from a crashed node:
+// tokens decode tokens were already generated (and streamed out)
+// before the crash, so on admission the engine recomputes the lost KV
+// prefix — prompt plus generated tokens — as prefill and resumes
+// decode where it stopped, reusing the recompute-on-preempt path.
+// tokens == 0 is exactly Submit.
+func (e *Engine) SubmitResume(req Request, tokens int) error {
+	if tokens < 0 || tokens >= req.DecodeTokens {
+		return fmt.Errorf("serving: resume point %d outside [0, %d) for request %d",
+			tokens, req.DecodeTokens, req.ID)
+	}
+	if err := e.Submit(req); err != nil {
+		return err
+	}
+	if tokens > 0 {
+		if e.resume == nil {
+			e.resume = make(map[int]int)
+		}
+		e.resume[req.ID] = tokens
 	}
 	return nil
 }

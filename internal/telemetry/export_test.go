@@ -32,6 +32,13 @@ func exportFixture() []Event {
 	n0.Record(Event{Kind: KindPrefill, Cycle: 30, Dur: 30, Req: 0, Session: 0, Slot: 0, Tokens: 32, Target: -1})
 	n0.Record(Event{Kind: KindPrefill, Cycle: 60, Dur: 30, Req: 0, Session: 0, Slot: 0, Tokens: 32, MemoHit: true, Target: -1})
 	n1.Record(Event{Kind: KindPreempt, Cycle: 40, Req: 1, Session: 1, Slot: 0, Tokens: 0, KVLen: 36, Target: -1})
+	// Node 1 crashes with request 1 in flight: the down span extends
+	// forward by the detection window, the victim re-enters the arrival
+	// order carrying its generated tokens, and the node later rejoins.
+	router.Record(Event{Kind: KindNodeDown, Cycle: 45, Dur: 20, Req: -1, Session: -1, Slot: -1, Target: 1,
+		Tokens: 1, KVLen: 36})
+	router.Record(Event{Kind: KindRedispatch, Cycle: 65, Req: 1, Session: 1, Slot: -1, Target: -1, Tokens: 1})
+	router.Record(Event{Kind: KindNodeUp, Cycle: 110, Dur: 65, Req: -1, Session: -1, Slot: -1, Target: 1})
 	n0.Record(Event{Kind: KindSample, Cycle: 50, Req: -1, Session: -1, Slot: -1, Target: -1,
 		Gauges: Gauges{Outstanding: 70, Backlog: 0, KVUsed: 68, Running: 1, PrefixFill: 16}})
 	n1.Record(Event{Kind: KindSample, Cycle: 50, Req: -1, Session: -1, Slot: -1, Target: -1,
@@ -86,6 +93,7 @@ func TestPerfettoAcceptanceSpans(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		`"preempt r1"`, `"shed r2"`, `"retry r2"`, `"forward r2"`,
+		`"node-down"`, `"node-up"`, `"redispatch r1"`,
 		`"process_name"`, `"router"`,
 	} {
 		if !strings.Contains(out, want) {

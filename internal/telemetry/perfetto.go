@@ -119,10 +119,11 @@ func WritePerfetto(w io.Writer, events []Event) error {
 		}
 		args := sliceArgs(ev)
 		// Events are stamped at their completion cycle, so a span starts
-		// Dur cycles earlier — except retries, which are stamped at the
-		// shed decision with the backoff window extending forward.
+		// Dur cycles earlier — except retries and node crashes, which
+		// are stamped at the decision/failure with their backoff or
+		// detection window extending forward.
 		start := ev.Cycle - ev.Dur
-		if ev.Kind == KindRetry {
+		if ev.Kind == KindRetry || ev.Kind == KindNodeDown {
 			start = ev.Cycle
 		}
 		pid, tid := pidOf(ev.Node), tidOf(ev.Slot)
@@ -213,6 +214,16 @@ func sliceArgs(ev *Event) map[string]any {
 	case KindRetire:
 		args["tokens"] = ev.Tokens
 		args["latency"] = ev.Dur
+	case KindNodeDown:
+		args["node"] = ev.Target
+		args["victims"] = ev.Tokens
+		args["lost_tokens"] = ev.KVLen
+		args["detect"] = ev.Dur
+	case KindNodeUp:
+		args["node"] = ev.Target
+		args["downtime"] = ev.Dur
+	case KindRedispatch:
+		args["resumed_tokens"] = ev.Tokens
 	}
 	if len(args) == 0 {
 		return nil

@@ -83,12 +83,28 @@ const (
 	// KindSample: a periodic gauge sample (see Gauges). Req,
 	// Session and Slot are -1.
 	KindSample
+	// KindNodeDown: a node crashed, losing its KV, prefix cache and
+	// in-flight streams. Target = crashed node, Tokens = in-flight and
+	// queued requests taken down with it, KVLen = decode tokens whose
+	// KV was lost (recomputed as prefill on redispatch), Dur = the
+	// failure detector's blind window in cycles. Node is -1 (fault
+	// events are fleet-level).
+	KindNodeDown
+	// KindNodeUp: a crashed node rejoined the fleet cold (empty KV and
+	// prefix cache). Target = rejoined node, Dur = downtime in cycles.
+	KindNodeUp
+	// KindRedispatch: a request lost to a node crash re-entered the
+	// router. Tokens = decode tokens already generated (re-prefilled,
+	// never re-generated, on the new node). The request's next
+	// KindRoute event names the node it lands on.
+	KindRedispatch
 )
 
 var kindNames = [...]string{
 	"arrive", "route", "forward", "retry", "shed", "drop",
 	"admit", "prefix-hit", "prefix-miss", "prefill", "decode",
 	"preempt", "retire", "sample",
+	"node-down", "node-up", "redispatch",
 }
 
 // String returns the stable wire name of the kind, used by every

@@ -528,6 +528,43 @@ func ParseOverload(s string) (OverloadConfig, error) {
 	return cluster.ParseOverload(s)
 }
 
+// FaultConfig re-exports the deterministic node-failure schedule of a
+// fleet run (ClusterOptions.Faults): explicit crashes and straggler
+// windows, or a seeded MTBF/MTTR generator, plus the failure
+// detector's latency and the drop/blind recovery toggles. The zero
+// value disables fault injection and is bit-identical to the
+// fault-free fleet.
+type FaultConfig = cluster.FaultConfig
+
+// NodeCrash re-exports one scheduled crash of FaultConfig: the node
+// loses all in-flight work, KV and prefix cache at a cycle and
+// optionally rejoins cold later.
+type NodeCrash = cluster.Crash
+
+// NodeStraggler re-exports one scheduled slowdown window of
+// FaultConfig: every engine step on the node costs Factor× its
+// nominal cycles inside [From, To).
+type NodeStraggler = cluster.Straggler
+
+// FaultGen re-exports the seeded crash-schedule generator of
+// FaultConfig: Count crash/rejoin incidents drawn from exponential
+// MTBF/MTTR distributions, a pure function of its parameters and the
+// fleet size.
+type FaultGen = cluster.FaultGen
+
+// NodeFaultStats re-exports the per-node fault accounting of
+// ClusterMetrics: failures, redispatched victims, lost decode tokens
+// and downtime cycles.
+type NodeFaultStats = cluster.NodeFaultStats
+
+// ParseFaults reads a fault spec: "off" or comma-joined clauses
+// "crash:NODE:AT[:REJOIN]", "slow:NODE:FROM:TO:FACTOR",
+// "gen:SEED:MTBF:MTTR:COUNT", "detect:CYCLES", "drop"/"redispatch"
+// and "blind"/"aware".
+func ParseFaults(s string) (FaultConfig, error) {
+	return cluster.ParseFaults(s)
+}
+
 // TraceEvent re-exports one telemetry lifecycle event: a typed record
 // (arrival, routing, admission, prefill chunk, decode step, prefix
 // hit, preemption, shed/retry, retirement or gauge sample) stamped

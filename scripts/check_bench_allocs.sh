@@ -20,6 +20,10 @@
 # ceiling, pinning the contract that recording may never cost more
 # allocations than an unrecorded run's budget (the disabled path needs
 # no ceiling of its own — a nil recorder IS BenchmarkServe_Default).
+# BenchmarkCluster_Faulty (ISSUE 9) runs a crash + straggler + recovery
+# fleet at around 46k allocs/op; its ceiling guards the fault paths
+# (crash eviction, resume re-prefill, health-aware retry) staying on
+# the arena/memo fast path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,8 +32,9 @@ CLUSTER_CEILING=45000
 CHUNKED_CEILING=40000
 OVERLOAD_CEILING=50000
 TRACED_CEILING=$SERVE_CEILING
+FAULTY_CEILING=90000
 
-out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkServe_Chunked$|BenchmarkServe_Traced$|BenchmarkCluster_Smoke$|BenchmarkCluster_Overload$' -benchtime=1x -benchmem)"
+out="$(LLAMCAT_SCALE=32 go test -run='^$' -bench='BenchmarkServe_Default$|BenchmarkServe_Chunked$|BenchmarkServe_Traced$|BenchmarkCluster_Smoke$|BenchmarkCluster_Overload$|BenchmarkCluster_Faulty$' -benchtime=1x -benchmem)"
 echo "$out"
 
 fail=0
@@ -55,6 +60,7 @@ check BenchmarkServe_Chunked "$CHUNKED_CEILING"
 check BenchmarkServe_Traced "$TRACED_CEILING"
 check BenchmarkCluster_Smoke "$CLUSTER_CEILING"
 check BenchmarkCluster_Overload "$OVERLOAD_CEILING"
+check BenchmarkCluster_Faulty "$FAULTY_CEILING"
 
 if [ "$fail" -ne 0 ]; then
   echo "bench allocs check failed" >&2

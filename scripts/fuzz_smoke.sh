@@ -20,6 +20,6 @@ run() { # run <package> <target>...
 }
 
 run ./internal/serving FuzzParseArrival FuzzParseSchedPolicy FuzzParsePreemptPolicy
-run ./internal/cluster FuzzParseOverload FuzzParsePolicy
+run ./internal/cluster FuzzParseOverload FuzzParsePolicy FuzzParseFaults
 run ./internal/telemetry FuzzCellPath
 run ./cmd/cluster FuzzParseRates
