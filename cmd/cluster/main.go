@@ -69,6 +69,13 @@
 // the files are byte-reproducible at any -parallel width (the
 // events' memo-hit annotation shares the step-cache caveat below;
 // -stepcache nomemo removes it);
+// -hwprof attributes every node's per-step hardware-counter deltas to
+// phase (prefill, decode, recompute after preempt/redispatch), to the
+// co-scheduled streams and to -sample-every wall-clock buckets,
+// classifies each node's bottleneck (memory-bound, compute-bound,
+// stalled, idle) and prints the fleet profile report after the table
+// (or to -hwprof-out; works in every grid mode, and hw counter tracks
+// also flow into the telemetry exporters);
 // -json switches the report from the aligned table to a
 // JSON document of the full per-cell fleet metrics (TTFT percentiles
 // included); -cpuprofile/-memprofile capture pprof profiles of the
@@ -89,9 +96,11 @@ import (
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/hwprof"
 	"repro/internal/profiling"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -130,6 +139,8 @@ type cliOpts struct {
 	traceOut, eventsOut            string
 	timeseriesOut                  string
 	sampleEvery                    int64
+	hwprof                         bool
+	hwprofOut                      string
 }
 
 func main() {
@@ -175,6 +186,8 @@ func main() {
 	flag.StringVar(&o.eventsOut, "events-out", "", "write a JSONL lifecycle-event log per cell (same % placeholder rule)")
 	flag.StringVar(&o.timeseriesOut, "timeseries-out", "", "write a CSV gauge time series per cell (needs -sample-every; same % placeholder rule)")
 	flag.Int64Var(&o.sampleEvery, "sample-every", 0, "sample per-node telemetry gauges every N cycles (0 = off; needs an output path)")
+	flag.BoolVar(&o.hwprof, "hwprof", false, "attribute hardware counters per phase/request/bucket on every node and classify the bottleneck (-sample-every sets the bucket width)")
+	flag.StringVar(&o.hwprofOut, "hwprof-out", "", "write the per-cell fleet hardware profile report to this file instead of stdout (needs -hwprof; same % placeholder rule)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -470,14 +483,21 @@ func run(o cliOpts) error {
 	cachePol := experiments.Policy{Label: o.policy, Throttle: pol.Throttle, Arbiter: pol.Arbiter}
 	// Telemetry output paths are validated before any simulation —
 	// inside each mode, where the sweep's cell count (and so the %
-	// placeholder requirement) is known.
+	// placeholder requirement) is known. -hwprof consumes the
+	// -sample-every grid directly (bucketed utilization), so sampling
+	// without a telemetry output path is legal when profiling is on.
 	trace := &telemetry.Spec{
-		TraceOut:      o.traceOut,
-		EventsOut:     o.eventsOut,
-		TimeseriesOut: o.timeseriesOut,
-		SampleEvery:   o.sampleEvery,
+		TraceOut:          o.traceOut,
+		EventsOut:         o.eventsOut,
+		TimeseriesOut:     o.timeseriesOut,
+		SampleEvery:       o.sampleEvery,
+		AllowBareSampling: o.hwprof,
 	}
-	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode, Trace: trace}
+	if o.hwprofOut != "" && !o.hwprof {
+		return fmt.Errorf("-hwprof-out needs -hwprof")
+	}
+	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode, Trace: trace,
+		HWProf: hwprof.Spec{Enabled: o.hwprof, SampleEvery: o.sampleEvery}, HWProfOut: o.hwprofOut}
 	if o.verbose {
 		opts.Log = os.Stderr
 	}
@@ -525,6 +545,9 @@ func run(o cliOpts) error {
 	if err := trace.Validate(len(nodeCounts)*len(routerPols) > 1); err != nil {
 		return err
 	}
+	if err := telemetry.ValidateOutPath("-hwprof-out", o.hwprofOut, len(nodeCounts)*len(routerPols) > 1); err != nil {
+		return err
+	}
 	scn, err := cluster.NewScenario(ccfg)
 	if err != nil {
 		return err
@@ -541,6 +564,18 @@ func run(o cliOpts) error {
 		for i, n := range grid.NodeCounts {
 			for j, r := range grid.Routers {
 				fmt.Printf("\ngoodput under SLO [nodes=%d %s]\n%s", n, r, grid.Metrics[i][j].Goodput(slo))
+			}
+		}
+	}
+	// With no -hwprof-out the full per-cell fleet profile reports
+	// follow the table on stdout (the grid runner wrote them to files
+	// otherwise).
+	if o.hwprof && o.hwprofOut == "" {
+		for i, n := range grid.NodeCounts {
+			for j, r := range grid.Routers {
+				if hw := grid.Metrics[i][j].HW; hw != nil {
+					fmt.Printf("\n[nodes=%d %s]\n%s", n, r, hw.Render())
+				}
 			}
 		}
 	}
@@ -581,6 +616,9 @@ func runOverloadGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, r
 	if err := opts.Trace.Validate(len(rates)*len(combos) > 1); err != nil {
 		return err
 	}
+	if err := telemetry.ValidateOutPath("-hwprof-out", o.hwprofOut, len(rates)*len(combos) > 1); err != nil {
+		return err
+	}
 	grid, err := experiments.OverloadGrid(ccfg, rates, combos, nodeCounts[0], routerPols[0], cachePol, slo, opts)
 	if err != nil {
 		return err
@@ -618,6 +656,9 @@ func runFaultGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, rout
 		return fmt.Errorf("-fault-mtbfs (fault-grid mode) takes a single -routers policy, got %d", len(routerPols))
 	}
 	if err := opts.Trace.Validate(2*len(mtbfs)*len(mttrs) > 1); err != nil {
+		return err
+	}
+	if err := telemetry.ValidateOutPath("-hwprof-out", o.hwprofOut, 2*len(mtbfs)*len(mttrs) > 1); err != nil {
 		return err
 	}
 	grid, err := experiments.FaultGrid(ccfg, mtbfs, mttrs, o.seed, o.faultCount, o.faultDetect,
@@ -681,6 +722,9 @@ func runPrefixGrid(o cliOpts, ccfg cluster.ScenarioConfig, nodeCounts []int, rou
 	if err := opts.Trace.Validate(len(sessions)*len(caches)*len(routerPols) > 1); err != nil {
 		return err
 	}
+	if err := telemetry.ValidateOutPath("-hwprof-out", o.hwprofOut, len(sessions)*len(caches)*len(routerPols) > 1); err != nil {
+		return err
+	}
 	grid, err := experiments.PrefixGrid(ccfg, sessions, caches, routerPols, nodeCounts[0], cachePol, opts)
 	if err != nil {
 		return err
@@ -697,8 +741,23 @@ type jsonCell struct {
 	Nodes   int              `json:"nodes"`
 	Router  string           `json:"router"`
 	Metrics *cluster.Metrics `json:"metrics"`
+	// Counters re-exports every node's raw whole-run hardware counters
+	// at the top level, node order, so scripts consuming profiles read
+	// them without digging through the nested per-node metrics.
+	Counters []stats.Counters `json:"counters"`
 	// Goodput is present when an SLO deadline was set.
 	Goodput *serving.SLOReport `json:"goodput,omitempty"`
+}
+
+// perNodeCounters extracts the raw per-node counter blocks of a fleet
+// run in node order — the scriptable profile block every -json writer
+// attaches to its cells.
+func perNodeCounters(m *cluster.Metrics) []stats.Counters {
+	out := make([]stats.Counters, len(m.PerNode))
+	for i, nm := range m.PerNode {
+		out[i] = nm.Counters
+	}
+	return out
 }
 
 // jsonDoc is the -json report: the scenario identity plus every
@@ -723,7 +782,8 @@ func writeJSON(grid *experiments.ClusterGridResult, sched serving.SchedulerConfi
 	}
 	for i, n := range grid.NodeCounts {
 		for j, r := range grid.Routers {
-			cell := jsonCell{Nodes: n, Router: r.String(), Metrics: grid.Metrics[i][j]}
+			cell := jsonCell{Nodes: n, Router: r.String(), Metrics: grid.Metrics[i][j],
+				Counters: perNodeCounters(grid.Metrics[i][j])}
 			if slo.Enabled() {
 				rep := grid.Metrics[i][j].Goodput(slo)
 				cell.Goodput = &rep
@@ -743,6 +803,8 @@ type prefixJSONCell struct {
 	Cache    int64            `json:"cache_tokens"`
 	Router   string           `json:"router"`
 	Metrics  *cluster.Metrics `json:"metrics"`
+	// Counters is every node's raw whole-run counter block, node order.
+	Counters []stats.Counters `json:"counters"`
 }
 
 // prefixJSONDoc is the prefix-grid -json report.
@@ -770,7 +832,8 @@ func writePrefixJSON(grid *experiments.PrefixGridResult, scale int) error {
 			for k, rt := range grid.Routers {
 				doc.Cells = append(doc.Cells, prefixJSONCell{
 					Sessions: s, Cache: c, Router: rt.String(),
-					Metrics: grid.Cells[i][j][k].Metrics,
+					Metrics:  grid.Cells[i][j][k].Metrics,
+					Counters: perNodeCounters(grid.Cells[i][j][k].Metrics),
 				})
 			}
 		}
@@ -783,10 +846,12 @@ func writePrefixJSON(grid *experiments.PrefixGridResult, scale int) error {
 // faultJSONCell is one (mtbf, mttr, recovery) cell of the fault-grid
 // -json document.
 type faultJSONCell struct {
-	MTBF     float64            `json:"mtbf"`
-	MTTR     float64            `json:"mttr"`
-	Recovery string             `json:"recovery"`
-	Metrics  *cluster.Metrics   `json:"metrics"`
+	MTBF     float64          `json:"mtbf"`
+	MTTR     float64          `json:"mttr"`
+	Recovery string           `json:"recovery"`
+	Metrics  *cluster.Metrics `json:"metrics"`
+	// Counters is every node's raw whole-run counter block, node order.
+	Counters []stats.Counters   `json:"counters"`
 	Goodput  *serving.SLOReport `json:"goodput"`
 }
 
@@ -823,8 +888,10 @@ func writeFaultJSON(grid *experiments.FaultGridResult, scale int) error {
 			cell := grid.Cells[i][j]
 			re, dr := cell.Redispatch.Goodput, cell.Drop.Goodput
 			doc.Cells = append(doc.Cells,
-				faultJSONCell{MTBF: mtbf, MTTR: mttr, Recovery: "redispatch", Metrics: cell.Redispatch.Metrics, Goodput: &re},
-				faultJSONCell{MTBF: mtbf, MTTR: mttr, Recovery: "drop", Metrics: cell.Drop.Metrics, Goodput: &dr})
+				faultJSONCell{MTBF: mtbf, MTTR: mttr, Recovery: "redispatch", Metrics: cell.Redispatch.Metrics,
+					Counters: perNodeCounters(cell.Redispatch.Metrics), Goodput: &re},
+				faultJSONCell{MTBF: mtbf, MTTR: mttr, Recovery: "drop", Metrics: cell.Drop.Metrics,
+					Counters: perNodeCounters(cell.Drop.Metrics), Goodput: &dr})
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -835,10 +902,12 @@ func writeFaultJSON(grid *experiments.FaultGridResult, scale int) error {
 // overloadJSONCell is one (rate, combo) cell of the overload-grid
 // -json document.
 type overloadJSONCell struct {
-	Rate    float64            `json:"rate"`
-	Combo   string             `json:"combo"`
-	Metrics *cluster.Metrics   `json:"metrics"`
-	Goodput *serving.SLOReport `json:"goodput"`
+	Rate    float64          `json:"rate"`
+	Combo   string           `json:"combo"`
+	Metrics *cluster.Metrics `json:"metrics"`
+	// Counters is every node's raw whole-run counter block, node order.
+	Counters []stats.Counters   `json:"counters"`
+	Goodput  *serving.SLOReport `json:"goodput"`
 }
 
 // overloadJSONDoc is the overload-grid -json report.
@@ -868,7 +937,8 @@ func writeOverloadJSON(grid *experiments.OverloadGridResult, scale int) error {
 			cell := grid.Cells[i][j]
 			rep := cell.Goodput
 			doc.Cells = append(doc.Cells, overloadJSONCell{
-				Rate: rate, Combo: combo.Label, Metrics: cell.Metrics, Goodput: &rep,
+				Rate: rate, Combo: combo.Label, Metrics: cell.Metrics,
+				Counters: perNodeCounters(cell.Metrics), Goodput: &rep,
 			})
 		}
 	}

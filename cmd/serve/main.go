@@ -38,6 +38,13 @@
 // stream per policy cell as a Perfetto-loadable Chrome trace, a JSONL
 // event log and a CSV gauge time series (with more than one policy the
 // paths need a % cell placeholder);
+// -hwprof attributes every step's hardware-counter delta to its
+// phase (prefill, decode, recompute after preempt/redispatch), to the
+// streams co-scheduled in the step and to -sample-every wall-clock
+// buckets, classifies the node's bottleneck (memory-bound,
+// compute-bound, stalled, idle) and prints the profile report after
+// the table (or to -hwprof-out; hw counter tracks also flow into the
+// telemetry exporters);
 // -scale divides the prompt-length range and the L2 size together,
 // preserving the working-set-to-cache ratio exactly like the figure
 // harnesses; -stepcache selects the token-step fast path (on =
@@ -59,9 +66,11 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/hwprof"
 	"repro/internal/profiling"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -95,6 +104,8 @@ type cliOpts struct {
 	traceOut, eventsOut            string
 	timeseriesOut                  string
 	sampleEvery                    int64
+	hwprof                         bool
+	hwprofOut                      string
 }
 
 func main() {
@@ -130,6 +141,8 @@ func main() {
 	flag.StringVar(&o.eventsOut, "events-out", "", "write a JSONL lifecycle-event log per cell (same % placeholder rule)")
 	flag.StringVar(&o.timeseriesOut, "timeseries-out", "", "write a CSV gauge time series per cell (needs -sample-every; same % placeholder rule)")
 	flag.Int64Var(&o.sampleEvery, "sample-every", 0, "sample telemetry gauges every N cycles (0 = off; needs an output path)")
+	flag.BoolVar(&o.hwprof, "hwprof", false, "attribute hardware counters per phase/request/bucket and classify the bottleneck (-sample-every sets the bucket width)")
+	flag.StringVar(&o.hwprofOut, "hwprof-out", "", "write the per-cell hardware profile report to this file instead of stdout (needs -hwprof; same % placeholder rule)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -296,13 +309,23 @@ func run(o cliOpts) error {
 
 	// Telemetry output validation happens before any simulation: a
 	// typo'd directory or a missing % placeholder fails immediately.
+	// -hwprof consumes the -sample-every grid directly (bucketed
+	// utilization), so sampling without a telemetry output path is
+	// legal when profiling is on.
 	trace := &telemetry.Spec{
-		TraceOut:      o.traceOut,
-		EventsOut:     o.eventsOut,
-		TimeseriesOut: o.timeseriesOut,
-		SampleEvery:   o.sampleEvery,
+		TraceOut:          o.traceOut,
+		EventsOut:         o.eventsOut,
+		TimeseriesOut:     o.timeseriesOut,
+		SampleEvery:       o.sampleEvery,
+		AllowBareSampling: o.hwprof,
 	}
 	if err := trace.Validate(len(pols) > 1); err != nil {
+		return err
+	}
+	if o.hwprofOut != "" && !o.hwprof {
+		return fmt.Errorf("-hwprof-out needs -hwprof")
+	}
+	if err := telemetry.ValidateOutPath("-hwprof-out", o.hwprofOut, len(pols) > 1); err != nil {
 		return err
 	}
 
@@ -316,7 +339,8 @@ func run(o cliOpts) error {
 
 	// Scale is applied by the grid runner (L2 size / scale), matching
 	// the figure harnesses.
-	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode, Trace: trace}
+	opts := experiments.Options{Base: &base, Scale: o.scale, Parallel: o.parallel, StepCache: mode, Trace: trace,
+		HWProf: hwprofSpec(o.hwprof, o.sampleEvery), HWProfOut: o.hwprofOut}
 	if o.verbose {
 		opts.Log = os.Stderr
 	}
@@ -333,13 +357,34 @@ func run(o cliOpts) error {
 			fmt.Printf("\ngoodput under SLO [%s]\n%s", p.Label, serving.Goodput(grid.Metrics[i], slo))
 		}
 	}
+	// With no -hwprof-out the full per-cell profile reports follow the
+	// table on stdout (the grid runner wrote them to files otherwise).
+	if o.hwprof && o.hwprofOut == "" {
+		for i, p := range grid.Policies {
+			if hw := grid.Metrics[i].HW; hw != nil {
+				fmt.Printf("\n%s", hw.Render(p.Label))
+			}
+		}
+	}
 	return nil
+}
+
+// hwprofSpec builds the hardware-profiling spec from the flags: the
+// attribution buckets ride the -sample-every telemetry grid so the
+// profile's utilization time-series lines up row-for-row with the
+// gauge time-series (0 = one whole-run bucket).
+func hwprofSpec(enabled bool, sampleEvery int64) hwprof.Spec {
+	return hwprof.Spec{Enabled: enabled, SampleEvery: sampleEvery}
 }
 
 // jsonCell is one policy cell of the -json document.
 type jsonCell struct {
 	Policy  string           `json:"policy"`
 	Metrics *serving.Metrics `json:"metrics"`
+	// Counters re-exports the cell's raw whole-run hardware counters
+	// at the top level, so scripts consuming profiles read them without
+	// digging through the metrics document.
+	Counters *stats.Counters `json:"counters"`
 	// Goodput is present when an SLO deadline was set.
 	Goodput *serving.SLOReport `json:"goodput,omitempty"`
 }
@@ -363,7 +408,7 @@ func writeJSON(grid *experiments.ServeGridResult, sched serving.SchedulerConfig,
 		Scheduler: experiments.SchedLabel(sched),
 	}
 	for i, p := range grid.Policies {
-		cell := jsonCell{Policy: p.Label, Metrics: grid.Metrics[i]}
+		cell := jsonCell{Policy: p.Label, Metrics: grid.Metrics[i], Counters: &grid.Metrics[i].Counters}
 		if slo.Enabled() {
 			rep := serving.Goodput(grid.Metrics[i], slo)
 			cell.Goodput = &rep

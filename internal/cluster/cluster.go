@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/hwprof"
 	"repro/internal/pool"
 	"repro/internal/serving"
 	"repro/internal/sim"
@@ -72,6 +73,14 @@ type Options struct {
 	// fan-out timing under the shared step memo (see
 	// telemetry.StripMemoHits; StepCacheNoMemo removes the caveat).
 	Telemetry *telemetry.Collector
+	// HWProf configures per-node hardware-counter attribution (see
+	// internal/hwprof): every node engine captures per-step counter
+	// deltas and the fleet metrics carry the per-node profiles plus
+	// the Fleet rollup with its bottleneck class. Like Telemetry the
+	// zero value disables it and is bit-inert; with Telemetry also
+	// attached, each node's bucket time-series flows into the merged
+	// trace as KindHWSample events.
+	HWProf hwprof.Spec
 }
 
 func (o Options) parallel(nodes int) int {
@@ -177,6 +186,12 @@ type Metrics struct {
 	// publish shared signatures, so the hit/miss split depends on
 	// fan-out timing (the simulated metrics never do).
 	StepCache serving.StepCacheStats
+	// HW is the fleet hardware-counter attribution rollup — summed
+	// phase costs, pooled per-request percentiles and the fleet
+	// bottleneck class over every node's classified buckets (the
+	// per-node profiles sit on PerNode[i].HW). Nil unless
+	// Options.HWProf.Enabled, and omitted from JSON then.
+	HW *hwprof.FleetProfile `json:"HW,omitempty"`
 	// PerNode holds every node's full serving metrics, node order.
 	PerNode []*serving.Metrics
 	// PerNodeFaults holds every node's fault outcome, node order; nil
@@ -205,7 +220,7 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	if err != nil {
 		return nil, err
 	}
-	ropts := serving.RunOptions{StepCache: opts.StepCache, Memo: opts.Memo, Sched: scn.Sched}
+	ropts := serving.RunOptions{StepCache: opts.StepCache, Memo: opts.Memo, Sched: scn.Sched, HWProf: opts.HWProf}
 	engines := make([]*serving.Engine, nodes)
 	// Prealloc a doubled per-node share of the population (capped at
 	// the whole scenario): a balanced router lands near 1/N per node,
@@ -525,7 +540,10 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 						Tokens: ev.attempts + 1,
 					})
 				}
-				evq.push(event{at: t + backoff, id: r.ID, req: r, attempts: ev.attempts + 1})
+				// A shed redispatched victim keeps its resume point —
+				// its pre-crash tokens were already streamed out and
+				// must never be generated twice.
+				evq.push(event{at: t + backoff, id: r.ID, req: r, attempts: ev.attempts + 1, resume: ev.resume})
 				continue
 			}
 			if alt != target {
@@ -607,6 +625,16 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	if err != nil {
 		return nil, err
 	}
+	// The hardware-profile time-series flushes into the trace after
+	// the fan-out has drained, sequentially in node order: each node's
+	// KindHWSample events land behind its lifecycle events in that
+	// node's buffer, so the merged stream is byte-identical at any
+	// Parallel. No-op unless both a collector and the profiler are on.
+	if opts.Telemetry != nil {
+		for i := range engines {
+			engines[i].FlushHWSamples()
+		}
+	}
 
 	m := &Metrics{
 		Nodes:     nodes,
@@ -636,6 +664,13 @@ func Run(cfg sim.Config, scn Scenario, nodes int, pol Policy, opts Options) (*Me
 	}
 	if lookups := m.PrefixHits + m.PrefixMisses; lookups > 0 {
 		m.PrefixHitRate = float64(m.PrefixHits) / float64(lookups)
+	}
+	if opts.HWProf.Enabled {
+		profs := make([]*hwprof.NodeProfile, nodes)
+		for i := range m.PerNode {
+			profs[i] = m.PerNode[i].HW
+		}
+		m.HW = hwprof.Fleet(profs)
 	}
 	if m.Makespan > 0 {
 		m.FleetTokensPerKCycle = 1000 * float64(m.Tokens) / float64(m.Makespan)

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/hwprof"
+	"repro/internal/serving"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// hwFaultCrash layers the committed mid-run crash of the acceptance
+// scenario onto the 2-node overload fleet: node 1 dies at cycle 80000
+// with requests in flight and rejoins cold, so the profiler sees the
+// recompute-redispatch phase alongside shedding and preemption.
+func hwFaultCrash() FaultConfig {
+	return FaultConfig{
+		Crashes:       []Crash{{Node: 1, At: 80000, Rejoin: 160000}},
+		DetectLatency: 5000,
+	}
+}
+
+// hwFleetRun executes the committed 2-node overload+fault acceptance
+// scenario — the bursty telemetry population under shedding, with the
+// crash layered on — with the profiler attached.
+func hwFleetRun(t *testing.T, parallel int, mode serving.StepCacheMode,
+	memo *serving.StepMemo, col *telemetry.Collector) *Metrics {
+	t.Helper()
+	m, err := Run(testConfig(), telemetryFleetScenario(t), 2, Policy{Kind: PrefixAffinity},
+		Options{
+			Parallel: parallel, StepCache: mode, Memo: memo,
+			Overload: shedConfig(), Faults: hwFaultCrash(), Telemetry: col,
+			HWProf: hwprof.Spec{Enabled: true, SampleEvery: 20000},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestClusterHWProfAcceptance is the PR's headline reconciliation: on
+// the committed 2-node overload+fault scenario, every node's summed
+// per-step counter deltas are bit-identical to its whole-run
+// aggregate counters — with the step memo on AND off — and the two
+// profiles serialize byte-identically. The scenario must actually
+// exercise all four phases: shedding-era decode, chunked prefill,
+// preemption recompute, and crash-redispatch recompute.
+func TestClusterHWProfAcceptance(t *testing.T) {
+	mOn := hwFleetRun(t, 0, serving.StepCacheOn, serving.NewStepMemo(), nil)
+	mOff := hwFleetRun(t, 0, serving.StepCacheNoMemo, nil, nil)
+
+	var preempts int64
+	for _, check := range []struct {
+		name string
+		m    *Metrics
+	}{{"memo-on", mOn}, {"memo-off", mOff}} {
+		m := check.m
+		if m.HW == nil {
+			t.Fatalf("%s: HWProf enabled but fleet profile is nil", check.name)
+		}
+		var fleetCycles int64
+		for i, nm := range m.PerNode {
+			if nm.HW == nil {
+				t.Fatalf("%s: node %d has no profile", check.name, i)
+			}
+			if nm.HW.Total != nm.Counters {
+				t.Fatalf("%s: node %d summed per-step deltas diverge from whole-run counters:\nprofile: %+v\nengine:  %+v",
+					check.name, i, nm.HW.Total, nm.Counters)
+			}
+			fleetCycles += nm.HW.Total.Cycles
+			preempts += nm.Preemptions
+		}
+		if m.HW.Total.Cycles != fleetCycles {
+			t.Fatalf("%s: fleet profile cycles %d != per-node sum %d",
+				check.name, m.HW.Total.Cycles, fleetCycles)
+		}
+		// All four phases are live in the committed scenario.
+		var red, rec int64
+		for _, nm := range m.PerNode {
+			red += nm.HW.Phases[hwprof.PhaseRecomputeRedispatch].Tokens
+			rec += nm.HW.Phases[hwprof.PhaseRecomputePreempt].Tokens
+		}
+		if m.Redispatched == 0 || red == 0 {
+			t.Fatalf("%s: crash redispatched %d requests, profile attributes %d redispatch-recompute tokens — scenario not exercising recovery",
+				check.name, m.Redispatched, red)
+		}
+		if preempts == 0 || rec == 0 {
+			t.Fatalf("%s: %d preemptions but %d recompute-preempt tokens", check.name, preempts, rec)
+		}
+	}
+
+	jOn, err := json.Marshal(mOn.HW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jOff, err := json.Marshal(mOff.HW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jOn, jOff) {
+		t.Fatalf("fleet profiles diverge between memo on and off:\non:  %s\noff: %s", jOn, jOff)
+	}
+}
+
+// TestClusterHWProfWidthDeterminism: the extended time-series CSV —
+// gauges joined with hw bucket samples and the fleet rollup rows — is
+// byte-identical between -parallel 1 and full fan-out, and so is the
+// serialized fleet profile.
+func TestClusterHWProfWidthDeterminism(t *testing.T) {
+	wide := runtime.GOMAXPROCS(0)
+	render := func(parallel int) (*Metrics, []byte) {
+		col := telemetry.NewCollector(20000)
+		m := hwFleetRun(t, parallel, serving.StepCacheNoMemo, nil, col)
+		var buf bytes.Buffer
+		if err := telemetry.WriteTimeseriesCSV(&buf, col.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return m, buf.Bytes()
+	}
+	mSerial, csvSerial := render(1)
+	mWide, csvWide := render(wide)
+	if !bytes.Equal(csvSerial, csvWide) {
+		t.Fatalf("time-series CSV differs between -parallel 1 and %d:\n%s\nvs\n%s",
+			wide, csvSerial, csvWide)
+	}
+	jSerial, _ := json.Marshal(mSerial.HW)
+	jWide, _ := json.Marshal(mWide.HW)
+	if !bytes.Equal(jSerial, jWide) {
+		t.Fatalf("fleet profile differs between -parallel 1 and %d", wide)
+	}
+	// The CSV actually carries the extended schema and the rollup.
+	if !bytes.Contains(csvSerial, []byte("hw_class")) || !bytes.Contains(csvSerial, []byte(",fleet,")) {
+		t.Fatalf("extended time series missing hw columns or fleet rows:\n%s", csvSerial)
+	}
+}
+
+// TestClusterHWProfClassifierLabels is the diagnosis acceptance
+// criterion: a saturated-decode cell classifies memory-bound — the
+// LLaMCAT result the profiler exists to surface — and a sparse
+// idle-tail cell classifies idle, at fleet and node granularity.
+func TestClusterHWProfClassifierLabels(t *testing.T) {
+	saturated, err := NewScenario(ScenarioConfig{
+		ScenarioConfig: serving.ScenarioConfig{
+			Name: "hwprof/saturated", Seed: 3, NumRequests: 16,
+			Models:       []workload.ModelConfig{workload.Llama3_70B},
+			MinPromptLen: 16, MaxPromptLen: 48,
+			MinDecode: 20, MaxDecode: 40,
+			MeanInterArrival: 0, MaxBatch: 8, // all arrive at once
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(testConfig(), saturated, 2, Policy{Kind: LeastOutstanding},
+		Options{HWProf: hwprof.Spec{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HW.Class != hwprof.ClassMemory {
+		t.Fatalf("saturated-decode fleet classified %s, want memory-bound", m.HW.Class)
+	}
+	for i, nm := range m.PerNode {
+		if nm.HW.Class != hwprof.ClassMemory {
+			t.Errorf("saturated node %d classified %s, want memory-bound", i, nm.HW.Class)
+		}
+	}
+
+	idle, err := NewScenario(ScenarioConfig{
+		ScenarioConfig: serving.ScenarioConfig{
+			Name: "hwprof/idle", Seed: 3, NumRequests: 6,
+			Models:       []workload.ModelConfig{workload.Llama3_70B},
+			MinPromptLen: 16, MaxPromptLen: 32,
+			MinDecode: 2, MaxDecode: 3,
+			MeanInterArrival: 300000, MaxBatch: 2, // long idle gaps
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := Run(testConfig(), idle, 2, Policy{Kind: LeastOutstanding},
+		Options{HWProf: hwprof.Spec{Enabled: true, SampleEvery: 50000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.HW.Class != hwprof.ClassIdle {
+		t.Fatalf("idle-tail fleet classified %s, want idle", mi.HW.Class)
+	}
+}

@@ -69,15 +69,21 @@ func RunClusterCells(cells []ClusterCellSpec, opts Options) ([]*cluster.Metrics,
 		cfg.Arbiter = c.Pol.Arbiter
 		col := opts.Trace.Collector()
 		m, err := cluster.Run(cfg, c.Scenario, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Overload, Faults: c.Faults, Telemetry: col})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Overload, Faults: c.Faults, Telemetry: col, HWProf: opts.HWProf})
 		if err != nil {
 			return fmt.Errorf("cluster cell %s nodes=%d %s %s: %w",
 				c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
 		}
+		label := fmt.Sprintf("%s-n%d-%s-%s", c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label)
 		if col != nil {
-			label := fmt.Sprintf("%s-n%d-%s-%s", c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label)
 			if err := opts.Trace.Export(label, col); err != nil {
 				return fmt.Errorf("cluster cell %s nodes=%d %s %s: %w",
+					c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
+			}
+		}
+		if m.HW != nil {
+			if err := opts.writeHWReport(label, m.HW.Render()); err != nil {
+				return fmt.Errorf("cluster cell %s nodes=%d %s %s: hwprof-out: %w",
 					c.Scenario.Name, c.Nodes, c.Router, c.Pol.Label, err)
 			}
 		}
@@ -175,21 +181,42 @@ func ClusterGridFaulty(scn cluster.Scenario, nodeCounts []int, routers []cluster
 }
 
 // Render formats the grid as an aligned per-cell table of the
-// headline fleet metrics.
+// headline fleet metrics. Cells run with the hardware profiler gain a
+// bottleneck-class column.
 func (g *ClusterGridResult) Render() string {
+	hw := false
+	for _, row := range g.Metrics {
+		for _, m := range row {
+			if m.HW != nil {
+				hw = true
+			}
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario %s: %d requests, %d tokens, batch %d/node, cache policy %s\n\n",
 		g.Scenario.Name, len(g.Scenario.Requests), g.Scenario.TotalTokens(),
 		g.Scenario.MaxBatch, g.Pol.Label)
-	fmt.Fprintf(&b, "%-6s %-18s %12s %10s %10s %10s %10s %10s %10s %10s\n",
+	fmt.Fprintf(&b, "%-6s %-18s %12s %10s %10s %10s %10s %10s %10s %10s",
 		"nodes", "router", "tok/kcycle", "makespan", "e2e-p50", "e2e-p95", "e2e-p99", "ttft-p95", "queue-p99", "imbalance")
+	if hw {
+		fmt.Fprintf(&b, "  %s", "bottleneck")
+	}
+	b.WriteByte('\n')
 	for i, n := range g.NodeCounts {
 		for j, r := range g.Routers {
 			m := g.Metrics[i][j]
-			fmt.Fprintf(&b, "%-6d %-18s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.0f %10.3f\n",
+			fmt.Fprintf(&b, "%-6d %-18s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.0f %10.3f",
 				n, r.String(), m.FleetTokensPerKCycle, m.Makespan,
 				m.E2ELatency.P50, m.E2ELatency.P95, m.E2ELatency.P99,
 				m.TTFT.P95, m.QueueDelay.P99, m.LoadImbalance)
+			if hw {
+				class := "-"
+				if m.HW != nil {
+					class = m.HW.ClassName
+				}
+				fmt.Fprintf(&b, "  %s", class)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()

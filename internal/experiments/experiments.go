@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/arbiter"
 	"repro/internal/dataflow"
 	"repro/internal/hwcost"
+	"repro/internal/hwprof"
 	"repro/internal/memtrace"
 	"repro/internal/pool"
 	"repro/internal/serving"
@@ -60,6 +62,27 @@ type Options struct {
 	// paths. The single-operator figure harnesses (RunCells) have no
 	// request lifecycle and ignore it.
 	Trace *telemetry.Spec
+	// HWProf configures hardware-counter attribution for the serving
+	// and cluster grids (see internal/hwprof): every cell's engines
+	// capture per-step counter deltas, the cell metrics carry the
+	// profiles, and the grid tables report each cell's bottleneck
+	// class. The zero value disables it (bit-inert). The
+	// single-operator figure harnesses ignore it, like Trace.
+	HWProf hwprof.Spec
+	// HWProfOut, when non-empty, writes each cell's rendered
+	// ProfileReport to this path, `%` placeholders expanded to the
+	// cell label exactly like the Trace paths. Ignored unless
+	// HWProf.Enabled.
+	HWProfOut string
+}
+
+// writeHWReport writes one cell's rendered profile report to the
+// HWProfOut path (no-op when unset).
+func (o Options) writeHWReport(label, report string) error {
+	if o.HWProfOut == "" {
+		return nil
+	}
+	return os.WriteFile(telemetry.CellPath(o.HWProfOut, label), []byte(report), 0o644)
 }
 
 func (o Options) scale() int {

@@ -75,15 +75,20 @@ func RunFaultCells(cells []FaultCellSpec, opts Options) ([]FaultCellResult, erro
 		cfg.Arbiter = c.Pol.Arbiter
 		col := opts.Trace.Collector()
 		m, err := cluster.Run(cfg, scn, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Faults: c.Faults, Telemetry: col})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Faults: c.Faults, Telemetry: col, HWProf: opts.HWProf})
 		if err != nil {
 			return fmt.Errorf("fault cell %s nodes=%d %s [%s]: %w",
 				c.Config.Name, c.Nodes, c.Router, c.Faults, err)
 		}
+		label := fmt.Sprintf("%s-n%d-%s", c.Config.Name, c.Nodes, recoveryLabel(c.Faults))
 		if col != nil {
-			label := fmt.Sprintf("%s-n%d-%s", c.Config.Name, c.Nodes, recoveryLabel(c.Faults))
 			if err := opts.Trace.Export(label, col); err != nil {
 				return fmt.Errorf("fault cell %s: %w", c.Config.Name, err)
+			}
+		}
+		if m.HW != nil {
+			if err := opts.writeHWReport(label, m.HW.Render()); err != nil {
+				return fmt.Errorf("fault cell %s: hwprof-out: %w", c.Config.Name, err)
 			}
 		}
 		results[i] = FaultCellResult{Metrics: m, Goodput: m.Goodput(c.SLO)}

@@ -120,16 +120,21 @@ func RunOverloadCells(cells []OverloadCellSpec, opts Options) ([]OverloadCellRes
 		cfg.Arbiter = c.Pol.Arbiter
 		col := opts.Trace.Collector()
 		m, err := cluster.Run(cfg, scn, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Combo.Shed, Telemetry: col})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Overload: c.Combo.Shed, Telemetry: col, HWProf: opts.HWProf})
 		if err != nil {
 			return fmt.Errorf("overload cell %s nodes=%d %s %s: %w",
 				scfg.Name, c.Nodes, c.Router, c.Combo.Label, err)
 		}
+		// scfg.Name already carries the rate multiplier.
+		label := fmt.Sprintf("%s-n%d-%s", scfg.Name, c.Nodes, c.Combo.Label)
 		if col != nil {
-			// scfg.Name already carries the rate multiplier.
-			label := fmt.Sprintf("%s-n%d-%s", scfg.Name, c.Nodes, c.Combo.Label)
 			if err := opts.Trace.Export(label, col); err != nil {
 				return fmt.Errorf("overload cell %s %s: %w", scfg.Name, c.Combo.Label, err)
+			}
+		}
+		if m.HW != nil {
+			if err := opts.writeHWReport(label, m.HW.Render()); err != nil {
+				return fmt.Errorf("overload cell %s %s: hwprof-out: %w", scfg.Name, c.Combo.Label, err)
 			}
 		}
 		results[i] = OverloadCellResult{Metrics: m, Goodput: m.Goodput(c.SLO)}

@@ -89,15 +89,20 @@ func RunPrefixCells(cells []PrefixCellSpec, opts Options) ([]PrefixCellResult, e
 		cfg.Arbiter = c.Pol.Arbiter
 		col := opts.Trace.Collector()
 		m, err := cluster.Run(cfg, scn, c.Nodes, c.Router,
-			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Telemetry: col})
+			cluster.Options{Parallel: inner, StepCache: opts.StepCache, Telemetry: col, HWProf: opts.HWProf})
 		if err != nil {
 			return fmt.Errorf("prefix cell %s nodes=%d %s: %w", scfg.Name, c.Nodes, c.Router, err)
 		}
+		// scfg.Name already carries the session/cache point.
+		label := fmt.Sprintf("%s-n%d-%s", scfg.Name, c.Nodes, c.Router)
 		if col != nil {
-			// scfg.Name already carries the session/cache point.
-			label := fmt.Sprintf("%s-n%d-%s", scfg.Name, c.Nodes, c.Router)
 			if err := opts.Trace.Export(label, col); err != nil {
 				return fmt.Errorf("prefix cell %s %s: %w", scfg.Name, c.Router, err)
+			}
+		}
+		if m.HW != nil {
+			if err := opts.writeHWReport(label, m.HW.Render()); err != nil {
+				return fmt.Errorf("prefix cell %s %s: hwprof-out: %w", scfg.Name, c.Router, err)
 			}
 		}
 		results[i] = PrefixCellResult{Metrics: m}

@@ -47,7 +47,7 @@ func RunServeCells(cells []ServeCellSpec, opts Options) ([]*serving.Metrics, err
 		cfg.L2SizeBytes /= opts.scale()
 		cfg.Throttle = c.Pol.Throttle
 		cfg.Arbiter = c.Pol.Arbiter
-		ropts := serving.RunOptions{StepCache: opts.StepCache}
+		ropts := serving.RunOptions{StepCache: opts.StepCache, HWProf: opts.HWProf}
 		col := opts.Trace.Collector()
 		if col != nil {
 			// A serving cell is a 1-node fleet for trace purposes.
@@ -58,10 +58,15 @@ func RunServeCells(cells []ServeCellSpec, opts Options) ([]*serving.Metrics, err
 		if err != nil {
 			return fmt.Errorf("serve cell %s %s: %w", c.Scenario.Name, c.Pol.Label, err)
 		}
+		label := c.Scenario.Name + "-" + c.Pol.Label
 		if col != nil {
-			label := c.Scenario.Name + "-" + c.Pol.Label
 			if err := opts.Trace.Export(label, col); err != nil {
 				return fmt.Errorf("serve cell %s %s: %w", c.Scenario.Name, c.Pol.Label, err)
+			}
+		}
+		if m.HW != nil {
+			if err := opts.writeHWReport(label, m.HW.Render(label)); err != nil {
+				return fmt.Errorf("serve cell %s %s: hwprof-out: %w", c.Scenario.Name, c.Pol.Label, err)
 			}
 		}
 		if opts.Log != nil {
@@ -116,19 +121,39 @@ func ServeGrid(scn serving.Scenario, policies []Policy, opts Options) (*ServeGri
 }
 
 // Render formats the grid as an aligned per-policy table of the
-// headline serving metrics.
+// headline serving metrics. Cells run with the hardware profiler gain
+// a bottleneck-class column.
 func (g *ServeGridResult) Render() string {
+	hw := false
+	for _, m := range g.Metrics {
+		if m.HW != nil {
+			hw = true
+			break
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario %s: %d requests, %d tokens, batch %d\n\n",
 		g.Scenario.Name, len(g.Scenario.Requests), g.Scenario.TotalTokens(), g.Scenario.MaxBatch)
-	fmt.Fprintf(&b, "%-14s %12s %10s %10s %10s %10s %10s %10s %10s\n",
+	fmt.Fprintf(&b, "%-14s %12s %10s %10s %10s %10s %10s %10s %10s",
 		"policy", "tok/kcycle", "makespan", "lat-p50", "lat-p95", "lat-p99", "ttft-p95", "queue-p99", "occupancy")
+	if hw {
+		fmt.Fprintf(&b, "  %s", "bottleneck")
+	}
+	b.WriteByte('\n')
 	for i, p := range g.Policies {
 		m := g.Metrics[i]
-		fmt.Fprintf(&b, "%-14s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.0f %10.2f\n",
+		fmt.Fprintf(&b, "%-14s %12.4f %10d %10.0f %10.0f %10.0f %10.0f %10.0f %10.2f",
 			p.Label, m.TokensPerKCycle, m.Makespan,
 			m.TokenLatency.P50, m.TokenLatency.P95, m.TokenLatency.P99,
 			m.TTFT.P95, m.QueueDelay.P99, m.MeanBatchOccupancy)
+		if hw {
+			class := "-"
+			if m.HW != nil {
+				class = m.HW.ClassName
+			}
+			fmt.Fprintf(&b, "  %s", class)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -1,0 +1,273 @@
+package hwprof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// mkCounters builds a counter delta with the fields the attribution
+// and classifier read populated.
+func mkCounters(cycles, dramRW, l2h, l2a, memStall, cacheStall, slice, bus int64) stats.Counters {
+	return stats.Counters{
+		Cycles: cycles, DRAMReads: dramRW, DRAMWrites: dramRW,
+		L2Hits: l2h, L2Accesses: l2a, L2Misses: l2a - l2h,
+		CoreMemStall: memStall, CacheStall: cacheStall,
+		SliceCycles: slice, DRAMBusCycles: bus,
+	}
+}
+
+var testPar = Params{FreqGHz: 2.0, LineBytes: 64, NumCores: 4, DRAMChannels: 2}
+
+// TestSplitExact: the proportional split is exact — shares sum back
+// to the total bit for bit even with awkward remainders, and the
+// remainder units go to the first shares in order.
+func TestSplitExact(t *testing.T) {
+	p := New(testPar, Spec{Enabled: true})
+	cases := []struct {
+		total  int64
+		tokens []int
+	}{
+		{100, []int{1, 1, 1}},
+		{7, []int{3, 2, 2}},
+		{1, []int{5, 5}},
+		{999999999, []int{1, 31, 7, 1}},
+		{0, []int{4, 4}},
+	}
+	for _, c := range cases {
+		shares := make([]StreamShare, len(c.tokens))
+		tot := 0
+		for i, tk := range c.tokens {
+			shares[i] = StreamShare{Req: i, Tokens: tk, Phase: PhaseDecode}
+			tot += tk
+		}
+		got := p.split(0, c.total, shares, tot)
+		var sum int64
+		for _, v := range got {
+			sum += v
+		}
+		if sum != c.total {
+			t.Errorf("split(%d, %v) = %v, sums to %d", c.total, c.tokens, got, sum)
+		}
+	}
+	// 100 over weights 1,1,1: floor gives 33 each, remainder 1 goes to
+	// the first share.
+	shares := []StreamShare{{Req: 0, Tokens: 1}, {Req: 1, Tokens: 1}, {Req: 2, Tokens: 1}}
+	got := p.split(0, 100, shares, 3)
+	if got[0] != 34 || got[1] != 33 || got[2] != 33 {
+		t.Errorf("remainder placement: got %v, want [34 33 33]", got)
+	}
+}
+
+// TestStepReconciliation: summed per-step deltas equal the profile
+// total exactly, phase cycles sum to the wall cycles, and every
+// request's attribution sums back too.
+func TestStepReconciliation(t *testing.T) {
+	p := New(testPar, Spec{Enabled: true, SampleEvery: 100})
+	var want stats.Counters
+	var wantCycles int64
+	clock := int64(0)
+	for i := 0; i < 17; i++ {
+		ctr := mkCounters(int64(50+i*13), int64(10+i), 30, 40, 90, 8, 60, 25)
+		step := int64(40 + i*7)
+		clock += step
+		shares := []StreamShare{
+			{Req: i % 3, Tokens: 1, Phase: PhaseDecode},
+			{Req: 3 + i%2, Tokens: 5 + i, Phase: PhasePrefill},
+		}
+		p.Step(clock, step, &ctr, shares)
+		want.Add(&ctr)
+		wantCycles += step
+	}
+	if p.Total() != want {
+		t.Fatalf("Total() diverges from summed deltas:\n%+v\n%+v", p.Total(), want)
+	}
+	n := p.Snapshot(clock)
+	var phaseCycles, reqCycles int64
+	for _, ph := range n.Phases {
+		phaseCycles += ph.Cycles
+	}
+	for _, r := range n.Requests {
+		reqCycles += r.Cycles
+	}
+	if phaseCycles != wantCycles || reqCycles != wantCycles {
+		t.Errorf("cycles: phases=%d requests=%d, want %d", phaseCycles, reqCycles, wantCycles)
+	}
+	var bucketSteps int64
+	var bucketCtr stats.Counters
+	for i := range n.Buckets {
+		bucketSteps += n.Buckets[i].Steps
+		c := n.Buckets[i].Counters
+		bucketCtr.Add(&c)
+	}
+	if bucketSteps != p.Steps() || bucketCtr != want {
+		t.Errorf("bucket view diverges: steps %d/%d", bucketSteps, p.Steps())
+	}
+}
+
+// TestBucketIndexing: bucket i covers (i·K, (i+1)·K] — a step
+// completing exactly on a boundary lands in the bucket it closed, and
+// the snapshot extends past the last step so idle tails classify idle.
+func TestBucketIndexing(t *testing.T) {
+	p := New(testPar, Spec{Enabled: true, SampleEvery: 100})
+	ctr := mkCounters(10, 1, 1, 2, 1, 1, 2, 1)
+	p.Step(100, 10, &ctr, nil) // boundary: closes bucket 0
+	p.Step(101, 10, &ctr, nil) // first cycle of bucket 1
+	p.Step(250, 10, &ctr, nil) // interior of bucket 2
+	n := p.Snapshot(1000)
+	if len(n.Buckets) != 10 {
+		t.Fatalf("snapshot has %d buckets, want 10 (makespan 1000 / 100)", len(n.Buckets))
+	}
+	wantSteps := []int64{1, 1, 1, 0, 0, 0, 0, 0, 0, 0}
+	for i, w := range wantSteps {
+		if n.Buckets[i].Steps != w {
+			t.Errorf("bucket %d has %d steps, want %d", i, n.Buckets[i].Steps, w)
+		}
+	}
+	for i := 3; i < 10; i++ {
+		if n.Buckets[i].Class != ClassIdle {
+			t.Errorf("idle-tail bucket %d classified %s", i, n.Buckets[i].Class)
+		}
+	}
+	if n.Class != ClassIdle {
+		t.Errorf("idle-tail node classified %s, want idle (7/10 idle buckets)", n.Class)
+	}
+
+	// SampleEvery 0: one whole-run bucket covering (0, makespan].
+	p0 := New(testPar, Spec{Enabled: true})
+	p0.Step(500, 400, &ctr, nil)
+	n0 := p0.Snapshot(500)
+	if len(n0.Buckets) != 1 || n0.Buckets[0].Start != 0 || n0.Buckets[0].End != 500 {
+		t.Errorf("SampleEvery 0: buckets = %+v, want one (0, 500]", n0.Buckets)
+	}
+}
+
+// TestClassifyLadder exercises every branch of the decision ladder on
+// synthetic counters.
+func TestClassifyLadder(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		name       string
+		ctr        stats.Counters
+		span, busy int64
+		want       Class
+	}{
+		{"no steps", mkCounters(100, 0, 0, 0, 0, 0, 0, 0), 1000, 0, ClassIdle},
+		{"below busy floor", mkCounters(100, 0, 0, 0, 0, 0, 0, 0), 1000, 50, ClassIdle},
+		// t_cs = 70/100 >= 0.60 → stalled, even though memfrac is high.
+		{"stalled", mkCounters(100, 0, 0, 0, 350, 70, 100, 0), 100, 100, ClassStalled},
+		// memfrac = 320/(100·4) = 0.80 >= 0.50 → memory.
+		{"memory via mem-stall", mkCounters(100, 0, 0, 0, 320, 10, 100, 0), 100, 100, ClassMemory},
+		// bus = 120/(100·2) = 0.60 >= 0.50 → memory despite low memfrac.
+		{"memory via bus", mkCounters(100, 0, 0, 0, 40, 10, 100, 120), 100, 100, ClassMemory},
+		{"compute", mkCounters(100, 0, 0, 0, 40, 10, 100, 20), 100, 100, ClassCompute},
+	}
+	for _, c := range cases {
+		got := th.Classify(&c.ctr, c.span, c.busy, testPar.NumCores, testPar.DRAMChannels)
+		if got != c.want {
+			t.Errorf("%s: classified %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// TestClassRoundTrip: wire names parse back, unknown names don't.
+func TestClassRoundTrip(t *testing.T) {
+	for c := ClassIdle; c < numClasses; c++ {
+		got, ok := ClassFromString(c.String())
+		if !ok || got != c {
+			t.Errorf("ClassFromString(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ClassFromString("bogus"); ok {
+		t.Error("ClassFromString accepted an unknown name")
+	}
+}
+
+// TestMostSevere: the fleet-row reduction picks the most actionable
+// diagnosis; empty input is idle.
+func TestMostSevere(t *testing.T) {
+	if got := MostSevere(nil); got != ClassIdle {
+		t.Errorf("MostSevere(nil) = %s", got)
+	}
+	if got := MostSevere([]Class{ClassIdle, ClassCompute, ClassMemory}); got != ClassMemory {
+		t.Errorf("MostSevere = %s, want memory-bound", got)
+	}
+	if got := MostSevere([]Class{ClassStalled, ClassMemory}); got != ClassStalled {
+		t.Errorf("MostSevere = %s, want stalled", got)
+	}
+}
+
+// TestMajorityTie: an even wall-clock split reports the more severe
+// class.
+func TestMajorityTie(t *testing.T) {
+	var w [numClasses]int64
+	w[ClassIdle] = 500
+	w[ClassMemory] = 500
+	if got := majority(w); got != ClassMemory {
+		t.Errorf("majority tie = %s, want memory-bound", got)
+	}
+}
+
+// TestFleetNil: nil entries are skipped, an all-nil fleet returns nil.
+func TestFleetNil(t *testing.T) {
+	if f := Fleet(nil); f != nil {
+		t.Error("Fleet(nil) != nil")
+	}
+	if f := Fleet([]*NodeProfile{nil, nil}); f != nil {
+		t.Error("Fleet(all-nil) != nil")
+	}
+	p := New(testPar, Spec{Enabled: true})
+	ctr := mkCounters(100, 5, 30, 40, 320, 10, 100, 120)
+	p.Step(100, 100, &ctr, []StreamShare{{Req: 7, Tokens: 1, Phase: PhaseDecode}})
+	n := p.Snapshot(100)
+	f := Fleet([]*NodeProfile{nil, n})
+	if f == nil || f.Steps != 1 || f.Total != n.Total {
+		t.Fatalf("Fleet skipped the live node: %+v", f)
+	}
+	if f.Class != ClassMemory {
+		t.Errorf("fleet class = %s, want memory-bound", f.Class)
+	}
+}
+
+// TestRenders: the report tables carry the load-bearing rows.
+func TestRenders(t *testing.T) {
+	p := New(testPar, Spec{Enabled: true, SampleEvery: 50})
+	ctr := mkCounters(100, 5, 30, 40, 320, 10, 100, 120)
+	p.Step(50, 50, &ctr, []StreamShare{
+		{Req: 0, Tokens: 1, Phase: PhaseDecode},
+		{Req: 1, Tokens: 8, Phase: PhaseRecomputePreempt},
+	})
+	n := p.Snapshot(100)
+	out := n.Render("cell-a")
+	for _, want := range []string{"hardware profile cell-a", "recompute-preempt", "per-request", "class"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("node render missing %q:\n%s", want, out)
+		}
+	}
+	f := Fleet([]*NodeProfile{n})
+	fout := f.Render()
+	for _, want := range []string{"fleet hardware profile", "memory-bound", "per-request cycles"} {
+		if !strings.Contains(fout, want) {
+			t.Errorf("fleet render missing %q:\n%s", want, fout)
+		}
+	}
+}
+
+// TestPhaseNames: the wire names are stable and cover every phase.
+func TestPhaseNames(t *testing.T) {
+	want := map[Phase]string{
+		PhasePrefill:             "prefill",
+		PhaseDecode:              "decode",
+		PhaseRecomputePreempt:    "recompute-preempt",
+		PhaseRecomputeRedispatch: "recompute-redispatch",
+	}
+	for ph, name := range want {
+		if ph.String() != name {
+			t.Errorf("Phase(%d).String() = %q, want %q", ph, ph.String(), name)
+		}
+	}
+	if Phase(200).String() != "unknown" {
+		t.Error("out-of-range phase should stringify as unknown")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/hwprof"
 	"repro/internal/memtrace"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -32,6 +33,12 @@ type stream struct {
 	// gate: kvReserve(req) minus any prefix-cache hit at admission.
 	// Released exactly once, at retirement or preemption.
 	reserved int64
+	// prefillPhase is where the hardware profiler attributes this
+	// stream's prefill passes: PhasePrefill (the zero value) for a
+	// fresh prompt, or a recompute phase when the stream is rebuilding
+	// KV evicted by preemption or lost to a node crash. Decode passes
+	// are always PhaseDecode.
+	prefillPhase hwprof.Phase
 }
 
 // Engine is one continuous-batching server advanced incrementally on
@@ -64,6 +71,11 @@ type Engine struct {
 	resume      map[int]int
 	preemptions int64
 	victims     []*stream
+	// redisp marks resume points that came from a crash redispatch
+	// (SubmitResume) rather than an on-node preemption, so the
+	// hardware profiler attributes the recompute prefill to the right
+	// phase. Consumed alongside e.resume at re-admission.
+	redisp map[int]bool
 
 	// Session prefix cache (Sched.PrefixCacheTokens > 0; nil otherwise,
 	// leaving every admission on the exact pre-prefix-cache path). See
@@ -83,6 +95,13 @@ type Engine struct {
 	memoHit     bool
 	sampleEvery int64
 	nextSample  int64
+
+	// Hardware profiling (RunOptions.HWProf; nil = no capture, the
+	// exact pre-profiling branch structure, mirroring rec). prof
+	// receives every applied step's (cycles, counters) delta with the
+	// per-stream attribution shares built in profShares scratch.
+	prof       *hwprof.Profile
+	profShares []hwprof.StreamShare
 
 	// slow is the straggler multiplier on every executed (or replayed)
 	// step's cycle cost (see SetSlowdown); values <= 1 leave the step
@@ -168,6 +187,15 @@ func NewEngineWith(cfg sim.Config, maxBatch int, includeAV bool, stride uint64, 
 	}
 	if opts.Sched.PrefixCacheTokens > 0 {
 		e.pfx = newPrefixCache(opts.Sched.PrefixCacheTokens)
+	}
+	if opts.HWProf.Enabled {
+		e.prof = hwprof.New(hwprof.Params{
+			FreqGHz:      cfg.FreqGHz,
+			LineBytes:    cfg.LineBytes,
+			NumCores:     cfg.NumCores,
+			DRAMChannels: cfg.DRAMChannels,
+		}, opts.HWProf)
+		e.profShares = make([]hwprof.StreamShare, 0, maxBatch+1)
 	}
 	if e.mode == StepCacheOn {
 		if e.memo == nil {
@@ -318,6 +346,14 @@ func (e *Engine) admit() {
 			s.left = req.DecodeTokens - res
 			s.kvLen = prefix
 			s.prefillLeft = req.PromptLen + res - prefix
+			// The rebuilt KV prefix is recompute work, not fresh
+			// prefill — attributed to the phase matching how it was
+			// lost (eviction on this node vs a crash elsewhere).
+			s.prefillPhase = hwprof.PhaseRecomputePreempt
+			if e.redisp[req.ID] {
+				delete(e.redisp, req.ID)
+				s.prefillPhase = hwprof.PhaseRecomputeRedispatch
+			}
 			if e.sched.Policy == SchedDecodeOnly {
 				// Decode-only nodes assume prefill happens elsewhere;
 				// a crash-recovered stream's recomputation is likewise
@@ -605,6 +641,25 @@ func (e *Engine) applyStep(stepCycles int64, ctr *stats.Counters) {
 	e.cycles += stepCycles
 	e.counters.Add(ctr)
 
+	if e.prof != nil {
+		// Attribution shares mirror the running set exactly: one decode
+		// token per decode participant, the chunk length for a prefill
+		// pass, with the stream's phase tag. Built before the retirement
+		// pass below nils any slots.
+		e.profShares = e.profShares[:0]
+		for _, rs := range e.running {
+			sh := hwprof.StreamShare{
+				Req: e.slots[rs.Slot].req.ID, Tokens: 1, Phase: hwprof.PhaseDecode,
+			}
+			if rs.ChunkLen > 0 {
+				sh.Tokens = rs.ChunkLen
+				sh.Phase = e.slots[rs.Slot].prefillPhase
+			}
+			e.profShares = append(e.profShares, sh)
+		}
+		e.prof.Step(e.now, stepCycles, ctr, e.profShares)
+	}
+
 	for _, rs := range e.running {
 		s := e.slots[rs.Slot]
 		if rs.ChunkLen > 0 {
@@ -792,6 +847,7 @@ func (e *Engine) Crash() (victims []CrashVictim, lost int64) {
 	e.pending = e.pending[:0]
 	e.kvUsed = 0
 	e.resume = nil
+	e.redisp = nil
 	e.unfinished = 0
 	if e.pfx != nil {
 		e.pfx = newPrefixCache(e.sched.PrefixCacheTokens)
@@ -835,8 +891,58 @@ func (e *Engine) SubmitResume(req Request, tokens int) error {
 			e.resume = make(map[int]int)
 		}
 		e.resume[req.ID] = tokens
+		if e.redisp == nil {
+			e.redisp = make(map[int]bool)
+		}
+		e.redisp[req.ID] = true
 	}
 	return nil
+}
+
+// HWProfile snapshots the engine's hardware-counter attribution at
+// the current clock, or nil when profiling is off. Each call derives
+// a fresh snapshot; callers (RunWith, the cluster's metrics assembly)
+// take it once at drain.
+func (e *Engine) HWProfile() *hwprof.NodeProfile {
+	if e.prof == nil {
+		return nil
+	}
+	return e.prof.Snapshot(e.now)
+}
+
+// FlushHWSamples emits the hardware-profile time-series into the
+// telemetry stream: one KindHWSample event per sampling-grid bucket,
+// stamped at the bucket's end boundary so hardware samples line up
+// with (and sort immediately after) the gauge samples on the shared
+// grid. Call once post-drain, from the goroutine that advanced the
+// engine; a run without both a profiler and a recorder is a no-op.
+func (e *Engine) FlushHWSamples() {
+	if e.prof == nil || e.rec == nil {
+		return
+	}
+	snap := e.prof.Snapshot(e.now)
+	for i := range snap.Buckets {
+		b := &snap.Buckets[i]
+		e.rec.Record(telemetry.Event{
+			Kind: telemetry.KindHWSample, Cycle: b.End,
+			Req: -1, Session: -1, Slot: -1, Target: -1,
+			HW: &telemetry.HWGauges{
+				Steps:         b.Steps,
+				BusyCycles:    b.BusyCycles,
+				Cycles:        b.Counters.Cycles,
+				DRAMBytes:     b.DRAMBytes,
+				L2Hits:        b.Counters.L2Hits,
+				L2Accesses:    b.Counters.L2Accesses,
+				CoreMemStall:  b.Counters.CoreMemStall,
+				CacheStall:    b.Counters.CacheStall,
+				SliceCycles:   b.Counters.SliceCycles,
+				DRAMBusCycles: b.Counters.DRAMBusCycles,
+				Cores:         e.cfg.NumCores,
+				Channels:      e.cfg.DRAMChannels,
+				Class:         b.Class.String(),
+			},
+		})
+	}
 }
 
 // Now returns the engine's local clock: the completion cycle of the
@@ -934,6 +1040,7 @@ func (e *Engine) Metrics() *Metrics {
 	m.TTFT = Summarise(e.ttfts)
 	m.StepCache = e.cacheStats
 	m.Sim = e.counters.Derive(e.cfg.FreqGHz, e.cfg.LineBytes, e.cfg.NumCores)
+	m.HW = e.HWProfile()
 	m.PerRequest = append([]RequestStats(nil), e.stats...)
 	sort.Slice(m.PerRequest, func(a, b int) bool { return m.PerRequest[a].ID < m.PerRequest[b].ID })
 	return m

@@ -29,6 +29,7 @@ package serving
 import (
 	"fmt"
 
+	"repro/internal/hwprof"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -153,6 +154,12 @@ type Metrics struct {
 	// bit-identity guarantees every other field carries (determinism
 	// tests compare metrics with StripStepCache applied).
 	StepCache StepCacheStats
+	// HW is the hardware-counter attribution profile — per-phase and
+	// per-request cost, the classified utilization time-series and the
+	// node's bottleneck class. Nil unless RunOptions.HWProf.Enabled,
+	// and omitted from JSON then, so profiling is invisible in every
+	// serialized artifact when off.
+	HW *hwprof.NodeProfile `json:"HW,omitempty"`
 	// PerRequest holds one entry per request, in request-ID order.
 	PerRequest []RequestStats
 }
@@ -191,6 +198,14 @@ type RunOptions struct {
 	// every SampleEvery cycles on shared k·SampleEvery boundaries.
 	// 0 disables sampling; ignored when Recorder is nil.
 	SampleEvery int64
+	// HWProf configures hardware-counter attribution (see
+	// internal/hwprof). The zero value disables it — like Recorder,
+	// every capture site is branch-guarded, so a run without profiling
+	// takes the exact pre-hwprof paths and produces bit-identical
+	// Metrics and telemetry. With Recorder also attached, the profile's
+	// bucket time-series additionally flows into the trace as
+	// KindHWSample events.
+	HWProf hwprof.Spec
 }
 
 // Run executes a serving scenario on the configured system. The
@@ -236,6 +251,7 @@ func RunWith(cfg sim.Config, scn Scenario, opts RunOptions) (*Metrics, error) {
 	if err := eng.Drain(); err != nil {
 		return nil, err
 	}
+	eng.FlushHWSamples()
 	// Counters.Cycles already equals Metrics.Cycles: every step's
 	// Result carries its cycle count and Add accumulates it.
 	return eng.Metrics(), nil

@@ -10,26 +10,29 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/hwprof"
 )
 
 // jsonlEvent fixes the JSONL field order. ID fields are always
 // emitted (request ID 0 is valid, so omitempty would be lossy);
 // kind-specific payloads are omitted when absent.
 type jsonlEvent struct {
-	Kind    string  `json:"kind"`
-	Cycle   int64   `json:"cycle"`
-	Dur     int64   `json:"dur"`
-	Node    int     `json:"node"`
-	Req     int     `json:"req"`
-	Session int     `json:"session"`
-	Slot    int     `json:"slot"`
-	Tokens  int     `json:"tokens"`
-	KV      int     `json:"kv"`
-	Memo    bool    `json:"memo,omitempty"`
-	Target  int     `json:"target"`
-	Load    []int64 `json:"load,omitempty"`
-	Backlog []int64 `json:"backlog,omitempty"`
-	Gauges  *Gauges `json:"gauges,omitempty"`
+	Kind    string    `json:"kind"`
+	Cycle   int64     `json:"cycle"`
+	Dur     int64     `json:"dur"`
+	Node    int       `json:"node"`
+	Req     int       `json:"req"`
+	Session int       `json:"session"`
+	Slot    int       `json:"slot"`
+	Tokens  int       `json:"tokens"`
+	KV      int       `json:"kv"`
+	Memo    bool      `json:"memo,omitempty"`
+	Target  int       `json:"target"`
+	Load    []int64   `json:"load,omitempty"`
+	Backlog []int64   `json:"backlog,omitempty"`
+	Gauges  *Gauges   `json:"gauges,omitempty"`
+	HW      *HWGauges `json:"hw,omitempty"`
 }
 
 // WriteJSONL writes one JSON object per event, one event per line, in
@@ -58,6 +61,10 @@ func WriteJSONL(w io.Writer, events []Event) error {
 			g := ev.Gauges
 			je.Gauges = &g
 		}
+		if ev.Kind == KindHWSample && ev.HW != nil {
+			h := *ev.HW
+			je.HW = &h
+		}
 		if err := enc.Encode(je); err != nil {
 			return err
 		}
@@ -70,8 +77,23 @@ func WriteJSONL(w io.Writer, events []Event) error {
 // rollup row per sample cycle summing the per-node gauges. Engines
 // stamp samples on shared K-cycle boundaries, so same-cycle samples
 // from different nodes are adjacent in the merged stream and roll up
-// exactly.
+// exactly. A stream with no samples at all still yields the header
+// line, so downstream CSV tooling always sees a well-formed file.
+//
+// When the stream carries KindHWSample events (engines run with the
+// hardware profiler on), the CSV switches to the extended schema:
+// seven hw_* columns are appended to every row, merging each node's
+// gauge sample and hardware bucket at the shared boundary. The fleet
+// row sums the raw hardware counters across nodes and re-derives the
+// rates from the sums (exact, not an average of averages); its class
+// is the most severe per-node class at that boundary. Streams without
+// hardware samples produce byte-identical pre-hwprof output.
 func WriteTimeseriesCSV(w io.Writer, events []Event) error {
+	for i := range events {
+		if events[i].Kind == KindHWSample {
+			return writeTimeseriesHW(w, events)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("cycle,node,outstanding,backlog,kv_used,running,prefix_fill\n"); err != nil {
 		return err
@@ -110,6 +132,118 @@ func WriteTimeseriesCSV(w io.Writer, events []Event) error {
 		fleet.KVUsed += ev.Gauges.KVUsed
 		fleet.Running += ev.Gauges.Running
 		fleet.PrefixFill += ev.Gauges.PrefixFill
+		pending = true
+	}
+	flush()
+	return bw.Flush()
+}
+
+// tsCell accumulates one (cycle, node)'s gauge sample and hardware
+// bucket before the row is emitted.
+type tsCell struct {
+	g  Gauges
+	hw *HWGauges
+}
+
+// writeTimeseriesHW is the extended-schema CSV writer (see
+// WriteTimeseriesCSV). Per cycle it groups samples by node in
+// first-appearance order — the collector's merge order, which is
+// node order — emits one merged row per node, then the fleet rollup.
+func writeTimeseriesHW(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("cycle,node,outstanding,backlog,kv_used,running,prefix_fill," +
+		"hw_steps,hw_busy_cycles,hw_dram_bytes,hw_l2_hit,hw_mem_frac,hw_bus_util,hw_class\n"); err != nil {
+		return err
+	}
+	frac := func(num, den int64) string {
+		if den <= 0 {
+			return "0.000000"
+		}
+		return strconv.FormatFloat(float64(num)/float64(den), 'f', 6, 64)
+	}
+	row := func(cycle int64, node string, c *tsCell) {
+		bw.WriteString(strconv.FormatInt(cycle, 10))
+		bw.WriteByte(',')
+		bw.WriteString(node)
+		fmt.Fprintf(bw, ",%d,%d,%d,%d,%d",
+			c.g.Outstanding, c.g.Backlog, c.g.KVUsed, c.g.Running, c.g.PrefixFill)
+		h := c.hw
+		if h == nil {
+			h = &HWGauges{}
+		}
+		fmt.Fprintf(bw, ",%d,%d,%d,%s,%s,%s,%s\n",
+			h.Steps, h.BusyCycles, h.DRAMBytes,
+			frac(h.L2Hits, h.L2Accesses),
+			frac(h.CoreMemStall, h.Cycles*int64(h.Cores)),
+			frac(h.DRAMBusCycles, h.Cycles*int64(h.Channels)),
+			h.Class)
+	}
+	var (
+		cur     int64
+		order   []int
+		cells   = map[int]*tsCell{}
+		pending bool
+	)
+	flush := func() {
+		if !pending {
+			return
+		}
+		fleet := tsCell{hw: &HWGauges{}}
+		var classes []hwprof.Class
+		for _, node := range order {
+			c := cells[node]
+			row(cur, strconv.Itoa(node), c)
+			fleet.g.Outstanding += c.g.Outstanding
+			fleet.g.Backlog += c.g.Backlog
+			fleet.g.KVUsed += c.g.KVUsed
+			fleet.g.Running += c.g.Running
+			fleet.g.PrefixFill += c.g.PrefixFill
+			if c.hw != nil {
+				fh := fleet.hw
+				fh.Steps += c.hw.Steps
+				fh.BusyCycles += c.hw.BusyCycles
+				fh.Cycles += c.hw.Cycles
+				fh.DRAMBytes += c.hw.DRAMBytes
+				fh.L2Hits += c.hw.L2Hits
+				fh.L2Accesses += c.hw.L2Accesses
+				fh.CoreMemStall += c.hw.CoreMemStall
+				fh.CacheStall += c.hw.CacheStall
+				fh.SliceCycles += c.hw.SliceCycles
+				fh.DRAMBusCycles += c.hw.DRAMBusCycles
+				if fh.Cores == 0 {
+					fh.Cores, fh.Channels = c.hw.Cores, c.hw.Channels
+				}
+				if cl, ok := hwprof.ClassFromString(c.hw.Class); ok {
+					classes = append(classes, cl)
+				}
+			}
+			delete(cells, node)
+		}
+		fleet.hw.Class = hwprof.MostSevere(classes).String()
+		row(cur, "fleet", &fleet)
+		order = order[:0]
+		pending = false
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != KindSample && ev.Kind != KindHWSample {
+			continue
+		}
+		if pending && ev.Cycle != cur {
+			flush()
+		}
+		cur = ev.Cycle
+		c := cells[ev.Node]
+		if c == nil {
+			c = &tsCell{}
+			cells[ev.Node] = c
+			order = append(order, ev.Node)
+		}
+		if ev.Kind == KindSample {
+			c.g = ev.Gauges
+		} else {
+			c.hw = ev.HW
+		}
 		pending = true
 	}
 	flush()

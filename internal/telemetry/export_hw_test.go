@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+// hwExportFixture extends the exporter fixture with hardware-profile
+// sample events on the same 50-cycle grid — the byte-format contract
+// of the hw counter tracks through all three exporters.
+func hwExportFixture() []Event {
+	c := NewCollector(50)
+	n0 := c.Node(0)
+	n1 := c.Node(1)
+	n0.Record(Event{Kind: KindArrive, Cycle: 0, Req: 0, Session: 0, Slot: -1, Tokens: 64, KVLen: 68, Target: -1})
+	n0.Record(Event{Kind: KindAdmit, Cycle: 0, Req: 0, Session: 0, Slot: 0, KVLen: 68, Target: -1})
+	n0.Record(Event{Kind: KindDecode, Cycle: 40, Dur: 40, Req: 0, Session: 0, Slot: 0, Tokens: 1, Target: -1})
+	n0.Record(Event{Kind: KindSample, Cycle: 50, Req: -1, Session: -1, Slot: -1, Target: -1,
+		Gauges: Gauges{Outstanding: 70, KVUsed: 68, Running: 1}})
+	n1.Record(Event{Kind: KindSample, Cycle: 50, Req: -1, Session: -1, Slot: -1, Target: -1,
+		Gauges: Gauges{Outstanding: 36, Backlog: 32}})
+	n0.Record(Event{Kind: KindDecode, Cycle: 90, Dur: 50, Req: 0, Session: 0, Slot: 0, Tokens: 2, Target: -1})
+	n0.Record(Event{Kind: KindRetire, Cycle: 90, Dur: 90, Req: 0, Session: 0, Slot: 0, Tokens: 3, KVLen: 71, Target: -1})
+	// The profile's bucket time-series, stamped at bucket ends: node 0
+	// busy both buckets (memory-bound then stalled), node 1 idle — the
+	// fleet rollup row must reduce to the most severe class.
+	n0.Record(Event{Kind: KindHWSample, Cycle: 50, Req: -1, Session: -1, Slot: -1, Target: -1,
+		HW: &HWGauges{Steps: 1, BusyCycles: 40, Cycles: 40, DRAMBytes: 4096,
+			L2Hits: 60, L2Accesses: 100, CoreMemStall: 140, CacheStall: 10, SliceCycles: 80,
+			DRAMBusCycles: 70, Cores: 4, Channels: 2, Class: "memory-bound"}})
+	n0.Record(Event{Kind: KindHWSample, Cycle: 100, Req: -1, Session: -1, Slot: -1, Target: -1,
+		HW: &HWGauges{Steps: 1, BusyCycles: 50, Cycles: 50, DRAMBytes: 8192,
+			L2Hits: 30, L2Accesses: 120, CoreMemStall: 60, CacheStall: 70, SliceCycles: 100,
+			DRAMBusCycles: 30, Cores: 4, Channels: 2, Class: "stalled"}})
+	n1.Record(Event{Kind: KindHWSample, Cycle: 50, Req: -1, Session: -1, Slot: -1, Target: -1,
+		HW: &HWGauges{Cores: 4, Channels: 2, Class: "idle"}})
+	n1.Record(Event{Kind: KindHWSample, Cycle: 100, Req: -1, Session: -1, Slot: -1, Target: -1,
+		HW: &HWGauges{Cores: 4, Channels: 2, Class: "idle"}})
+	return c.Events()
+}
+
+// TestWritePerfettoHWGolden pins the hw counter tracks (DRAM
+// GB/kilocycle, L2 hit rate, mem-stall fraction) in the Chrome
+// trace-event rendering.
+func TestWritePerfettoHWGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, hwExportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.CompareBytes(t, "testdata/export.hw.perfetto.golden.json", buf.Bytes())
+}
+
+// TestWriteJSONLHWGolden pins the hw-sample JSONL rendering.
+func TestWriteJSONLHWGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, hwExportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.CompareBytes(t, "testdata/export.hw.events.golden.jsonl", buf.Bytes())
+}
+
+// TestWriteTimeseriesCSVHWGolden pins the extended time-series
+// rendering: the hw columns joined onto the gauge rows per (cycle,
+// node), plus the fleet rollup rows with their most-severe class
+// reduction.
+func TestWriteTimeseriesCSVHWGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeseriesCSV(&buf, hwExportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.CompareBytes(t, "testdata/export.hw.timeseries.golden.csv", buf.Bytes())
+}
+
+// TestPerfettoHWCounterTracks: the hw counter tracks appear by name in
+// the trace — what makes the profile navigable in the Perfetto UI.
+func TestPerfettoHWCounterTracks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, hwExportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"hw dram gb/kcycle"`, `"hw l2 hit rate"`, `"hw mem-stall frac"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perfetto trace missing hw counter track %s", want)
+		}
+	}
+}
+
+// TestTimeseriesCSVHeaderOnly: a stream with no gauge or hw samples —
+// a fault-only run recorded with sampling disabled — writes the
+// header line, not a zero-byte file, so downstream CSV readers always
+// see the schema.
+func TestTimeseriesCSVHeaderOnly(t *testing.T) {
+	c := NewCollector(0)
+	router := c.Router()
+	router.Record(Event{Kind: KindNodeDown, Cycle: 45, Dur: 20, Req: -1, Session: -1, Slot: -1, Target: 1})
+	router.Record(Event{Kind: KindNodeUp, Cycle: 110, Dur: 65, Req: -1, Session: -1, Slot: -1, Target: 1})
+	var buf bytes.Buffer
+	if err := WriteTimeseriesCSV(&buf, c.Events()); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,node,outstanding,backlog,kv_used,running,prefix_fill\n"
+	if buf.String() != want {
+		t.Fatalf("fault-only time series = %q, want header-only %q", buf.String(), want)
+	}
+	var empty bytes.Buffer
+	if err := WriteTimeseriesCSV(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.String() != want {
+		t.Fatalf("empty-stream time series = %q, want header-only %q", empty.String(), want)
+	}
+}

@@ -27,6 +27,12 @@ type Spec struct {
 	TimeseriesOut string
 	// SampleEvery is the gauge sampling period in cycles (0 = off).
 	SampleEvery int64
+	// AllowBareSampling permits SampleEvery > 0 with no telemetry
+	// output configured. The hardware profiler buckets its
+	// time-series on the same -sample-every grid, so a CLI running
+	// -hwprof sets this: the sampling period is consumed even when no
+	// trace artifact is requested.
+	AllowBareSampling bool
 }
 
 // Enabled reports whether any output is configured, i.e. whether the
@@ -45,8 +51,8 @@ func (s *Spec) Validate(multiCell bool) error {
 	if s.SampleEvery < 0 {
 		return fmt.Errorf("-sample-every must be >= 0, got %d", s.SampleEvery)
 	}
-	if s.SampleEvery > 0 && !s.Enabled() {
-		return errors.New("-sample-every is set but no output path is configured (need -trace-out, -events-out or -timeseries-out)")
+	if s.SampleEvery > 0 && !s.Enabled() && !s.AllowBareSampling {
+		return errors.New("-sample-every is set but no output path is configured (need -trace-out, -events-out, -timeseries-out or -hwprof)")
 	}
 	if s.TimeseriesOut != "" && s.SampleEvery == 0 {
 		return errors.New("-timeseries-out requires -sample-every > 0")
@@ -56,17 +62,26 @@ func (s *Spec) Validate(multiCell bool) error {
 		{"-events-out", s.EventsOut},
 		{"-timeseries-out", s.TimeseriesOut},
 	} {
-		if p.path == "" {
-			continue
-		}
-		if multiCell && !strings.Contains(p.path, "%") {
-			return fmt.Errorf("%s %q: sweep produces multiple cells; the path needs a %% placeholder (expanded to the cell label)", p.flag, p.path)
-		}
-		if err := checkWritableDir(p.flag, CellPath(p.path, "probe")); err != nil {
+		if err := ValidateOutPath(p.flag, p.path, multiCell); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ValidateOutPath checks one output-path flag the way Spec.Validate
+// checks the telemetry outputs: multi-cell sweeps need a `%`
+// placeholder, and the target directory must accept new files. Empty
+// paths pass (the output is simply disabled). Exported for flags that
+// live outside the Spec, like the profiler's -hwprof-out.
+func ValidateOutPath(flag, path string, multiCell bool) error {
+	if path == "" {
+		return nil
+	}
+	if multiCell && !strings.Contains(path, "%") {
+		return fmt.Errorf("%s %q: sweep produces multiple cells; the path needs a %% placeholder (expanded to the cell label)", flag, path)
+	}
+	return checkWritableDir(flag, CellPath(path, "probe"))
 }
 
 // checkWritableDir probes that path's directory exists and accepts

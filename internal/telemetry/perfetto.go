@@ -96,6 +96,21 @@ func WritePerfetto(w io.Writer, events []Event) error {
 			Args: map[string]any{series: v},
 		})
 	}
+	// counterF is counter for derived hardware rates: float64 values
+	// marshal deterministically via encoding/json, so the counter
+	// tracks stay byte-reproducible.
+	counterF := func(ev *Event, name, series string, v float64) {
+		out = append(out, traceEvent{
+			Name: name, Ph: "C", Ts: ev.Cycle, Pid: pidOf(ev.Node),
+			Args: map[string]any{series: v},
+		})
+	}
+	frac := func(num, den int64) float64 {
+		if den <= 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
 	started := map[int]bool{}
 	for i := range events {
 		ev := &events[i]
@@ -105,6 +120,18 @@ func WritePerfetto(w io.Writer, events []Event) error {
 			counter(ev, "kv reserved", "tokens", ev.Gauges.KVUsed)
 			counter(ev, "slots running", "slots", int64(ev.Gauges.Running))
 			counter(ev, "prefix cache fill", "tokens", ev.Gauges.PrefixFill)
+			continue
+		}
+		if ev.Kind == KindHWSample {
+			if h := ev.HW; h != nil {
+				gbkc := 0.0
+				if h.Cycles > 0 {
+					gbkc = float64(h.DRAMBytes) / 1e9 / (float64(h.Cycles) / 1e3)
+				}
+				counterF(ev, "hw dram gb/kcycle", "gb", gbkc)
+				counterF(ev, "hw l2 hit rate", "rate", frac(h.L2Hits, h.L2Accesses))
+				counterF(ev, "hw mem-stall frac", "frac", frac(h.CoreMemStall, h.Cycles*int64(h.Cores)))
+			}
 			continue
 		}
 		name := ev.Kind.String()

@@ -98,13 +98,18 @@ const (
 	// never re-generated, on the new node). The request's next
 	// KindRoute event names the node it lands on.
 	KindRedispatch
+	// KindHWSample: one hardware-profile bucket (see HWGauges),
+	// emitted post-drain by engines running with -hwprof, stamped at
+	// the bucket's end boundary on the shared sampling grid. Req,
+	// Session and Slot are -1.
+	KindHWSample
 )
 
 var kindNames = [...]string{
 	"arrive", "route", "forward", "retry", "shed", "drop",
 	"admit", "prefix-hit", "prefix-miss", "prefill", "decode",
 	"preempt", "retire", "sample",
-	"node-down", "node-up", "redispatch",
+	"node-down", "node-up", "redispatch", "hw-sample",
 }
 
 // String returns the stable wire name of the kind, used by every
@@ -135,6 +140,39 @@ type Gauges struct {
 	PrefixFill int64
 }
 
+// HWGauges is one hardware-profile bucket attached to a KindHWSample
+// event: the raw counter sums of the engine steps that completed in
+// the bucket, plus the bottleneck class the hwprof classifier
+// assigned. All numeric fields are summable — the CSV exporter's
+// fleet rollup adds them across nodes and re-derives rates from the
+// sums, so the rollup is exact rather than an average of averages.
+type HWGauges struct {
+	// Steps completed in the bucket and their wall-clock cost
+	// (straggler-scaled engine cycles).
+	Steps      int64
+	BusyCycles int64
+	// Cycles is the raw (unscaled) core-cycle counter sum.
+	Cycles int64
+	// DRAMBytes is line-sized DRAM traffic (reads + writes).
+	DRAMBytes int64
+	// L2 and stall counter sums, denominators included so rates can
+	// be re-derived after any rollup.
+	L2Hits        int64
+	L2Accesses    int64
+	CoreMemStall  int64
+	CacheStall    int64
+	SliceCycles   int64
+	DRAMBusCycles int64
+	// Cores and Channels are the node's hardware shape (per-node
+	// fraction denominators). The fleet is homogeneous, so rollups
+	// take them from any node.
+	Cores    int
+	Channels int
+	// Class is the bucket's bottleneck class wire name
+	// ("idle", "compute-bound", "memory-bound", "stalled").
+	Class string
+}
+
 // Event is one recorded lifecycle event. Integer ID fields use -1 for
 // "not applicable" (e.g. Slot before admission, Req on samples);
 // request IDs start at 0, so zero values are meaningful and never
@@ -157,6 +195,9 @@ type Event struct {
 	Load    []int64
 	Backlog []int64
 	Gauges  Gauges // KindSample only
+	// HW is the hardware-profile bucket attached to KindHWSample
+	// events; nil otherwise.
+	HW *HWGauges
 }
 
 // Recorder receives lifecycle events. Implementations are not required

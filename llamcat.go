@@ -50,6 +50,7 @@ import (
 	"repro/internal/arbiter"
 	"repro/internal/cluster"
 	"repro/internal/dataflow"
+	"repro/internal/hwprof"
 	"repro/internal/memtrace"
 	"repro/internal/serving"
 	"repro/internal/sim"
@@ -614,7 +615,44 @@ func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
 
 // WriteTraceTimeseriesCSV writes the gauge samples of the merged
 // event stream as a CSV time series: one row per (cycle, node) plus a
-// fleet rollup row per sampling boundary.
+// fleet rollup row per sampling boundary. Runs profiled with
+// HWProfSpec additionally carry hw counter columns (DRAM bytes, L2
+// hit rate, mem-stall fraction, bus utilisation, bottleneck class).
 func WriteTraceTimeseriesCSV(w io.Writer, events []TraceEvent) error {
 	return telemetry.WriteTimeseriesCSV(w, events)
 }
+
+// HWProfSpec re-exports the hardware-profiling configuration. Set
+// Enabled (and, optionally, SampleEvery for bucketed utilization) on
+// ServeOptions.HWProf or ClusterOptions.HWProf to attribute every
+// step's hardware-counter delta to its phase (prefill, decode,
+// recompute after preempt/redispatch), to the streams co-scheduled in
+// the step, and to wall-clock buckets; the resulting profile lands on
+// ServeMetrics.HW / ClusterMetrics.HW. The zero value disables
+// profiling and is bit-inert: metrics and telemetry are byte-identical
+// to a build without it.
+type HWProfSpec = hwprof.Spec
+
+// HWProfile re-exports one node's attribution profile: per-phase and
+// per-request HWCost, the classified bucket time-series and the
+// node's majority bottleneck class, with a Render method producing
+// the aligned report table.
+type HWProfile = hwprof.NodeProfile
+
+// HWFleetProfile re-exports the fleet rollup over per-node profiles
+// (summed phases, pooled request percentiles, majority class).
+type HWFleetProfile = hwprof.FleetProfile
+
+// HWCost re-exports the per-request hardware cost vector: cycles,
+// DRAM bytes, L2 hits/misses and core mem-stall cycles, split from
+// each step's counter delta by per-stream tokens.
+type HWCost = hwprof.HWCost
+
+// BottleneckClass re-exports the classifier's label enum
+// (idle / compute-bound / memory-bound / stalled).
+type BottleneckClass = hwprof.Class
+
+// BottleneckThresholds re-exports the classifier decision boundaries
+// (zero value: defaults calibrated against the Table 5
+// configuration). Set them on HWProfSpec.Thresholds.
+type BottleneckThresholds = hwprof.Thresholds

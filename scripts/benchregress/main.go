@@ -1,0 +1,103 @@
+// benchregress compares a fresh BENCH_results.json against the
+// committed baseline and fails on regressions beyond tolerance.
+//
+// Usage: go run ./scripts/benchregress [flags] baseline.json fresh.json
+//
+// Only benchmarks present in BOTH files are compared — the baseline
+// may trail the tree by a PR while a new benchmark lands. Sub-minwall
+// entries are skipped for the time check: a microsecond-scale figure
+// lookup is all measurement noise at -benchtime=1x. Allocations are
+// deterministic and compared regardless of wall time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	Scale       int     `json:"scale"`
+}
+
+func load(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]record, len(recs))
+	for _, r := range recs {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+func main() {
+	timeRatio := flag.Float64("time-ratio", 2.0, "fail when ns/op exceeds baseline by this factor")
+	allocsRatio := flag.Float64("allocs-ratio", 1.10, "fail when allocs/op exceeds baseline by this factor")
+	minWall := flag.Float64("min-wall", 0.05, "skip the time check below this baseline wall-seconds")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchregress [flags] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchregress:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchregress:", err)
+		os.Exit(2)
+	}
+	fail := 0
+	compared := 0
+	for name, f := range fresh {
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("benchregress: %-32s new benchmark, no baseline — skipped\n", name)
+			continue
+		}
+		if b.Scale != f.Scale {
+			fmt.Printf("benchregress: %-32s scale changed %d -> %d — skipped\n", name, b.Scale, f.Scale)
+			continue
+		}
+		compared++
+		if b.WallSeconds >= *minWall && b.NsPerOp > 0 {
+			r := f.NsPerOp / b.NsPerOp
+			if r > *timeRatio {
+				fmt.Printf("benchregress: %-32s ns/op %.0f vs baseline %.0f (%.2fx > %.2fx): REGRESSION\n",
+					name, f.NsPerOp, b.NsPerOp, r, *timeRatio)
+				fail = 1
+			} else {
+				fmt.Printf("benchregress: %-32s ns/op %.2fx of baseline: ok\n", name, r)
+			}
+		}
+		if b.AllocsPerOp > 0 {
+			r := float64(f.AllocsPerOp) / float64(b.AllocsPerOp)
+			if r > *allocsRatio {
+				fmt.Printf("benchregress: %-32s allocs/op %d vs baseline %d (%.2fx > %.2fx): REGRESSION\n",
+					name, f.AllocsPerOp, b.AllocsPerOp, r, *allocsRatio)
+				fail = 1
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchregress: no benchmarks in common — wrong -bench pattern?")
+		os.Exit(2)
+	}
+	if fail != 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchregress: %d benchmarks within tolerance\n", compared)
+}

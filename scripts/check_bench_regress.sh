@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# check_bench_regress.sh — the CI wall-clock/allocation trend gate.
+#
+# Runs the serving and cluster benchmarks fresh (-benchtime=1x at the
+# standard scale) and compares the measurements against the committed
+# BENCH_results.json baseline: a benchmark may not slow down past 2x
+# its committed ns/op nor allocate past 1.10x its committed allocs/op
+# (wall clock carries co-scheduling noise at -benchtime=1x; the alloc
+# rate is deterministic, so its tolerance is tight).
+# Complementary to check_bench_allocs.sh, which pins absolute ceilings
+# on the fast-path benchmarks; this gate catches gradual drift on
+# everything the baseline tracks.
+#
+# The bench harness's TestMain OVERWRITES BENCH_results.json with the
+# fresh run, so the committed baseline is saved first and restored on
+# exit — running this script leaves the tree unchanged. Pass a -bench
+# pattern as $1 to widen the run (default: the fast serving/cluster
+# set; the full figure suite takes minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-BenchmarkServe_|BenchmarkCluster_|BenchmarkEngineThroughput}"
+
+baseline="$(mktemp)"
+fresh="$(mktemp)"
+cp BENCH_results.json "$baseline"
+restore() {
+  cp "$baseline" BENCH_results.json
+  rm -f "$baseline" "$fresh"
+}
+trap restore EXIT
+
+LLAMCAT_SCALE=32 go test -run='^$' -bench="$PATTERN" -benchtime=1x
+cp BENCH_results.json "$fresh"
+
+go run ./scripts/benchregress "$baseline" "$fresh"
+echo "bench regression check OK"
